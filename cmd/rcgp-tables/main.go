@@ -1,0 +1,91 @@
+// Command rcgp-tables regenerates the RCGP paper's evaluation tables on
+// the built-in benchmark workloads: Table 1 (small RevLib circuits, with
+// the exact-synthesis baseline) and Table 2 (large RevLib circuits and the
+// reversible reciprocal circuits). Budgets are laptop-scale by default;
+// raise -gens / -time / -exact-time to chase the paper's numbers more
+// closely (the paper spends 5·10⁷ generations per circuit and allows
+// 240000 s for exact synthesis).
+//
+// Usage:
+//
+//	rcgp-tables                    # both tables + summary, quick budgets
+//	rcgp-tables -table 1 -exact    # Table 1 including exact synthesis
+//	rcgp-tables -gens 500000 -time 5m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/tables"
+)
+
+func main() {
+	var (
+		table     = flag.Int("table", 0, "which table to run: 1, 2, or 0 for both")
+		gens      = flag.Int("gens", 20000, "CGP generations per circuit")
+		budget    = flag.Duration("time", 30*time.Second, "time budget per circuit")
+		seed      = flag.Int64("seed", 1, "random seed")
+		withExact = flag.Bool("exact", false, "run the exact-synthesis baseline on Table 1")
+		exactTime = flag.Duration("exact-time", 60*time.Second, "budget per exact synthesis run")
+		summary   = flag.Bool("summary", true, "print headline average reductions")
+		verbose   = flag.Bool("v", false, "per-circuit progress on stderr")
+		optimizer = flag.String("optimizer", "cgp", "search engine: cgp (paper), anneal, hybrid")
+		jsonOut   = flag.Bool("json", false, "emit JSON instead of the text tables")
+	)
+	flag.Parse()
+	cfg := tables.Config{
+		Generations:    *gens,
+		TimePerCircuit: *budget,
+		Seed:           *seed,
+		WithExact:      *withExact,
+		ExactBudget:    *exactTime,
+		Optimizer:      *optimizer,
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+	if err := run(*table, cfg, *summary, *withExact, *jsonOut); err != nil {
+		fmt.Fprintln(os.Stderr, "rcgp-tables:", err)
+		os.Exit(1)
+	}
+}
+
+func run(table int, cfg tables.Config, summary, withExact, jsonOut bool) error {
+	if !jsonOut {
+		fmt.Printf("# rcgp-tables: gens=%d time=%v seed=%d optimizer=%s exact=%v exact-time=%v\n\n",
+			cfg.Generations, cfg.TimePerCircuit, cfg.Seed, cfg.Optimizer, cfg.WithExact, cfg.ExactBudget)
+	}
+	emit := func(title string, rows []tables.Row, exact bool, paperGates, paperGarbage float64) error {
+		if jsonOut {
+			return tables.RenderJSON(os.Stdout, title, rows)
+		}
+		tables.Render(os.Stdout, title, rows, exact)
+		if summary {
+			tables.RenderSummary(os.Stdout, title+" vs init", tables.Summarize(rows), paperGates, paperGarbage)
+		}
+		fmt.Println()
+		return nil
+	}
+	if table == 0 || table == 1 {
+		rows, err := tables.RunTable1(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("Table 1: small circuits from the RevLib benchmark", rows, withExact, 50.80, 71.55); err != nil {
+			return err
+		}
+	}
+	if table == 0 || table == 2 {
+		rows, err := tables.RunTable2(cfg)
+		if err != nil {
+			return err
+		}
+		if err := emit("Table 2: large RevLib circuits and reversible reciprocal circuits", rows, false, 32.38, 59.13); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,186 @@
+// Command rcgp runs the end-to-end RQFP synthesis flow of the RCGP paper:
+// it reads a combinational design (Verilog, BLIF, AIGER, PLA, or RevLib
+// .real — or one of the built-in benchmark circuits), runs classical logic
+// synthesis, converts to an RQFP netlist with splitter insertion, optimizes
+// it with Cartesian genetic programming, and reports the paper's cost
+// metrics after buffer insertion.
+//
+// Usage:
+//
+//	rcgp -bench decoder_2_4 -gens 50000
+//	rcgp -in adder.v -o adder.rqfp
+//	rcgp -in circuit.blif -format blif -time 30s -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	rcgp "github.com/reversible-eda/rcgp"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcgp:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		inPath    = flag.String("in", "", "input design file (.v, .blif, .aag, .pla, .real)")
+		format    = flag.String("format", "", "input format override: verilog|blif|aiger|pla|real")
+		benchName = flag.String("bench", "", "use a built-in benchmark circuit instead of -in")
+		list      = flag.Bool("list", false, "list built-in benchmark circuits and exit")
+		outPath   = flag.String("o", "", "write the optimized RQFP netlist to this file")
+		vlogPath  = flag.String("verilog-out", "", "also export the result as structural Verilog")
+		gens      = flag.Int("gens", 20000, "CGP generation budget")
+		lambda    = flag.Int("lambda", 4, "CGP offspring per generation (λ)")
+		mu        = flag.Float64("mu", 0.05, "CGP mutation rate (μ); the paper uses 1")
+		seed      = flag.Int64("seed", 1, "random seed")
+		budget    = flag.Duration("time", 0, "wall-clock budget for the evolution (0 = none)")
+		initOnly  = flag.Bool("init-only", false, "stop after initialization (baseline)")
+		windows   = flag.Int("window-rounds", 0, "rounds of windowed resynthesis after the evolution")
+		chrom     = flag.Bool("chromosome", false, "print the CGP chromosome string")
+		quiet     = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range rcgp.BenchmarkNames() {
+			fmt.Println(n)
+		}
+		return nil
+	}
+
+	design, name, err := loadDesign(*inPath, *format, *benchName)
+	if err != nil {
+		return err
+	}
+	if !*quiet {
+		fmt.Printf("design %s: %d inputs, %d outputs\n", name, design.NumInputs(), design.NumOutputs())
+	}
+
+	opt := rcgp.Options{
+		Generations:        *gens,
+		Lambda:             *lambda,
+		MutationRate:       *mu,
+		Seed:               *seed,
+		TimeBudget:         *budget,
+		InitializationOnly: *initOnly,
+		WindowRounds:       *windows,
+	}
+	if !*quiet {
+		opt.Progress = func(gen, gates, garbage int) {
+			fmt.Printf("  gen %-8d n_r=%-5d n_g=%-5d\n", gen, gates, garbage)
+		}
+	}
+	res, err := design.Synthesize(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("initialization: %s\n", res.Initial().Stats())
+	fmt.Printf("rcgp:           %s\n", res.Stats())
+	fmt.Printf("runtime %.2fs, %d generations, %d evaluations\n",
+		res.Runtime.Seconds(), res.Generations, res.Evaluations)
+
+	ok, err := design.Verify(res.Circuit())
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("internal error: result failed verification")
+	}
+	if !*quiet {
+		fmt.Println("formal verification: equivalent")
+	}
+	if *chrom {
+		fmt.Println(res.Circuit().Chromosome())
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Circuit().WriteText(f); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s\n", *outPath)
+		}
+	}
+	if *vlogPath != "" {
+		f, err := os.Create(*vlogPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := res.Circuit().WriteVerilog(f, "rqfp_top"); err != nil {
+			return err
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s\n", *vlogPath)
+		}
+	}
+	return nil
+}
+
+func loadDesign(inPath, format, benchName string) (*rcgp.Design, string, error) {
+	switch {
+	case benchName != "":
+		d, err := rcgp.Benchmark(benchName)
+		return d, benchName, err
+	case inPath != "":
+		f, err := os.Open(inPath)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		if format == "" {
+			format = formatFromExt(inPath)
+		}
+		d, err := parseAs(f, format)
+		return d, filepath.Base(inPath), err
+	default:
+		return nil, "", fmt.Errorf("need -in <file> or -bench <name> (try -list)")
+	}
+}
+
+func formatFromExt(path string) string {
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".v", ".sv":
+		return "verilog"
+	case ".blif":
+		return "blif"
+	case ".aag", ".aig":
+		return "aiger"
+	case ".pla":
+		return "pla"
+	case ".real":
+		return "real"
+	default:
+		return ""
+	}
+}
+
+func parseAs(r io.Reader, format string) (*rcgp.Design, error) {
+	switch format {
+	case "verilog":
+		return rcgp.FromVerilog(r)
+	case "blif":
+		return rcgp.FromBLIF(r)
+	case "aiger":
+		return rcgp.FromAIGER(r)
+	case "pla":
+		return rcgp.FromPLA(r)
+	case "real":
+		return rcgp.FromREAL(r)
+	default:
+		return nil, fmt.Errorf("unknown format %q (use -format verilog|blif|aiger|pla|real)", format)
+	}
+}

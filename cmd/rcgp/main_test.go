@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFormatFromExt(t *testing.T) {
+	cases := map[string]string{
+		"a.v": "verilog", "b.SV": "verilog", "c.blif": "blif",
+		"d.aag": "aiger", "d2.aig": "aiger", "e.pla": "pla", "f.real": "real", "g.txt": "",
+	}
+	for path, want := range cases {
+		if got := formatFromExt(path); got != want {
+			t.Errorf("formatFromExt(%q) = %q, want %q", path, got, want)
+		}
+	}
+}
+
+func TestParseAs(t *testing.T) {
+	cases := []struct {
+		format, src string
+		ok          bool
+	}{
+		{"verilog", "module m (a, y); input a; output y; assign y = a; endmodule", true},
+		{"blif", ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n", true},
+		{"aiger", "aag 1 1 0 1 0\n2\n2\n", true},
+		{"pla", ".i 1\n.o 1\n1 1\n.e\n", true},
+		{"real", ".numvars 1\n.variables a\n.begin\nt1 a\n.end\n", true},
+		{"bogus", "", false},
+		{"verilog", "not verilog at all", false},
+	}
+	for i, c := range cases {
+		d, err := parseAs(strings.NewReader(c.src), c.format)
+		if c.ok && (err != nil || d == nil) {
+			t.Errorf("case %d (%s): unexpected error %v", i, c.format, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("case %d (%s): expected error", i, c.format)
+		}
+	}
+}
+
+func TestLoadDesignBench(t *testing.T) {
+	d, name, err := loadDesign("", "", "c17")
+	if err != nil || d == nil || name != "c17" {
+		t.Fatalf("loadDesign bench failed: %v", err)
+	}
+	if _, _, err := loadDesign("", "", ""); err == nil {
+		t.Fatal("empty selection should fail")
+	}
+	if _, _, err := loadDesign("/nonexistent/file.v", "", ""); err == nil {
+		t.Fatal("missing file should fail")
+	}
+}

@@ -1,0 +1,76 @@
+// Command rqfp-exact runs the SAT-based exact synthesis baseline for RQFP
+// logic (the ICCAD'23 method the RCGP paper compares against). It is only
+// practical for very small circuits — precisely the observation the paper
+// makes about exact synthesis.
+//
+// Usage:
+//
+//	rqfp-exact -bench decoder_2_4 -max-gates 3
+//	rqfp-exact -bench "1-bit full adder" -time 60s
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	rcgp "github.com/reversible-eda/rcgp"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "", "built-in benchmark circuit name")
+		maxGates  = flag.Int("max-gates", 6, "upper bound of the gate-count search")
+		budget    = flag.Duration("time", 0, "wall-clock budget (0 = none)")
+		outPath   = flag.String("o", "", "write the netlist to this file")
+	)
+	flag.Parse()
+	if err := run(*benchName, *maxGates, *budget, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "rqfp-exact:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName string, maxGates int, budget time.Duration, outPath string) error {
+	if benchName == "" {
+		return fmt.Errorf("need -bench <name>; known circuits:\n  %v", rcgp.BenchmarkNames())
+	}
+	d, err := rcgp.Benchmark(benchName)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("exact synthesis of %s (%d inputs, %d outputs), gate bound %d\n",
+		benchName, d.NumInputs(), d.NumOutputs(), maxGates)
+	c, err := d.SynthesizeExact(rcgp.ExactOptions{MaxGates: maxGates, TimeBudget: budget})
+	switch {
+	case errors.Is(err, rcgp.ErrExactTimeout):
+		fmt.Println(`result: \ (no solution within the budget — as in the paper's larger rows)`)
+		return nil
+	case errors.Is(err, rcgp.ErrExactUnsat):
+		fmt.Printf("result: no RQFP circuit with ≤ %d gates exists\n", maxGates)
+		return nil
+	case err != nil:
+		return err
+	}
+	fmt.Printf("result: %s\n", c.Stats())
+	ok, err := d.Verify(c)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("internal error: exact result failed verification")
+	}
+	fmt.Println("formal verification: equivalent")
+	fmt.Println(c.Chromosome())
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return c.WriteText(f)
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunExactOnDecoder(t *testing.T) {
+	// A 20-second budget usually suffices for decoder_2_4; when the
+	// machine is loaded the run reports the timeout marker instead, which
+	// is also a valid (non-error) outcome of the tool.
+	out := filepath.Join(t.TempDir(), "out.rqfp")
+	if err := run("decoder_2_4", 3, 20*time.Second, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExactErrors(t *testing.T) {
+	if err := run("", 3, 0, ""); err == nil {
+		t.Fatal("missing bench name accepted")
+	}
+	if err := run("definitely-not-a-circuit", 3, 0, ""); err == nil {
+		t.Fatal("unknown bench accepted")
+	}
+}
+
+func TestRunExactTimeoutPath(t *testing.T) {
+	// A microscopic budget must hit the timeout branch without error.
+	if err := run("decoder_3_8", 6, time.Millisecond, ""); err != nil {
+		t.Fatal(err)
+	}
+}

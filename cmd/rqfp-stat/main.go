@@ -1,0 +1,84 @@
+// Command rqfp-stat validates a serialized RQFP netlist (the .rqfp text
+// format) and reports the paper's cost metrics: gate count, buffer count
+// after path balancing, Josephson junctions, depth, and garbage outputs.
+//
+// Usage:
+//
+//	rqfp-stat circuit.rqfp
+//	rqfp-stat -chromosome -tt circuit.rqfp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rcgp "github.com/reversible-eda/rcgp"
+)
+
+func main() {
+	var (
+		chrom = flag.Bool("chromosome", false, "print the CGP chromosome string")
+		tt    = flag.Bool("tt", false, "print output truth tables (small circuits only)")
+		cells = flag.Bool("aqfp", false, "print the AQFP cell-level inventory")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rqfp-stat [-chromosome] [-tt] [-aqfp] <file.rqfp>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0), *chrom, *tt, *cells); err != nil {
+		fmt.Fprintln(os.Stderr, "rqfp-stat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string, chrom, printTT, cells bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	c, err := rcgp.ReadCircuit(f)
+	if err != nil {
+		return err
+	}
+	st := c.Stats()
+	fmt.Printf("%s: valid RQFP netlist\n", path)
+	fmt.Printf("  inputs  n_pi = %d\n", st.Inputs)
+	fmt.Printf("  outputs n_po = %d\n", st.Outputs)
+	fmt.Printf("  gates   n_r  = %d\n", st.Gates)
+	fmt.Printf("  buffers n_b  = %d\n", st.Buffers)
+	fmt.Printf("  JJs          = %d\n", st.JJs)
+	fmt.Printf("  depth   n_d  = %d\n", st.Depth)
+	fmt.Printf("  garbage n_g  = %d\n", st.Garbage)
+	if chrom {
+		fmt.Println(c.Chromosome())
+	}
+	if cells {
+		inv, err := c.ExpandAQFP()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  AQFP cells: %d majorities, %d splitters, %d buffers, %d JJs, %d phases\n",
+			inv.Majorities, inv.Splitters, inv.Buffers, inv.JJs, inv.Phases)
+	}
+	if printTT {
+		if st.Inputs > 10 {
+			return fmt.Errorf("-tt limited to 10 inputs (got %d)", st.Inputs)
+		}
+		for x := uint(0); x < 1<<uint(st.Inputs); x++ {
+			outs := c.Evaluate(x)
+			fmt.Printf("  %0*b -> ", st.Inputs, x)
+			for o := len(outs) - 1; o >= 0; o-- {
+				if outs[o] {
+					fmt.Print("1")
+				} else {
+					fmt.Print("0")
+				}
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleNetlist = `.rqfp
+.pi 2
+.gate 1 2 0 100-010-001
+.po 5
+.end
+`
+
+func TestRunOnValidNetlist(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "and.rqfp")
+	if err := os.WriteFile(path, []byte(sampleNetlist), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, true, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsInvalidNetlist(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.rqfp")
+	// Port 1 drives two loads.
+	bad := ".rqfp\n.pi 1\n.gate 1 1 0 000-000-000\n.po 2\n.end\n"
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, false, false, false); err == nil {
+		t.Fatal("invalid netlist accepted")
+	}
+	if err := run(filepath.Join(dir, "missing.rqfp"), false, false, false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package rcgp_test
+
+import (
+	"fmt"
+	"log"
+
+	rcgp "github.com/reversible-eda/rcgp"
+)
+
+// Synthesize a half adder from a function literal and inspect the result.
+func ExampleFromFunc() {
+	design := rcgp.FromFunc(2, 2, func(x uint) uint {
+		a, b := x&1, x>>1&1
+		sum := a ^ b
+		carry := a & b
+		return sum | carry<<1
+	})
+	res, err := design.Synthesize(rcgp.Options{Generations: 5000, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := design.Verify(res.Circuit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("verified:", ok)
+	outs := res.Circuit().Evaluate(0b11) // 1 + 1
+	fmt.Printf("1+1 = carry %v, sum %v\n", outs[1], outs[0])
+	// Output:
+	// verified: true
+	// 1+1 = carry true, sum false
+}
+
+// Every benchmark circuit of the paper's evaluation is built in.
+func ExampleBenchmark() {
+	design, err := rcgp.Benchmark("decoder_2_4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d inputs, %d outputs\n", design.NumInputs(), design.NumOutputs())
+	// Output:
+	// 2 inputs, 4 outputs
+}

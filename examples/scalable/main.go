@@ -1,0 +1,76 @@
+// Scalability: synthesize hwb8 — the largest circuit of the paper's
+// Table 2 (1427 initial gates there) — with a short global evolution
+// followed by windowed CGP resynthesis, then expand the result down to the
+// AQFP cell level of Fig. 1(a) and re-derive the Josephson-junction count
+// from the cell inventory.
+//
+// Run with:
+//
+//	go run ./examples/scalable
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	rcgp "github.com/reversible-eda/rcgp"
+)
+
+func main() {
+	design, err := rcgp.Benchmark("hwb8")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hwb8: %d inputs, %d outputs (hidden-weighted-bit rotation)\n\n",
+		design.NumInputs(), design.NumOutputs())
+
+	res, err := design.Synthesize(rcgp.Options{
+		Generations:  40000,
+		MutationRate: 0.15,
+		Seed:         1,
+		TimeBudget:   45 * time.Second,
+		WindowRounds: 40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initialization:      %s\n", res.Initial().Stats())
+	fmt.Printf("rcgp + windowing:    %s\n", res.Stats())
+	fmt.Printf("runtime %.1fs\n\n", res.Runtime.Seconds())
+
+	ok, err := design.Verify(res.Circuit())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("formal verification: equivalent = %v\n\n", ok)
+
+	// Down to physical structure: 3 AQFP splitters + 3 AQFP majorities per
+	// RQFP gate, 2 AQFP buffers per RQFP buffer, strict phase discipline.
+	cells, err := res.Circuit().ExpandAQFP()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("AQFP cell-level expansion:")
+	fmt.Printf("  majorities: %d\n", cells.Majorities)
+	fmt.Printf("  splitters:  %d\n", cells.Splitters)
+	fmt.Printf("  buffers:    %d\n", cells.Buffers)
+	fmt.Printf("  JJs:        %d (netlist cost model: %d)\n", cells.JJs, res.Stats().JJs)
+	fmt.Printf("  phases:     %d AQFP clock phases\n", cells.Phases)
+	if cells.JJs != res.Stats().JJs {
+		log.Fatal("cell-level JJ count disagrees with the cost model")
+	}
+
+	// Behavioral spot check: hwb rotates the input by its Hamming weight.
+	fmt.Println("\nspot checks (x -> rotl(x, weight(x))):")
+	for _, x := range []uint{0b00000011, 0b10000001, 0b11111111} {
+		outs := res.Circuit().Evaluate(x)
+		var y uint
+		for o, v := range outs {
+			if v {
+				y |= 1 << uint(o)
+			}
+		}
+		fmt.Printf("  %08b -> %08b\n", x, y)
+	}
+}

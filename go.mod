@@ -1,0 +1,3 @@
+module github.com/reversible-eda/rcgp
+
+go 1.22

@@ -1,0 +1,132 @@
+package rcgp
+
+// Repository-level integration tests: every Table-1 benchmark through the
+// public API, with windowed resynthesis, exhaustive functional
+// verification, serialization, and AQFP cell-level expansion — the full
+// surface a downstream user touches.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestIntegrationAllTable1Benchmarks(t *testing.T) {
+	names := []string{
+		"1-bit full adder", "4gt10", "alu", "c17", "decoder_2_4",
+		"decoder_3_8", "graycode4", "ham3", "mux4",
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			d, err := Benchmark(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := d.Synthesize(Options{
+				Generations:  4000,
+				Seed:         11,
+				WindowRounds: 5,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := res.Circuit()
+			if err := c.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			ok, err := d.Verify(c)
+			if err != nil || !ok {
+				t.Fatalf("verification failed: %v %v", ok, err)
+			}
+			// Exhaustive behavioural agreement between circuit and spec.
+			ref, err := Benchmark(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := ref.Synthesize(Options{InitializationOnly: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for x := uint(0); x < 1<<uint(d.NumInputs()); x++ {
+				got := c.Evaluate(x)
+				want := base.Circuit().Evaluate(x)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("x=%d output %d differs from baseline", x, i)
+					}
+				}
+			}
+			// Serialization round trip preserves equivalence.
+			var buf bytes.Buffer
+			if err := c.WriteText(&buf); err != nil {
+				t.Fatal(err)
+			}
+			back, err := ReadCircuit(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eq, err := c.Equivalent(back)
+			if err != nil || !eq {
+				t.Fatalf("serialization broke equivalence: %v %v", eq, err)
+			}
+			// AQFP expansion validates and re-derives the JJ count.
+			cells, err := c.ExpandAQFP()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cells.JJs != c.Stats().JJs {
+				t.Fatalf("cell JJs %d vs model %d", cells.JJs, c.Stats().JJs)
+			}
+			// Never worse than the baseline on the primary objectives.
+			if res.Stats().Gates > res.Initial().Stats().Gates {
+				t.Fatalf("gates grew: %d -> %d",
+					res.Initial().Stats().Gates, res.Stats().Gates)
+			}
+		})
+	}
+}
+
+func TestIntegrationRandomFunctions(t *testing.T) {
+	// Fuzz-style breadth: random completely-specified functions through
+	// the whole pipeline with exhaustive verification.
+	r := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 8; trial++ {
+		nIn := 3 + r.Intn(3)
+		nOut := 1 + r.Intn(3)
+		table := make([]uint, 1<<uint(nIn))
+		for i := range table {
+			table[i] = uint(r.Intn(1 << uint(nOut)))
+		}
+		d := FromFunc(nIn, nOut, func(x uint) uint { return table[x] })
+		res, err := d.Synthesize(Options{Generations: 2000, Seed: int64(trial)})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for x := uint(0); x < 1<<uint(nIn); x++ {
+			outs := res.Circuit().Evaluate(x)
+			for o := 0; o < nOut; o++ {
+				if outs[o] != (table[x]>>uint(o)&1 == 1) {
+					t.Fatalf("trial %d x=%d output %d wrong", trial, x, o)
+				}
+			}
+		}
+	}
+}
+
+func TestIntegrationDeterminism(t *testing.T) {
+	run := func() string {
+		d, err := Benchmark("ham3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := d.Synthesize(Options{Generations: 3000, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Circuit().Chromosome()
+	}
+	if run() != run() {
+		t.Fatal("same seed produced different circuits")
+	}
+}

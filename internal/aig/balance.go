@@ -1,0 +1,115 @@
+package aig
+
+import "sort"
+
+// Balance returns a functionally equivalent AIG with AND trees rebuilt to
+// minimize depth. Conjunction trees are flattened through non-complemented,
+// single-fanout AND edges and re-assembled Huffman-style (always combining
+// the two shallowest operands), mirroring ABC's "balance" command.
+func (a *AIG) Balance() *AIG {
+	b := New(a.nPI)
+	b.InputNames = a.InputNames
+	b.OutputNames = a.OutputNames
+	fanout := a.FanoutCounts()
+	levels := make([]int, 0, a.NumNodes()) // levels in b, indexed by b node
+	levels = append(levels, 0)
+	for i := 0; i < a.nPI; i++ {
+		levels = append(levels, 0)
+	}
+	levelOf := func(l Lit) int { return levels[l.Node()] }
+
+	memo := make(map[int]Lit) // old node -> new edge (non-complemented view)
+	var build func(n int) Lit
+	buildEdge := func(l Lit) Lit { return build(l.Node()).NotIf(l.Compl()) }
+
+	// collect flattens the conjunction rooted at old node n. Returns the
+	// old-graph leaf edges; nil result with ok=false means the conjunction
+	// is constant false (x and !x both appear).
+	var collect func(n int, leaves map[Lit]bool) bool
+	collect = func(n int, leaves map[Lit]bool) bool {
+		for _, f := range []Lit{a.fanin0[n], a.fanin1[n]} {
+			if !f.Compl() && a.IsAnd(f.Node()) && fanout[f.Node()] == 1 {
+				if !collect(f.Node(), leaves) {
+					return false
+				}
+				continue
+			}
+			if leaves[f.Not()] {
+				return false
+			}
+			leaves[f] = true
+		}
+		return true
+	}
+
+	build = func(n int) Lit {
+		if n == 0 {
+			return Const0
+		}
+		if a.IsPI(n) {
+			return MkLit(n, false)
+		}
+		if e, ok := memo[n]; ok {
+			return e
+		}
+		leafSet := make(map[Lit]bool)
+		if !collect(n, leafSet) {
+			memo[n] = Const0
+			return Const0
+		}
+		// Map leaves into b and drop constant-1 operands.
+		ops := make([]Lit, 0, len(leafSet))
+		oldLeaves := make([]Lit, 0, len(leafSet))
+		for l := range leafSet {
+			oldLeaves = append(oldLeaves, l)
+		}
+		sort.Slice(oldLeaves, func(i, j int) bool { return oldLeaves[i] < oldLeaves[j] })
+		isZero := false
+		for _, l := range oldLeaves {
+			e := buildEdge(l)
+			switch e {
+			case Const1:
+				continue
+			case Const0:
+				isZero = true
+			}
+			ops = append(ops, e)
+		}
+		var res Lit
+		switch {
+		case isZero:
+			res = Const0
+		case len(ops) == 0:
+			res = Const1
+		default:
+			// Huffman-style merge: always AND the two shallowest operands.
+			sort.Slice(ops, func(i, j int) bool { return levelOf(ops[i]) < levelOf(ops[j]) })
+			for len(ops) > 1 {
+				before := b.NumNodes()
+				x := b.And(ops[0], ops[1])
+				for b.NumNodes() > before && len(levels) < b.NumNodes() {
+					f0, f1 := b.Fanins(len(levels))
+					l0, l1 := levels[f0.Node()], levels[f1.Node()]
+					if l0 < l1 {
+						l0 = l1
+					}
+					levels = append(levels, l0+1)
+				}
+				ops = ops[1:]
+				ops[0] = x
+				// Re-insert in level order.
+				for i := 0; i+1 < len(ops) && levelOf(ops[i]) > levelOf(ops[i+1]); i++ {
+					ops[i], ops[i+1] = ops[i+1], ops[i]
+				}
+			}
+			res = ops[0]
+		}
+		memo[n] = res
+		return res
+	}
+
+	for _, po := range a.pos {
+		b.AddPO(buildEdge(po))
+	}
+	return b
+}

@@ -1,0 +1,79 @@
+package aig
+
+import (
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+func TestConstantOutputsSurviveOptimization(t *testing.T) {
+	a := New(2)
+	a.AddPO(Const0)
+	a.AddPO(Const1)
+	a.AddPO(a.And(a.PI(0), a.PI(0).Not())) // structurally const0
+	for _, pass := range []func() *AIG{
+		func() *AIG { return a.Cleanup() },
+		func() *AIG { return a.Balance() },
+		func() *AIG { return a.Rewrite() },
+		func() *AIG { return a.Sweep() },
+		func() *AIG { return a.Optimize(EffortHigh) },
+	} {
+		o := pass()
+		tts := o.TruthTables()
+		if !tts[0].IsConst0() || !tts[1].IsConst1() || !tts[2].IsConst0() {
+			t.Fatal("constant outputs mangled")
+		}
+	}
+}
+
+func TestPassesOnEmptyAndTrivialAIGs(t *testing.T) {
+	// No outputs at all.
+	a := New(3)
+	for _, o := range []*AIG{a.Cleanup(), a.Balance(), a.Rewrite(), a.Sweep()} {
+		if o.NumPOs() != 0 || o.NumAnds() != 0 {
+			t.Fatal("empty AIG mishandled")
+		}
+	}
+	// Pass-through outputs.
+	b := New(2)
+	b.AddPO(b.PI(1))
+	b.AddPO(b.PI(0).Not())
+	o := b.Optimize(EffortStd)
+	tts := o.TruthTables()
+	if !tts[0].Equal(tt.Var(2, 1)) || !tts[1].Equal(tt.Var(2, 0).Not()) {
+		t.Fatal("pass-through outputs mangled")
+	}
+}
+
+func TestDuplicatePOsShareStructure(t *testing.T) {
+	a := New(2)
+	x := a.And(a.PI(0), a.PI(1))
+	a.AddPO(x)
+	a.AddPO(x)
+	a.AddPO(x.Not())
+	c := a.Cleanup()
+	if c.NumAnds() != 1 {
+		t.Fatalf("duplicate POs duplicated structure: %d ANDs", c.NumAnds())
+	}
+	if c.PO(0) != c.PO(1) || c.PO(0) != c.PO(2).Not() {
+		t.Fatal("PO sharing lost")
+	}
+}
+
+func TestRewriteRecoversXorStructure(t *testing.T) {
+	// A clumsy 5-AND xor should not grow under rewriting.
+	a := New(2)
+	x, y := a.PI(0), a.PI(1)
+	or := a.Or(x, y)
+	nand := a.And(x, y).Not()
+	a.AddPO(a.And(or, nand)) // xor via or/nand
+	before := a.Cleanup().NumAnds()
+	after := a.Rewrite().NumAnds()
+	if after > before {
+		t.Fatalf("rewrite grew xor: %d -> %d", before, after)
+	}
+	got := a.Rewrite().TruthTables()[0]
+	if !got.Equal(tt.Var(2, 0).Xor(tt.Var(2, 1))) {
+		t.Fatal("rewrite changed xor function")
+	}
+}

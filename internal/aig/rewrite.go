@@ -1,0 +1,265 @@
+package aig
+
+import (
+	"sort"
+
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+// Cut-based rewriting parameters: 4-feasible cuts, bounded cut sets per
+// node, as in classical DAG-aware rewriting.
+const (
+	cutK        = 4
+	cutsPerNode = 8
+)
+
+type cut struct {
+	leaves []int  // sorted node ids
+	sign   uint64 // bloom signature for fast domination tests
+}
+
+func makeCut(leaves []int) cut {
+	c := cut{leaves: leaves}
+	for _, l := range leaves {
+		c.sign |= 1 << (uint(l) & 63)
+	}
+	return c
+}
+
+// dominates reports whether c's leaf set is a subset of d's.
+func (c cut) dominates(d cut) bool {
+	if c.sign&^d.sign != 0 || len(c.leaves) > len(d.leaves) {
+		return false
+	}
+	i := 0
+	for _, l := range d.leaves {
+		if i < len(c.leaves) && c.leaves[i] == l {
+			i++
+		}
+	}
+	return i == len(c.leaves)
+}
+
+func mergeCuts(a, b cut) (cut, bool) {
+	out := make([]int, 0, len(a.leaves)+len(b.leaves))
+	i, j := 0, 0
+	for i < len(a.leaves) || j < len(b.leaves) {
+		switch {
+		case j >= len(b.leaves) || (i < len(a.leaves) && a.leaves[i] < b.leaves[j]):
+			out = append(out, a.leaves[i])
+			i++
+		case i >= len(a.leaves) || b.leaves[j] < a.leaves[i]:
+			out = append(out, b.leaves[j])
+			j++
+		default:
+			out = append(out, a.leaves[i])
+			i++
+			j++
+		}
+		if len(out) > cutK {
+			return cut{}, false
+		}
+	}
+	return makeCut(out), true
+}
+
+// enumerateCuts computes bounded 4-feasible cut sets bottom-up.
+func (a *AIG) enumerateCuts() [][]cut {
+	cuts := make([][]cut, a.NumNodes())
+	cuts[0] = []cut{makeCut([]int{0})}
+	for i := 1; i <= a.nPI; i++ {
+		cuts[i] = []cut{makeCut([]int{i})}
+	}
+	for n := a.nPI + 1; n < a.NumNodes(); n++ {
+		var set []cut
+		c0 := cuts[a.fanin0[n].Node()]
+		c1 := cuts[a.fanin1[n].Node()]
+		for _, x := range c0 {
+			for _, y := range c1 {
+				m, ok := mergeCuts(x, y)
+				if !ok {
+					continue
+				}
+				dominated := false
+				for _, e := range set {
+					if e.dominates(m) {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					set = append(set, m)
+				}
+			}
+		}
+		// Prefer small cuts; keep a bounded number plus the trivial cut.
+		sort.Slice(set, func(i, j int) bool { return len(set[i].leaves) < len(set[j].leaves) })
+		if len(set) > cutsPerNode {
+			set = set[:cutsPerNode]
+		}
+		set = append(set, makeCut([]int{n}))
+		cuts[n] = set
+	}
+	return cuts
+}
+
+var cutPatterns = [cutK]uint16{0xAAAA, 0xCCCC, 0xF0F0, 0xFF00}
+
+// cutTT computes the local function of root over the cut leaves as a
+// 16-bit truth table (variable i = leaves[i]).
+func (a *AIG) cutTT(root int, leaves []int) (uint16, bool) {
+	memo := map[int]uint16{}
+	for i, l := range leaves {
+		memo[l] = cutPatterns[i]
+	}
+	if _, ok := memo[0]; !ok {
+		memo[0] = 0
+	}
+	var eval func(n int) (uint16, bool)
+	eval = func(n int) (uint16, bool) {
+		if v, ok := memo[n]; ok {
+			return v, true
+		}
+		if !a.IsAnd(n) {
+			return 0, false // reached a PI outside the cut: infeasible
+		}
+		f0, f1 := a.fanin0[n], a.fanin1[n]
+		v0, ok := eval(f0.Node())
+		if !ok {
+			return 0, false
+		}
+		v1, ok := eval(f1.Node())
+		if !ok {
+			return 0, false
+		}
+		if f0.Compl() {
+			v0 = ^v0
+		}
+		if f1.Compl() {
+			v1 = ^v1
+		}
+		v := v0 & v1
+		memo[n] = v
+		return v, true
+	}
+	return eval(root)
+}
+
+// mark and rollback implement speculative construction: nodes appended
+// after mark() can be removed again, restoring the strash table.
+func (a *AIG) markNodes() int { return len(a.fanin0) }
+
+func (a *AIG) rollback(m int) {
+	for n := len(a.fanin0) - 1; n >= m; n-- {
+		f0, f1 := a.fanin0[n], a.fanin1[n]
+		delete(a.strash, uint64(f0)<<32|uint64(f1))
+	}
+	a.fanin0 = a.fanin0[:m]
+	a.fanin1 = a.fanin1[:m]
+}
+
+// buildFromTT16 constructs the k-variable function given by table over the
+// provided (already mapped) leaf edges, trying both polarities of the ISOP.
+func (a *AIG) buildFromTT16(table uint16, k int, leaves []Lit) Lit {
+	mask := uint16(1)<<(1<<uint(k)) - 1
+	if k == 4 {
+		mask = 0xFFFF
+	}
+	table &= mask
+	if table == 0 {
+		return Const0
+	}
+	if table == mask {
+		return Const1
+	}
+	f := tt.New(k)
+	f.Bits[0] = uint64(table)
+	build := func(cover tt.Cover) Lit {
+		terms := make([]Lit, len(cover))
+		for i, cube := range cover {
+			var lits []Lit
+			for v := 0; v < k; v++ {
+				if present, pos := cube.Has(v); present {
+					lits = append(lits, leaves[v].NotIf(!pos))
+				}
+			}
+			terms[i] = a.AndN(lits)
+		}
+		return a.OrN(terms)
+	}
+	pos := tt.ISOP(f)
+	neg := tt.ISOP(f.Not())
+	if neg.NumLits() < pos.NumLits() {
+		return build(neg).Not()
+	}
+	return build(pos)
+}
+
+// Rewrite performs DAG-aware cut rewriting: each AND node is re-expressed
+// through the cheapest of its 4-feasible cuts, where cost is the number of
+// fresh AND nodes added to the rebuilt graph (sharing with already-built
+// structure is free). Function is preserved exactly.
+func (a *AIG) Rewrite() *AIG {
+	src := a.Cleanup()
+	cuts := src.enumerateCuts()
+	b := New(src.nPI)
+	b.InputNames = src.InputNames
+	b.OutputNames = src.OutputNames
+	mapped := make([]Lit, src.NumNodes())
+	mapped[0] = Const0
+	for i := 1; i <= src.nPI; i++ {
+		mapped[i] = MkLit(i, false)
+	}
+	mapEdge := func(l Lit) Lit { return mapped[l.Node()].NotIf(l.Compl()) }
+
+	for n := src.nPI + 1; n < src.NumNodes(); n++ {
+		type candidate struct {
+			table  uint16
+			k      int
+			leaves []Lit
+		}
+		var cands []candidate
+		for _, c := range cuts[n] {
+			if len(c.leaves) < 2 || len(c.leaves) > cutK {
+				continue
+			}
+			table, ok := src.cutTT(n, c.leaves)
+			if !ok {
+				continue
+			}
+			leafEdges := make([]Lit, len(c.leaves))
+			for i, l := range c.leaves {
+				leafEdges[i] = mapped[l]
+			}
+			cands = append(cands, candidate{table, len(c.leaves), leafEdges})
+		}
+
+		// Default realization: direct AND of mapped fanins. Costs are
+		// measured speculatively and rolled back; the winner is rebuilt
+		// for real afterwards (speculative edges die with the rollback).
+		mark := b.markNodes()
+		b.And(mapEdge(src.fanin0[n]), mapEdge(src.fanin1[n]))
+		bestCost := b.markNodes() - mark
+		b.rollback(mark)
+		bestIdx := -1
+		for i, cand := range cands {
+			m := b.markNodes()
+			b.buildFromTT16(cand.table, cand.k, cand.leaves)
+			cost := b.markNodes() - m
+			b.rollback(m)
+			if cost < bestCost {
+				bestCost, bestIdx = cost, i
+			}
+		}
+		if bestIdx < 0 {
+			mapped[n] = b.And(mapEdge(src.fanin0[n]), mapEdge(src.fanin1[n]))
+		} else {
+			cand := cands[bestIdx]
+			mapped[n] = b.buildFromTT16(cand.table, cand.k, cand.leaves)
+		}
+	}
+	for _, po := range src.pos {
+		b.AddPO(mapEdge(po))
+	}
+	return b.Cleanup()
+}

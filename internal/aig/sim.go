@@ -1,0 +1,137 @@
+package aig
+
+import (
+	"math/rand"
+
+	"github.com/reversible-eda/rcgp/internal/bits"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+// Simulate evaluates the AIG on the given input vectors (one per PI, equal
+// word counts) and returns one output vector per PO.
+func (a *AIG) Simulate(inputs []bits.Vec) []bits.Vec {
+	node := a.SimulateNodes(inputs)
+	out := make([]bits.Vec, len(a.pos))
+	words := len(node[0])
+	for i, po := range a.pos {
+		v := bits.NewWords(words)
+		if po.Compl() {
+			v.Not(node[po.Node()])
+		} else {
+			copy(v, node[po.Node()])
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// SimulateNodes evaluates every node and returns the per-node vectors
+// (index 0 is the constant-false vector).
+func (a *AIG) SimulateNodes(inputs []bits.Vec) []bits.Vec {
+	if len(inputs) != a.nPI {
+		panic("aig: wrong number of input vectors")
+	}
+	words := 1
+	if a.nPI > 0 {
+		words = len(inputs[0])
+	}
+	node := make([]bits.Vec, a.NumNodes())
+	node[0] = bits.NewWords(words)
+	for i := 0; i < a.nPI; i++ {
+		node[i+1] = inputs[i]
+	}
+	tmp0 := bits.NewWords(words)
+	tmp1 := bits.NewWords(words)
+	for n := a.nPI + 1; n < a.NumNodes(); n++ {
+		f0, f1 := a.fanin0[n], a.fanin1[n]
+		v0 := node[f0.Node()]
+		if f0.Compl() {
+			tmp0.Not(v0)
+			v0 = tmp0
+		}
+		v1 := node[f1.Node()]
+		if f1.Compl() {
+			tmp1.Not(v1)
+			v1 = tmp1
+		}
+		out := bits.NewWords(words)
+		out.And(v0, v1)
+		node[n] = out
+	}
+	return node
+}
+
+// TruthTables collapses every output to a truth table over all PIs.
+// It panics if the AIG has more than tt.MaxVars inputs.
+func (a *AIG) TruthTables() []tt.TT {
+	ins := bits.ExhaustiveInputs(a.nPI)
+	outs := a.Simulate(ins)
+	res := make([]tt.TT, len(outs))
+	n := 1 << uint(a.nPI)
+	for i, o := range outs {
+		o.MaskTail(n)
+		res[i] = tt.TT{N: a.nPI, Bits: o}
+	}
+	return res
+}
+
+// FromTruthTables builds an AIG computing the given truth tables (all over
+// the same variable count) using ISOP covers with balanced product/sum
+// trees. This is the specification front door for the benchmark circuits.
+func FromTruthTables(tables []tt.TT) *AIG {
+	if len(tables) == 0 {
+		panic("aig: no truth tables")
+	}
+	n := tables[0].N
+	a := New(n)
+	for _, f := range tables {
+		if f.N != n {
+			panic("aig: mixed variable counts")
+		}
+		a.AddPO(a.FromTT(f))
+	}
+	return a
+}
+
+// FromTT builds (or reuses) a cone computing f over this AIG's PIs and
+// returns its root edge. If the complement has a smaller cover, the cone is
+// built complemented.
+func (a *AIG) FromTT(f tt.TT) Lit {
+	cover := tt.ISOP(f)
+	coverN := tt.ISOP(f.Not())
+	if len(coverN) < len(cover) {
+		return a.fromCover(coverN).Not()
+	}
+	return a.fromCover(cover)
+}
+
+func (a *AIG) fromCover(cover tt.Cover) Lit {
+	terms := make([]Lit, len(cover))
+	for i, cube := range cover {
+		var lits []Lit
+		for v := 0; v < a.nPI; v++ {
+			if present, pos := cube.Has(v); present {
+				lits = append(lits, a.PI(v).NotIf(!pos))
+			}
+		}
+		terms[i] = a.AndN(lits)
+	}
+	return a.OrN(terms)
+}
+
+// RandomEquivalent reports whether two AIGs with identical PI/PO counts
+// agree on `words`×64 random patterns — a cheap filter before formal CEC.
+func RandomEquivalent(a, b *AIG, words int, r *rand.Rand) bool {
+	if a.NumPIs() != b.NumPIs() || a.NumPOs() != b.NumPOs() {
+		return false
+	}
+	ins := bits.RandomInputs(a.NumPIs(), words, r)
+	oa := a.Simulate(ins)
+	ob := b.Simulate(ins)
+	for i := range oa {
+		if !oa[i].Eq(ob[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,147 @@
+package aig
+
+import (
+	"math/rand"
+
+	"github.com/reversible-eda/rcgp/internal/bits"
+	"github.com/reversible-eda/rcgp/internal/cnf"
+	"github.com/reversible-eda/rcgp/internal/sat"
+)
+
+// SweepMaxExhaustivePIs bounds the input count for which simulation alone
+// is a complete equivalence proof.
+const SweepMaxExhaustivePIs = 14
+
+// Sweep merges functionally equivalent nodes (up to complementation). For
+// small input counts exhaustive simulation is itself the proof; larger
+// networks use random simulation to form candidate classes and the CDCL
+// solver to confirm each merge (the "fraig" approach).
+func (a *AIG) Sweep() *AIG {
+	if a.nPI <= SweepMaxExhaustivePIs {
+		ins := bits.ExhaustiveInputs(a.nPI)
+		vecs := a.SimulateNodes(ins)
+		n := 1 << uint(a.nPI)
+		for _, v := range vecs {
+			v.MaskTail(n)
+		}
+		return a.mergeByVectors(vecs, n, nil)
+	}
+	r := rand.New(rand.NewSource(0x5eed))
+	ins := bits.RandomInputs(a.nPI, 64, r)
+	vecs := a.SimulateNodes(ins)
+	prover := a.newSATProver()
+	return a.mergeByVectors(vecs, 64*64, prover)
+}
+
+// satProver answers "are nodes x and y equivalent up to complement c?"
+// with a bounded CDCL query over a one-time CNF encoding of the AIG.
+type satProver struct {
+	b        *cnf.Builder
+	nodeLits []sat.Lit
+}
+
+func (a *AIG) newSATProver() *satProver {
+	b := cnf.NewBuilder()
+	lits := make([]sat.Lit, a.NumNodes())
+	lits[0] = b.ConstFalse()
+	for i := 1; i <= a.nPI; i++ {
+		lits[i] = b.Lit()
+	}
+	for n := a.nPI + 1; n < a.NumNodes(); n++ {
+		f0, f1 := a.fanin0[n], a.fanin1[n]
+		l0 := lits[f0.Node()]
+		if f0.Compl() {
+			l0 = l0.Not()
+		}
+		l1 := lits[f1.Node()]
+		if f1.Compl() {
+			l1 = l1.Not()
+		}
+		lits[n] = b.And(l0, l1)
+	}
+	b.S.ConflictLimit = 20000
+	return &satProver{b: b, nodeLits: lits}
+}
+
+// proveEqual returns true only when x ≡ y⊕compl is proven (UNSAT miter).
+func (p *satProver) proveEqual(x, y int, compl bool) bool {
+	ly := p.nodeLits[y]
+	if compl {
+		ly = ly.Not()
+	}
+	d := p.b.Xor(p.nodeLits[x], ly)
+	st, err := p.b.S.Solve(d)
+	return err == nil && st == sat.Unsat
+}
+
+// mergeByVectors rebuilds the AIG replacing every node whose simulation
+// vector matches an earlier node's vector (or its complement). When prover
+// is nil the vectors are exhaustive and therefore authoritative; otherwise
+// each candidate merge must be confirmed by SAT.
+func (a *AIG) mergeByVectors(vecs []bits.Vec, samples int, prover *satProver) *AIG {
+	type classKey uint64
+	canon := func(v bits.Vec) (classKey, bool) {
+		// Normalize polarity so that sample 0 is false.
+		if v.Get(0) {
+			w := v.Clone()
+			w.Not(w)
+			w.MaskTail(samples)
+			return classKey(w.Hash()), true
+		}
+		return classKey(v.Hash()), false
+	}
+	classes := make(map[classKey][]int)
+
+	b := New(a.nPI)
+	b.InputNames = a.InputNames
+	b.OutputNames = a.OutputNames
+	mapped := make([]Lit, a.NumNodes())
+	mapped[0] = Const0
+	for i := 1; i <= a.nPI; i++ {
+		mapped[i] = MkLit(i, false)
+		key, phase := canon(vecs[i])
+		_ = phase
+		classes[key] = append(classes[key], i)
+	}
+	// Register the constant node too (all-zero vector).
+	zeroKey, _ := canon(vecs[0])
+	classes[zeroKey] = append(classes[zeroKey], 0)
+
+	mapEdge := func(l Lit) Lit { return mapped[l.Node()].NotIf(l.Compl()) }
+
+	for n := a.nPI + 1; n < a.NumNodes(); n++ {
+		key, phase := canon(vecs[n])
+		merged := false
+		for _, rep := range classes[key] {
+			repKey, repPhase := canon(vecs[rep])
+			if repKey != key {
+				continue
+			}
+			compl := phase != repPhase
+			// Guard against hash collisions with a direct compare over the
+			// valid samples.
+			same := vecs[n].Eq(vecs[rep])
+			inv := vecs[n].HammingDistance(vecs[rep]) == samples
+			if compl && !inv {
+				continue
+			}
+			if !compl && !same {
+				continue
+			}
+			if prover != nil && !prover.proveEqual(n, rep, compl) {
+				continue
+			}
+			mapped[n] = mapped[rep].NotIf(compl)
+			merged = true
+			break
+		}
+		if !merged {
+			mapped[n] = b.And(mapEdge(a.fanin0[n]), mapEdge(a.fanin1[n]))
+			classes[key] = append(classes[key], n)
+		}
+	}
+	for _, po := range a.pos {
+		b.AddPO(mapEdge(po))
+	}
+	return b.Cleanup()
+}

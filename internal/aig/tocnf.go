@@ -1,0 +1,33 @@
+package aig
+
+import (
+	"github.com/reversible-eda/rcgp/internal/cnf"
+	"github.com/reversible-eda/rcgp/internal/sat"
+)
+
+// ToCNF Tseitin-encodes the AIG into the builder and returns one solver
+// literal per primary input and per primary output.
+func (a *AIG) ToCNF(b *cnf.Builder) (pis, pos []sat.Lit) {
+	node := make([]sat.Lit, a.NumNodes())
+	node[0] = b.ConstFalse()
+	pis = make([]sat.Lit, a.nPI)
+	for i := 0; i < a.nPI; i++ {
+		pis[i] = b.Lit()
+		node[i+1] = pis[i]
+	}
+	edge := func(l Lit) sat.Lit {
+		x := node[l.Node()]
+		if l.Compl() {
+			return x.Not()
+		}
+		return x
+	}
+	for n := a.nPI + 1; n < a.NumNodes(); n++ {
+		node[n] = b.And(edge(a.fanin0[n]), edge(a.fanin1[n]))
+	}
+	pos = make([]sat.Lit, len(a.pos))
+	for i, po := range a.pos {
+		pos[i] = edge(po)
+	}
+	return pis, pos
+}

@@ -1,0 +1,203 @@
+// Package aiger reads and writes the ASCII AIGER format (.aag),
+// combinational subset (no latches), mapping directly onto internal/aig.
+package aiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+)
+
+// maxNodes caps declared network sizes so hostile headers cannot force
+// giant allocations before any content is read.
+const maxNodes = 1 << 26
+
+// Parse reads an ASCII AIGER file into an AIG. AIGER literal 2v(+1) maps to
+// node v with optional complement; literal 0/1 are the constants.
+func Parse(r io.Reader) (*aig.AIG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("aiger: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 6 || header[0] != "aag" {
+		return nil, fmt.Errorf("aiger: bad header %q", sc.Text())
+	}
+	var m, i, l, o, andCount int
+	for k, dst := range []*int{&m, &i, &l, &o, &andCount} {
+		v, err := strconv.Atoi(header[k+1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", header[k+1])
+		}
+		*dst = v
+	}
+	if l != 0 {
+		return nil, fmt.Errorf("aiger: %d latches unsupported (combinational only)", l)
+	}
+	if m < i+andCount {
+		return nil, fmt.Errorf("aiger: M=%d < I+A=%d", m, i+andCount)
+	}
+	if m > maxNodes {
+		return nil, fmt.Errorf("aiger: M=%d exceeds the supported limit %d", m, maxNodes)
+	}
+
+	readLine := func() (string, error) {
+		if !sc.Scan() {
+			return "", io.ErrUnexpectedEOF
+		}
+		return strings.TrimSpace(sc.Text()), nil
+	}
+
+	// Input literal -> AIGER variable index mapping. AIGER permits any
+	// variable numbering; we remap to dense AIG nodes. Size by the actual
+	// definition count, not by M (a hostile header could name M huge).
+	varToLit := make(map[int]aig.Lit, i+andCount+2)
+	a := aig.New(i)
+	for k := 0; k < i; k++ {
+		line, err := readLine()
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil || v < 2 || v%2 != 0 {
+			return nil, fmt.Errorf("aiger: bad input literal %q", line)
+		}
+		varToLit[v/2] = a.PI(k)
+	}
+	outLits := make([]int, o)
+	for k := 0; k < o; k++ {
+		line, err := readLine()
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aiger: bad output literal %q", line)
+		}
+		outLits[k] = v
+	}
+	type andDef struct{ lhs, rhs0, rhs1 int }
+	defs := make([]andDef, andCount)
+	for k := 0; k < andCount; k++ {
+		line, err := readLine()
+		if err != nil {
+			return nil, err
+		}
+		f := strings.Fields(line)
+		if len(f) != 3 {
+			return nil, fmt.Errorf("aiger: bad and line %q", line)
+		}
+		var d andDef
+		for j, dst := range []*int{&d.lhs, &d.rhs0, &d.rhs1} {
+			v, err := strconv.Atoi(f[j])
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("aiger: bad literal %q", f[j])
+			}
+			*dst = v
+		}
+		if d.lhs < 2 || d.lhs%2 != 0 {
+			return nil, fmt.Errorf("aiger: and lhs %d must be a positive even literal", d.lhs)
+		}
+		defs[k] = d
+	}
+	// Optional symbol table.
+	inNames := make([]string, i)
+	outNames := make([]string, o)
+	haveNames := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line == "c" {
+			break
+		}
+		var kind byte
+		var idx int
+		var name string
+		if n, _ := fmt.Sscanf(line, "%c%d %s", &kind, &idx, &name); n == 3 {
+			switch kind {
+			case 'i':
+				if idx >= 0 && idx < i {
+					inNames[idx] = name
+					haveNames = true
+				}
+			case 'o':
+				if idx >= 0 && idx < o {
+					outNames[idx] = name
+					haveNames = true
+				}
+			}
+		}
+	}
+
+	resolve := func(lit int) (aig.Lit, error) {
+		if lit <= 1 {
+			return aig.Lit(lit), nil // 0 → const0, 1 → const1
+		}
+		base, ok := varToLit[lit/2]
+		if !ok {
+			return 0, fmt.Errorf("aiger: literal %d references undefined variable", lit)
+		}
+		return base.NotIf(lit%2 == 1), nil
+	}
+	// AIGER requires rhs < lhs, so a single pass resolves in order.
+	for _, d := range defs {
+		r0, err := resolve(d.rhs0)
+		if err != nil {
+			return nil, err
+		}
+		r1, err := resolve(d.rhs1)
+		if err != nil {
+			return nil, err
+		}
+		varToLit[d.lhs/2] = a.And(r0, r1)
+	}
+	for _, v := range outLits {
+		lit, err := resolve(v)
+		if err != nil {
+			return nil, err
+		}
+		a.AddPO(lit)
+	}
+	if haveNames {
+		a.InputNames = inNames
+		a.OutputNames = outNames
+	}
+	return a, nil
+}
+
+// Write emits the AIG in ASCII AIGER format with a symbol table.
+func Write(w io.Writer, a *aig.AIG) error {
+	bw := bufio.NewWriter(w)
+	// Our dense node numbering is already valid AIGER variable numbering.
+	m := a.NumNodes() - 1
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", m, a.NumPIs(), a.NumPOs(), a.NumAnds())
+	for i := 0; i < a.NumPIs(); i++ {
+		fmt.Fprintf(bw, "%d\n", 2*(i+1))
+	}
+	for _, po := range a.POs() {
+		fmt.Fprintf(bw, "%d\n", int(po))
+	}
+	for n := a.NumPIs() + 1; n < a.NumNodes(); n++ {
+		f0, f1 := a.Fanins(n)
+		fmt.Fprintf(bw, "%d %d %d\n", 2*n, int(f0), int(f1))
+	}
+	for i := 0; i < a.NumPIs(); i++ {
+		name := fmt.Sprintf("pi%d", i)
+		if a.InputNames != nil && a.InputNames[i] != "" {
+			name = a.InputNames[i]
+		}
+		fmt.Fprintf(bw, "i%d %s\n", i, name)
+	}
+	for i := 0; i < a.NumPOs(); i++ {
+		name := fmt.Sprintf("po%d", i)
+		if a.OutputNames != nil && i < len(a.OutputNames) && a.OutputNames[i] != "" {
+			name = a.OutputNames[i]
+		}
+		fmt.Fprintf(bw, "o%d %s\n", i, name)
+	}
+	return bw.Flush()
+}

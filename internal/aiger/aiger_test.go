@@ -1,0 +1,109 @@
+package aiger
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+// The canonical AIGER and-gate example: o = i0 AND i1.
+const andAAG = `aag 3 2 0 1 1
+2
+4
+6
+6 2 4
+i0 x
+i1 y
+o0 out
+`
+
+func TestParseAnd(t *testing.T) {
+	a, err := Parse(strings.NewReader(andAAG))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPIs() != 2 || a.NumPOs() != 1 || a.NumAnds() != 1 {
+		t.Fatalf("shape: %d PIs %d POs %d ands", a.NumPIs(), a.NumPOs(), a.NumAnds())
+	}
+	got := a.TruthTables()[0]
+	if !got.Equal(tt.Var(2, 0).And(tt.Var(2, 1))) {
+		t.Fatalf("function = %s", got)
+	}
+	if a.InputNames[0] != "x" || a.OutputNames[0] != "out" {
+		t.Fatal("symbol table lost")
+	}
+}
+
+func TestParseComplementedOutput(t *testing.T) {
+	src := "aag 3 2 0 1 1\n2\n4\n7\n6 3 5\n" // o = NOT(AND(!x,!y)) = x OR y
+	a, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.TruthTables()[0]
+	if !got.Equal(tt.Var(2, 0).Or(tt.Var(2, 1))) {
+		t.Fatalf("function = %s", got)
+	}
+}
+
+func TestParseConstOutput(t *testing.T) {
+	src := "aag 1 1 0 2 0\n2\n0\n1\n"
+	a, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := a.TruthTables()
+	if !tts[0].IsConst0() || !tts[1].IsConst1() {
+		t.Fatal("constant outputs wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"aig 1 1 0 0 0\n",
+		"aag 1 1 1 0 0\n2\n",        // latches
+		"aag 1 2 0 0 0\n2\n",        // M too small / missing lines
+		"aag 2 1 0 0 1\n2\n3 2 2\n", // odd lhs
+		"aag 2 1 0 1 0\n2\n9\n",     // undefined output var
+		"aag 1 1 0 0 0\nx\n",        // junk input literal
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(4)
+		tables := make([]tt.TT, 1+r.Intn(3))
+		for i := range tables {
+			f := tt.New(n)
+			f.Bits.Randomize(r)
+			f.Bits.MaskTail(f.Size())
+			tables[i] = f
+		}
+		a := aig.FromTruthTables(tables)
+		var buf bytes.Buffer
+		if err := Write(&buf, a); err != nil {
+			t.Fatal(err)
+		}
+		b, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		ta, tb := a.TruthTables(), b.TruthTables()
+		for i := range ta {
+			if !ta[i].Equal(tb[i]) {
+				t.Fatalf("trial %d output %d differs", trial, i)
+			}
+		}
+	}
+}

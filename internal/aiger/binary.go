@@ -1,0 +1,157 @@
+package aiger
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+)
+
+// ParseBinary reads the binary AIGER format (.aig): the header names the
+// counts, input literals are implicit (2, 4, …), outputs are ASCII lines,
+// and each AND gate is two LEB128-style deltas against its implicit LHS.
+func ParseBinary(r io.Reader) (*aig.AIG, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("aiger: missing header: %w", err)
+	}
+	fields := strings.Fields(strings.TrimSpace(header))
+	if len(fields) != 6 || fields[0] != "aig" {
+		return nil, fmt.Errorf("aiger: bad binary header %q", strings.TrimSpace(header))
+	}
+	var m, i, l, o, andCount int
+	for k, dst := range []*int{&m, &i, &l, &o, &andCount} {
+		v, err := strconv.Atoi(fields[k+1])
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("aiger: bad header field %q", fields[k+1])
+		}
+		*dst = v
+	}
+	if l != 0 {
+		return nil, fmt.Errorf("aiger: %d latches unsupported", l)
+	}
+	if m != i+andCount {
+		return nil, fmt.Errorf("aiger: binary format requires M = I + A (got %d vs %d)", m, i+andCount)
+	}
+	if m > maxNodes {
+		return nil, fmt.Errorf("aiger: M=%d exceeds the supported limit %d", m, maxNodes)
+	}
+
+	outs := make([]int, o)
+	for k := range outs {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("aiger: truncated outputs: %w", err)
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(line))
+		if err != nil || v < 0 || v > 2*m+1 {
+			return nil, fmt.Errorf("aiger: bad output literal %q", strings.TrimSpace(line))
+		}
+		outs[k] = v
+	}
+
+	readDelta := func() (uint, error) {
+		var x uint
+		shift := 0
+		for {
+			b, err := br.ReadByte()
+			if err != nil {
+				return 0, fmt.Errorf("aiger: truncated delta: %w", err)
+			}
+			x |= uint(b&0x7f) << uint(shift)
+			if b&0x80 == 0 {
+				return x, nil
+			}
+			shift += 7
+			if shift > 35 {
+				return 0, fmt.Errorf("aiger: delta overflow")
+			}
+		}
+	}
+
+	a := aig.New(i)
+	lits := make([]aig.Lit, m+1)
+	for k := 1; k <= i; k++ {
+		lits[k] = a.PI(k - 1)
+	}
+	resolve := func(lit int) aig.Lit {
+		if lit <= 1 {
+			return aig.Lit(lit)
+		}
+		return lits[lit/2].NotIf(lit%2 == 1)
+	}
+	for k := 0; k < andCount; k++ {
+		lhs := 2 * (i + k + 1)
+		d0, err := readDelta()
+		if err != nil {
+			return nil, err
+		}
+		d1, err := readDelta()
+		if err != nil {
+			return nil, err
+		}
+		rhs0 := lhs - int(d0)
+		rhs1 := rhs0 - int(d1)
+		if rhs0 < 0 || rhs1 < 0 || rhs0 >= lhs {
+			return nil, fmt.Errorf("aiger: gate %d has invalid deltas", k)
+		}
+		lits[lhs/2] = a.And(resolve(rhs0), resolve(rhs1))
+	}
+	for _, v := range outs {
+		a.AddPO(resolve(v))
+	}
+	return a, nil
+}
+
+// WriteBinary emits the AIG in binary AIGER format. The internal dense
+// node numbering already satisfies the rhs0 ≥ rhs1 and rhs < lhs
+// requirements, so no reordering is needed.
+func WriteBinary(w io.Writer, a *aig.AIG) error {
+	bw := bufio.NewWriter(w)
+	m := a.NumPIs() + a.NumAnds()
+	fmt.Fprintf(bw, "aig %d %d 0 %d %d\n", m, a.NumPIs(), a.NumPOs(), a.NumAnds())
+	for _, po := range a.POs() {
+		fmt.Fprintf(bw, "%d\n", int(po))
+	}
+	writeDelta := func(x uint) {
+		for {
+			b := byte(x & 0x7f)
+			x >>= 7
+			if x != 0 {
+				b |= 0x80
+			}
+			bw.WriteByte(b)
+			if x == 0 {
+				return
+			}
+		}
+	}
+	for n := a.NumPIs() + 1; n < a.NumNodes(); n++ {
+		f0, f1 := a.Fanins(n)
+		rhs0, rhs1 := int(f0), int(f1)
+		if rhs0 < rhs1 {
+			rhs0, rhs1 = rhs1, rhs0
+		}
+		lhs := 2 * n
+		writeDelta(uint(lhs - rhs0))
+		writeDelta(uint(rhs0 - rhs1))
+	}
+	return bw.Flush()
+}
+
+// ParseAny sniffs the header and dispatches to the ASCII or binary reader.
+func ParseAny(r io.Reader) (*aig.AIG, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(3)
+	if err != nil {
+		return nil, fmt.Errorf("aiger: %w", err)
+	}
+	if string(head) == "aig" {
+		return ParseBinary(br)
+	}
+	return Parse(br)
+}

@@ -1,0 +1,107 @@
+package aiger
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+func randomTables(n, k int, r *rand.Rand) []tt.TT {
+	tables := make([]tt.TT, k)
+	for i := range tables {
+		f := tt.New(n)
+		f.Bits.Randomize(r)
+		f.Bits.MaskTail(f.Size())
+		tables[i] = f
+	}
+	return tables
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 25; trial++ {
+		a := aig.FromTruthTables(randomTables(2+r.Intn(5), 1+r.Intn(4), r))
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, a); err != nil {
+			t.Fatal(err)
+		}
+		b, err := ParseBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ta, tb := a.TruthTables(), b.TruthTables()
+		for i := range ta {
+			if !ta[i].Equal(tb[i]) {
+				t.Fatalf("trial %d output %d differs", trial, i)
+			}
+		}
+		if b.NumAnds() != a.NumAnds() {
+			t.Fatalf("trial %d: %d vs %d ANDs", trial, b.NumAnds(), a.NumAnds())
+		}
+	}
+}
+
+func TestParseAnyDispatch(t *testing.T) {
+	a := aig.New(2)
+	a.AddPO(a.And(a.PI(0), a.PI(1)))
+
+	var bin bytes.Buffer
+	if err := WriteBinary(&bin, a); err != nil {
+		t.Fatal(err)
+	}
+	var asc bytes.Buffer
+	if err := Write(&asc, a); err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range []*bytes.Buffer{&bin, &asc} {
+		got, err := ParseAny(bytes.NewReader(src.Bytes()))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !got.TruthTables()[0].Equal(a.TruthTables()[0]) {
+			t.Fatalf("case %d: function differs", i)
+		}
+	}
+	if _, err := ParseAny(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestParseBinaryErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"aag 1 1 0 0 0\n2\n",  // ascii header to binary reader
+		"aig 1 1 1 0 0\n",     // latches
+		"aig 3 1 0 0 1\n",     // M != I+A
+		"aig 2 1 0 1 1\n2\n",  // truncated deltas
+		"aig 2 1 0 9 1\n99\n", // bad output literal
+	}
+	for i, c := range cases {
+		if _, err := ParseBinary(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestBinaryConstOutputs(t *testing.T) {
+	a := aig.New(1)
+	a.AddPO(aig.Const0)
+	a.AddPO(aig.Const1)
+	a.AddPO(a.PI(0).Not())
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := b.TruthTables()
+	if !tts[0].IsConst0() || !tts[1].IsConst1() {
+		t.Fatal("constant outputs mangled")
+	}
+}

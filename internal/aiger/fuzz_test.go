@@ -1,0 +1,33 @@
+package aiger
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseAny asserts both AIGER readers never panic.
+func FuzzParseAny(f *testing.F) {
+	seeds := []string{
+		"",
+		andAAG,
+		"aag 0 0 0 0 0\n",
+		"aag 1 1 0 2 0\n2\n0\n1\n",
+		"aig 3 2 0 1 1\n6\n\x02\x02",
+		"aig 1 1 0 0 0\n",
+		"aag 999999999 1 0 0 0\n2\n",
+		"aig 2 1 0 1 1\n4\n\x80\x80\x80\x80\x80\x80\x80",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := ParseAny(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Accepted: simulation over up to 8 inputs must not panic either.
+		if a.NumPIs() <= 8 {
+			a.TruthTables()
+		}
+	})
+}

@@ -1,0 +1,285 @@
+// Package aqfp expands RQFP circuits to the adiabatic
+// quantum-flux-parametron cell level of the paper's Fig. 1(a): every RQFP
+// logic gate becomes three AQFP splitter cells feeding three AQFP
+// majority cells (with inverters realized as negated couplings on majority
+// inputs), and every RQFP buffer becomes two cascaded AQFP buffer cells.
+// AQFP logic is clocked: a cell in phase p may only consume signals
+// produced in phase p−1, so an RQFP gate at logic level L occupies AQFP
+// phases 2L−1 (splitters) and 2L (majorities). The package validates this
+// phase discipline and the single-load rule structurally, simulates at the
+// cell level, and re-derives the Josephson-junction count from the cell
+// inventory — tying the paper's cost model (2 JJs per buffer/splitter,
+// 6 per majority) to the actual structure.
+package aqfp
+
+import (
+	"fmt"
+
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+// CellKind enumerates AQFP cell types.
+type CellKind int
+
+// Cell kinds.
+const (
+	KindInput CellKind = iota // primary input port (phase 0)
+	KindConst                 // constant-1 bias source (any phase, 0 JJs)
+	KindBuffer
+	KindSplitter
+	KindMaj
+	KindOutput // primary output port
+)
+
+func (k CellKind) String() string {
+	switch k {
+	case KindInput:
+		return "input"
+	case KindConst:
+		return "const1"
+	case KindBuffer:
+		return "buffer"
+	case KindSplitter:
+		return "splitter"
+	case KindMaj:
+		return "maj3"
+	case KindOutput:
+		return "output"
+	default:
+		return "?"
+	}
+}
+
+// JJs returns the Josephson-junction count of one cell (paper §4).
+func (k CellKind) JJs() int {
+	switch k {
+	case KindBuffer, KindSplitter:
+		return 2
+	case KindMaj:
+		return 6
+	default:
+		return 0
+	}
+}
+
+// Fanin is one incoming coupling, optionally inverting (negative mutual
+// inductance — free in JJs).
+type Fanin struct {
+	Cell   int
+	Invert bool
+}
+
+// Cell is one AQFP cell instance.
+type Cell struct {
+	Kind   CellKind
+	Phase  int
+	Fanins []Fanin
+}
+
+// Circuit is an AQFP cell-level netlist.
+type Circuit struct {
+	Cells   []Cell
+	Inputs  []int // cell indices of the primary inputs, in order
+	Outputs []int // cell indices of the primary outputs, in order
+}
+
+// Stats summarizes the cell inventory.
+type Stats struct {
+	Buffers   int
+	Splitters int
+	Majs      int
+	JJs       int
+	Phases    int // clock phases from inputs to outputs
+}
+
+// Stats computes the inventory summary.
+func (c *Circuit) Stats() Stats {
+	var s Stats
+	for _, cell := range c.Cells {
+		switch cell.Kind {
+		case KindBuffer:
+			s.Buffers++
+		case KindSplitter:
+			s.Splitters++
+		case KindMaj:
+			s.Majs++
+		}
+		s.JJs += cell.Kind.JJs()
+		if cell.Phase > s.Phases {
+			s.Phases = cell.Phase
+		}
+	}
+	return s
+}
+
+// Expand lowers a balanced RQFP circuit to AQFP cells.
+func Expand(b *rqfp.Balanced) (*Circuit, error) {
+	net := b.Net
+	c := &Circuit{}
+	add := func(cell Cell) int {
+		c.Cells = append(c.Cells, cell)
+		return len(c.Cells) - 1
+	}
+
+	// Primary inputs at phase 0.
+	piCell := make([]int, net.NumPI)
+	for i := range piCell {
+		piCell[i] = add(Cell{Kind: KindInput, Phase: 0})
+		c.Inputs = append(c.Inputs, piCell[i])
+	}
+
+	// majCell[g][m] is the cell computing output m of RQFP gate g.
+	majCell := make([][3]int, len(net.Gates))
+
+	// bufferChain inserts `count` pairs of AQFP buffers after cell `src`
+	// (one RQFP buffer = two AQFP buffers), returning the final cell.
+	bufferChain := func(src, count int) int {
+		for i := 0; i < 2*count; i++ {
+			src = add(Cell{
+				Kind:   KindBuffer,
+				Phase:  c.Cells[src].Phase + 1,
+				Fanins: []Fanin{{Cell: src}},
+			})
+		}
+		return src
+	}
+
+	// sourceCell returns the cell producing signal s at its native phase.
+	sourceCell := func(s rqfp.Signal, wantPhase int) int {
+		switch {
+		case s == rqfp.ConstPort:
+			// A constant bias is available at any phase for free.
+			return add(Cell{Kind: KindConst, Phase: wantPhase})
+		case net.IsPI(s):
+			return piCell[int(s)-1]
+		default:
+			g, m, _ := net.PortOwner(s)
+			return majCell[g][m]
+		}
+	}
+
+	for g := range net.Gates {
+		gate := &net.Gates[g]
+		level := b.GateLevel[g]
+		splitterPhase := 2*level - 1
+		// One splitter per input port, fed through the edge's buffers.
+		var splitters [3]int
+		for j, in := range gate.In {
+			src := sourceCell(in, splitterPhase-1)
+			if in != rqfp.ConstPort {
+				src = bufferChain(src, b.InputBuffers[g][j])
+			}
+			if got := c.Cells[src].Phase; got != splitterPhase-1 {
+				return nil, fmt.Errorf("aqfp: gate %d input %d arrives at phase %d, want %d",
+					g, j, got, splitterPhase-1)
+			}
+			splitters[j] = add(Cell{
+				Kind:   KindSplitter,
+				Phase:  splitterPhase,
+				Fanins: []Fanin{{Cell: src}},
+			})
+		}
+		// Three majorities, one per output, inverters from the config.
+		for m := 0; m < 3; m++ {
+			fanins := make([]Fanin, 3)
+			for j := 0; j < 3; j++ {
+				fanins[j] = Fanin{Cell: splitters[j], Invert: gate.Cfg.Inv(m, j)}
+			}
+			majCell[g][m] = add(Cell{Kind: KindMaj, Phase: splitterPhase + 1, Fanins: fanins})
+		}
+	}
+
+	// Primary outputs aligned to the common output stage.
+	outPhase := 2*b.OutStage + 1
+	for i, po := range net.POs {
+		src := sourceCell(po, outPhase-1)
+		if po != rqfp.ConstPort {
+			src = bufferChain(src, b.POBuffers[i])
+		}
+		if got := c.Cells[src].Phase; got != outPhase-1 {
+			return nil, fmt.Errorf("aqfp: PO %d arrives at phase %d, want %d", i, got, outPhase-1)
+		}
+		c.Outputs = append(c.Outputs, add(Cell{
+			Kind:   KindOutput,
+			Phase:  outPhase,
+			Fanins: []Fanin{{Cell: src}},
+		}))
+	}
+	return c, nil
+}
+
+// Validate checks the AQFP structural discipline: fanin arities per kind,
+// strictly increasing phases across every coupling (exactly one phase per
+// stage), and the single-load rule (a buffer or majority output drives at
+// most one load, a splitter at most three).
+func (c *Circuit) Validate() error {
+	loads := make([]int, len(c.Cells))
+	for i, cell := range c.Cells {
+		wantFanins := map[CellKind]int{
+			KindInput: 0, KindConst: 0, KindBuffer: 1,
+			KindSplitter: 1, KindMaj: 3, KindOutput: 1,
+		}[cell.Kind]
+		if len(cell.Fanins) != wantFanins {
+			return fmt.Errorf("aqfp: cell %d (%s) has %d fanins, want %d",
+				i, cell.Kind, len(cell.Fanins), wantFanins)
+		}
+		for _, f := range cell.Fanins {
+			if f.Cell < 0 || f.Cell >= len(c.Cells) {
+				return fmt.Errorf("aqfp: cell %d references invalid cell %d", i, f.Cell)
+			}
+			src := c.Cells[f.Cell]
+			if src.Phase != cell.Phase-1 {
+				return fmt.Errorf("aqfp: cell %d (phase %d) consumes cell %d (phase %d); phases must be adjacent",
+					i, cell.Phase, f.Cell, src.Phase)
+			}
+			loads[f.Cell]++
+		}
+	}
+	for i, l := range loads {
+		max := 1
+		switch c.Cells[i].Kind {
+		case KindSplitter:
+			max = 3
+		case KindConst:
+			max = 1
+		case KindOutput:
+			max = 0
+		}
+		if l > max {
+			return fmt.Errorf("aqfp: cell %d (%s) drives %d loads, max %d", i, c.Cells[i].Kind, l, max)
+		}
+	}
+	return nil
+}
+
+// Simulate evaluates the circuit on one input assignment (bit i of
+// `assignment` = primary input i) and returns the output values.
+func (c *Circuit) Simulate(assignment uint) []bool {
+	val := make([]bool, len(c.Cells))
+	inIdx := 0
+	for i, cell := range c.Cells {
+		switch cell.Kind {
+		case KindInput:
+			val[i] = assignment>>uint(inIdx)&1 == 1
+			inIdx++
+		case KindConst:
+			val[i] = true
+		case KindBuffer, KindSplitter, KindOutput:
+			f := cell.Fanins[0]
+			val[i] = val[f.Cell] != f.Invert
+		case KindMaj:
+			n := 0
+			for _, f := range cell.Fanins {
+				if val[f.Cell] != f.Invert {
+					n++
+				}
+			}
+			val[i] = n >= 2
+		}
+	}
+	outs := make([]bool, len(c.Outputs))
+	for i, o := range c.Outputs {
+		outs[i] = val[o]
+	}
+	return outs
+}

@@ -1,0 +1,175 @@
+package aqfp
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/mig"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+func randomNetlist(nPI, nAnds, nPOs int, r *rand.Rand) *rqfp.Netlist {
+	a := aig.New(nPI)
+	edges := []aig.Lit{aig.Const0}
+	for i := 0; i < nPI; i++ {
+		edges = append(edges, a.PI(i))
+	}
+	for i := 0; i < nAnds; i++ {
+		x := edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1)
+		y := edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1)
+		edges = append(edges, a.And(x, y))
+	}
+	for i := 0; i < nPOs; i++ {
+		a.AddPO(edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1))
+	}
+	n, err := rqfp.FromMIG(mig.FromAIG(a))
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+func TestExpandValidatesAndMatchesFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 25; trial++ {
+		n := randomNetlist(3+r.Intn(3), 8+r.Intn(20), 2+r.Intn(3), r)
+		balanced := n.InsertBuffers()
+		if err := balanced.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		c, err := Expand(balanced)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Cell-level simulation must agree with the netlist semantics on
+		// every input assignment.
+		for x := uint(0); x < 1<<uint(n.NumPI); x++ {
+			want := balanced.Net.EvalBool(x)
+			got := c.Simulate(x)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: output arity mismatch", trial)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d x=%d output %d: cell level %v, netlist %v",
+						trial, x, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestJJInvariant(t *testing.T) {
+	// The cell inventory must re-derive the paper's cost model exactly:
+	// 24 JJs per RQFP gate, 4 per RQFP buffer.
+	r := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 25; trial++ {
+		n := randomNetlist(4, 10+r.Intn(15), 3, r)
+		balanced := n.InsertBuffers()
+		c, err := Expand(balanced)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := c.Stats()
+		rqfpStats := balanced.Stats()
+		if st.JJs != rqfpStats.JJs {
+			t.Fatalf("trial %d: cell-level JJs %d vs netlist model %d", trial, st.JJs, rqfpStats.JJs)
+		}
+		if st.Majs != 3*rqfpStats.Gates || st.Splitters != 3*rqfpStats.Gates {
+			t.Fatalf("trial %d: %d maj / %d splitters for %d gates",
+				trial, st.Majs, st.Splitters, rqfpStats.Gates)
+		}
+		if st.Buffers != 2*rqfpStats.Buffers {
+			t.Fatalf("trial %d: %d AQFP buffers for %d RQFP buffers", trial, st.Buffers, rqfpStats.Buffers)
+		}
+	}
+}
+
+func TestPhaseDiscipline(t *testing.T) {
+	// An RQFP gate at level L must occupy phases 2L-1 and 2L; outputs at
+	// the common stage 2·outStage+1.
+	n := rqfp.NewNetlist(2)
+	n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{1, 2, rqfp.ConstPort}, Cfg: rqfp.ConfigNormal})
+	n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{n.Port(0, 2), rqfp.ConstPort, rqfp.ConstPort}})
+	n.POs = []rqfp.Signal{n.Port(1, 0)}
+	balanced := n.InsertBuffers()
+	c, err := Expand(balanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.Phases != 2*balanced.OutStage+1 {
+		t.Fatalf("phases = %d, want %d", st.Phases, 2*balanced.OutStage+1)
+	}
+}
+
+func TestCellKindStringsAndJJs(t *testing.T) {
+	kinds := []CellKind{KindInput, KindConst, KindBuffer, KindSplitter, KindMaj, KindOutput}
+	wantJJ := []int{0, 0, 2, 2, 6, 0}
+	for i, k := range kinds {
+		if k.String() == "?" {
+			t.Fatalf("kind %d has no name", i)
+		}
+		if k.JJs() != wantJJ[i] {
+			t.Fatalf("kind %s JJs = %d, want %d", k, k.JJs(), wantJJ[i])
+		}
+	}
+	if CellKind(99).String() != "?" {
+		t.Fatal("unknown kind should render '?'")
+	}
+}
+
+func TestValidateCatchesPhaseViolation(t *testing.T) {
+	c := &Circuit{}
+	c.Cells = append(c.Cells, Cell{Kind: KindInput, Phase: 0})
+	// Buffer skipping a phase.
+	c.Cells = append(c.Cells, Cell{Kind: KindBuffer, Phase: 2, Fanins: []Fanin{{Cell: 0}}})
+	if err := c.Validate(); err == nil {
+		t.Fatal("phase skip not detected")
+	}
+	// Wrong arity.
+	c2 := &Circuit{}
+	c2.Cells = append(c2.Cells, Cell{Kind: KindMaj, Phase: 1, Fanins: []Fanin{{Cell: 0}}})
+	if err := c2.Validate(); err == nil {
+		t.Fatal("arity violation not detected")
+	}
+	// Overloaded buffer.
+	c3 := &Circuit{}
+	c3.Cells = append(c3.Cells,
+		Cell{Kind: KindInput, Phase: 0},
+		Cell{Kind: KindBuffer, Phase: 1, Fanins: []Fanin{{Cell: 0}}},
+		Cell{Kind: KindBuffer, Phase: 2, Fanins: []Fanin{{Cell: 1}}},
+		Cell{Kind: KindBuffer, Phase: 2, Fanins: []Fanin{{Cell: 1}}},
+	)
+	if err := c3.Validate(); err == nil {
+		t.Fatal("overload not detected")
+	}
+}
+
+func TestWriter(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	n := randomNetlist(3, 6, 2, r)
+	c, err := Expand(n.InsertBuffers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"maj3", "splitter", "# inputs:", "# outputs:", "JJs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("writer output missing %q:\n%s", want, out)
+		}
+	}
+}

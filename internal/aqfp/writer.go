@@ -1,0 +1,43 @@
+package aqfp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Write dumps the cell netlist in a simple line-oriented format, one cell
+// per line with phase and fanins (a leading ~ marks a negated coupling):
+//
+//	c12 maj3 @4 = c7, ~c9, c11
+func (c *Circuit) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# AQFP cell netlist: %d cells, %d JJs, %d phases\n",
+		len(c.Cells), c.Stats().JJs, c.Stats().Phases)
+	for i, cell := range c.Cells {
+		fmt.Fprintf(bw, "c%d %s @%d", i, cell.Kind, cell.Phase)
+		for j, f := range cell.Fanins {
+			if j == 0 {
+				fmt.Fprint(bw, " =")
+			} else {
+				fmt.Fprint(bw, ",")
+			}
+			if f.Invert {
+				fmt.Fprintf(bw, " ~c%d", f.Cell)
+			} else {
+				fmt.Fprintf(bw, " c%d", f.Cell)
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	fmt.Fprint(bw, "# inputs:")
+	for _, i := range c.Inputs {
+		fmt.Fprintf(bw, " c%d", i)
+	}
+	fmt.Fprint(bw, "\n# outputs:")
+	for _, o := range c.Outputs {
+		fmt.Fprintf(bw, " c%d", o)
+	}
+	fmt.Fprintln(bw)
+	return bw.Flush()
+}

@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"testing"
+)
+
+func TestTableShapesMatchPaper(t *testing.T) {
+	// n_pi / n_po columns of Table 1 and Table 2.
+	want := map[string][2]int{
+		"1-bit full adder": {3, 2},
+		"4gt10":            {4, 1},
+		"alu":              {5, 1},
+		"c17":              {5, 2},
+		"decoder_2_4":      {2, 4},
+		"decoder_3_8":      {3, 8},
+		"graycode4":        {4, 4},
+		"ham3":             {3, 3},
+		"mux4":             {6, 1},
+		"4_49":             {4, 4},
+		"graycode6":        {6, 6},
+		"mod5adder":        {6, 6},
+		"hwb8":             {8, 8},
+		"intdiv4":          {4, 4},
+		"intdiv5":          {5, 5},
+		"intdiv6":          {6, 6},
+		"intdiv7":          {7, 7},
+		"intdiv8":          {8, 8},
+		"intdiv9":          {9, 9},
+		"intdiv10":         {10, 10},
+	}
+	seen := map[string]bool{}
+	for _, c := range All() {
+		w, ok := want[c.Name]
+		if !ok {
+			t.Errorf("unexpected circuit %q", c.Name)
+			continue
+		}
+		seen[c.Name] = true
+		if c.NumPI != w[0] || c.NumPO != w[1] {
+			t.Errorf("%s: shape %d/%d, want %d/%d", c.Name, c.NumPI, c.NumPO, w[0], w[1])
+		}
+		if len(c.Tables) != c.NumPO {
+			t.Errorf("%s: %d tables for %d outputs", c.Name, len(c.Tables), c.NumPO)
+		}
+		for i, table := range c.Tables {
+			if table.N != c.NumPI {
+				t.Errorf("%s output %d: table over %d vars", c.Name, i, table.N)
+			}
+		}
+	}
+	for name := range want {
+		if !seen[name] {
+			t.Errorf("missing circuit %q", name)
+		}
+	}
+}
+
+func TestGarbageLowerBounds(t *testing.T) {
+	// The paper's g_lb column for Table 1.
+	want := map[string]int{
+		"1-bit full adder": 1, "4gt10": 3, "alu": 4, "c17": 3,
+		"decoder_2_4": 0, "decoder_3_8": 0, "graycode4": 0, "ham3": 0, "mux4": 5,
+	}
+	for _, c := range Table1() {
+		if got := c.GarbageLowerBound(); got != want[c.Name] {
+			t.Errorf("%s: g_lb = %d, want %d", c.Name, got, want[c.Name])
+		}
+	}
+}
+
+func TestFullAdderSemantics(t *testing.T) {
+	c := FullAdder()
+	for x := uint(0); x < 8; x++ {
+		ones := x&1 + x>>1&1 + x>>2&1
+		if c.Tables[0].Get(x) != (ones%2 == 1) {
+			t.Fatalf("sum wrong at %d", x)
+		}
+		if c.Tables[1].Get(x) != (ones >= 2) {
+			t.Fatalf("carry wrong at %d", x)
+		}
+	}
+}
+
+func TestGt10Semantics(t *testing.T) {
+	c := Gt10()
+	for x := uint(0); x < 16; x++ {
+		if c.Tables[0].Get(x) != (x > 10) {
+			t.Fatalf("4gt10 wrong at %d", x)
+		}
+	}
+}
+
+func TestDecoderIsOneHot(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		c := Decoder(n)
+		for x := uint(0); x < 1<<uint(n); x++ {
+			for o := 0; o < c.NumPO; o++ {
+				want := uint(o) == x
+				if c.Tables[o].Get(x) != want {
+					t.Fatalf("decoder_%d output %d at %d", n, o, x)
+				}
+			}
+		}
+	}
+}
+
+func TestGraycodeAdjacency(t *testing.T) {
+	// Consecutive codes differ in exactly one bit; code(0) = 0.
+	for _, n := range []int{4, 6} {
+		c := Graycode(n)
+		code := func(x uint) uint {
+			var v uint
+			for o := 0; o < n; o++ {
+				if c.Tables[o].Get(x) {
+					v |= 1 << uint(o)
+				}
+			}
+			return v
+		}
+		if code(0) != 0 {
+			t.Fatalf("graycode%d(0) != 0", n)
+		}
+		for x := uint(1); x < 1<<uint(n); x++ {
+			d := code(x) ^ code(x-1)
+			if d == 0 || d&(d-1) != 0 {
+				t.Fatalf("graycode%d: codes %d and %d differ in %b", n, x-1, x, d)
+			}
+		}
+	}
+}
+
+func checkBijection(t *testing.T, c Circuit) {
+	t.Helper()
+	if c.NumPI != c.NumPO {
+		t.Fatalf("%s: not square", c.Name)
+	}
+	seen := make(map[uint]bool)
+	for x := uint(0); x < 1<<uint(c.NumPI); x++ {
+		var v uint
+		for o := 0; o < c.NumPO; o++ {
+			if c.Tables[o].Get(x) {
+				v |= 1 << uint(o)
+			}
+		}
+		if seen[v] {
+			t.Fatalf("%s: output %d repeated — not a bijection", c.Name, v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestReversibleBenchmarksAreBijections(t *testing.T) {
+	checkBijection(t, Ham3())
+	checkBijection(t, Perm4x49())
+	checkBijection(t, HWB(8))
+	checkBijection(t, HWB(4))
+	checkBijection(t, Graycode(6))
+}
+
+func TestHWBSemantics(t *testing.T) {
+	c := HWB(4)
+	// weight(0b0011)=2 → rotl(0011,2) = 1100.
+	var v uint
+	for o := 0; o < 4; o++ {
+		if c.Tables[o].Get(0b0011) {
+			v |= 1 << uint(o)
+		}
+	}
+	if v != 0b1100 {
+		t.Fatalf("hwb4(0011) = %04b, want 1100", v)
+	}
+}
+
+func TestIntDivSemantics(t *testing.T) {
+	c := IntDiv(4)
+	cases := map[uint]uint{0: 15, 1: 15, 2: 7, 3: 5, 5: 3, 15: 1}
+	for x, want := range cases {
+		var v uint
+		for o := 0; o < 4; o++ {
+			if c.Tables[o].Get(x) {
+				v |= 1 << uint(o)
+			}
+		}
+		if v != want {
+			t.Fatalf("intdiv4(%d) = %d, want %d", x, v, want)
+		}
+	}
+}
+
+func TestMux4Semantics(t *testing.T) {
+	c := Mux4()
+	for x := uint(0); x < 64; x++ {
+		sel := x >> 4 & 3
+		want := x>>sel&1 == 1
+		if c.Tables[0].Get(x) != want {
+			t.Fatalf("mux4 wrong at %06b", x)
+		}
+	}
+}
+
+func TestMod5AdderOnModularRange(t *testing.T) {
+	c := Mod5Adder()
+	for a := uint(0); a < 5; a++ {
+		for b := uint(0); b < 5; b++ {
+			x := a | b<<3
+			var v uint
+			for o := 0; o < 6; o++ {
+				if c.Tables[o].Get(x) {
+					v |= 1 << uint(o)
+				}
+			}
+			if v&7 != (a+b)%5 {
+				t.Fatalf("mod5adder(%d,%d) low = %d, want %d", a, b, v&7, (a+b)%5)
+			}
+			if v>>3 != b {
+				t.Fatalf("mod5adder(%d,%d) does not pass b through", a, b)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, alias := range []string{"hwb8", "HWB8_64", "4_49_7", "intdiv4", "c17", "fulladder"} {
+		if _, err := ByName(alias); err != nil {
+			t.Errorf("ByName(%q): %v", alias, err)
+		}
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Error("ByName should fail for unknown circuits")
+	}
+}
+
+func TestSubstitutionFlags(t *testing.T) {
+	subs := map[string]bool{
+		"alu": true, "ham3": true, "4_49": true, "mod5adder": true,
+		"intdiv4": true, "intdiv5": true, "intdiv6": true, "intdiv7": true,
+		"intdiv8": true, "intdiv9": true, "intdiv10": true,
+	}
+	for _, c := range All() {
+		if c.Substituted != subs[c.Name] {
+			t.Errorf("%s: Substituted = %v, want %v", c.Name, c.Substituted, subs[c.Name])
+		}
+		if c.Description == "" {
+			t.Errorf("%s: missing description", c.Name)
+		}
+	}
+}
+
+func TestPermutation(t *testing.T) {
+	perm, ok := Ham3().Permutation()
+	if !ok || len(perm) != 8 {
+		t.Fatal("ham3 must be a bijection")
+	}
+	if _, ok := Mux4().Permutation(); ok {
+		t.Fatal("mux4 is not square")
+	}
+	if _, ok := FullAdder().Permutation(); ok {
+		t.Fatal("the full adder is not square")
+	}
+	// intdiv is square but not bijective (reciprocal is many-to-one).
+	if _, ok := IntDiv(4).Permutation(); ok {
+		t.Fatal("intdiv4 must not report a bijection")
+	}
+	for _, c := range []Circuit{Graycode(6), HWB(8), Perm4x49()} {
+		if _, ok := c.Permutation(); !ok {
+			t.Fatalf("%s must be a bijection", c.Name)
+		}
+	}
+}

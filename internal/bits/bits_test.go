@@ -1,0 +1,201 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWordsFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3},
+	}
+	for _, c := range cases {
+		if got := WordsFor(c.n); got != c.want {
+			t.Errorf("WordsFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestGetSet(t *testing.T) {
+	v := New(130)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		v.Set(i, true)
+		if !v.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	for _, i := range idx {
+		v.Set(i, false)
+		if v.Get(i) {
+			t.Fatalf("bit %d not cleared", i)
+		}
+	}
+}
+
+func TestMaskTail(t *testing.T) {
+	v := New(130)
+	v.Fill(^uint64(0))
+	v.MaskTail(70)
+	if got := v.PopCount(); got != 70 {
+		t.Fatalf("PopCount after MaskTail(70) = %d, want 70", got)
+	}
+	for i := 0; i < 70; i++ {
+		if !v.Get(i) {
+			t.Fatalf("bit %d should survive mask", i)
+		}
+	}
+	for i := 70; i < 130; i++ {
+		if v.Get(i) {
+			t.Fatalf("bit %d should be masked", i)
+		}
+	}
+}
+
+func TestOnes(t *testing.T) {
+	v := New(100)
+	v.Ones(65)
+	if got := v.PopCount(); got != 65 {
+		t.Fatalf("Ones(65) PopCount = %d", got)
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	x, y, z := NewWords(4), NewWords(4), NewWords(4)
+	x.Randomize(r)
+	y.Randomize(r)
+	z.Randomize(r)
+	and, or, xor, not, maj, mux := NewWords(4), NewWords(4), NewWords(4), NewWords(4), NewWords(4), NewWords(4)
+	and.And(x, y)
+	or.Or(x, y)
+	xor.Xor(x, y)
+	not.Not(x)
+	maj.Maj(x, y, z)
+	mux.Mux(z, x, y)
+	for i := 0; i < 256; i++ {
+		a, b, c := x.Get(i), y.Get(i), z.Get(i)
+		if and.Get(i) != (a && b) {
+			t.Fatalf("And bit %d", i)
+		}
+		if or.Get(i) != (a || b) {
+			t.Fatalf("Or bit %d", i)
+		}
+		if xor.Get(i) != (a != b) {
+			t.Fatalf("Xor bit %d", i)
+		}
+		if not.Get(i) != !a {
+			t.Fatalf("Not bit %d", i)
+		}
+		wantMaj := (a && b) || (a && c) || (b && c)
+		if maj.Get(i) != wantMaj {
+			t.Fatalf("Maj bit %d", i)
+		}
+		wantMux := b
+		if c {
+			wantMux = a
+		}
+		if mux.Get(i) != wantMux {
+			t.Fatalf("Mux bit %d", i)
+		}
+	}
+}
+
+func TestMajPropertyQuick(t *testing.T) {
+	// Majority is symmetric and self-dual: MAJ(x,y,z) = ~MAJ(~x,~y,~z).
+	f := func(a, b, c uint64) bool {
+		x, y, z := Vec{a}, Vec{b}, Vec{c}
+		m1, m2, m3 := Vec{0}, Vec{0}, Vec{0}
+		m1.Maj(x, y, z)
+		m2.Maj(z, x, y)
+		nx, ny, nz := Vec{^a}, Vec{^b}, Vec{^c}
+		m3.Maj(nx, ny, nz)
+		return m1[0] == m2[0] && m1[0] == ^m3[0]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	x := Vec{0b1010, 0}
+	y := Vec{0b0110, 1 << 63}
+	if d := x.HammingDistance(y); d != 3 {
+		t.Fatalf("HammingDistance = %d, want 3", d)
+	}
+	if d := x.HammingDistance(x); d != 0 {
+		t.Fatalf("self distance = %d", d)
+	}
+}
+
+func TestInputPatternExhaustive(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		ins := ExhaustiveInputs(n)
+		for s := 0; s < 1<<uint(n); s++ {
+			for v := 0; v < n; v++ {
+				want := s>>uint(v)&1 == 1
+				if ins[v].Get(s) != want {
+					t.Fatalf("n=%d sample=%d var=%d: got %v want %v", n, s, v, ins[v].Get(s), want)
+				}
+			}
+		}
+	}
+}
+
+func TestEqAndClone(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	v := NewWords(3)
+	v.Randomize(r)
+	c := v.Clone()
+	if !v.Eq(c) {
+		t.Fatal("clone not equal")
+	}
+	c[1] ^= 1
+	if v.Eq(c) {
+		t.Fatal("modified clone still equal")
+	}
+}
+
+func TestHashDiffers(t *testing.T) {
+	a := Vec{1, 2, 3}
+	b := Vec{1, 2, 4}
+	if a.Hash() == b.Hash() {
+		t.Fatal("hash collision on trivially different vectors")
+	}
+	if a.Hash() != a.Clone().Hash() {
+		t.Fatal("hash not deterministic")
+	}
+}
+
+func TestRandomInputs(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	ins := RandomInputs(5, 8, r)
+	if len(ins) != 5 {
+		t.Fatalf("len = %d", len(ins))
+	}
+	allZero := true
+	for _, v := range ins {
+		if len(v) != 8 {
+			t.Fatalf("word count = %d", len(v))
+		}
+		if v.PopCount() > 0 {
+			allZero = false
+		}
+	}
+	if allZero {
+		t.Fatal("random inputs all zero")
+	}
+}
+
+func BenchmarkMaj1024Words(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y, z, o := NewWords(1024), NewWords(1024), NewWords(1024), NewWords(1024)
+	x.Randomize(r)
+	y.Randomize(r)
+	z.Randomize(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o.Maj(x, y, z)
+	}
+}

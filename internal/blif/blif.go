@@ -1,0 +1,254 @@
+// Package blif reads and writes the Berkeley Logic Interchange Format
+// (combinational subset): .model/.inputs/.outputs/.names sections with SOP
+// cover tables. Networks are materialized as AIGs.
+package blif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+)
+
+type names struct {
+	inputs []string
+	output string
+	cubes  []string // input parts
+	outVal byte     // '1' (cover = onset) or '0' (cover = offset)
+}
+
+// Parse reads a combinational BLIF network and returns it as an AIG with
+// port names preserved.
+func Parse(r io.Reader) (*aig.AIG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+
+	var logical []string
+	var pending strings.Builder
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, "\\") {
+			pending.WriteString(strings.TrimSuffix(line, "\\"))
+			pending.WriteString(" ")
+			continue
+		}
+		pending.WriteString(line)
+		logical = append(logical, pending.String())
+		pending.Reset()
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	var inputs, outputs []string
+	var tables []*names
+	var cur *names
+	for ln, line := range logical {
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case ".model":
+		case ".inputs":
+			inputs = append(inputs, fields[1:]...)
+		case ".outputs":
+			outputs = append(outputs, fields[1:]...)
+		case ".names":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("blif: line %d: .names needs at least an output", ln+1)
+			}
+			cur = &names{inputs: fields[1 : len(fields)-1], output: fields[len(fields)-1], outVal: '1'}
+			tables = append(tables, cur)
+		case ".end":
+			cur = nil
+		case ".latch", ".subckt", ".gate":
+			return nil, fmt.Errorf("blif: line %d: unsupported construct %s (combinational subset only)", ln+1, fields[0])
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				continue // tolerate unknown dot-directives
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("blif: line %d: cube outside .names", ln+1)
+			}
+			var inPart, outPart string
+			switch len(fields) {
+			case 1:
+				if len(cur.inputs) != 0 {
+					return nil, fmt.Errorf("blif: line %d: cube arity mismatch", ln+1)
+				}
+				inPart, outPart = "", fields[0]
+			case 2:
+				inPart, outPart = fields[0], fields[1]
+			default:
+				return nil, fmt.Errorf("blif: line %d: malformed cube", ln+1)
+			}
+			if len(inPart) != len(cur.inputs) {
+				return nil, fmt.Errorf("blif: line %d: cube width %d, want %d", ln+1, len(inPart), len(cur.inputs))
+			}
+			if outPart != "1" && outPart != "0" {
+				return nil, fmt.Errorf("blif: line %d: output value %q", ln+1, outPart)
+			}
+			if len(cur.cubes) > 0 && cur.outVal != outPart[0] {
+				return nil, fmt.Errorf("blif: line %d: mixed onset/offset cover", ln+1)
+			}
+			cur.outVal = outPart[0]
+			cur.cubes = append(cur.cubes, inPart)
+		}
+	}
+	if len(inputs) == 0 && len(tables) == 0 {
+		return nil, fmt.Errorf("blif: empty model")
+	}
+
+	a := aig.New(len(inputs))
+	a.InputNames = append([]string(nil), inputs...)
+	a.OutputNames = append([]string(nil), outputs...)
+	signal := make(map[string]aig.Lit, len(inputs))
+	for i, name := range inputs {
+		signal[name] = a.PI(i)
+	}
+	// Topologically resolve .names tables (they may appear in any order).
+	remaining := append([]*names(nil), tables...)
+	for len(remaining) > 0 {
+		progress := false
+		var defer2 []*names
+		for _, t := range remaining {
+			ready := true
+			for _, in := range t.inputs {
+				if _, ok := signal[in]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				defer2 = append(defer2, t)
+				continue
+			}
+			lit, err := buildSOP(a, t, signal)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := signal[t.output]; dup {
+				return nil, fmt.Errorf("blif: signal %q defined twice", t.output)
+			}
+			signal[t.output] = lit
+			progress = true
+		}
+		if !progress {
+			var missing []string
+			for _, t := range defer2 {
+				missing = append(missing, t.output)
+			}
+			sort.Strings(missing)
+			return nil, fmt.Errorf("blif: cyclic or undefined signals: %v", missing)
+		}
+		remaining = defer2
+	}
+	for _, out := range outputs {
+		lit, ok := signal[out]
+		if !ok {
+			return nil, fmt.Errorf("blif: output %q undefined", out)
+		}
+		a.AddPO(lit)
+	}
+	return a, nil
+}
+
+func buildSOP(a *aig.AIG, t *names, signal map[string]aig.Lit) (aig.Lit, error) {
+	if len(t.cubes) == 0 {
+		return aig.Const0, nil // .names with no cubes = constant 0
+	}
+	terms := make([]aig.Lit, 0, len(t.cubes))
+	for _, cube := range t.cubes {
+		var lits []aig.Lit
+		for i, c := range cube {
+			in := signal[t.inputs[i]]
+			switch c {
+			case '1':
+				lits = append(lits, in)
+			case '0':
+				lits = append(lits, in.Not())
+			case '-':
+			default:
+				return 0, fmt.Errorf("blif: invalid cube character %q", c)
+			}
+		}
+		terms = append(terms, a.AndN(lits))
+	}
+	f := a.OrN(terms)
+	if t.outVal == '0' {
+		f = f.Not()
+	}
+	return f, nil
+}
+
+// Write emits the AIG as BLIF, one .names per AND node plus inverter/buffer
+// tables for the outputs.
+func Write(w io.Writer, a *aig.AIG, model string) error {
+	bw := bufio.NewWriter(w)
+	name := func(l aig.Lit) string {
+		n := l.Node()
+		if n == 0 {
+			return "const0"
+		}
+		if a.IsPI(n) {
+			if a.InputNames != nil {
+				return a.InputNames[n-1]
+			}
+			return fmt.Sprintf("pi%d", n-1)
+		}
+		return fmt.Sprintf("n%d", n)
+	}
+	outName := func(i int) string {
+		if a.OutputNames != nil {
+			return a.OutputNames[i]
+		}
+		return fmt.Sprintf("po%d", i)
+	}
+	if model == "" {
+		model = "top"
+	}
+	fmt.Fprintf(bw, ".model %s\n.inputs", model)
+	for i := 0; i < a.NumPIs(); i++ {
+		fmt.Fprintf(bw, " %s", name(a.PI(i)))
+	}
+	fmt.Fprint(bw, "\n.outputs")
+	for i := 0; i < a.NumPOs(); i++ {
+		fmt.Fprintf(bw, " %s", outName(i))
+	}
+	fmt.Fprintln(bw)
+	fmt.Fprintln(bw, ".names const0")
+	for n := a.NumPIs() + 1; n < a.NumNodes(); n++ {
+		f0, f1 := a.Fanins(n)
+		fmt.Fprintf(bw, ".names %s %s n%d\n", name(f0), name(f1), n)
+		p0, p1 := "1", "1"
+		if f0.Compl() {
+			p0 = "0"
+		}
+		if f1.Compl() {
+			p1 = "0"
+		}
+		fmt.Fprintf(bw, "%s%s 1\n", p0, p1)
+	}
+	for i, po := range a.POs() {
+		switch {
+		case po == aig.Const0:
+			fmt.Fprintf(bw, ".names %s\n", outName(i))
+		case po == aig.Const1:
+			fmt.Fprintf(bw, ".names %s\n1\n", outName(i))
+		case po.Compl():
+			fmt.Fprintf(bw, ".names %s %s\n0 1\n", name(po), outName(i))
+		default:
+			fmt.Fprintf(bw, ".names %s %s\n1 1\n", name(po), outName(i))
+		}
+	}
+	fmt.Fprintln(bw, ".end")
+	return bw.Flush()
+}

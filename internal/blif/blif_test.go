@@ -1,0 +1,164 @@
+package blif
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+const fullAdderBLIF = `
+# 1-bit full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b axb
+10 1
+01 1
+.names axb cin sum
+10 1
+01 1
+.names a b ab
+11 1
+.names axb cin t
+11 1
+.names ab t cout
+00 0
+.end
+`
+
+func TestParseFullAdder(t *testing.T) {
+	a, err := Parse(strings.NewReader(fullAdderBLIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPIs() != 3 || a.NumPOs() != 2 {
+		t.Fatalf("shape %d/%d", a.NumPIs(), a.NumPOs())
+	}
+	tts := a.TruthTables()
+	sum := tt.FromFunc(3, func(s uint) bool { return (s&1+s>>1&1+s>>2&1)%2 == 1 })
+	cout := tt.FromFunc(3, func(s uint) bool { return s&1+s>>1&1+s>>2&1 >= 2 })
+	if !tts[0].Equal(sum) {
+		t.Fatalf("sum = %s, want %s", tts[0], sum)
+	}
+	if !tts[1].Equal(cout) {
+		t.Fatalf("cout = %s, want %s", tts[1], cout)
+	}
+	if a.InputNames[0] != "a" || a.OutputNames[1] != "cout" {
+		t.Fatal("names lost")
+	}
+}
+
+func TestParseOutOfOrderAndConstants(t *testing.T) {
+	src := `
+.model weird
+.inputs x
+.outputs y z k
+.names w x y
+11 1
+.names w
+1
+.names z0 z
+1 1
+.names z0
+.names x k
+0 1
+.end
+`
+	a, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := a.TruthTables()
+	// y = 1 AND x = x; z = const0; k = NOT x
+	if !tts[0].Equal(tt.Var(1, 0)) {
+		t.Fatalf("y = %s", tts[0])
+	}
+	if !tts[1].IsConst0() {
+		t.Fatalf("z = %s", tts[1])
+	}
+	if !tts[2].Equal(tt.Var(1, 0).Not()) {
+		t.Fatalf("k = %s", tts[2])
+	}
+}
+
+func TestParseContinuationLines(t *testing.T) {
+	src := ".model c\n.inputs a \\\nb\n.outputs o\n.names a b o\n11 1\n.end\n"
+	a, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPIs() != 2 {
+		t.Fatalf("PIs = %d", a.NumPIs())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		".model m\n.inputs a\n.outputs o\n.latch a o\n.end\n",
+		".model m\n.inputs a\n.outputs o\n11 1\n.end\n",                             // cube outside names
+		".model m\n.inputs a\n.outputs o\n.names a o\n111 1\n.end\n",                // width
+		".model m\n.inputs a\n.outputs o\n.names a o\n1 x\n.end\n",                  // bad out val
+		".model m\n.inputs a\n.outputs o\n.names a o\n1 1\n0 0\n.end\n",             // mixed cover
+		".model m\n.inputs a\n.outputs o\n.end\n",                                   // undefined output
+		".model m\n.inputs a\n.outputs o\n.names q o\n1 1\n.end\n",                  // undefined input
+		".model m\n.inputs a\n.outputs o\n.names a o\n1 1\n.names a o\n0 1\n.end\n", // dup signal
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + r.Intn(4)
+		tables := make([]tt.TT, 1+r.Intn(3))
+		for i := range tables {
+			f := tt.New(n)
+			f.Bits.Randomize(r)
+			f.Bits.MaskTail(f.Size())
+			tables[i] = f
+		}
+		a := aig.FromTruthTables(tables)
+		var buf bytes.Buffer
+		if err := Write(&buf, a, "roundtrip"); err != nil {
+			t.Fatal(err)
+		}
+		b, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, buf.String())
+		}
+		ta, tb := a.TruthTables(), b.TruthTables()
+		for i := range ta {
+			if !ta[i].Equal(tb[i]) {
+				t.Fatalf("trial %d output %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestWriteConstantOutputs(t *testing.T) {
+	a := aig.New(1)
+	a.AddPO(aig.Const0)
+	a.AddPO(aig.Const1)
+	a.AddPO(a.PI(0).Not())
+	var buf bytes.Buffer
+	if err := Write(&buf, a, ""); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := b.TruthTables()
+	if !tts[0].IsConst0() || !tts[1].IsConst1() || !tts[2].Equal(tt.Var(1, 0).Not()) {
+		t.Fatalf("constants mangled: %v %v %v", tts[0], tts[1], tts[2])
+	}
+}

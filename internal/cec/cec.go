@@ -1,0 +1,317 @@
+// Package cec implements the functional-equivalence oracle of RCGP
+// (§3.2.1): candidate RQFP netlists are first screened by bit-parallel
+// circuit simulation against a golden specification; when the stimulus is
+// exhaustive the simulation itself is the proof, otherwise a surviving
+// candidate is confirmed by SAT-based combinational equivalence checking
+// with counterexamples fed back into the stimulus (the combination of
+// simulation and formal verification of Vasicek's CGP work that the paper
+// adopts).
+package cec
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/bits"
+	"github.com/reversible-eda/rcgp/internal/cnf"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/sat"
+)
+
+// ExhaustiveMaxPIs is the input count up to which the stimulus enumerates
+// all assignments, making simulation a complete proof.
+const ExhaustiveMaxPIs = 14
+
+// DefaultRandomWords is the random stimulus width (×64 patterns) used above
+// the exhaustive limit.
+const DefaultRandomWords = 16
+
+// Spec is a golden specification an RQFP netlist is checked against.
+type Spec struct {
+	NumPI, NumPO int
+	Exhaustive   bool
+
+	stimulus []bits.Vec // one vector per PI
+	golden   []bits.Vec // one vector per PO
+	words    int
+	samples  int
+
+	// specAIG drives SAT confirmation and counterexample re-simulation in
+	// the non-exhaustive regime; nil when exhaustive.
+	specAIG *aig.AIG
+}
+
+// Verdict is the outcome of checking one candidate.
+type Verdict struct {
+	// Match is the simulation success rate in [0,1]: the fraction of
+	// output bits agreeing with the golden responses.
+	Match float64
+	// Proved reports functional equivalence established either by
+	// exhaustive simulation or by an UNSAT miter.
+	Proved bool
+}
+
+// NewSpecFromAIG builds the oracle from a specification AIG. For small
+// input counts the stimulus is exhaustive; otherwise `randomWords`×64
+// random patterns seeded deterministically from seed are used and SAT
+// confirms candidates.
+func NewSpecFromAIG(a *aig.AIG, randomWords int, seed int64) *Spec {
+	s := &Spec{NumPI: a.NumPIs(), NumPO: a.NumPOs()}
+	if s.NumPI <= ExhaustiveMaxPIs {
+		s.Exhaustive = true
+		s.stimulus = bits.ExhaustiveInputs(s.NumPI)
+		s.samples = 1 << uint(s.NumPI)
+	} else {
+		if randomWords <= 0 {
+			randomWords = DefaultRandomWords
+		}
+		r := rand.New(rand.NewSource(seed))
+		s.stimulus = bits.RandomInputs(s.NumPI, randomWords, r)
+		s.samples = randomWords * 64
+		s.specAIG = a.Cleanup()
+	}
+	s.words = len(s.stimulus[0])
+	s.golden = a.Simulate(s.stimulus)
+	if s.Exhaustive {
+		for _, g := range s.golden {
+			g.MaskTail(s.samples)
+		}
+	}
+	return s
+}
+
+// NewSpecFromNetlist freezes the current function of an RQFP netlist as
+// the golden specification (used when the initial netlist itself is the
+// reference, e.g. for pure optimization runs).
+func NewSpecFromNetlist(n *rqfp.Netlist, randomWords int, seed int64) *Spec {
+	s := &Spec{NumPI: n.NumPI, NumPO: len(n.POs)}
+	if s.NumPI <= ExhaustiveMaxPIs {
+		s.Exhaustive = true
+		s.stimulus = bits.ExhaustiveInputs(s.NumPI)
+		s.samples = 1 << uint(s.NumPI)
+	} else {
+		if randomWords <= 0 {
+			randomWords = DefaultRandomWords
+		}
+		r := rand.New(rand.NewSource(seed))
+		s.stimulus = bits.RandomInputs(s.NumPI, randomWords, r)
+		s.samples = randomWords * 64
+		s.specAIG = netlistToAIG(n)
+	}
+	s.words = len(s.stimulus[0])
+	s.golden = n.Simulate(s.stimulus)
+	if s.Exhaustive {
+		for _, g := range s.golden {
+			g.MaskTail(s.samples)
+		}
+	}
+	return s
+}
+
+// Words returns the stimulus width in 64-bit words.
+func (s *Spec) Words() int { return s.words }
+
+// Samples returns the number of stimulus patterns.
+func (s *Spec) Samples() int { return s.samples }
+
+// Check evaluates a candidate netlist. ctx must be sized for the netlist
+// and the spec's word count; pass nil to allocate a fresh context.
+func (s *Spec) Check(n *rqfp.Netlist, ctx *rqfp.SimContext, active []bool) Verdict {
+	if n.NumPI != s.NumPI || len(n.POs) != s.NumPO {
+		return Verdict{}
+	}
+	if ctx == nil {
+		ctx = rqfp.NewSimContext(n.NumPorts(), s.words)
+	}
+	if active == nil {
+		active = n.ActiveGates()
+	}
+	ctx.Run(n, s.stimulus, active)
+	totalBits := s.samples * s.NumPO
+	wrong := 0
+	for i, po := range n.POs {
+		got := ctx.Port(po)
+		if s.Exhaustive {
+			// Compare only the valid samples.
+			for w := 0; w < s.words; w++ {
+				d := got[w] ^ s.golden[i][w]
+				if w == s.words-1 && s.samples%64 != 0 {
+					d &= 1<<(uint(s.samples)%64) - 1
+				}
+				wrong += onesCount(d)
+			}
+		} else {
+			wrong += got.HammingDistance(s.golden[i])
+		}
+	}
+	match := 1 - float64(wrong)/float64(totalBits)
+	if wrong > 0 {
+		return Verdict{Match: match}
+	}
+	if s.Exhaustive {
+		return Verdict{Match: 1, Proved: true}
+	}
+	// Simulation passed on random patterns: confirm formally.
+	eq, cex := s.satCheck(n)
+	if eq {
+		return Verdict{Match: 1, Proved: true}
+	}
+	if cex != nil {
+		s.addCounterexample(cex)
+	}
+	return Verdict{Match: match} // match recomputed lazily by next Check
+}
+
+func onesCount(w uint64) int {
+	n := 0
+	for ; w != 0; w &= w - 1 {
+		n++
+	}
+	return n
+}
+
+// satCheck builds a miter between the candidate netlist and the spec AIG.
+// Returns (true, nil) on proven equivalence, or (false, assignment) with a
+// distinguishing input assignment.
+func (s *Spec) satCheck(n *rqfp.Netlist) (bool, []bool) {
+	b := cnf.NewBuilder()
+	pis := make([]sat.Lit, s.NumPI)
+	for i := range pis {
+		pis[i] = b.Lit()
+	}
+	candOut := EncodeNetlist(b, n, pis)
+	specPIs, specOut := s.specAIG.ToCNF(b)
+	for i := range pis {
+		b.Equal(pis[i], specPIs[i])
+	}
+	bad := b.MiterOutputs(candOut, specOut)
+	b.AddClause(bad)
+	st, err := b.S.Solve()
+	if err != nil || st == sat.Unknown {
+		// Budget exhausted: be conservative, treat as not equivalent.
+		return false, nil
+	}
+	if st == sat.Unsat {
+		return true, nil
+	}
+	cex := make([]bool, s.NumPI)
+	for i, p := range pis {
+		cex[i] = b.S.ValueLit(p)
+	}
+	return false, cex
+}
+
+// addCounterexample widens the stimulus by one word whose bit 0 carries the
+// distinguishing assignment (remaining bits random from its hash), and
+// recomputes the golden responses.
+func (s *Spec) addCounterexample(cex []bool) {
+	seed := int64(0)
+	for i, v := range cex {
+		if v {
+			seed |= 1 << uint(i%63)
+		}
+	}
+	r := rand.New(rand.NewSource(seed ^ int64(s.words)))
+	for i := range s.stimulus {
+		w := r.Uint64()
+		if cex[i] {
+			w |= 1
+		} else {
+			w &^= 1
+		}
+		s.stimulus[i] = append(s.stimulus[i], w)
+	}
+	s.words++
+	s.samples += 64
+	s.golden = s.specAIG.Simulate(s.stimulus)
+}
+
+// EncodeNetlist Tseitin-encodes the active part of an RQFP netlist over
+// the given PI literals and returns the PO literals.
+func EncodeNetlist(b *cnf.Builder, n *rqfp.Netlist, pis []sat.Lit) []sat.Lit {
+	if len(pis) != n.NumPI {
+		panic(fmt.Sprintf("cec: got %d PI literals for %d inputs", len(pis), n.NumPI))
+	}
+	active := n.ActiveGates()
+	port := make([]sat.Lit, n.NumPorts())
+	port[rqfp.ConstPort] = b.ConstTrue
+	for i := 0; i < n.NumPI; i++ {
+		port[n.PIPort(i)] = pis[i]
+	}
+	for g := range n.Gates {
+		if !active[g] {
+			continue
+		}
+		gate := &n.Gates[g]
+		for m := 0; m < 3; m++ {
+			var ins [3]sat.Lit
+			for j := 0; j < 3; j++ {
+				l := port[gate.In[j]]
+				if gate.Cfg.Inv(m, j) {
+					l = l.Not()
+				}
+				ins[j] = l
+			}
+			port[n.Port(g, m)] = b.Maj(ins[0], ins[1], ins[2])
+		}
+	}
+	outs := make([]sat.Lit, len(n.POs))
+	for i, po := range n.POs {
+		outs[i] = port[po]
+	}
+	return outs
+}
+
+// NetlistsEquivalent decides full equivalence of two RQFP netlists by SAT,
+// regardless of input count. Used by tests and the exact-synthesis harness.
+func NetlistsEquivalent(x, y *rqfp.Netlist) (bool, error) {
+	if x.NumPI != y.NumPI || len(x.POs) != len(y.POs) {
+		return false, nil
+	}
+	b := cnf.NewBuilder()
+	pis := make([]sat.Lit, x.NumPI)
+	for i := range pis {
+		pis[i] = b.Lit()
+	}
+	ox := EncodeNetlist(b, x, pis)
+	oy := EncodeNetlist(b, y, pis)
+	bad := b.MiterOutputs(ox, oy)
+	b.AddClause(bad)
+	st, err := b.S.Solve()
+	if err != nil {
+		return false, err
+	}
+	return st == sat.Unsat, nil
+}
+
+func netlistToAIG(n *rqfp.Netlist) *aig.AIG {
+	a := aig.New(n.NumPI)
+	port := make([]aig.Lit, n.NumPorts())
+	port[rqfp.ConstPort] = aig.Const1
+	for i := 0; i < n.NumPI; i++ {
+		port[n.PIPort(i)] = a.PI(i)
+	}
+	active := n.ActiveGates()
+	for g := range n.Gates {
+		if !active[g] {
+			continue
+		}
+		gate := &n.Gates[g]
+		for m := 0; m < 3; m++ {
+			var ins [3]aig.Lit
+			for j := 0; j < 3; j++ {
+				l := port[gate.In[j]]
+				if gate.Cfg.Inv(m, j) {
+					l = l.Not()
+				}
+				ins[j] = l
+			}
+			port[n.Port(g, m)] = a.Maj(ins[0], ins[1], ins[2])
+		}
+	}
+	for _, po := range n.POs {
+		a.AddPO(port[po])
+	}
+	return a
+}

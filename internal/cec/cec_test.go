@@ -1,0 +1,227 @@
+package cec
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/bdd"
+	"github.com/reversible-eda/rcgp/internal/mig"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+// buildPair returns an AIG spec and an RQFP netlist computing the same
+// random function.
+func buildPair(nPI, nAnds, nPOs int, r *rand.Rand) (*aig.AIG, *rqfp.Netlist) {
+	a := aig.New(nPI)
+	edges := []aig.Lit{aig.Const0}
+	for i := 0; i < nPI; i++ {
+		edges = append(edges, a.PI(i))
+	}
+	for i := 0; i < nAnds; i++ {
+		x := edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1)
+		y := edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1)
+		edges = append(edges, a.And(x, y))
+	}
+	for i := 0; i < nPOs; i++ {
+		a.AddPO(edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1))
+	}
+	n, err := rqfp.FromMIG(mig.FromAIG(a))
+	if err != nil {
+		panic(err)
+	}
+	return a, n
+}
+
+func TestExhaustiveCheckAccepts(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		a, n := buildPair(5, 30, 3, r)
+		spec := NewSpecFromAIG(a, 0, 1)
+		if !spec.Exhaustive {
+			t.Fatal("5-input spec should be exhaustive")
+		}
+		v := spec.Check(n, nil, nil)
+		if v.Match != 1 || !v.Proved {
+			t.Fatalf("trial %d: verdict %+v for a correct netlist", trial, v)
+		}
+	}
+}
+
+func TestExhaustiveCheckRejectsMutant(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	rejected := 0
+	for trial := 0; trial < 30; trial++ {
+		a, n := buildPair(5, 25, 3, r)
+		spec := NewSpecFromAIG(a, 0, 1)
+		// Flip a random config bit of a random active gate.
+		m := n.Clone()
+		active := m.ActiveGates()
+		var idxs []int
+		for g, act := range active {
+			if act {
+				idxs = append(idxs, g)
+			}
+		}
+		if len(idxs) == 0 {
+			continue
+		}
+		g := idxs[r.Intn(len(idxs))]
+		m.Gates[g].Cfg = m.Gates[g].Cfg.FlipBit(r.Intn(9))
+		v := spec.Check(m, nil, nil)
+		if v.Proved && v.Match == 1 {
+			// The flip may have landed on a don't-care port; verify truly.
+			ta := a.TruthTables()
+			tm := m.TruthTables()
+			for i := range ta {
+				if !ta[i].Equal(tm[i]) {
+					t.Fatalf("trial %d: oracle passed an inequivalent mutant", trial)
+				}
+			}
+			continue
+		}
+		rejected++
+		if v.Match >= 1 {
+			t.Fatalf("trial %d: rejected but match = %v", trial, v.Match)
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no mutant was ever rejected; test ineffective")
+	}
+}
+
+func TestSATPathProvesEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	// 16 inputs forces the random-simulation + SAT path.
+	a, n := buildPair(16, 60, 3, r)
+	spec := NewSpecFromAIG(a, 4, 7)
+	if spec.Exhaustive {
+		t.Fatal("16-input spec should not be exhaustive")
+	}
+	v := spec.Check(n, nil, nil)
+	if !v.Proved {
+		t.Fatalf("SAT path failed to prove a correct netlist: %+v", v)
+	}
+}
+
+func TestSATPathCatchesRareDivergence(t *testing.T) {
+	// Build a netlist differing from spec on exactly one input assignment:
+	// spec = AND of 16 inputs; candidate = constant 0. Random simulation
+	// of 4 words virtually never hits the all-ones pattern, so the miter
+	// must catch it.
+	a := aig.New(16)
+	acc := a.PI(0)
+	for i := 1; i < 16; i++ {
+		acc = a.And(acc, a.PI(i))
+	}
+	a.AddPO(acc)
+	spec := NewSpecFromAIG(a, 4, 99)
+
+	n := rqfp.NewNetlist(16)
+	// Constant-0 output: gate over constants with all inputs inverted.
+	cfg := rqfp.ConfigCopy.InvertInputAll(0).InvertInputAll(1).InvertInputAll(2)
+	g := n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{rqfp.ConstPort, rqfp.ConstPort, rqfp.ConstPort}, Cfg: cfg})
+	n.POs = []rqfp.Signal{n.Port(g, 0)}
+
+	v := spec.Check(n, nil, nil)
+	if v.Proved {
+		t.Fatal("oracle proved an inequivalent netlist")
+	}
+	beforeWords := spec.Words()
+	_ = beforeWords
+	// After the counterexample is folded into the stimulus, plain
+	// simulation must reject the same candidate.
+	v2 := spec.Check(n, nil, nil)
+	if v2.Match >= 1 {
+		t.Fatalf("counterexample was not added to the stimulus: %+v", v2)
+	}
+}
+
+func TestNetlistsEquivalent(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	a, n := buildPair(4, 20, 2, r)
+	_ = a
+	m := n.Clone()
+	eq, err := NetlistsEquivalent(n, m)
+	if err != nil || !eq {
+		t.Fatalf("identical netlists not equivalent: %v %v", eq, err)
+	}
+	// Complement one output via its driving majority: must differ.
+	if g, maj, ok := m.PortOwner(m.POs[0]); ok {
+		m.Gates[g].Cfg = m.Gates[g].Cfg.ComplementMaj(maj)
+		eq, err = NetlistsEquivalent(n, m)
+		if err != nil || eq {
+			t.Fatalf("complemented netlist reported equivalent: %v %v", eq, err)
+		}
+	}
+}
+
+func TestEncodeNetlistAgainstSimulation(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		_, n := buildPair(4, 15, 3, r)
+		spec := NewSpecFromNetlist(n, 0, 1)
+		v := spec.Check(n, nil, nil)
+		if !v.Proved {
+			t.Fatalf("trial %d: netlist does not match its own spec", trial)
+		}
+	}
+}
+
+func TestCheckShapeMismatch(t *testing.T) {
+	a := aig.New(3)
+	a.AddPO(a.PI(0))
+	spec := NewSpecFromAIG(a, 0, 1)
+	n := rqfp.NewNetlist(2)
+	n.POs = []rqfp.Signal{1}
+	if v := spec.Check(n, nil, nil); v.Match != 0 || v.Proved {
+		t.Fatalf("mismatched shapes must yield zero verdict, got %+v", v)
+	}
+}
+
+func BenchmarkCheckExhaustive8(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a, n := buildPair(8, 120, 6, r)
+	spec := NewSpecFromAIG(a, 0, 1)
+	ctx := rqfp.NewSimContext(n.NumPorts(), spec.Words())
+	active := n.ActiveGates()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if v := spec.Check(n, ctx, active); !v.Proved {
+			b.Fatal("check failed")
+		}
+	}
+}
+
+func TestThreeOraclesAgree(t *testing.T) {
+	// Exhaustive simulation, SAT miter, and canonical BDD comparison must
+	// render identical verdicts on random mutants.
+	bddr := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		a, n := buildPair(5, 25, 3, bddr)
+		m := n.Clone()
+		if bddr.Intn(2) == 1 {
+			active := m.ActiveGates()
+			for g := range m.Gates {
+				if active[g] {
+					m.Gates[g].Cfg = m.Gates[g].Cfg.FlipBit(bddr.Intn(9))
+					break
+				}
+			}
+		}
+		// Oracle 1: exhaustive simulation.
+		spec := NewSpecFromAIG(a, 0, 1)
+		simEq := spec.Check(m, nil, nil).Proved
+		// Oracle 2: SAT miter between netlists (n is correct by
+		// construction, so m ≡ a iff m ≡ n).
+		satEq, err := NetlistsEquivalent(n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle 3: canonical BDDs.
+		bddEq := bdd.EquivalentAIGNetlist(a, m)
+		if simEq != satEq || satEq != bddEq {
+			t.Fatalf("trial %d: oracle disagreement sim=%v sat=%v bdd=%v", trial, simEq, satEq, bddEq)
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package cnf
+
+import (
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/sat"
+)
+
+// checkGate exhaustively verifies a gate encoding: for every assignment of
+// the inputs, the output literal must be forced to spec(inputs).
+func checkGate(t *testing.T, nIn int, build func(b *Builder, in []sat.Lit) sat.Lit, spec func(in []bool) bool) {
+	t.Helper()
+	for m := 0; m < 1<<uint(nIn); m++ {
+		b := NewBuilder()
+		in := make([]sat.Lit, nIn)
+		vals := make([]bool, nIn)
+		for i := range in {
+			in[i] = b.Lit()
+			vals[i] = m>>uint(i)&1 == 1
+			if vals[i] {
+				b.AddClause(in[i])
+			} else {
+				b.AddClause(in[i].Not())
+			}
+		}
+		out := build(b, in)
+		want := spec(vals)
+		// Assert the wrong value; must be UNSAT.
+		if want {
+			b.AddClause(out.Not())
+		} else {
+			b.AddClause(out)
+		}
+		st, err := b.S.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != sat.Unsat {
+			t.Fatalf("assignment %b: output not forced to %v", m, want)
+		}
+	}
+}
+
+func TestAndEncoding(t *testing.T) {
+	checkGate(t, 2,
+		func(b *Builder, in []sat.Lit) sat.Lit { return b.And(in[0], in[1]) },
+		func(in []bool) bool { return in[0] && in[1] })
+}
+
+func TestOrEncoding(t *testing.T) {
+	checkGate(t, 2,
+		func(b *Builder, in []sat.Lit) sat.Lit { return b.Or(in[0], in[1]) },
+		func(in []bool) bool { return in[0] || in[1] })
+}
+
+func TestXorEncoding(t *testing.T) {
+	checkGate(t, 2,
+		func(b *Builder, in []sat.Lit) sat.Lit { return b.Xor(in[0], in[1]) },
+		func(in []bool) bool { return in[0] != in[1] })
+}
+
+func TestMajEncoding(t *testing.T) {
+	checkGate(t, 3,
+		func(b *Builder, in []sat.Lit) sat.Lit { return b.Maj(in[0], in[1], in[2]) },
+		func(in []bool) bool {
+			n := 0
+			for _, v := range in {
+				if v {
+					n++
+				}
+			}
+			return n >= 2
+		})
+}
+
+func TestMuxEncoding(t *testing.T) {
+	checkGate(t, 3,
+		func(b *Builder, in []sat.Lit) sat.Lit { return b.Mux(in[0], in[1], in[2]) },
+		func(in []bool) bool {
+			if in[0] {
+				return in[1]
+			}
+			return in[2]
+		})
+}
+
+func TestConstTrue(t *testing.T) {
+	b := NewBuilder()
+	b.AddClause(b.ConstTrue.Not())
+	st, _ := b.S.Solve()
+	if st != sat.Unsat {
+		t.Fatal("ConstTrue not fixed")
+	}
+	b2 := NewBuilder()
+	b2.AddClause(b2.ConstFalse())
+	st, _ = b2.S.Solve()
+	if st != sat.Unsat {
+		t.Fatal("ConstFalse not fixed")
+	}
+}
+
+func TestExactlyOne(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		b := NewBuilder()
+		lits := make([]sat.Lit, n)
+		for i := range lits {
+			lits[i] = b.Lit()
+		}
+		b.ExactlyOne(lits)
+		st, _ := b.S.Solve()
+		if st != sat.Sat {
+			t.Fatalf("n=%d: exactly-one should be satisfiable", n)
+		}
+		count := 0
+		for _, l := range lits {
+			if b.S.ValueLit(l) {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("n=%d: model has %d true literals", n, count)
+		}
+		// Forcing two true must be UNSAT.
+		if n >= 2 {
+			b.AddClause(lits[0])
+			b.AddClause(lits[1])
+			st, _ = b.S.Solve()
+			if st != sat.Unsat {
+				t.Fatalf("n=%d: two true literals allowed", n)
+			}
+		}
+	}
+}
+
+func TestAtMostK(t *testing.T) {
+	for n := 1; n <= 6; n++ {
+		for k := 0; k <= n; k++ {
+			// Count models of AtMostK over n free vars = sum_{i<=k} C(n,i).
+			b := NewBuilder()
+			lits := make([]sat.Lit, n)
+			for i := range lits {
+				lits[i] = b.Lit()
+			}
+			b.AtMostK(lits, k)
+			want := 0
+			for m := 0; m < 1<<uint(n); m++ {
+				ones := 0
+				for i := 0; i < n; i++ {
+					if m>>uint(i)&1 == 1 {
+						ones++
+					}
+				}
+				if ones <= k {
+					want++
+				}
+			}
+			got := countModels(t, b, lits)
+			if got != want {
+				t.Fatalf("n=%d k=%d: %d models, want %d", n, k, got, want)
+			}
+		}
+	}
+}
+
+// countModels enumerates models projected onto lits by blocking clauses.
+func countModels(t *testing.T, b *Builder, lits []sat.Lit) int {
+	t.Helper()
+	count := 0
+	for {
+		st, err := b.S.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != sat.Sat {
+			return count
+		}
+		count++
+		if count > 1<<uint(len(lits)) {
+			t.Fatal("model counting runaway")
+		}
+		block := make([]sat.Lit, len(lits))
+		for i, l := range lits {
+			if b.S.ValueLit(l) {
+				block[i] = l.Not()
+			} else {
+				block[i] = l
+			}
+		}
+		b.AddClause(block...)
+	}
+}
+
+func TestMiterEquivalentCircuits(t *testing.T) {
+	// f = a AND b built two ways: AND(a,b) vs NOT(OR(NOT a, NOT b)).
+	b := NewBuilder()
+	a, x := b.Lit(), b.Lit()
+	f1 := b.And(a, x)
+	f2 := b.Or(a.Not(), x.Not()).Not()
+	bad := b.MiterOutputs([]sat.Lit{f1}, []sat.Lit{f2})
+	b.AddClause(bad)
+	st, _ := b.S.Solve()
+	if st != sat.Unsat {
+		t.Fatal("equivalent circuits reported different")
+	}
+}
+
+func TestMiterInequivalentCircuits(t *testing.T) {
+	b := NewBuilder()
+	a, x := b.Lit(), b.Lit()
+	f1 := b.And(a, x)
+	f2 := b.Or(a, x)
+	bad := b.MiterOutputs([]sat.Lit{f1}, []sat.Lit{f2})
+	b.AddClause(bad)
+	st, _ := b.S.Solve()
+	if st != sat.Sat {
+		t.Fatal("inequivalent circuits reported equivalent")
+	}
+	// Counterexample must actually distinguish AND from OR.
+	av, xv := b.S.ValueLit(a), b.S.ValueLit(x)
+	if (av && xv) == (av || xv) {
+		t.Fatal("counterexample does not distinguish the circuits")
+	}
+}

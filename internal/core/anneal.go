@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+// Simulated annealing over the same chromosome and mutation operators — an
+// alternative optimizer used by the ablation benchmarks to justify the
+// paper's choice of a (1+λ) evolutionary strategy. Unlike the ES, the
+// annealer may accept strictly worse (but still functionally correct)
+// neighbours early on, trading monotonicity for basin hopping.
+
+// AnnealOptions configures Anneal.
+type AnnealOptions struct {
+	// Steps is the number of proposed moves. Default 20000.
+	Steps int
+	// MutationRate is the per-move μ, as in Options. Default 0.05.
+	MutationRate float64
+	// StartTemp scales the initial acceptance of worse moves, in units of
+	// the scalarized cost (gates + garbage/10 + buffers/1000). Default 2.
+	StartTemp float64
+	// Seed drives randomness.
+	Seed int64
+	// TimeBudget optionally bounds wall-clock time.
+	TimeBudget time.Duration
+}
+
+func (o AnnealOptions) withDefaults() AnnealOptions {
+	if o.Steps <= 0 {
+		o.Steps = 20000
+	}
+	if o.MutationRate <= 0 {
+		o.MutationRate = 0.05
+	}
+	if o.StartTemp <= 0 {
+		o.StartTemp = 2
+	}
+	return o
+}
+
+// scalarCost flattens the lexicographic fitness into one number for the
+// annealer's acceptance rule. Valid candidates only.
+func scalarCost(f Fitness) float64 {
+	return float64(f.Gates) + float64(f.Garbage)/10 + float64(f.Buffers)/1000
+}
+
+// Anneal optimizes the netlist by simulated annealing, never leaving the
+// space of functionally correct circuits (incorrect neighbours are always
+// rejected, as in the paper's fitness rule 1).
+func Anneal(initial *rqfp.Netlist, spec *cec.Spec, opt AnnealOptions) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := initial.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(opt.Seed))
+	start := time.Now()
+
+	ctx := rqfp.NewSimContext(initial.NumPorts(), spec.Words())
+	var costs rqfp.CostEvaluator
+	evaluations := int64(0)
+	evaluate := func(n *rqfp.Netlist) Fitness {
+		evaluations++
+		if spec.Words() != ctx.Words() {
+			ctx = rqfp.NewSimContext(n.NumPorts(), spec.Words())
+		}
+		c := costs.Eval(n)
+		v := spec.Check(n, ctx, costs.Active())
+		if !v.Proved {
+			return Fitness{Match: v.Match}
+		}
+		return Fitness{Valid: true, Match: 1, Gates: c.Gates, Garbage: c.Garbage, Buffers: c.Buffers}
+	}
+
+	cur := newGenotype(initial.Clone())
+	curFit := evaluate(cur.net)
+	if !curFit.Valid {
+		return nil, errors.New("core: initial netlist does not satisfy the specification")
+	}
+	best := cur.clone()
+	bestFit := curFit
+
+	res := &Result{}
+	scratch := newGenotype(initial.Clone())
+	step := 0
+	for ; step < opt.Steps; step++ {
+		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+			break
+		}
+		temp := opt.StartTemp * (1 - float64(step)/float64(opt.Steps))
+		scratch.copyFrom(cur)
+		scratch.mutate(r, opt.MutationRate)
+		fit := evaluate(scratch.net)
+		if !fit.Valid {
+			continue
+		}
+		delta := scalarCost(fit) - scalarCost(curFit)
+		if delta <= 0 || (temp > 0 && r.Float64() < math.Exp(-delta/temp)) {
+			cur, scratch = scratch, cur
+			curFit = fit
+			if fit.BetterOrEqual(bestFit) {
+				if fit.Better(bestFit) {
+					res.Improved++
+				}
+				best.copyFrom(cur)
+				bestFit = fit
+			}
+		}
+	}
+
+	res.Best = best.net.Shrink()
+	res.Fitness = bestFit
+	res.Generations = step
+	res.Evaluations = evaluations
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

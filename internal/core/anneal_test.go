@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestAnnealPreservesFunction(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	res, err := Anneal(n, spec, AnnealOptions{Steps: 6000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fitness.Valid {
+		t.Fatal("anneal returned invalid circuit")
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tts := res.Best.TruthTables()
+	want := decoderTables()
+	for i := range want {
+		if !tts[i].Equal(want[i]) {
+			t.Fatalf("output %d wrong", i)
+		}
+	}
+}
+
+func TestAnnealImproves(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	before := n.NumActive()
+	res, err := Anneal(n, spec, AnnealOptions{Steps: 20000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fitness.Gates > before {
+		t.Fatalf("anneal grew gates: %d -> %d", before, res.Fitness.Gates)
+	}
+	if res.Evaluations == 0 {
+		t.Fatal("no evaluations recorded")
+	}
+}
+
+func TestAnnealRejectsWrongInitial(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	bad := n.Clone()
+	if g, m, ok := bad.PortOwner(bad.POs[0]); ok {
+		bad.Gates[g].Cfg = bad.Gates[g].Cfg.ComplementMaj(m)
+	}
+	if _, err := Anneal(bad, spec, AnnealOptions{Steps: 10, Seed: 1}); err == nil {
+		t.Fatal("expected error for incorrect initial netlist")
+	}
+}
+
+func TestScalarCostOrdering(t *testing.T) {
+	a := Fitness{Valid: true, Gates: 5, Garbage: 3, Buffers: 10}
+	b := Fitness{Valid: true, Gates: 6, Garbage: 0, Buffers: 0}
+	if scalarCost(a) >= scalarCost(b) {
+		t.Fatal("gate count must dominate the scalarized cost")
+	}
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/mig"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+func TestFitnessOrdering(t *testing.T) {
+	valid := Fitness{Valid: true, Match: 1, Gates: 5, Garbage: 3, Buffers: 10}
+	cases := []struct {
+		a, b     Fitness
+		betterEq bool
+		strictly bool
+	}{
+		{valid, Fitness{Match: 0.99}, true, true},                                              // valid beats invalid
+		{Fitness{Match: 0.5}, Fitness{Match: 0.4}, true, true},                                 // higher match
+		{Fitness{Match: 0.4}, Fitness{Match: 0.4}, true, false},                                // equal match
+		{valid, Fitness{Valid: true, Match: 1, Gates: 6, Garbage: 0, Buffers: 0}, true, true},  // fewer gates dominates
+		{valid, Fitness{Valid: true, Match: 1, Gates: 5, Garbage: 4, Buffers: 0}, true, true},  // then garbage
+		{valid, Fitness{Valid: true, Match: 1, Gates: 5, Garbage: 3, Buffers: 11}, true, true}, // then buffers
+		{valid, valid, true, false},
+		{Fitness{Valid: true, Match: 1, Gates: 6}, valid, false, false},
+	}
+	for i, c := range cases {
+		if got := c.a.BetterOrEqual(c.b); got != c.betterEq {
+			t.Errorf("case %d: BetterOrEqual = %v, want %v", i, got, c.betterEq)
+		}
+		if got := c.a.Better(c.b); got != c.strictly {
+			t.Errorf("case %d: Better = %v, want %v", i, got, c.strictly)
+		}
+	}
+	if s := valid.String(); s == "" {
+		t.Fatal("empty String")
+	}
+	if s := (Fitness{Match: 0.25}).String(); s == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// specFromTables builds a spec AIG plus an initial RQFP netlist via the
+// regular front-end path.
+func buildCase(tables []tt.TT) (*cec.Spec, *rqfp.Netlist) {
+	a := aig.FromTruthTables(tables)
+	m := mig.FromAIG(a)
+	n, err := rqfp.FromMIG(m)
+	if err != nil {
+		panic(err)
+	}
+	return cec.NewSpecFromAIG(a, 0, 1), n
+}
+
+func decoderTables() []tt.TT {
+	tables := make([]tt.TT, 4)
+	for i := range tables {
+		i := i
+		tables[i] = tt.FromFunc(2, func(s uint) bool { return s == uint(i) })
+	}
+	return tables
+}
+
+func TestMutationPreservesInvariants(t *testing.T) {
+	_, n := buildCase(decoderTables())
+	r := rand.New(rand.NewSource(42))
+	g := newGenotype(n)
+	for step := 0; step < 20000; step++ {
+		g.mutateOnce(r)
+	}
+	if err := g.net.Validate(); err != nil {
+		t.Fatalf("invariants broken after 20000 mutations: %v", err)
+	}
+	// The incremental users table must match a fresh scan.
+	fresh := g.net.Users()
+	for s, u := range fresh {
+		if g.users[s] != u {
+			t.Fatalf("users table diverged at port %d: %+v vs %+v", s, g.users[s], u)
+		}
+	}
+}
+
+func TestMutationInvariantsManyCircuits(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		nPI := 3 + r.Intn(3)
+		tables := make([]tt.TT, 1+r.Intn(3))
+		for i := range tables {
+			f := tt.New(nPI)
+			f.Bits.Randomize(r)
+			f.Bits.MaskTail(f.Size())
+			tables[i] = f
+		}
+		_, n := buildCase(tables)
+		g := newGenotype(n)
+		for step := 0; step < 5000; step++ {
+			g.mutateOnce(r)
+		}
+		if err := g.net.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestOptimizeDecoderImproves(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	startStats := n.ComputeStats()
+	res, err := Optimize(n, spec, Options{Generations: 4000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fitness.Valid {
+		t.Fatalf("final fitness invalid: %v", res.Fitness)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Functional correctness against the spec, exhaustively.
+	tts := res.Best.TruthTables()
+	want := decoderTables()
+	for i := range want {
+		if !tts[i].Equal(want[i]) {
+			t.Fatalf("output %d wrong after optimization", i)
+		}
+	}
+	endStats := res.Best.ComputeStats()
+	if endStats.Gates > startStats.Gates {
+		t.Fatalf("optimization grew gates: %d -> %d", startStats.Gates, endStats.Gates)
+	}
+	if res.Evaluations == 0 || res.Generations == 0 {
+		t.Fatal("run counters empty")
+	}
+	t.Logf("decoder_2_4: init %+v -> rcgp %+v in %v", startStats, endStats, res.Elapsed)
+}
+
+func TestOptimizeDeterministicPerSeed(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	r1, err := Optimize(n, spec, Options{Generations: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, n2 := buildCase(decoderTables())
+	r2, err := Optimize(n2, spec2, Options{Generations: 500, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fitness != r2.Fitness {
+		t.Fatalf("same seed, different fitness: %v vs %v", r1.Fitness, r2.Fitness)
+	}
+	if r1.Best.String() != r2.Best.String() {
+		t.Fatal("same seed, different chromosome")
+	}
+	_ = spec
+}
+
+func TestOptimizeRejectsWrongInitial(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	// Break the netlist: complement an output's driving majority.
+	bad := n.Clone()
+	if g, m, ok := bad.PortOwner(bad.POs[0]); ok {
+		bad.Gates[g].Cfg = bad.Gates[g].Cfg.ComplementMaj(m)
+	}
+	if _, err := Optimize(bad, spec, Options{Generations: 10, Seed: 1}); err == nil {
+		t.Fatal("expected error for incorrect initial netlist")
+	}
+}
+
+func TestOptimizeFullAdder(t *testing.T) {
+	sum := tt.FromFunc(3, func(s uint) bool { return (s&1+s>>1&1+s>>2&1)%2 == 1 })
+	cout := tt.FromFunc(3, func(s uint) bool { return s&1+s>>1&1+s>>2&1 >= 2 })
+	spec, n := buildCase([]tt.TT{sum, cout})
+	res, err := Optimize(n, spec, Options{Generations: 6000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := res.Best.TruthTables()
+	if !tts[0].Equal(sum) || !tts[1].Equal(cout) {
+		t.Fatal("full adder function broken")
+	}
+	t.Logf("full adder: n_r=%d n_g=%d n_b=%d", res.Fitness.Gates, res.Fitness.Garbage, res.Fitness.Buffers)
+}
+
+func TestOptimizeKeepsValidityUnderHighMutation(t *testing.T) {
+	// μ = 1 (the paper's setting) must still only ever accept valid parents.
+	spec, n := buildCase(decoderTables())
+	res, err := Optimize(n, spec, Options{Generations: 300, Seed: 5, MutationRate: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fitness.Valid {
+		t.Fatal("parent became invalid")
+	}
+	tts := res.Best.TruthTables()
+	want := decoderTables()
+	for i := range want {
+		if !tts[i].Equal(want[i]) {
+			t.Fatalf("output %d wrong", i)
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	calls := 0
+	_, err := Optimize(n, spec, Options{
+		Generations:   100,
+		Seed:          1,
+		Progress:      func(gen int, best Fitness) { calls++ },
+		ProgressEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 10 {
+		t.Fatalf("progress calls = %d, want 10", calls)
+	}
+}
+
+func TestFinalResultAlwaysShrunk(t *testing.T) {
+	for _, shrinkEarly := range []bool{false, true} {
+		spec, n := buildCase(decoderTables())
+		res, err := Optimize(n, spec, Options{Generations: 3000, Seed: 2, ShrinkOnImprove: shrinkEarly})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Best.Gates) != res.Best.NumActive() {
+			t.Fatalf("shrinkEarly=%v: final chromosome contains useless gates", shrinkEarly)
+		}
+	}
+}
+
+func BenchmarkGeneration(b *testing.B) {
+	spec, n := buildCase(decoderTables())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Optimize(n, spec, Options{Generations: 50, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestTimeBudgetRespected(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	start := time.Now()
+	res, err := Optimize(n, spec, Options{
+		Generations: 1 << 30,
+		Seed:        1,
+		TimeBudget:  150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("time budget ignored: ran %v", elapsed)
+	}
+	if res.Generations >= 1<<30 {
+		t.Fatal("generation counter implausible")
+	}
+	if !res.Fitness.Valid {
+		t.Fatal("result invalid")
+	}
+}
+
+func TestLambdaOne(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	res, err := Optimize(n, spec, Options{Generations: 500, Seed: 2, Lambda: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fitness.Valid {
+		t.Fatal("1+1 ES lost validity")
+	}
+}

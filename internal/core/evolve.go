@@ -1,0 +1,157 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+// Options configures the (1+λ) evolution (Algorithm 1 of the paper).
+type Options struct {
+	// Lambda is the offspring count per generation (λ). Default 4.
+	Lambda int
+	// Generations is the generation budget N. The paper uses 5·10⁷ on a
+	// cluster; the default here is laptop-scale. Default 20000.
+	Generations int
+	// MutationRate is μ ∈ [0,1]: each offspring receives up to μ·n_L point
+	// mutations. The paper sets μ = 1; smaller values are far more sample
+	// efficient at small generation budgets. Default 0.05.
+	MutationRate float64
+	// Seed drives all randomness; runs are deterministic per seed.
+	Seed int64
+	// ShrinkOnImprove removes useless gates from the chromosome whenever a
+	// strictly better parent is adopted, instead of only once at the end
+	// (§3.2.3). Shrinking early reduces the search space but also removes
+	// the inactive-gate material CGP's neutral drift feeds on, so the
+	// default shrinks only the final individual, as in the paper's Fig. 3.
+	ShrinkOnImprove bool
+	// TimeBudget optionally bounds wall-clock time (0 = unlimited).
+	TimeBudget time.Duration
+	// Progress, when non-nil, is called every ProgressEvery generations
+	// with the current generation and parent fitness.
+	Progress      func(gen int, best Fitness)
+	ProgressEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Lambda <= 0 {
+		o.Lambda = 4
+	}
+	if o.Generations <= 0 {
+		o.Generations = 20000
+	}
+	if o.MutationRate <= 0 {
+		o.MutationRate = 0.05
+	}
+	if o.MutationRate > 1 {
+		o.MutationRate = 1
+	}
+	if o.ProgressEvery <= 0 {
+		o.ProgressEvery = 1000
+	}
+	return o
+}
+
+// Result reports the outcome of an optimization run.
+type Result struct {
+	Best        *rqfp.Netlist
+	Fitness     Fitness
+	Generations int
+	Evaluations int64
+	Improved    int // number of strict parent improvements
+	Elapsed     time.Duration
+}
+
+// Optimize evolves the initial RQFP netlist against the specification,
+// minimizing gate count, garbage outputs, and buffer count in that order
+// while preserving (proved) functional equivalence. The initial netlist
+// must itself satisfy the specification.
+func Optimize(initial *rqfp.Netlist, spec *cec.Spec, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := initial.Validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(opt.Seed))
+	start := time.Now()
+
+	ctx := rqfp.NewSimContext(initial.NumPorts(), spec.Words())
+	var costs rqfp.CostEvaluator
+	evaluations := int64(0)
+	evaluate := func(n *rqfp.Netlist) Fitness {
+		evaluations++
+		if spec.Words() != ctx.Words() {
+			// The oracle widened its stimulus with a counterexample.
+			ctx = rqfp.NewSimContext(n.NumPorts(), spec.Words())
+		}
+		c := costs.Eval(n)
+		v := spec.Check(n, ctx, costs.Active())
+		if !v.Proved {
+			return Fitness{Match: v.Match}
+		}
+		return Fitness{
+			Valid:   true,
+			Match:   1,
+			Gates:   c.Gates,
+			Garbage: c.Garbage,
+			Buffers: c.Buffers,
+		}
+	}
+
+	parent := newGenotype(initial.Clone())
+	parentFit := evaluate(parent.net)
+	if !parentFit.Valid {
+		return nil, errors.New("core: initial netlist does not satisfy the specification")
+	}
+
+	// Offspring buffers are reused across generations to keep the inner
+	// loop allocation-free.
+	pool := make([]*genotype, opt.Lambda)
+	for i := range pool {
+		pool[i] = newGenotype(initial.Clone())
+	}
+
+	res := &Result{}
+	gen := 0
+	for ; gen < opt.Generations; gen++ {
+		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+			break
+		}
+		bestIdx := -1
+		var bestFit Fitness
+		for i := 0; i < opt.Lambda; i++ {
+			off := pool[i]
+			off.copyFrom(parent)
+			off.mutate(r, opt.MutationRate)
+			fit := evaluate(off.net)
+			if bestIdx < 0 || fit.BetterOrEqual(bestFit) {
+				bestIdx, bestFit = i, fit
+			}
+		}
+		if bestFit.BetterOrEqual(parentFit) {
+			// Swap the winner into the parent slot; the old parent storage
+			// rejoins the pool.
+			parent, pool[bestIdx] = pool[bestIdx], parent
+			strictly := bestFit.Better(parentFit)
+			parentFit = bestFit
+			if strictly {
+				res.Improved++
+				if opt.ShrinkOnImprove {
+					parent = newGenotype(parent.net.Shrink())
+				}
+			}
+		}
+		if opt.Progress != nil && gen%opt.ProgressEvery == 0 {
+			opt.Progress(gen, parentFit)
+		}
+	}
+
+	res.Best = parent.net.Shrink()
+	res.Fitness = parentFit
+	res.Generations = gen
+	res.Evaluations = evaluations
+	res.Elapsed = time.Since(start)
+	return res, nil
+}

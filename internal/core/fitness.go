@@ -1,0 +1,53 @@
+// Package core implements the RQFP-oriented Cartesian genetic programming
+// engine of the RCGP paper (§3.2): the chromosome is an RQFP netlist in the
+// paper's integer encoding (internal/rqfp.Netlist), mutated by the three
+// RQFP-aware point mutations, shrunk after improvement, and evolved under a
+// (1+λ) strategy with a lexicographic fitness — functional correctness
+// first (simulation success rate, formally confirmed), then gate count,
+// then garbage outputs, then path-balancing buffers.
+package core
+
+import "fmt"
+
+// Fitness is the lexicographic fitness of a candidate (§3.2.1). Valid
+// candidates (proved functionally equivalent to the specification) always
+// dominate invalid ones; invalid candidates compare by simulation success
+// rate; valid candidates compare by n_r, then n_g, then n_b.
+type Fitness struct {
+	Valid   bool
+	Match   float64
+	Gates   int
+	Garbage int
+	Buffers int
+}
+
+// BetterOrEqual reports whether f is at least as good as g — the (1+λ)
+// acceptance criterion ("an offspring with a fitness better or equal to the
+// parent becomes the new parent").
+func (f Fitness) BetterOrEqual(g Fitness) bool {
+	if f.Valid != g.Valid {
+		return f.Valid
+	}
+	if !f.Valid {
+		return f.Match >= g.Match
+	}
+	if f.Gates != g.Gates {
+		return f.Gates < g.Gates
+	}
+	if f.Garbage != g.Garbage {
+		return f.Garbage < g.Garbage
+	}
+	return f.Buffers <= g.Buffers
+}
+
+// Better reports strict improvement.
+func (f Fitness) Better(g Fitness) bool {
+	return f.BetterOrEqual(g) && f != g
+}
+
+func (f Fitness) String() string {
+	if !f.Valid {
+		return fmt.Sprintf("invalid(match=%.4f)", f.Match)
+	}
+	return fmt.Sprintf("valid(n_r=%d, n_g=%d, n_b=%d)", f.Gates, f.Garbage, f.Buffers)
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+// fig3Netlist reconstructs the shape of the paper's Fig. 3(a): two primary
+// inputs, four RQFP gates (ports 3..14), four primary outputs. Gate 3 (the
+// last node) reads ports 9, 8, 3 with configuration "000-110-111", exactly
+// as printed in the paper.
+func fig3Netlist(t *testing.T) *rqfp.Netlist {
+	t.Helper()
+	cfg := func(s string) rqfp.Config {
+		c, err := rqfp.ParseConfig(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	n := rqfp.NewNetlist(2)
+	n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{1, 2, 0}, Cfg: cfg("100-010-001")}) // ports 3,4,5
+	n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{5, 4, 0}, Cfg: cfg("101-100-000")}) // ports 6,7,8
+	n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{0, 0, 7}, Cfg: cfg("001-101-101")}) // ports 9,10,11
+	n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{9, 8, 3}, Cfg: cfg("000-110-111")}) // ports 12,13,14
+	n.POs = []rqfp.Signal{6, 10, 13, 14}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestPaperSwapMutation replays the paper's §3.2.2 example: mutating the
+// first input gene of the last node from 9 to 8 must SWAP with the gene
+// currently holding 8, yielding "(8, 9, 3, …)".
+func TestPaperSwapMutation(t *testing.T) {
+	n := fig3Netlist(t)
+	g := newGenotype(n)
+	self := rqfp.PortUser{Kind: rqfp.UserGateInput, Gate: 3, Input: 0}
+	if !g.rewire(9, 8, self) {
+		t.Fatal("swap mutation rejected")
+	}
+	got := n.Gates[3].In
+	want := [3]rqfp.Signal{8, 9, 3}
+	if got != want {
+		t.Fatalf("after swap: %v, want %v", got, want)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperDirectAssignMutation continues the example: mutating the second
+// input gene from 9 to 0 connects it directly to the constant (rule 2),
+// yielding "(8, 0, 3, …)" with port 9 left dangling.
+func TestPaperDirectAssignMutation(t *testing.T) {
+	n := fig3Netlist(t)
+	g := newGenotype(n)
+	if !g.rewire(9, 8, rqfp.PortUser{Kind: rqfp.UserGateInput, Gate: 3, Input: 0}) {
+		t.Fatal("first mutation rejected")
+	}
+	if !g.rewire(9, 0, rqfp.PortUser{Kind: rqfp.UserGateInput, Gate: 3, Input: 1}) {
+		t.Fatal("second mutation rejected")
+	}
+	got := n.Gates[3].In
+	want := [3]rqfp.Signal{8, 0, 3}
+	if got != want {
+		t.Fatalf("after direct assign: %v, want %v", got, want)
+	}
+	// Port 9 must now be free; the third node drifts toward uselessness,
+	// exactly the Fig. 3(b) situation.
+	users := n.Users()
+	if users[9].Kind != rqfp.UserNone {
+		t.Fatalf("port 9 still has a user: %+v", users[9])
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperPOReconnection replays the PO mutation: y1 moves from port 10
+// to port 7 even though port 7 is referenced by the (useless) third node —
+// the paper updates the PO gene directly; our engine reconnects the blocked
+// node input to the constant, which has the identical phenotype.
+func TestPaperPOReconnection(t *testing.T) {
+	n := fig3Netlist(t)
+	g := newGenotype(n)
+	if !g.rewire(10, 7, rqfp.PortUser{Kind: rqfp.UserPO, PO: 1}) {
+		t.Fatal("PO reconnection rejected")
+	}
+	if n.POs[1] != 7 {
+		t.Fatalf("y1 = %d, want 7", n.POs[1])
+	}
+	if n.Gates[2].In[2] != rqfp.ConstPort {
+		t.Fatalf("blocked node input = %d, want constant fallback", n.Gates[2].In[2])
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPaperInverterMutation replays the configuration example: three bit
+// flips take "101-100-000" (352) to "101-011-000" (344).
+func TestPaperInverterMutation(t *testing.T) {
+	n := fig3Netlist(t)
+	cfg := n.Gates[1].Cfg
+	if cfg != 352 {
+		t.Fatalf("gate 2 config = %d, want 352", cfg)
+	}
+	cfg = cfg.FlipBit(3).FlipBit(4).FlipBit(5)
+	if cfg != 344 {
+		t.Fatalf("after flips: %d, want 344", cfg)
+	}
+	if cfg.String() != "101-011-000" {
+		t.Fatalf("after flips: %s, want 101-011-000", cfg)
+	}
+}
+
+// TestPaperShrinkExample checks Fig. 3(b)→(c): after node 3 loses its last
+// consumer, shrink removes it, leaving three gates.
+func TestPaperShrinkExample(t *testing.T) {
+	n := fig3Netlist(t)
+	g := newGenotype(n)
+	// Disconnect node 3 (ports 9,10,11) from everything, mirroring the
+	// mutations of Fig. 3(b): gate3 inputs leave port 9; y1 leaves port 10.
+	if !g.rewire(9, 0, rqfp.PortUser{Kind: rqfp.UserGateInput, Gate: 3, Input: 0}) {
+		t.Fatal("rewire failed")
+	}
+	if !g.rewire(10, 7, rqfp.PortUser{Kind: rqfp.UserPO, PO: 1}) {
+		t.Fatal("rewire failed")
+	}
+	if n.NumActive() != 3 {
+		t.Fatalf("active gates = %d, want 3", n.NumActive())
+	}
+	s := n.Shrink()
+	if len(s.Gates) != 3 {
+		t.Fatalf("shrunk to %d gates, want 3", len(s.Gates))
+	}
+	// Chromosome length in the paper's gene count: 4 per gate + POs.
+	before := 4*len(n.Gates) + len(n.POs)
+	after := 4*len(s.Gates) + len(s.POs)
+	if before != 20 || after != 16 {
+		t.Fatalf("chromosome length %d -> %d, paper says 20 -> 16", before, after)
+	}
+}

@@ -1,0 +1,340 @@
+// Package exact implements SAT-based exact synthesis of RQFP logic
+// circuits — the baseline the RCGP paper compares against (Fu et al.,
+// ICCAD 2023, there driven by Z3; here by the internal CDCL solver).
+//
+// Given the truth tables of the target outputs, the encoder asks: does an
+// RQFP netlist with exactly r gates and at most g garbage outputs exist?
+// Decision variables choose every gate input's source port (one-hot over
+// the constant, the primary inputs, and earlier gates' ports), the 9-bit
+// inverter configuration of every gate, and every primary output's port.
+// Functional correctness is enforced pointwise over all 2ⁿ assignments,
+// the single-fanout rule by at-most-one constraints per port, and the
+// garbage budget by a sequential-counter cardinality constraint. Gate
+// count is minimized first, then garbage — the paper's priority order.
+// The encoding grows as Θ(r²·2ⁿ), which is exactly why the paper finds
+// exact synthesis hopeless beyond tiny circuits.
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/cnf"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/sat"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+// Options bounds the search.
+type Options struct {
+	// MaxGates caps the outer gate-count loop. Default 8.
+	MaxGates int
+	// ConflictLimit bounds each SAT call (0 = unlimited).
+	ConflictLimit int64
+	// TimeBudget bounds the whole synthesis (0 = unlimited).
+	TimeBudget time.Duration
+	// SkipGarbageMinimization stops after the first feasible gate count
+	// instead of shrinking the garbage budget.
+	SkipGarbageMinimization bool
+}
+
+// Result is a successful synthesis.
+type Result struct {
+	Netlist *rqfp.Netlist
+	Gates   int
+	Garbage int
+	// Runtime is the total wall-clock time spent.
+	Runtime time.Duration
+}
+
+// ErrTimeout reports that the budget elapsed before a verdict; larger
+// instances reproduce the paper's "\" (no solution within the limit) rows.
+var ErrTimeout = errors.New("exact: budget exhausted")
+
+// solveWithDeadline runs the solver in bounded conflict chunks so a single
+// hard instance cannot overrun the wall-clock budget. A zero deadline and
+// zero conflict limit solve to completion.
+func solveWithDeadline(s *sat.Solver, conflictLimit int64, deadline time.Time) (sat.Status, error) {
+	if conflictLimit <= 0 && deadline.IsZero() {
+		// Unbudgeted: one uninterrupted solve (no restart perturbation).
+		s.ConflictLimit = 0
+		return s.Solve()
+	}
+	const chunk = 50000
+	startConflicts, _, _, _ := s.Stats()
+	for {
+		conflicts, _, _, _ := s.Stats()
+		s.ConflictLimit = conflicts + chunk
+		if conflictLimit > 0 && s.ConflictLimit > startConflicts+conflictLimit {
+			s.ConflictLimit = startConflicts + conflictLimit
+		}
+		st, err := s.Solve()
+		if err == nil {
+			return st, nil
+		}
+		if !errors.Is(err, sat.ErrLimit) {
+			return sat.Unknown, err
+		}
+		conflicts, _, _, _ = s.Stats()
+		if conflictLimit > 0 && conflicts >= startConflicts+conflictLimit {
+			return sat.Unknown, nil
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return sat.Unknown, nil
+		}
+	}
+}
+
+// ErrUnsat reports that no circuit exists within MaxGates.
+var ErrUnsat = errors.New("exact: no RQFP circuit within the gate bound")
+
+// Synthesize finds a gate-minimal (then garbage-minimal) RQFP netlist for
+// the given output truth tables.
+func Synthesize(tables []tt.TT, opt Options) (*Result, error) {
+	if len(tables) == 0 {
+		return nil, errors.New("exact: no outputs")
+	}
+	n := tables[0].N
+	for _, f := range tables {
+		if f.N != n {
+			return nil, errors.New("exact: mixed variable counts")
+		}
+	}
+	if opt.MaxGates <= 0 {
+		opt.MaxGates = 8
+	}
+	start := time.Now()
+	expired := func() bool {
+		return opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget
+	}
+
+	var deadline time.Time
+	if opt.TimeBudget > 0 {
+		deadline = start.Add(opt.TimeBudget)
+	}
+	for r := 1; r <= opt.MaxGates; r++ {
+		if expired() {
+			return nil, ErrTimeout
+		}
+		// Unlimited garbage first: every port may dangle.
+		maxGarbage := 3*r + n
+		net, st, err := solveFixedDeadline(tables, r, maxGarbage, opt.ConflictLimit, deadline)
+		if err != nil {
+			return nil, err
+		}
+		if st == sat.Unknown {
+			return nil, ErrTimeout
+		}
+		if st == sat.Unsat {
+			continue
+		}
+		best := &Result{Netlist: net, Gates: r, Garbage: net.Garbage()}
+		if !opt.SkipGarbageMinimization {
+			for g := best.Garbage - 1; g >= 0; g-- {
+				if expired() {
+					break
+				}
+				net, st, err = solveFixedDeadline(tables, r, g, opt.ConflictLimit, deadline)
+				if err != nil {
+					return nil, err
+				}
+				if st != sat.Sat {
+					break
+				}
+				actual := net.Garbage()
+				best = &Result{Netlist: net, Gates: r, Garbage: actual}
+				if actual < g {
+					g = actual // jump past the already-achieved budget
+				}
+			}
+		}
+		best.Runtime = time.Since(start)
+		return best, nil
+	}
+	return nil, ErrUnsat
+}
+
+// SynthesizeFixed decides feasibility for an exact gate count and garbage
+// budget, returning the witness netlist on success.
+func SynthesizeFixed(tables []tt.TT, gates, garbage int, conflictLimit int64) (*rqfp.Netlist, sat.Status, error) {
+	return solveFixedDeadline(tables, gates, garbage, conflictLimit, time.Time{})
+}
+
+func solveFixedDeadline(tables []tt.TT, r, garbageBudget int, conflictLimit int64, deadline time.Time) (*rqfp.Netlist, sat.Status, error) {
+	n := tables[0].N
+	numPat := 1 << uint(n)
+	b := cnf.NewBuilder()
+	b.S.ConflictLimit = conflictLimit
+
+	// Candidate source ports for gate i input j: the constant, the PIs,
+	// and ports of gates < i. Port numbering matches rqfp.Netlist.
+	skeleton := rqfp.NewNetlist(n)
+	for i := 0; i < r; i++ {
+		skeleton.AddGate(rqfp.Gate{})
+	}
+	numPorts := skeleton.NumPorts()
+
+	// Selection variables.
+	sel := make([][3][]sat.Lit, r) // sel[i][j][p], p < GateBase(i)
+	for i := 0; i < r; i++ {
+		base := int(skeleton.GateBase(i))
+		for j := 0; j < 3; j++ {
+			sel[i][j] = make([]sat.Lit, base)
+			for p := 0; p < base; p++ {
+				sel[i][j][p] = b.Lit()
+			}
+			b.ExactlyOne(sel[i][j])
+		}
+	}
+	cfg := make([][9]sat.Lit, r)
+	for i := 0; i < r; i++ {
+		for k := 0; k < 9; k++ {
+			cfg[i][k] = b.Lit()
+		}
+	}
+	outSel := make([][]sat.Lit, len(tables))
+	for k := range tables {
+		outSel[k] = make([]sat.Lit, numPorts)
+		for p := 0; p < numPorts; p++ {
+			outSel[k][p] = b.Lit()
+		}
+		b.ExactlyOne(outSel[k])
+	}
+
+	// Port values per input pattern. Constants and PIs fold to fixed
+	// literals; gate ports become Tseitin outputs.
+	val := make([][]sat.Lit, numPorts)
+	for p := range val {
+		val[p] = make([]sat.Lit, numPat)
+	}
+	for t := 0; t < numPat; t++ {
+		val[rqfp.ConstPort][t] = b.ConstTrue
+		for i := 0; i < n; i++ {
+			if t>>uint(i)&1 == 1 {
+				val[skeleton.PIPort(i)][t] = b.ConstTrue
+			} else {
+				val[skeleton.PIPort(i)][t] = b.ConstFalse()
+			}
+		}
+	}
+	for i := 0; i < r; i++ {
+		base := int(skeleton.GateBase(i))
+		for t := 0; t < numPat; t++ {
+			// Selected input values w[j].
+			var w [3]sat.Lit
+			for j := 0; j < 3; j++ {
+				w[j] = b.Lit()
+				for p := 0; p < base; p++ {
+					v := val[p][t]
+					// sel → (w ↔ v)
+					b.AddClause(sel[i][j][p].Not(), v.Not(), w[j])
+					b.AddClause(sel[i][j][p].Not(), v, w[j].Not())
+				}
+			}
+			for m := 0; m < 3; m++ {
+				var u [3]sat.Lit
+				for j := 0; j < 3; j++ {
+					// Inverter bit for (majority m, input j) in the paper's
+					// MSB-first layout: bit index 8-3j-m.
+					u[j] = b.Xor(w[j], cfg[i][8-3*j-m])
+				}
+				val[base+m][t] = b.Maj(u[0], u[1], u[2])
+			}
+		}
+	}
+
+	// Functional constraints on the primary outputs.
+	for k, f := range tables {
+		for p := 0; p < numPorts; p++ {
+			for t := 0; t < numPat; t++ {
+				if f.Get(uint(t)) {
+					b.AddClause(outSel[k][p].Not(), val[p][t])
+				} else {
+					b.AddClause(outSel[k][p].Not(), val[p][t].Not())
+				}
+			}
+		}
+	}
+
+	// Single fanout: every non-constant port drives at most one load.
+	users := make([][]sat.Lit, numPorts)
+	for i := 0; i < r; i++ {
+		for j := 0; j < 3; j++ {
+			for p := 1; p < len(sel[i][j]); p++ {
+				users[p] = append(users[p], sel[i][j][p])
+			}
+		}
+	}
+	for k := range tables {
+		for p := 1; p < numPorts; p++ {
+			users[p] = append(users[p], outSel[k][p])
+		}
+	}
+	for p := 1; p < numPorts; p++ {
+		b.AtMostOne(users[p])
+	}
+
+	// Garbage budget over PI ports and gate output ports.
+	var garbageLits []sat.Lit
+	for p := 1; p < numPorts; p++ {
+		unused := b.Lit() // unused ↔ no user selects p
+		for _, u := range users[p] {
+			b.AddClause(unused.Not(), u.Not())
+		}
+		cl := make([]sat.Lit, 0, len(users[p])+1)
+		cl = append(cl, users[p]...)
+		cl = append(cl, unused)
+		b.AddClause(cl...)
+		garbageLits = append(garbageLits, unused)
+	}
+	b.AtMostK(garbageLits, garbageBudget)
+
+	st, err := solveWithDeadline(b.S, conflictLimit, deadline)
+	if err != nil {
+		return nil, sat.Unknown, err
+	}
+	if st != sat.Sat {
+		return nil, st, nil
+	}
+
+	// Extract the witness.
+	net := rqfp.NewNetlist(n)
+	for i := 0; i < r; i++ {
+		var g rqfp.Gate
+		for j := 0; j < 3; j++ {
+			found := false
+			for p := range sel[i][j] {
+				if b.S.ValueLit(sel[i][j][p]) {
+					g.In[j] = rqfp.Signal(p)
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, sat.Unknown, fmt.Errorf("exact: model misses selection for gate %d input %d", i, j)
+			}
+		}
+		for k := 0; k < 9; k++ {
+			if b.S.ValueLit(cfg[i][k]) {
+				g.Cfg |= 1 << uint(k)
+			}
+		}
+		net.AddGate(g)
+	}
+	for k := range tables {
+		for p := 0; p < numPorts; p++ {
+			if b.S.ValueLit(outSel[k][p]) {
+				net.POs = append(net.POs, rqfp.Signal(p))
+				break
+			}
+		}
+	}
+	if len(net.POs) != len(tables) {
+		return nil, sat.Unknown, errors.New("exact: model misses output selection")
+	}
+	if err := net.Validate(); err != nil {
+		return nil, sat.Unknown, fmt.Errorf("exact: extracted netlist invalid: %w", err)
+	}
+	return net, sat.Sat, nil
+}

@@ -1,0 +1,216 @@
+// Package flow wires the full RCGP pipeline of Fig. 2: specification →
+// classical AIG optimization ("resyn2" stage) → majority resynthesis
+// ("aqfp_resynthesis" stage) → RQFP netlist conversion with splitter
+// insertion → CGP-based optimization → RQFP buffer insertion, with the
+// heuristic initialization baseline reported alongside.
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/core"
+	"github.com/reversible-eda/rcgp/internal/mig"
+	"github.com/reversible-eda/rcgp/internal/resub"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/tt"
+	"github.com/reversible-eda/rcgp/internal/window"
+)
+
+// Options configures one pipeline run.
+type Options struct {
+	// SynthEffort is the classical AIG optimization effort.
+	SynthEffort aig.Effort
+	// CGP configures the evolutionary optimization; CGP.Generations = 0
+	// picks the core default.
+	CGP core.Options
+	// SkipCGP stops after initialization (the paper's first baseline).
+	SkipCGP bool
+	// RandomWords sizes the random stimulus for wide circuits.
+	RandomWords int
+	// WindowRounds, when positive, runs windowed CGP resynthesis after
+	// the global evolution — the scalability technique for circuits too
+	// large to evolve whole.
+	WindowRounds int
+	// Resub, when set, finishes with deterministic simulation-driven
+	// resubstitution (exhaustive-proof; circuits ≤ 14 inputs only — wider
+	// circuits skip the pass silently).
+	Resub bool
+	// Optimizer selects the search engine: "cgp" (default — the paper's
+	// (1+λ) evolutionary strategy), "anneal" (simulated annealing over the
+	// same chromosome/mutations), or "hybrid" (half the budget each,
+	// annealing seeded with the CGP result).
+	Optimizer string
+}
+
+// Result carries everything the evaluation tables need.
+type Result struct {
+	// Spec is the golden oracle derived from the input.
+	Spec *cec.Spec
+	// AIGAnds / MIGMajs record the intermediate network sizes.
+	AIGAnds, MIGMajs int
+
+	// Initial is the netlist after conversion and splitter insertion; its
+	// stats (after buffer insertion) are the paper's "Initialization"
+	// baseline columns.
+	Initial      *rqfp.Netlist
+	InitialStats rqfp.Stats
+
+	// Final is the CGP-optimized netlist (equal to Initial when SkipCGP);
+	// its stats are the paper's "RCGP" columns.
+	Final      *rqfp.Netlist
+	FinalStats rqfp.Stats
+
+	// CGP is the evolution report (nil when SkipCGP).
+	CGP *core.Result
+	// Window is the windowed-resynthesis report (nil unless requested).
+	Window *window.Report
+
+	// Runtime covers the whole pipeline.
+	Runtime time.Duration
+}
+
+// Run synthesizes an RQFP circuit from a specification AIG.
+func Run(spec *aig.AIG, opt Options) (*Result, error) {
+	start := time.Now()
+	res := &Result{}
+
+	// Stage 1: classical logic synthesis (ABC resyn2 stand-in).
+	optimized := spec.Optimize(opt.SynthEffort)
+	res.AIGAnds = optimized.NumAnds()
+
+	// Stage 2: majority resynthesis (mockturtle aqfp_resynthesis stand-in).
+	m := mig.ResynthesizeAIG(optimized)
+	res.MIGMajs = m.NumMajs()
+
+	// Stage 3: RQFP netlist conversion + splitter insertion.
+	initial, err := rqfp.FromMIG(m)
+	if err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
+	res.Initial = initial
+	res.InitialStats = initial.ComputeStats()
+
+	// Oracle over the *original* specification: every later stage is
+	// checked against the untouched input function.
+	oracle := cec.NewSpecFromAIG(spec, opt.RandomWords, opt.CGP.Seed+1)
+	res.Spec = oracle
+	if v := oracle.Check(initial, nil, nil); !v.Proved {
+		return nil, fmt.Errorf("flow: initialization does not match the specification (match=%.6f)", v.Match)
+	}
+
+	res.Final = initial
+	res.FinalStats = res.InitialStats
+	if !opt.SkipCGP {
+		// Stage 4: evolutionary optimization.
+		optRes, err := runOptimizer(initial, oracle, opt)
+		if err != nil {
+			return nil, fmt.Errorf("flow: %w", err)
+		}
+		res.CGP = optRes
+		res.Final = optRes.Best
+		res.FinalStats = optRes.Best.ComputeStats()
+		if v := oracle.Check(res.Final, nil, nil); !v.Proved {
+			return nil, fmt.Errorf("flow: optimized netlist lost equivalence (match=%.6f)", v.Match)
+		}
+	}
+
+	if opt.WindowRounds > 0 {
+		// Stage 4b: windowed resynthesis for scale.
+		windowed, wrep, err := window.Optimize(res.Final, window.Options{
+			Rounds: opt.WindowRounds,
+			Seed:   opt.CGP.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("flow: %w", err)
+		}
+		res.Window = &wrep
+		if v := oracle.Check(windowed, nil, nil); !v.Proved {
+			return nil, fmt.Errorf("flow: windowed netlist lost equivalence (match=%.6f)", v.Match)
+		}
+		res.Final = windowed
+		res.FinalStats = windowed.ComputeStats()
+	}
+
+	if opt.Resub && spec.NumPIs() <= cec.ExhaustiveMaxPIs {
+		// Stage 4c: deterministic resubstitution cleanup.
+		cleaned, _, err := resub.Optimize(res.Final)
+		if err != nil {
+			return nil, fmt.Errorf("flow: %w", err)
+		}
+		if v := oracle.Check(cleaned, nil, nil); !v.Proved {
+			return nil, fmt.Errorf("flow: resubstitution lost equivalence (match=%.6f)", v.Match)
+		}
+		res.Final = cleaned
+		res.FinalStats = cleaned.ComputeStats()
+	}
+
+	// Stage 5: RQFP buffer insertion sanity (stats already include the
+	// buffer counts; this validates the explicit balanced form).
+	balanced := res.Final.InsertBuffers()
+	if err := balanced.Validate(); err != nil {
+		return nil, fmt.Errorf("flow: buffer insertion failed: %w", err)
+	}
+
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// RunTables is Run for a truth-table specification.
+func RunTables(tables []tt.TT, opt Options) (*Result, error) {
+	return Run(aig.FromTruthTables(tables), opt)
+}
+
+// runOptimizer dispatches stage 4 on Options.Optimizer.
+func runOptimizer(initial *rqfp.Netlist, oracle *cec.Spec, opt Options) (*core.Result, error) {
+	cgpOpt := opt.CGP
+	annealOpt := core.AnnealOptions{
+		MutationRate: cgpOpt.MutationRate,
+		Seed:         cgpOpt.Seed,
+		TimeBudget:   cgpOpt.TimeBudget,
+	}
+	lambda := cgpOpt.Lambda
+	if lambda <= 0 {
+		lambda = 4
+	}
+	gens := cgpOpt.Generations
+	if gens <= 0 {
+		gens = 20000
+	}
+	switch opt.Optimizer {
+	case "", "cgp":
+		return core.Optimize(initial, oracle, cgpOpt)
+	case "anneal":
+		annealOpt.Steps = gens * lambda
+		return core.Anneal(initial, oracle, annealOpt)
+	case "hybrid":
+		half := cgpOpt
+		half.Generations = gens / 2
+		if cgpOpt.TimeBudget > 0 {
+			half.TimeBudget = cgpOpt.TimeBudget / 2
+		}
+		first, err := core.Optimize(initial, oracle, half)
+		if err != nil {
+			return nil, err
+		}
+		annealOpt.Steps = gens * lambda / 2
+		if cgpOpt.TimeBudget > 0 {
+			annealOpt.TimeBudget = cgpOpt.TimeBudget / 2
+		}
+		second, err := core.Anneal(first.Best, oracle, annealOpt)
+		if err != nil {
+			return nil, err
+		}
+		second.Evaluations += first.Evaluations
+		second.Improved += first.Improved
+		if !second.Fitness.BetterOrEqual(first.Fitness) {
+			second.Best = first.Best
+			second.Fitness = first.Fitness
+		}
+		return second, nil
+	default:
+		return nil, fmt.Errorf("unknown optimizer %q (cgp|anneal|hybrid)", opt.Optimizer)
+	}
+}

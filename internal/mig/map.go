@@ -1,0 +1,254 @@
+package mig
+
+import (
+	"github.com/reversible-eda/rcgp/internal/aig"
+)
+
+// Majority-cut mapping: AND-by-AND conversion wastes the native majority
+// of RQFP logic (a carry chain becomes six MAJ(0,·,·) nodes instead of one
+// MAJ). FromAIGMapped enumerates 3-feasible cuts of every AIG node and,
+// whenever a cut function is a majority up to input/output complementation
+// (complements are free MIG edges and free RQFP inverter configurations),
+// realizes the whole cone as a single MAJ node; otherwise it falls back to
+// MAJ(0,·,·). Costs are compared speculatively against the rebuilt graph so
+// sharing is exploited.
+
+const (
+	mapCutK    = 3
+	mapCutsPer = 6
+)
+
+// majPolarity records how a cut function equals a majority:
+// f(x,y,z) = MAJ(x⊕p0, y⊕p1, z⊕p2) ⊕ out.
+type majPolarity struct {
+	p   [3]bool
+	out bool
+}
+
+// majLUT maps the 8-bit truth table of a 3-input function to its majority
+// realization, when one exists.
+var majLUT = buildMajLUT()
+
+func buildMajLUT() map[uint8]majPolarity {
+	lut := make(map[uint8]majPolarity, 16)
+	patterns := [3]uint8{0xAA, 0xCC, 0xF0}
+	for p := 0; p < 8; p++ {
+		var in [3]uint8
+		for j := 0; j < 3; j++ {
+			in[j] = patterns[j]
+			if p>>uint(j)&1 == 1 {
+				in[j] = ^in[j]
+			}
+		}
+		tt := in[0]&in[1] | in[0]&in[2] | in[1]&in[2]
+		pol := majPolarity{p: [3]bool{p&1 == 1, p&2 == 2, p&4 == 4}}
+		if _, ok := lut[tt]; !ok {
+			lut[tt] = pol
+		}
+		pol.out = true
+		if _, ok := lut[^tt]; !ok {
+			lut[^tt] = pol
+		}
+	}
+	return lut
+}
+
+type mapCut struct {
+	leaves []int
+	sign   uint64
+}
+
+func newMapCut(leaves []int) mapCut {
+	c := mapCut{leaves: leaves}
+	for _, l := range leaves {
+		c.sign |= 1 << (uint(l) & 63)
+	}
+	return c
+}
+
+func (c mapCut) subsetOf(d mapCut) bool {
+	if c.sign&^d.sign != 0 || len(c.leaves) > len(d.leaves) {
+		return false
+	}
+	i := 0
+	for _, l := range d.leaves {
+		if i < len(c.leaves) && c.leaves[i] == l {
+			i++
+		}
+	}
+	return i == len(c.leaves)
+}
+
+func mergeMapCuts(a, b mapCut) (mapCut, bool) {
+	out := make([]int, 0, len(a.leaves)+len(b.leaves))
+	i, j := 0, 0
+	for i < len(a.leaves) || j < len(b.leaves) {
+		switch {
+		case j >= len(b.leaves) || (i < len(a.leaves) && a.leaves[i] < b.leaves[j]):
+			out = append(out, a.leaves[i])
+			i++
+		case i >= len(a.leaves) || b.leaves[j] < a.leaves[i]:
+			out = append(out, b.leaves[j])
+			j++
+		default:
+			out = append(out, a.leaves[i])
+			i++
+			j++
+		}
+		if len(out) > mapCutK {
+			return mapCut{}, false
+		}
+	}
+	return newMapCut(out), true
+}
+
+func enumerateMapCuts(a *aig.AIG) [][]mapCut {
+	cuts := make([][]mapCut, a.NumNodes())
+	cuts[0] = []mapCut{newMapCut([]int{0})}
+	for i := 1; i <= a.NumPIs(); i++ {
+		cuts[i] = []mapCut{newMapCut([]int{i})}
+	}
+	for n := a.NumPIs() + 1; n < a.NumNodes(); n++ {
+		f0, f1 := a.Fanins(n)
+		var set []mapCut
+		for _, x := range cuts[f0.Node()] {
+			for _, y := range cuts[f1.Node()] {
+				m, ok := mergeMapCuts(x, y)
+				if !ok {
+					continue
+				}
+				dominated := false
+				for _, e := range set {
+					if e.subsetOf(m) {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					set = append(set, m)
+				}
+			}
+		}
+		if len(set) > mapCutsPer {
+			set = set[:mapCutsPer]
+		}
+		set = append(set, newMapCut([]int{n}))
+		cuts[n] = set
+	}
+	return cuts
+}
+
+// cutTT8 computes the 3-cut local function of root as an 8-bit table.
+func cutTT8(a *aig.AIG, root int, leaves []int) (uint8, bool) {
+	patterns := [3]uint8{0xAA, 0xCC, 0xF0}
+	memo := map[int]uint8{0: 0}
+	for i, l := range leaves {
+		memo[l] = patterns[i]
+	}
+	var eval func(n int) (uint8, bool)
+	eval = func(n int) (uint8, bool) {
+		if v, ok := memo[n]; ok {
+			return v, true
+		}
+		if !a.IsAnd(n) {
+			return 0, false
+		}
+		f0, f1 := a.Fanins(n)
+		v0, ok := eval(f0.Node())
+		if !ok {
+			return 0, false
+		}
+		v1, ok := eval(f1.Node())
+		if !ok {
+			return 0, false
+		}
+		if f0.Compl() {
+			v0 = ^v0
+		}
+		if f1.Compl() {
+			v1 = ^v1
+		}
+		v := v0 & v1
+		memo[n] = v
+		return v, true
+	}
+	return eval(root)
+}
+
+func (m *MIG) markNodes() int { return len(m.fanins) }
+
+func (m *MIG) rollback(mark int) {
+	for n := len(m.fanins) - 1; n >= mark; n-- {
+		delete(m.strash, m.fanins[n])
+	}
+	m.fanins = m.fanins[:mark]
+}
+
+// FromAIGMapped converts an AIG into a MIG with majority-cut mapping.
+func FromAIGMapped(a *aig.AIG) *MIG {
+	a = a.Cleanup()
+	cuts := enumerateMapCuts(a)
+	m := New(a.NumPIs())
+	m.InputNames = a.InputNames
+	m.OutputNames = a.OutputNames
+	mapped := make([]Lit, a.NumNodes())
+	mapped[0] = Const0
+	for i := 1; i <= a.NumPIs(); i++ {
+		mapped[i] = MkLit(i, false)
+	}
+	mapEdge := func(l aig.Lit) Lit { return mapped[l.Node()].NotIf(l.Compl()) }
+
+	for n := a.NumPIs() + 1; n < a.NumNodes(); n++ {
+		type cand struct {
+			pol    majPolarity
+			leaves [3]Lit
+		}
+		var cands []cand
+		for _, c := range cuts[n] {
+			if len(c.leaves) != 3 {
+				continue
+			}
+			tt, ok := cutTT8(a, n, c.leaves)
+			if !ok {
+				continue
+			}
+			pol, isMaj := majLUT[tt]
+			if !isMaj {
+				continue
+			}
+			var leaves [3]Lit
+			for j, l := range c.leaves {
+				leaves[j] = mapped[l].NotIf(pol.p[j])
+			}
+			cands = append(cands, cand{pol: pol, leaves: leaves})
+		}
+		f0, f1 := a.Fanins(n)
+		// Speculative cost comparison, then committed rebuild.
+		mark := m.markNodes()
+		m.And(mapEdge(f0), mapEdge(f1))
+		bestCost := m.markNodes() - mark
+		m.rollback(mark)
+		bestIdx := -1
+		for i, c := range cands {
+			mk := m.markNodes()
+			m.Maj(c.leaves[0], c.leaves[1], c.leaves[2])
+			cost := m.markNodes() - mk
+			m.rollback(mk)
+			// A majority cut wins ties: it subsumes the AND/OR scaffolding
+			// below it, which Cleanup then drops.
+			if cost <= bestCost {
+				bestCost, bestIdx = cost, i
+			}
+		}
+		if bestIdx < 0 {
+			mapped[n] = m.And(mapEdge(f0), mapEdge(f1))
+		} else {
+			c := cands[bestIdx]
+			mapped[n] = m.Maj(c.leaves[0], c.leaves[1], c.leaves[2]).NotIf(c.pol.out)
+		}
+	}
+	for _, po := range a.POs() {
+		m.AddPO(mapEdge(po))
+	}
+	return m.Cleanup()
+}

@@ -1,0 +1,87 @@
+package mig
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+func TestMajLUTComplete(t *testing.T) {
+	// 8 polarity classes of MAJ plus their complements = 16 truth tables,
+	// but self-duality folds complements back in: exactly 8 distinct.
+	if len(majLUT) != 8 {
+		t.Fatalf("majLUT has %d entries, want 8", len(majLUT))
+	}
+	// Every entry must verify against direct evaluation.
+	maj := func(a, b, c bool) bool {
+		n := 0
+		for _, v := range []bool{a, b, c} {
+			if v {
+				n++
+			}
+		}
+		return n >= 2
+	}
+	for table, pol := range majLUT {
+		for s := 0; s < 8; s++ {
+			x, y, z := s&1 == 1, s>>1&1 == 1, s>>2&1 == 1
+			want := maj(x != pol.p[0], y != pol.p[1], z != pol.p[2]) != pol.out
+			if (table>>uint(s)&1 == 1) != want {
+				t.Fatalf("majLUT[%08b] polarity %+v wrong at %03b", table, pol, s)
+			}
+		}
+	}
+}
+
+func TestFromAIGMappedCarryIsSingleMaj(t *testing.T) {
+	// The full-adder carry MAJ(a,b,c) built from ANDs/ORs must map to one
+	// majority node.
+	a := aig.New(3)
+	carry := a.Maj(a.PI(0), a.PI(1), a.PI(2))
+	a.AddPO(carry)
+	m := FromAIGMapped(a)
+	if m.NumMajs() != 1 {
+		t.Fatalf("mapped carry uses %d MAJ nodes, want 1", m.NumMajs())
+	}
+	want := tt.FromFunc(3, func(s uint) bool { return s&1+s>>1&1+s>>2&1 >= 2 })
+	if !m.TruthTables()[0].Equal(want) {
+		t.Fatal("mapped carry function wrong")
+	}
+}
+
+func TestFromAIGMappedPreservesFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 30; trial++ {
+		a := randomAIG(6, 60, 4, r)
+		m := FromAIGMapped(a)
+		ta := a.TruthTables()
+		tm := m.TruthTables()
+		for i := range ta {
+			if !ta[i].Equal(tm[i]) {
+				t.Fatalf("trial %d output %d differs", trial, i)
+			}
+		}
+		direct := FromAIG(a)
+		if m.NumMajs() > direct.NumMajs() {
+			t.Fatalf("trial %d: mapping grew the MIG: %d vs %d", trial, m.NumMajs(), direct.NumMajs())
+		}
+	}
+}
+
+func TestResynthesizeImprovesFullAdder(t *testing.T) {
+	sum := tt.FromFunc(3, func(s uint) bool { return (s&1+s>>1&1+s>>2&1)%2 == 1 })
+	cout := tt.FromFunc(3, func(s uint) bool { return s&1+s>>1&1+s>>2&1 >= 2 })
+	a := aig.FromTruthTables([]tt.TT{sum, cout}).Optimize(aig.EffortStd)
+	mapped := ResynthesizeAIG(a)
+	direct := FromAIG(a)
+	if mapped.NumMajs() > direct.NumMajs() {
+		t.Fatalf("resynthesis grew MIG: %d vs %d", mapped.NumMajs(), direct.NumMajs())
+	}
+	tm := mapped.TruthTables()
+	if !tm[0].Equal(sum) || !tm[1].Equal(cout) {
+		t.Fatal("resynthesis changed function")
+	}
+	t.Logf("full adder MIG: direct=%d mapped=%d majorities", direct.NumMajs(), mapped.NumMajs())
+}

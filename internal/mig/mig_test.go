@@ -1,0 +1,234 @@
+package mig
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+func TestMajSimplificationRules(t *testing.T) {
+	m := New(3)
+	a, b, c := m.PI(0), m.PI(1), m.PI(2)
+	if m.Maj(a, a, b) != a {
+		t.Fatal("M(x,x,y) != x")
+	}
+	if m.Maj(a, a.Not(), c) != c {
+		t.Fatal("M(x,!x,y) != y")
+	}
+	if m.Maj(Const0, Const1, c) != c {
+		t.Fatal("M(0,1,y) != y")
+	}
+	n1 := m.Maj(a, b, c)
+	n2 := m.Maj(c, a, b)
+	if n1 != n2 {
+		t.Fatal("strash failed on permuted fanins")
+	}
+	// Self-duality canonicalization: M(!a,!b,c) == !M(a,b,!c).
+	d1 := m.Maj(a.Not(), b.Not(), c)
+	d2 := m.Maj(a, b, c.Not()).Not()
+	if d1 != d2 {
+		t.Fatalf("complement canonicalization failed: %v vs %v", d1, d2)
+	}
+}
+
+func TestMajTruthTable(t *testing.T) {
+	m := New(3)
+	m.AddPO(m.Maj(m.PI(0), m.PI(1), m.PI(2)))
+	got := m.TruthTables()[0]
+	want := tt.FromFunc(3, func(s uint) bool { return s&1+s>>1&1+s>>2&1 >= 2 })
+	if !got.Equal(want) {
+		t.Fatalf("MAJ tt = %s, want %s", got, want)
+	}
+}
+
+func TestAndOrXor(t *testing.T) {
+	m := New(2)
+	m.AddPO(m.And(m.PI(0), m.PI(1)))
+	m.AddPO(m.Or(m.PI(0), m.PI(1)))
+	m.AddPO(m.Xor(m.PI(0), m.PI(1)))
+	tts := m.TruthTables()
+	if tts[0].Hex() != "8" || tts[1].Hex() != "e" || tts[2].Hex() != "6" {
+		t.Fatalf("and/or/xor = %s %s %s", tts[0].Hex(), tts[1].Hex(), tts[2].Hex())
+	}
+}
+
+func randomAIG(nPI, nAnds, nPOs int, r *rand.Rand) *aig.AIG {
+	a := aig.New(nPI)
+	edges := []aig.Lit{aig.Const0}
+	for i := 0; i < nPI; i++ {
+		edges = append(edges, a.PI(i))
+	}
+	for i := 0; i < nAnds; i++ {
+		x := edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1)
+		y := edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1)
+		edges = append(edges, a.And(x, y))
+	}
+	for i := 0; i < nPOs; i++ {
+		a.AddPO(edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1))
+	}
+	return a
+}
+
+func TestFromAIGPreservesFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		a := randomAIG(6, 50, 4, r)
+		m := FromAIG(a)
+		ta := a.TruthTables()
+		tm := m.TruthTables()
+		for i := range ta {
+			if !ta[i].Equal(tm[i]) {
+				t.Fatalf("trial %d output %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestToAIGRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		a := randomAIG(5, 40, 3, r)
+		m := FromAIG(a)
+		back := m.ToAIG()
+		ta := a.TruthTables()
+		tb := back.TruthTables()
+		for i := range ta {
+			if !ta[i].Equal(tb[i]) {
+				t.Fatalf("trial %d output %d differs after round trip", trial, i)
+			}
+		}
+	}
+}
+
+func TestCleanupPreservesFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		m := FromAIG(randomAIG(5, 40, 4, r))
+		c := m.Cleanup()
+		tm := m.TruthTables()
+		tc := c.TruthTables()
+		for i := range tm {
+			if !tm[i].Equal(tc[i]) {
+				t.Fatalf("trial %d: cleanup changed function", trial)
+			}
+		}
+		if c.NumMajs() > m.NumMajs() {
+			t.Fatalf("trial %d: cleanup grew graph", trial)
+		}
+	}
+}
+
+func TestOptimizeDepthPreservesFunction(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		m := FromAIG(randomAIG(6, 60, 4, r))
+		o := m.OptimizeDepth()
+		tm := m.TruthTables()
+		to := o.TruthTables()
+		for i := range tm {
+			if !tm[i].Equal(to[i]) {
+				t.Fatalf("trial %d: depth optimization changed function", trial)
+			}
+		}
+		if o.Depth() > m.Cleanup().Depth() {
+			t.Fatalf("trial %d: depth grew %d -> %d", trial, m.Cleanup().Depth(), o.Depth())
+		}
+	}
+}
+
+func TestOptimizeDepthReducesChain(t *testing.T) {
+	// AND chain: M(0,x0, M(0,x1, M(0,x2, ...))) has linear depth; the
+	// associativity pass must shorten it.
+	m := New(8)
+	acc := m.PI(0)
+	for i := 1; i < 8; i++ {
+		acc = m.And(m.PI(i), acc)
+	}
+	m.AddPO(acc)
+	before := m.Depth()
+	o := m.OptimizeDepth()
+	if o.Depth() >= before {
+		t.Fatalf("depth not reduced: %d -> %d", before, o.Depth())
+	}
+	tm := m.TruthTables()
+	to := o.TruthTables()
+	if !tm[0].Equal(to[0]) {
+		t.Fatal("function changed")
+	}
+}
+
+func TestResynthesizeAIG(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := randomAIG(6, 50, 4, r)
+	m := ResynthesizeAIG(a)
+	ta := a.TruthTables()
+	tm := m.TruthTables()
+	for i := range ta {
+		if !ta[i].Equal(tm[i]) {
+			t.Fatalf("output %d differs", i)
+		}
+	}
+}
+
+func TestSelfDualityQuick(t *testing.T) {
+	// Build M over random polarity assignments and check against tt model.
+	f := func(pol uint8) bool {
+		m := New(3)
+		a := m.PI(0).NotIf(pol&1 != 0)
+		b := m.PI(1).NotIf(pol&2 != 0)
+		c := m.PI(2).NotIf(pol&4 != 0)
+		m.AddPO(m.Maj(a, b, c))
+		got := m.TruthTables()[0]
+		want := tt.FromFunc(3, func(s uint) bool {
+			x := s&1 == 1
+			y := s>>1&1 == 1
+			z := s>>2&1 == 1
+			if pol&1 != 0 {
+				x = !x
+			}
+			if pol&2 != 0 {
+				y = !y
+			}
+			if pol&4 != 0 {
+				z = !z
+			}
+			n := 0
+			for _, v := range []bool{x, y, z} {
+				if v {
+					n++
+				}
+			}
+			return n >= 2
+		})
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 64}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelsAndDepth(t *testing.T) {
+	m := New(3)
+	n1 := m.And(m.PI(0), m.PI(1))
+	n2 := m.Maj(n1, m.PI(2), Const1)
+	m.AddPO(n2)
+	if m.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", m.Depth())
+	}
+	lv := m.Levels()
+	if lv[n1.Node()] != 1 || lv[n2.Node()] != 2 {
+		t.Fatalf("levels = %v", lv)
+	}
+}
+
+func BenchmarkFromAIG(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	a := randomAIG(10, 500, 8, r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FromAIG(a)
+	}
+}

@@ -1,0 +1,140 @@
+package mig
+
+import "github.com/reversible-eda/rcgp/internal/aig"
+
+// OptimizeDepth applies the majority associativity axiom
+//
+//	M(x, u, M(y, u, z)) = M(z, u, M(y, u, x))
+//
+// bottom-up to pull shallow signals down the critical path: whenever a node
+// shares a fanin u with one of its MAJ children and the child's third
+// operand z is deeper than the node's own operand x, the two are swapped.
+// The pass repeats until a fixpoint (bounded), preserving function exactly.
+// Depth matters doubly for RQFP circuits: one extra level costs clocked
+// buffer insertions on every parallel path.
+func (m *MIG) OptimizeDepth() *MIG {
+	cur := m.Cleanup()
+	for iter := 0; iter < 8; iter++ {
+		next, changed := cur.depthPass()
+		if !changed || next.Depth() >= cur.Depth() {
+			if next.Depth() < cur.Depth() {
+				cur = next
+			}
+			break
+		}
+		cur = next
+	}
+	return cur
+}
+
+// depthPass rebuilds the graph once, applying the associativity swap
+// greedily. Reports whether any swap fired.
+func (m *MIG) depthPass() (*MIG, bool) {
+	b := New(m.nPI)
+	b.InputNames = m.InputNames
+	b.OutputNames = m.OutputNames
+	mapped := make([]Lit, m.NumNodes())
+	mapped[0] = Const0
+	for i := 1; i <= m.nPI; i++ {
+		mapped[i] = MkLit(i, false)
+	}
+	edge := func(l Lit) Lit { return mapped[l.Node()].NotIf(l.Compl()) }
+
+	// Levels in the *new* graph, maintained incrementally.
+	levels := make([]int, 0, m.NumNodes())
+	levels = append(levels, 0)
+	for i := 0; i < m.nPI; i++ {
+		levels = append(levels, 0)
+	}
+	levelOf := func(l Lit) int { return levels[l.Node()] }
+	maj := func(a, bb, c Lit) Lit {
+		before := b.NumNodes()
+		r := b.Maj(a, bb, c)
+		for before < b.NumNodes() && len(levels) < b.NumNodes() {
+			f := b.fanins[len(levels)]
+			mx := 0
+			for _, x := range f {
+				if l := levels[x.Node()]; l > mx {
+					mx = l
+				}
+			}
+			levels = append(levels, mx+1)
+		}
+		return r
+	}
+
+	changed := false
+	for n := m.nPI + 1; n < m.NumNodes(); n++ {
+		f := m.fanins[n]
+		e := [3]Lit{edge(f[0]), edge(f[1]), edge(f[2])}
+		// Try associativity: find child MAJ (non-complemented edge in the
+		// new graph) sharing a fanin with this node.
+		bestImproved := false
+		var res Lit
+		for ci := 0; ci < 3 && !bestImproved; ci++ {
+			child := e[ci]
+			if child.Compl() || !b.IsMaj(child.Node()) {
+				continue
+			}
+			cf := b.fanins[child.Node()]
+			for ui := 0; ui < 3 && !bestImproved; ui++ {
+				u := e[ui]
+				if ui == ci {
+					continue
+				}
+				// Does the child contain u?
+				for zi := 0; zi < 3; zi++ {
+					if cf[zi] != u {
+						continue
+					}
+					// node = M(x, u, M(y, u, z)) with x = remaining outer
+					// fanin, {y,z} = remaining child fanins.
+					xi := 3 - ci - ui
+					x := e[xi]
+					var rest [2]Lit
+					k := 0
+					for j := 0; j < 3; j++ {
+						if j != zi {
+							rest[k] = cf[j]
+							k++
+						}
+					}
+					// Pick z = the deeper of the two remaining child fanins.
+					y, z := rest[0], rest[1]
+					if levelOf(y) > levelOf(z) {
+						y, z = z, y
+					}
+					if levelOf(z) > levelOf(x)+1 {
+						// Swap x and z: M(z, u, M(y, u, x)).
+						inner := maj(y, u, x)
+						res = maj(z, u, inner)
+						bestImproved = true
+						changed = true
+					}
+					break
+				}
+			}
+		}
+		if !bestImproved {
+			res = maj(e[0], e[1], e[2])
+		}
+		mapped[n] = res
+	}
+	for _, po := range m.pos {
+		b.AddPO(edge(po))
+	}
+	return b.Cleanup(), changed
+}
+
+// ResynthesizeAIG is the flow's "aqfp_resynthesis" stage: convert an
+// (already optimized) AIG into a MIG with majority-cut mapping,
+// canonicalize through the majority axioms, and reduce depth via
+// associativity. The smaller of the mapped and the direct conversion wins.
+func ResynthesizeAIG(a *aig.AIG) *MIG {
+	mapped := FromAIGMapped(a).OptimizeDepth()
+	direct := FromAIG(a).OptimizeDepth()
+	if direct.NumMajs() < mapped.NumMajs() {
+		return direct
+	}
+	return mapped
+}

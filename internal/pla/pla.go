@@ -1,0 +1,109 @@
+// Package pla reads the Espresso PLA format (.i/.o/.p with cube lines) and
+// materializes the two-level description as an AIG, one SOP cover per
+// output. Only the "fd" (onset + don't-care) and plain onset types are
+// supported; don't-care cubes are ignored (treated as offset).
+package pla
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+)
+
+// Parse reads a PLA description into an AIG.
+func Parse(r io.Reader) (*aig.AIG, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	ni, no := -1, -1
+	var inNames, outNames []string
+	type cube struct{ in, out string }
+	var cubes []cube
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case ".i":
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 || v > 1<<20 {
+				return nil, fmt.Errorf("pla: line %d: bad .i", line)
+			}
+			ni = v
+		case ".o":
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v < 0 || v > 1<<20 {
+				return nil, fmt.Errorf("pla: line %d: bad .o", line)
+			}
+			no = v
+		case ".p", ".type", ".phase":
+			// cube count / cover type: informational
+		case ".ilb":
+			inNames = fields[1:]
+		case ".ob":
+			outNames = fields[1:]
+		case ".e", ".end":
+		default:
+			if strings.HasPrefix(fields[0], ".") {
+				return nil, fmt.Errorf("pla: line %d: unsupported directive %s", line, fields[0])
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("pla: line %d: malformed cube", line)
+			}
+			cubes = append(cubes, cube{fields[0], fields[1]})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if ni < 0 || no < 0 {
+		return nil, fmt.Errorf("pla: missing .i/.o header")
+	}
+
+	a := aig.New(ni)
+	if len(inNames) == ni {
+		a.InputNames = inNames
+	}
+	if len(outNames) == no {
+		a.OutputNames = outNames
+	}
+	covers := make([][]aig.Lit, no)
+	for ci, c := range cubes {
+		if len(c.in) != ni || len(c.out) != no {
+			return nil, fmt.Errorf("pla: cube %d has wrong width", ci)
+		}
+		var lits []aig.Lit
+		for i, ch := range c.in {
+			switch ch {
+			case '1':
+				lits = append(lits, a.PI(i))
+			case '0':
+				lits = append(lits, a.PI(i).Not())
+			case '-', '~':
+			default:
+				return nil, fmt.Errorf("pla: cube %d: bad input char %q", ci, ch)
+			}
+		}
+		term := a.AndN(lits)
+		for o, ch := range c.out {
+			switch ch {
+			case '1', '4': // 4 = onset in some dialects
+				covers[o] = append(covers[o], term)
+			case '0', '-', '~', '2': // offset / don't care
+			default:
+				return nil, fmt.Errorf("pla: cube %d: bad output char %q", ci, ch)
+			}
+		}
+	}
+	for o := 0; o < no; o++ {
+		a.AddPO(a.OrN(covers[o]))
+	}
+	return a, nil
+}

@@ -1,0 +1,74 @@
+package pla
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+func TestParseXor(t *testing.T) {
+	src := `
+.i 2
+.o 1
+.ilb a b
+.ob y
+.p 2
+10 1
+01 1
+.e
+`
+	a, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.TruthTables()[0]
+	if !got.Equal(tt.Var(2, 0).Xor(tt.Var(2, 1))) {
+		t.Fatalf("function = %s", got)
+	}
+	if a.InputNames[0] != "a" || a.OutputNames[0] != "y" {
+		t.Fatal("labels lost")
+	}
+}
+
+func TestParseDontCareAndMultiOutput(t *testing.T) {
+	src := ".i 3\n.o 2\n1-- 10\n-11 01\n--- 00\n"
+	a, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := a.TruthTables()
+	if !tts[0].Equal(tt.Var(3, 0)) {
+		t.Fatalf("o0 = %s", tts[0])
+	}
+	if !tts[1].Equal(tt.Var(3, 1).And(tt.Var(3, 2))) {
+		t.Fatalf("o1 = %s", tts[1])
+	}
+}
+
+func TestParseEmptyCoverIsConst0(t *testing.T) {
+	a, err := Parse(strings.NewReader(".i 1\n.o 1\n.e\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.TruthTables()[0].IsConst0() {
+		t.Fatal("empty cover should be const 0")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		".i 2\n10 1\n",          // missing .o
+		".i 1\n.o 1\n10 1\n",    // wrong width
+		".i 1\n.o 1\n1 1 1\n",   // malformed cube
+		".i 1\n.o 1\nz 1\n",     // bad char
+		".i 1\n.o 1\n1 z\n",     // bad out char
+		".i 1\n.o 1\n.kilroy\n", // unknown directive
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+}

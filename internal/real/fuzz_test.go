@@ -1,0 +1,36 @@
+package real
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the .real parser and the AIG lowering never panic.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		toffoliReal,
+		".numvars 2\n.variables a b\n.begin\nf2 a b\n.end\n",
+		".numvars 3\n.variables a b c\n.constants 01-\n.garbage 1--\n.begin\np3 a b c\n.end\n",
+		".numvars 1\n.variables a\n.begin\nt1 a\nt1 a\nt1 a\n.end\n",
+		".numvars 0\n",
+		"# comment only\n",
+		".numvars 2\n.variables a b\n.begin\nt99 a b\n.end\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		c, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		a, err := c.ToAIG()
+		if err != nil {
+			return
+		}
+		if a.NumPOs() == 0 {
+			t.Fatal("lowering produced zero outputs without error")
+		}
+	})
+}

@@ -1,0 +1,224 @@
+// Package real parses the RevLib ".real" format for reversible circuits:
+// cascades of multiple-control Toffoli (tN), multiple-control Fredkin (fN)
+// and Peres (p3) gates over a fixed set of circuit lines, with optional
+// constant inputs and garbage outputs. The reversible cascade is unrolled
+// into an AIG (the irreversible specification RCGP synthesizes from).
+package real
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+)
+
+// Circuit is a parsed reversible circuit, pre-lowering.
+type Circuit struct {
+	NumLines  int
+	Variables []string
+	Constants []byte // per line: '0', '1', or '-' (real input)
+	Garbage   []byte // per line: '1' = garbage output, '-' = real output
+	Gates     []Gate
+}
+
+// GateKind distinguishes the supported reversible gates.
+type GateKind int
+
+// Supported reversible gate kinds.
+const (
+	Toffoli GateKind = iota // controls..., target: target ^= AND(controls)
+	Fredkin                 // controls..., t1, t2: controlled swap
+	Peres                   // a, b, c: a'=a, b'=a⊕b, c'=c⊕(a·b)
+)
+
+// Gate is one reversible gate over line indices.
+type Gate struct {
+	Kind  GateKind
+	Lines []int // controls first, targets last (per kind convention)
+}
+
+// Parse reads a .real file.
+func Parse(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	c := &Circuit{NumLines: -1}
+	lineIdx := map[string]int{}
+	begun := false
+	ln := 0
+	for sc.Scan() {
+		ln++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch strings.ToLower(fields[0]) {
+		case ".version":
+		case ".numvars":
+			v, err := strconv.Atoi(fields[1])
+			if err != nil || v <= 0 || v > 1<<20 {
+				return nil, fmt.Errorf("real: line %d: bad .numvars", ln)
+			}
+			c.NumLines = v
+		case ".variables":
+			c.Variables = fields[1:]
+			for i, name := range c.Variables {
+				lineIdx[name] = i
+			}
+		case ".inputs", ".outputs":
+			// Informational labels; ignored.
+		case ".constants":
+			c.Constants = []byte(fields[1])
+		case ".garbage":
+			c.Garbage = []byte(fields[1])
+		case ".begin":
+			begun = true
+		case ".end":
+			begun = false
+		default:
+			if !begun {
+				return nil, fmt.Errorf("real: line %d: gate %q outside .begin/.end", ln, fields[0])
+			}
+			g, err := parseGate(fields, lineIdx)
+			if err != nil {
+				return nil, fmt.Errorf("real: line %d: %v", ln, err)
+			}
+			c.Gates = append(c.Gates, g)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c.NumLines < 0 {
+		return nil, fmt.Errorf("real: missing .numvars")
+	}
+	if c.Variables == nil {
+		c.Variables = make([]string, c.NumLines)
+		for i := range c.Variables {
+			c.Variables[i] = fmt.Sprintf("x%d", i)
+		}
+	}
+	if len(c.Variables) != c.NumLines {
+		return nil, fmt.Errorf("real: %d variables for %d lines", len(c.Variables), c.NumLines)
+	}
+	if c.Constants == nil {
+		c.Constants = []byte(strings.Repeat("-", c.NumLines))
+	}
+	if c.Garbage == nil {
+		c.Garbage = []byte(strings.Repeat("-", c.NumLines))
+	}
+	if len(c.Constants) != c.NumLines || len(c.Garbage) != c.NumLines {
+		return nil, fmt.Errorf("real: .constants/.garbage width mismatch")
+	}
+	return c, nil
+}
+
+func parseGate(fields []string, lineIdx map[string]int) (Gate, error) {
+	kindStr := strings.ToLower(fields[0])
+	operands := make([]int, 0, len(fields)-1)
+	for _, name := range fields[1:] {
+		idx, ok := lineIdx[name]
+		if !ok {
+			return Gate{}, fmt.Errorf("unknown line %q", name)
+		}
+		operands = append(operands, idx)
+	}
+	var kind GateKind
+	var arity int
+	switch {
+	case strings.HasPrefix(kindStr, "t"):
+		kind = Toffoli
+		n, err := strconv.Atoi(kindStr[1:])
+		if err != nil {
+			return Gate{}, fmt.Errorf("bad gate %q", kindStr)
+		}
+		arity = n
+	case strings.HasPrefix(kindStr, "f"):
+		kind = Fredkin
+		n, err := strconv.Atoi(kindStr[1:])
+		if err != nil {
+			return Gate{}, fmt.Errorf("bad gate %q", kindStr)
+		}
+		arity = n
+		if arity < 2 {
+			return Gate{}, fmt.Errorf("fredkin arity %d < 2", arity)
+		}
+	case kindStr == "p3" || kindStr == "p":
+		kind = Peres
+		arity = 3
+	default:
+		return Gate{}, fmt.Errorf("unsupported gate %q", kindStr)
+	}
+	if len(operands) != arity {
+		return Gate{}, fmt.Errorf("gate %s expects %d operands, got %d", kindStr, arity, len(operands))
+	}
+	return Gate{Kind: kind, Lines: operands}, nil
+}
+
+// ToAIG unrolls the reversible cascade into an AIG whose inputs are the
+// non-constant lines and whose outputs are the non-garbage lines.
+func (c *Circuit) ToAIG() (*aig.AIG, error) {
+	numInputs := 0
+	for _, ch := range c.Constants {
+		if ch == '-' {
+			numInputs++
+		}
+	}
+	a := aig.New(numInputs)
+	state := make([]aig.Lit, c.NumLines)
+	pi := 0
+	for i, ch := range c.Constants {
+		switch ch {
+		case '0':
+			state[i] = aig.Const0
+		case '1':
+			state[i] = aig.Const1
+		case '-':
+			state[i] = a.PI(pi)
+			a.InputNames = append(a.InputNames, c.Variables[i])
+			pi++
+		default:
+			return nil, fmt.Errorf("real: bad constant flag %q", ch)
+		}
+	}
+	for _, g := range c.Gates {
+		switch g.Kind {
+		case Toffoli:
+			target := g.Lines[len(g.Lines)-1]
+			ctrl := aig.Const1
+			for _, l := range g.Lines[:len(g.Lines)-1] {
+				ctrl = a.And(ctrl, state[l])
+			}
+			state[target] = a.Xor(state[target], ctrl)
+		case Fredkin:
+			t1 := g.Lines[len(g.Lines)-2]
+			t2 := g.Lines[len(g.Lines)-1]
+			ctrl := aig.Const1
+			for _, l := range g.Lines[:len(g.Lines)-2] {
+				ctrl = a.And(ctrl, state[l])
+			}
+			n1 := a.Mux(ctrl, state[t2], state[t1])
+			n2 := a.Mux(ctrl, state[t1], state[t2])
+			state[t1], state[t2] = n1, n2
+		case Peres:
+			x, y, z := g.Lines[0], g.Lines[1], g.Lines[2]
+			newZ := a.Xor(state[z], a.And(state[x], state[y]))
+			newY := a.Xor(state[y], state[x])
+			state[y], state[z] = newY, newZ
+		}
+	}
+	for i, ch := range c.Garbage {
+		if ch == '1' {
+			continue
+		}
+		a.AddPO(state[i])
+		a.OutputNames = append(a.OutputNames, c.Variables[i])
+	}
+	if a.NumPOs() == 0 {
+		return nil, fmt.Errorf("real: all outputs are garbage")
+	}
+	return a, nil
+}

@@ -1,0 +1,171 @@
+package real
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+const toffoliReal = `
+# 3-line Toffoli gate
+.version 2.0
+.numvars 3
+.variables a b c
+.inputs a b c
+.outputs a b c
+.constants ---
+.garbage ---
+.begin
+t3 a b c
+.end
+`
+
+func TestParseToffoli(t *testing.T) {
+	c, err := Parse(strings.NewReader(toffoliReal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumLines != 3 || len(c.Gates) != 1 {
+		t.Fatalf("shape wrong: %d lines, %d gates", c.NumLines, len(c.Gates))
+	}
+	a, err := c.ToAIG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := a.TruthTables()
+	if !tts[0].Equal(tt.Var(3, 0)) || !tts[1].Equal(tt.Var(3, 1)) {
+		t.Fatal("pass-through lines wrong")
+	}
+	wantC := tt.FromFunc(3, func(s uint) bool {
+		return (s>>2&1 == 1) != (s&1 == 1 && s>>1&1 == 1)
+	})
+	if !tts[2].Equal(wantC) {
+		t.Fatalf("target line = %s, want %s", tts[2], wantC)
+	}
+}
+
+func TestParseFredkinWithConstantsAndGarbage(t *testing.T) {
+	src := `
+.numvars 3
+.variables a b c
+.constants --1
+.garbage -1-
+.begin
+f3 a b c
+.end
+`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.ToAIG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPIs() != 2 || a.NumPOs() != 2 {
+		t.Fatalf("shape %d/%d, want 2/2", a.NumPIs(), a.NumPOs())
+	}
+	// Lines: a,b inputs; c = const 1. f3: control a, swap(b,c).
+	// Outputs: line a (pass), line c (garbage excluded is line b).
+	tts := a.TruthTables()
+	if !tts[0].Equal(tt.Var(2, 0)) {
+		t.Fatal("line a wrong")
+	}
+	// line c after swap: a ? b : 1
+	wantC := tt.FromFunc(2, func(s uint) bool {
+		av, bv := s&1 == 1, s>>1&1 == 1
+		if av {
+			return bv
+		}
+		return true
+	})
+	if !tts[1].Equal(wantC) {
+		t.Fatalf("line c = %s, want %s", tts[1], wantC)
+	}
+}
+
+func TestParsePeres(t *testing.T) {
+	src := ".numvars 3\n.variables x y z\n.begin\np3 x y z\n.end\n"
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.ToAIG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := a.TruthTables()
+	if !tts[0].Equal(tt.Var(3, 0)) {
+		t.Fatal("x must pass through")
+	}
+	wantY := tt.Var(3, 0).Xor(tt.Var(3, 1))
+	if !tts[1].Equal(wantY) {
+		t.Fatal("y' = x XOR y wrong")
+	}
+	wantZ := tt.Var(3, 2).Xor(tt.Var(3, 0).And(tt.Var(3, 1)))
+	if !tts[2].Equal(wantZ) {
+		t.Fatal("z' = z XOR xy wrong")
+	}
+}
+
+func TestToffoliCascadeIsInvolution(t *testing.T) {
+	// Applying the same Toffoli twice must be the identity.
+	src := ".numvars 3\n.variables a b c\n.begin\nt3 a b c\nt3 a b c\n.end\n"
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.ToAIG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := a.TruthTables()
+	for i := 0; i < 3; i++ {
+		if !tts[i].Equal(tt.Var(3, i)) {
+			t.Fatalf("line %d not identity", i)
+		}
+	}
+}
+
+func TestNotGateT1(t *testing.T) {
+	src := ".numvars 1\n.variables a\n.begin\nt1 a\n.end\n"
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.ToAIG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.TruthTables()[0].Equal(tt.Var(1, 0).Not()) {
+		t.Fatal("t1 is not NOT")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		".numvars 2\n.variables a b\nt2 a b\n", // gate outside begin
+		".numvars 2\n.variables a b\n.begin\nt2 a q\n.end\n",       // unknown line
+		".numvars 2\n.variables a b\n.begin\nq2 a b\n.end\n",       // unknown gate
+		".numvars 2\n.variables a b\n.begin\nt3 a b\n.end\n",       // arity
+		".numvars 2\n.variables a b\n.begin\nf1 a\n.end\n",         // fredkin arity
+		".numvars 2\n.variables a\n.begin\n.end\n",                 // var count
+		".numvars 2\n.variables a b\n.constants -\n.begin\n.end\n", // width
+	}
+	for i, c := range cases {
+		_, err := Parse(strings.NewReader(c))
+		if err == nil {
+			t.Fatalf("case %d should fail", i)
+		}
+	}
+	// All-garbage circuits fail at lowering.
+	c, err := Parse(strings.NewReader(".numvars 1\n.variables a\n.garbage 1\n.begin\nt1 a\n.end\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ToAIG(); err == nil {
+		t.Fatal("all-garbage circuit should fail to lower")
+	}
+}

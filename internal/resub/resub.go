@@ -1,0 +1,220 @@
+// Package resub implements deterministic simulation-driven
+// resubstitution on RQFP netlists: when an unused (garbage) port provably
+// computes the same function as a used port — up to complementation,
+// which RQFP inverter configurations absorb for free — consumers are
+// rewired to the garbage port, freeing the original source and letting
+// whole gates fall out of the active cone. Constant-valued sources are
+// folded into the constant input the same way. Proofs are exhaustive
+// simulations, so the pass is restricted to circuits with at most
+// cec.ExhaustiveMaxPIs inputs (every benchmark in the paper qualifies).
+//
+// The pass complements the CGP engine: it performs, deterministically and
+// in one sweep, exactly the kind of port-reuse moves the evolution
+// otherwise has to discover by chance.
+package resub
+
+import (
+	"fmt"
+
+	"github.com/reversible-eda/rcgp/internal/bits"
+	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+// Stats reports what a pass achieved.
+type Stats struct {
+	Iterations    int
+	Rewires       int
+	ConstFolds    int
+	GatesBefore   int
+	GatesAfter    int
+	GarbageBefore int
+	GarbageAfter  int
+}
+
+// Optimize runs resubstitution to a fixpoint (bounded) and returns the
+// improved netlist. The function is preserved exactly; the input netlist
+// is not modified.
+func Optimize(n *rqfp.Netlist) (*rqfp.Netlist, Stats, error) {
+	if n.NumPI > cec.ExhaustiveMaxPIs {
+		return nil, Stats{}, fmt.Errorf("resub: %d inputs exceed the exhaustive limit %d",
+			n.NumPI, cec.ExhaustiveMaxPIs)
+	}
+	cur := n.Shrink()
+	st := Stats{
+		GatesBefore:   len(cur.Gates),
+		GarbageBefore: cur.Garbage(),
+	}
+	for iter := 0; iter < 16; iter++ {
+		st.Iterations++
+		rewires, folds := pass(cur)
+		st.Rewires += rewires
+		st.ConstFolds += folds
+		next := cur.Shrink()
+		if rewires+folds == 0 && len(next.Gates) == len(cur.Gates) {
+			cur = next
+			break
+		}
+		cur = next
+	}
+	st.GatesAfter = len(cur.Gates)
+	st.GarbageAfter = cur.Garbage()
+	return cur, st, nil
+}
+
+// pass performs one sweep of rewires on cur (in place). Returns the number
+// of resubstitutions and constant folds applied.
+func pass(cur *rqfp.Netlist) (rewires, folds int) {
+	samples := 1 << uint(cur.NumPI)
+	ins := bits.ExhaustiveInputs(cur.NumPI)
+	ctx := rqfp.NewSimContext(cur.NumPorts(), len(ins[0]))
+	ctx.Run(cur, ins, nil)
+
+	sig := func(s rqfp.Signal) bits.Vec {
+		v := ctx.Port(s).Clone()
+		v.MaskTail(samples)
+		return v
+	}
+	notSig := func(v bits.Vec) bits.Vec {
+		w := v.Clone()
+		w.Not(w)
+		w.MaskTail(samples)
+		return w
+	}
+	uses := cur.UseCounts()
+	constOnes := bits.NewWords(len(ins[0]))
+	constOnes.Ones(samples)
+
+	// Index garbage ports (and unread PIs) by signature hash.
+	type entry struct {
+		port rqfp.Signal
+		vec  bits.Vec
+	}
+	free := map[uint64][]entry{}
+	addFree := func(s rqfp.Signal) {
+		v := sig(s)
+		free[v.Hash()] = append(free[v.Hash()], entry{s, v})
+	}
+	for i := 0; i < cur.NumPI; i++ {
+		if uses[cur.PIPort(i)] == 0 {
+			addFree(cur.PIPort(i))
+		}
+	}
+	for g := range cur.Gates {
+		for m := 0; m < 3; m++ {
+			if p := cur.Port(g, m); uses[p] == 0 {
+				addFree(p)
+			}
+		}
+	}
+	// takeFree pops a free port matching vector v with index below limit.
+	takeFree := func(v bits.Vec, limit rqfp.Signal) (rqfp.Signal, bool) {
+		h := v.Hash()
+		list := free[h]
+		for i, e := range list {
+			if e.port < limit && e.vec.Eq(v) {
+				free[h] = append(list[:i], list[i+1:]...)
+				return e.port, true
+			}
+		}
+		return 0, false
+	}
+
+	tryInput := func(g, j int) bool {
+		s := cur.Gates[g].In[j]
+		if s == rqfp.ConstPort {
+			return false
+		}
+		v := sig(s)
+		limit := cur.GateBase(g)
+		// Constant folding first.
+		if v.Eq(constOnes) {
+			cur.Gates[g].In[j] = rqfp.ConstPort
+			uses[s]--
+			folds++
+			return true
+		}
+		if v.PopCount() == 0 {
+			cur.Gates[g].In[j] = rqfp.ConstPort
+			cur.Gates[g].Cfg = cur.Gates[g].Cfg.InvertInputAll(j)
+			uses[s]--
+			folds++
+			return true
+		}
+		// Positive-phase resubstitution.
+		if u, ok := takeFree(v, limit); ok {
+			cur.Gates[g].In[j] = u
+			uses[s]--
+			uses[u]++
+			rewires++
+			return true
+		}
+		// Complemented resubstitution: absorb the inversion into the
+		// consumer's configuration.
+		if u, ok := takeFree(notSig(v), limit); ok {
+			cur.Gates[g].In[j] = u
+			cur.Gates[g].Cfg = cur.Gates[g].Cfg.InvertInputAll(j)
+			uses[s]--
+			uses[u]++
+			rewires++
+			return true
+		}
+		return false
+	}
+
+	tryPO := func(i int) bool {
+		s := cur.POs[i]
+		if s == rqfp.ConstPort {
+			return false
+		}
+		v := sig(s)
+		if v.Eq(constOnes) {
+			cur.POs[i] = rqfp.ConstPort
+			uses[s]--
+			folds++
+			return true
+		}
+		limit := rqfp.Signal(cur.NumPorts())
+		if u, ok := takeFree(v, limit); ok {
+			cur.POs[i] = u
+			uses[s]--
+			uses[u]++
+			rewires++
+			return true
+		}
+		// Complemented match: flip the majority driving the free port
+		// (safe — that port has no other load).
+		if u, ok := takeFree(notSig(v), limit); ok {
+			if g, m, isGate := cur.PortOwner(u); isGate {
+				cur.Gates[g].Cfg = cur.Gates[g].Cfg.ComplementMaj(m)
+				cur.POs[i] = u
+				uses[s]--
+				uses[u]++
+				rewires++
+				return true
+			}
+			// A complemented primary input cannot be flipped; put the
+			// entry back by re-adding it.
+			w := notSig(v)
+			free[w.Hash()] = append(free[w.Hash()], entry{u, w})
+		}
+		return false
+	}
+
+	// Only rewire sources that are genuinely duplicated: walking gates in
+	// order keeps all moves topologically legal because replacement ports
+	// must lie below the consumer's base.
+	active := cur.ActiveGates()
+	for g := range cur.Gates {
+		if !active[g] {
+			continue
+		}
+		for j := 0; j < 3; j++ {
+			tryInput(g, j)
+		}
+	}
+	for i := range cur.POs {
+		tryPO(i)
+	}
+	return rewires, folds
+}

@@ -1,0 +1,151 @@
+package resub
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/bench"
+	"github.com/reversible-eda/rcgp/internal/mig"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+func netlistFromAIG(t testing.TB, a *aig.AIG) *rqfp.Netlist {
+	t.Helper()
+	n, err := rqfp.FromMIG(mig.FromAIG(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func randomAIG(nPI, nAnds, nPOs int, r *rand.Rand) *aig.AIG {
+	a := aig.New(nPI)
+	edges := []aig.Lit{aig.Const0}
+	for i := 0; i < nPI; i++ {
+		edges = append(edges, a.PI(i))
+	}
+	for i := 0; i < nAnds; i++ {
+		x := edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1)
+		y := edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1)
+		edges = append(edges, a.And(x, y))
+	}
+	for i := 0; i < nPOs; i++ {
+		a.AddPO(edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1))
+	}
+	return a
+}
+
+func samePhenotype(t *testing.T, a, b *rqfp.Netlist) {
+	t.Helper()
+	ta, tb := a.TruthTables(), b.TruthTables()
+	for i := range ta {
+		if !ta[i].Equal(tb[i]) {
+			t.Fatalf("output %d changed", i)
+		}
+	}
+}
+
+func TestOptimizePreservesFunctionRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := netlistFromAIG(t, randomAIG(3+r.Intn(4), 10+r.Intn(30), 2+r.Intn(4), r))
+		opt, st, err := Optimize(n)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := opt.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		samePhenotype(t, n, opt)
+		if st.GatesAfter > st.GatesBefore {
+			t.Fatalf("trial %d: gates grew %d -> %d", trial, st.GatesBefore, st.GatesAfter)
+		}
+		if st.GarbageAfter > st.GarbageBefore && st.GatesAfter == st.GatesBefore {
+			t.Fatalf("trial %d: garbage grew without gate savings: %d -> %d",
+				trial, st.GarbageBefore, st.GarbageAfter)
+		}
+	}
+}
+
+func TestResubMergesDuplicatedLogic(t *testing.T) {
+	// Build the same AND twice as two separate gates; resubstitution must
+	// reuse a spare port of the first and drop the duplicate.
+	n := rqfp.NewNetlist(2)
+	n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{1, 2, rqfp.ConstPort}, Cfg: rqfp.ConfigNormal})
+	// Duplicate of the AND from splitter copies? Simpler: a second gate
+	// recomputing AND from spare splitter outputs is impossible under
+	// single fanout, so duplicate via an extra splitter chain.
+	n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{rqfp.ConstPort, n.Port(0, 2), rqfp.ConstPort}, Cfg: rqfp.ConfigSplitter})
+	// Gate 2 recomputes gate 1's splitter value through another splitter.
+	n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{rqfp.ConstPort, n.Port(1, 0), rqfp.ConstPort}, Cfg: rqfp.ConfigSplitter})
+	n.POs = []rqfp.Signal{n.Port(2, 0)}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	opt, st, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePhenotype(t, n, opt)
+	if st.GatesAfter >= st.GatesBefore {
+		t.Fatalf("no reduction on duplicated chain: %d -> %d (stats %+v)",
+			st.GatesBefore, st.GatesAfter, st)
+	}
+}
+
+func TestResubFoldsConstants(t *testing.T) {
+	// A gate computing a constant (MAJ over constants) feeding another
+	// gate: the consumer should rewire to the constant port and the
+	// constant generator should disappear.
+	n := rqfp.NewNetlist(1)
+	cfg := rqfp.ConfigCopy // M(1,1,1) = 1 on all ports
+	n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{rqfp.ConstPort, rqfp.ConstPort, rqfp.ConstPort}, Cfg: cfg})
+	n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{1, n.Port(0, 0), rqfp.ConstPort}, Cfg: rqfp.ConfigNormal})
+	n.POs = []rqfp.Signal{n.Port(1, 2)} // x AND 1 = x
+	opt, st, err := Optimize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samePhenotype(t, n, opt)
+	if st.ConstFolds == 0 {
+		t.Fatalf("no constant fold recorded: %+v", st)
+	}
+	if st.GatesAfter != 1 {
+		t.Fatalf("constant generator not eliminated: %d gates left", st.GatesAfter)
+	}
+}
+
+func TestResubOnBenchmarkInits(t *testing.T) {
+	// Initialization netlists of the benchmark circuits are garbage-rich;
+	// the pass must find at least some rewires somewhere while always
+	// preserving function.
+	totalRewires := 0
+	for _, c := range bench.Table1() {
+		a := aig.FromTruthTables(c.Tables).Optimize(aig.EffortStd)
+		n, err := rqfp.FromMIG(mig.ResynthesizeAIG(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt, st, err := Optimize(n)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		samePhenotype(t, n, opt)
+		totalRewires += st.Rewires + st.ConstFolds
+		if st.GatesAfter > st.GatesBefore {
+			t.Fatalf("%s: grew", c.Name)
+		}
+	}
+	if totalRewires == 0 {
+		t.Log("note: no rewires found on any Table-1 initialization (all tight)")
+	}
+}
+
+func TestOptimizeRejectsWideCircuits(t *testing.T) {
+	n := rqfp.NewNetlist(20)
+	n.POs = []rqfp.Signal{1}
+	if _, _, err := Optimize(n); err == nil {
+		t.Fatal("20-input netlist must be rejected")
+	}
+}

@@ -1,0 +1,185 @@
+package revsynth
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/bench"
+	"github.com/reversible-eda/rcgp/internal/real"
+)
+
+func checkRealizes(t *testing.T, gates []real.Gate, perm []uint) {
+	t.Helper()
+	for x := range perm {
+		if got := Apply(gates, uint(x)); got != perm[x] {
+			t.Fatalf("cascade(%d) = %d, want %d", x, got, perm[x])
+		}
+	}
+}
+
+func TestSynthesizeIdentity(t *testing.T) {
+	perm := []uint{0, 1, 2, 3}
+	gates, err := Synthesize(perm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gates) != 0 {
+		t.Fatalf("identity needs %d gates, want 0", len(gates))
+	}
+}
+
+func TestSynthesizeNot(t *testing.T) {
+	perm := []uint{1, 0}
+	gates, err := Synthesize(perm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRealizes(t, gates, perm)
+	if len(gates) != 1 || len(gates[0].Lines) != 1 {
+		t.Fatalf("NOT should be a single t1, got %v", gates)
+	}
+}
+
+func TestSynthesizeCNOTAndToffoli(t *testing.T) {
+	// CNOT: target bit1 controlled on bit0.
+	cnot := make([]uint, 4)
+	for x := uint(0); x < 4; x++ {
+		cnot[x] = x ^ (x&1)<<1
+	}
+	gates, err := Synthesize(cnot, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRealizes(t, gates, cnot)
+
+	tof := make([]uint, 8)
+	for x := uint(0); x < 8; x++ {
+		y := x
+		if x&3 == 3 {
+			y ^= 4
+		}
+		tof[x] = y
+	}
+	gates, err = Synthesize(tof, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkRealizes(t, gates, tof)
+}
+
+func TestSynthesizeRandomPermutations(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for n := 1; n <= 6; n++ {
+		for trial := 0; trial < 10; trial++ {
+			size := 1 << uint(n)
+			perm := make([]uint, size)
+			for i := range perm {
+				perm[i] = uint(i)
+			}
+			r.Shuffle(size, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			gates, err := Synthesize(perm, n)
+			if err != nil {
+				t.Fatalf("n=%d trial=%d: %v", n, trial, err)
+			}
+			checkRealizes(t, gates, perm)
+		}
+	}
+}
+
+func TestSynthesizeRejectsNonBijection(t *testing.T) {
+	if _, err := Synthesize([]uint{0, 0}, 1); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := Synthesize([]uint{0, 5}, 1); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if _, err := Synthesize([]uint{0, 1, 2}, 2); err == nil {
+		t.Fatal("wrong size accepted")
+	}
+}
+
+// permOf extracts the permutation a square bijective benchmark computes.
+func permOf(c bench.Circuit) []uint {
+	size := 1 << uint(c.NumPI)
+	perm := make([]uint, size)
+	for x := 0; x < size; x++ {
+		var y uint
+		for o := 0; o < c.NumPO; o++ {
+			if c.Tables[o].Get(uint(x)) {
+				y |= 1 << uint(o)
+			}
+		}
+		perm[x] = y
+	}
+	return perm
+}
+
+func TestSynthesizeBenchmarkPermutations(t *testing.T) {
+	for _, c := range []bench.Circuit{bench.Ham3(), bench.Perm4x49(), bench.Graycode(4), bench.HWB(4), bench.HWB(6)} {
+		perm := permOf(c)
+		gates, err := Synthesize(perm, c.NumPI)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		checkRealizes(t, gates, perm)
+		m := Measure(gates)
+		if m.Gates == 0 {
+			t.Fatalf("%s: empty cascade for a non-identity permutation", c.Name)
+		}
+	}
+}
+
+func TestWriteRealRoundTrip(t *testing.T) {
+	// Synthesize ham3 as a cascade, serialize as .real, parse it back,
+	// lower to an AIG, and confirm the original truth tables.
+	c := bench.Ham3()
+	perm := permOf(c)
+	gates, err := Synthesize(perm, c.NumPI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteReal(&buf, gates, c.NumPI, c.Name); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := real.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	a, err := parsed.ToAIG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := a.TruthTables()
+	for o := range c.Tables {
+		if !tts[o].Equal(c.Tables[o]) {
+			t.Fatalf("output %d differs after .real round trip", o)
+		}
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	if toffoliQuantumCost(0) != 1 || toffoliQuantumCost(2) != 5 || toffoliQuantumCost(3) != 13 || toffoliQuantumCost(4) != 29 {
+		t.Fatal("quantum cost table wrong")
+	}
+	gates := []real.Gate{
+		{Kind: real.Toffoli, Lines: []int{0, 1, 2}},
+		{Kind: real.Toffoli, Lines: []int{2}},
+	}
+	m := Measure(gates)
+	if m.Gates != 2 || m.Controls != 2 || m.QuantumCost != 6 {
+		t.Fatalf("metrics %+v", m)
+	}
+}
+
+func BenchmarkSynthesizeHWB6(b *testing.B) {
+	c := bench.HWB(6)
+	perm := permOf(c)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(perm, 6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

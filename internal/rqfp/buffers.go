@@ -1,0 +1,130 @@
+package rqfp
+
+import "fmt"
+
+// Balanced is an RQFP circuit after buffer insertion: the shrunk netlist,
+// one clock level per gate, and explicit buffer counts on every edge so
+// that each gate's inputs arrive at a common phase and all primary outputs
+// leave at the common output stage. Buffers are pure clocked delays, so the
+// logic function equals the netlist's.
+type Balanced struct {
+	Net          *Netlist
+	GateLevel    []int // per gate, ≥ 1
+	OutStage     int   // clock stage of all primary outputs
+	InputBuffers [][3]int
+	POBuffers    []int
+	TotalBuffers int
+}
+
+// InsertBuffers performs RQFP buffer insertion (§3.3 of the paper) on the
+// active part of the netlist.
+func (n *Netlist) InsertBuffers() *Balanced {
+	net := n.Shrink()
+	level := net.levelsFor(activeAll(len(net.Gates)))
+	depth := 0
+	for _, l := range level {
+		if l > depth {
+			depth = l
+		}
+	}
+	b := &Balanced{
+		Net:          net,
+		GateLevel:    level,
+		OutStage:     depth,
+		InputBuffers: make([][3]int, len(net.Gates)),
+		POBuffers:    make([]int, len(net.POs)),
+	}
+	srcLevel := func(s Signal) (int, bool) {
+		if s == ConstPort {
+			return 0, false
+		}
+		if net.IsPI(s) {
+			return 0, true
+		}
+		g, _, _ := net.PortOwner(s)
+		return level[g], true
+	}
+	for g := range net.Gates {
+		for j, in := range net.Gates[g].In {
+			if l, constrained := srcLevel(in); constrained {
+				b.InputBuffers[g][j] = level[g] - 1 - l
+				b.TotalBuffers += b.InputBuffers[g][j]
+			}
+		}
+	}
+	for i, po := range net.POs {
+		if l, constrained := srcLevel(po); constrained {
+			b.POBuffers[i] = depth - l
+			b.TotalBuffers += b.POBuffers[i]
+		}
+	}
+	return b
+}
+
+func activeAll(n int) []bool {
+	a := make([]bool, n)
+	for i := range a {
+		a[i] = true
+	}
+	return a
+}
+
+// Validate checks path balancing: every constrained gate-input edge spans
+// exactly one phase after accounting for its buffers, and every primary
+// output reaches the common output stage.
+func (b *Balanced) Validate() error {
+	net := b.Net
+	srcLevel := func(s Signal) (int, bool) {
+		if s == ConstPort {
+			return 0, false
+		}
+		if net.IsPI(s) {
+			return 0, true
+		}
+		g, _, _ := net.PortOwner(s)
+		return b.GateLevel[g], true
+	}
+	for g := range net.Gates {
+		if b.GateLevel[g] < 1 {
+			return fmt.Errorf("rqfp: gate %d has invalid level %d", g, b.GateLevel[g])
+		}
+		for j, in := range net.Gates[g].In {
+			l, constrained := srcLevel(in)
+			if !constrained {
+				if b.InputBuffers[g][j] != 0 {
+					return fmt.Errorf("rqfp: gate %d input %d buffers a constant", g, j)
+				}
+				continue
+			}
+			if l+b.InputBuffers[g][j]+1 != b.GateLevel[g] {
+				return fmt.Errorf("rqfp: gate %d input %d phase mismatch: src %d + %d buffers + 1 ≠ %d",
+					g, j, l, b.InputBuffers[g][j], b.GateLevel[g])
+			}
+		}
+	}
+	for i, po := range net.POs {
+		l, constrained := srcLevel(po)
+		if !constrained {
+			continue
+		}
+		if l+b.POBuffers[i] != b.OutStage {
+			return fmt.Errorf("rqfp: PO %d phase mismatch: src %d + %d buffers ≠ stage %d",
+				i, l, b.POBuffers[i], b.OutStage)
+		}
+	}
+	return nil
+}
+
+// Stats returns the cost metrics of the balanced circuit.
+func (b *Balanced) Stats() Stats {
+	gates := len(b.Net.Gates)
+	return Stats{
+		PIs:     b.Net.NumPI,
+		POs:     len(b.Net.POs),
+		Gates:   gates,
+		Buffers: b.TotalBuffers,
+		JJs:     JJsPerGate*gates + JJsPerBuffer*b.TotalBuffers,
+		Depth:   b.OutStage,
+		Garbage: b.Net.Garbage(),
+	}
+}

@@ -1,0 +1,148 @@
+package rqfp
+
+import (
+	"fmt"
+
+	"github.com/reversible-eda/rcgp/internal/mig"
+)
+
+// FromMIG converts a majority-inverter graph into an initial RQFP netlist
+// (the "RQFP logic netlist conversion" + "RQFP splitter insertion" stages
+// of Fig. 2):
+//
+//   - every MAJ node becomes one RQFP gate whose three majorities are
+//     configured identically, so the gate natively provides three copies of
+//     the node function (fanin complementations and constants are absorbed
+//     into the inverter configuration);
+//   - nodes and primary inputs with more fanout than available copies get
+//     RQFP splitter gates R(1,x,0) (each consumes one copy, yields three);
+//   - complemented primary-output edges are realized by complementing the
+//     driving majority (self-duality), or through an inverter gate when the
+//     driver is a primary input.
+func FromMIG(m *mig.MIG) (*Netlist, error) {
+	m = m.Cleanup()
+	n := NewNetlist(m.NumPIs())
+
+	// Fanout demand per MIG node (gate fanins + PO references).
+	demand := make([]int, m.NumNodes())
+	for node := m.NumPIs() + 1; node < m.NumNodes(); node++ {
+		for _, f := range m.Fanins(node) {
+			if f.Node() != 0 {
+				demand[f.Node()]++
+			}
+		}
+	}
+	for _, po := range m.POs() {
+		if po.Node() != 0 {
+			demand[po.Node()]++
+		}
+	}
+
+	// Copy pools: available ports per MIG node.
+	pool := make([][]Signal, m.NumNodes())
+
+	// addSplitters grows node's pool with splitter gates until it holds at
+	// least `need` copies.
+	addSplitters := func(node, need int) error {
+		for len(pool[node]) < need {
+			if len(pool[node]) == 0 {
+				return fmt.Errorf("rqfp: no copy available to split for node %d", node)
+			}
+			src := pool[node][0]
+			pool[node] = pool[node][1:]
+			g := n.AddGate(Gate{In: [3]Signal{ConstPort, src, ConstPort}, Cfg: ConfigSplitter})
+			pool[node] = append(pool[node], n.Port(g, 0), n.Port(g, 1), n.Port(g, 2))
+		}
+		return nil
+	}
+
+	// Primary inputs provide a single copy each.
+	for i := 0; i < m.NumPIs(); i++ {
+		node := i + 1
+		pool[node] = []Signal{n.PIPort(i)}
+		if err := addSplitters(node, demand[node]); err != nil {
+			return nil, err
+		}
+	}
+
+	// takeCopy pops one copy port of a node.
+	takeCopy := func(node int) (Signal, error) {
+		if len(pool[node]) == 0 {
+			return 0, fmt.Errorf("rqfp: copy pool of node %d exhausted", node)
+		}
+		s := pool[node][0]
+		pool[node] = pool[node][1:]
+		return s, nil
+	}
+
+	// Convert MAJ nodes in topological order.
+	for node := m.NumPIs() + 1; node < m.NumNodes(); node++ {
+		fanins := m.Fanins(node)
+		var g Gate
+		for j, f := range fanins {
+			switch {
+			case f == mig.Const0:
+				g.In[j] = ConstPort
+				g.Cfg = g.Cfg.InvertInputAll(j) // constant 1 inverted → 0
+			case f == mig.Const1:
+				g.In[j] = ConstPort
+			default:
+				src, err := takeCopy(f.Node())
+				if err != nil {
+					return nil, err
+				}
+				g.In[j] = src
+				if f.Compl() {
+					g.Cfg = g.Cfg.InvertInputAll(j)
+				}
+			}
+		}
+		idx := n.AddGate(g)
+		pool[node] = []Signal{n.Port(idx, 0), n.Port(idx, 1), n.Port(idx, 2)}
+		if err := addSplitters(node, demand[node]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Primary outputs.
+	for _, po := range m.POs() {
+		switch {
+		case po == mig.Const0, po == mig.Const1:
+			// Constant output through a dedicated gate so the port exists:
+			// M over three constants.
+			cfg := ConfigCopy
+			if po == mig.Const0 {
+				cfg = cfg.InvertInputAll(0).InvertInputAll(1).InvertInputAll(2)
+			}
+			g := n.AddGate(Gate{In: [3]Signal{ConstPort, ConstPort, ConstPort}, Cfg: cfg})
+			n.POs = append(n.POs, n.Port(g, 0))
+		default:
+			src, err := takeCopy(po.Node())
+			if err != nil {
+				return nil, err
+			}
+			if !po.Compl() {
+				n.POs = append(n.POs, src)
+				continue
+			}
+			if gate, maj, ok := n.PortOwner(src); ok {
+				// Complement exactly this output via self-duality.
+				n.Gates[gate].Cfg = n.Gates[gate].Cfg.ComplementMaj(maj)
+				n.POs = append(n.POs, src)
+				continue
+			}
+			// Complemented PI: insert an inverter gate (splitter with the
+			// pass-through majority complemented).
+			g := n.AddGate(Gate{
+				In:  [3]Signal{ConstPort, src, ConstPort},
+				Cfg: ConfigSplitter.ComplementMaj(0),
+			})
+			n.POs = append(n.POs, n.Port(g, 0))
+		}
+	}
+
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("rqfp: conversion produced invalid netlist: %w", err)
+	}
+	return n, nil
+}

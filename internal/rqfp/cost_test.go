@@ -1,0 +1,56 @@
+package rqfp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestCostEvaluatorMatchesComputeStats pins the allocation-free fitness
+// path to the reference implementation on random netlists.
+func TestCostEvaluatorMatchesComputeStats(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	var ce CostEvaluator
+	for trial := 0; trial < 60; trial++ {
+		n := randomNetlist(3+r.Intn(5), 4+r.Intn(25), 2+r.Intn(5), r)
+		got := ce.Eval(n)
+		want := n.ComputeStats()
+		if got.Gates != want.Gates || got.Garbage != want.Garbage ||
+			got.Depth != want.Depth || got.Buffers != want.Buffers {
+			t.Fatalf("trial %d: CostEvaluator %+v vs ComputeStats %+v\n%s",
+				trial, got, want, n)
+		}
+		// Active mask must agree with the reference.
+		wantActive := n.ActiveGates()
+		gotActive := ce.Active()
+		for g := range wantActive {
+			if wantActive[g] != gotActive[g] {
+				t.Fatalf("trial %d: active mask differs at gate %d", trial, g)
+			}
+		}
+	}
+}
+
+func TestCostEvaluatorReuseAcrossSizes(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	var ce CostEvaluator
+	small := randomNetlist(3, 5, 2, r)
+	big := randomNetlist(6, 40, 4, r)
+	for i := 0; i < 3; i++ {
+		if got, want := ce.Eval(big).Gates, big.ComputeStats().Gates; got != want {
+			t.Fatalf("big gates %d vs %d", got, want)
+		}
+		if got, want := ce.Eval(small).Gates, small.ComputeStats().Gates; got != want {
+			t.Fatalf("small gates %d vs %d", got, want)
+		}
+	}
+}
+
+func BenchmarkCostEvaluator(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	n := randomNetlist(8, 200, 8, r)
+	var ce CostEvaluator
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ce.Eval(n)
+	}
+}

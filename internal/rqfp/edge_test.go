@@ -1,0 +1,111 @@
+package rqfp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShrinkIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20; trial++ {
+		n := randomNetlist(4, 15, 3, r)
+		s1 := n.Shrink()
+		s2 := s1.Shrink()
+		if s1.String() != s2.String() {
+			t.Fatalf("trial %d: shrink not idempotent", trial)
+		}
+	}
+}
+
+func TestEmptyNetlist(t *testing.T) {
+	n := NewNetlist(2)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.NumActive() != 0 {
+		t.Fatal("no gates can be active")
+	}
+	st := n.ComputeStats()
+	if st.Gates != 0 || st.Buffers != 0 || st.JJs != 0 || st.Depth != 0 {
+		t.Fatalf("stats of empty netlist: %+v", st)
+	}
+	if g := n.Garbage(); g != 2 { // both PIs unread
+		t.Fatalf("garbage = %d, want 2", g)
+	}
+	b := n.InsertBuffers()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPOFromConstAndPI(t *testing.T) {
+	n := NewNetlist(1)
+	n.POs = []Signal{ConstPort, 1}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tts := n.TruthTables()
+	if !tts[0].IsConst1() {
+		t.Fatal("const PO wrong")
+	}
+	outs := n.EvalBool(1)
+	if !outs[0] || !outs[1] {
+		t.Fatal("EvalBool wrong")
+	}
+	depth, buffers := n.DepthAndBuffers()
+	if depth != 0 || buffers != 0 {
+		t.Fatalf("depth/buffers = %d/%d", depth, buffers)
+	}
+}
+
+func TestConfigPropertyAllConfigsProduceMajority(t *testing.T) {
+	// Property: every output of every configuration is a majority of
+	// (possibly complemented) inputs — in particular it is monotone in
+	// each input once the configured polarity is factored out.
+	f := func(cfgRaw uint16, inRaw uint8, majRaw, inputRaw uint8) bool {
+		cfg := Config(cfgRaw % NumConfigs)
+		m := int(majRaw) % 3
+		j := int(inputRaw) % 3
+		in := [3]bool{inRaw&1 == 1, inRaw>>1&1 == 1, inRaw>>2&1 == 1}
+		// Flipping input j towards the configured "active" polarity can
+		// only keep or raise the output.
+		lo, hi := in, in
+		lo[j] = cfg.Inv(m, j)  // value that reads as 0 at the majority
+		hi[j] = !cfg.Inv(m, j) // value that reads as 1
+		outLo := cfg.OutputBool(m, lo)
+		outHi := cfg.OutputBool(m, hi)
+		return !outLo || outHi // monotone: lo ⇒ hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteTextStable(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	n := randomNetlist(3, 8, 2, r)
+	var a, b bytes.Buffer
+	if err := n.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("serialization not deterministic")
+	}
+}
+
+func TestCloneDeep(t *testing.T) {
+	n := NewNetlist(2)
+	n.AddGate(Gate{In: [3]Signal{1, 2, ConstPort}, Cfg: ConfigNormal})
+	n.POs = []Signal{n.Port(0, 2)}
+	c := n.Clone()
+	c.Gates[0].Cfg = ConfigSplitter
+	c.POs[0] = ConstPort
+	if n.Gates[0].Cfg != ConfigNormal || n.POs[0] == ConstPort {
+		t.Fatal("clone aliases original storage")
+	}
+}

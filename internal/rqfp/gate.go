@@ -1,0 +1,132 @@
+// Package rqfp models reversible quantum-flux-parametron logic circuits:
+// 3-input/3-output RQFP gates built from AQFP splitters and majorities, the
+// 9-bit inverter configurations that select one of 512 gate functions,
+// splitter gates for the single-fanout rule, clocked buffer insertion for
+// path balancing, and the cost metrics (gate count, buffer count, Josephson
+// junctions, depth, garbage outputs) used throughout the RCGP paper.
+package rqfp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config is the 9-bit inverter configuration of an RQFP gate. Using the
+// paper's "g1-g2-g3" notation, the 9-bit value is read MSB-first: group j
+// (j = 1..3) holds the inverter bits for input port j across the three
+// majorities, with the group's MSB belonging to majority 1. Examples from
+// the paper: 352 = "101-100-000" and 352 ⊕ 0b000111000 = 344 = "101-011-000".
+type Config uint16
+
+// NumConfigs is the number of distinct gate functions (n_f in the paper).
+const NumConfigs = 512
+
+// Distinguished configurations.
+const (
+	// ConfigNormal is the canonical reversible RQFP gate "100-010-001":
+	// outputs {M(ā,b,c), M(a,b̄,c), M(a,b,c̄)}.
+	ConfigNormal Config = 0b100010001
+	// ConfigSplitter is "000-000-111". With inputs (1, a, 1) it computes
+	// M(1,a,0) = a on every output: the 1-to-3 RQFP splitter R(1,a,0).
+	ConfigSplitter Config = 0b000000111
+	// ConfigCopy is "000-000-000": outputs M(a,b,c) three times.
+	ConfigCopy Config = 0
+)
+
+// Inv reports whether an inverter sits before input port `input` (0..2) of
+// majority `maj` (0..2).
+func (c Config) Inv(maj, input int) bool {
+	return c>>(uint(8-3*input-maj))&1 == 1
+}
+
+// FlipInv toggles the inverter before input `input` of majority `maj`.
+func (c Config) FlipInv(maj, input int) Config {
+	return c ^ 1<<uint(8-3*input-maj)
+}
+
+// FlipBit toggles inverter bit beta in the paper's mutation convention:
+// f' = f ⊕ (1 << beta), beta ∈ [0,9).
+func (c Config) FlipBit(beta int) Config { return c ^ 1<<uint(beta) }
+
+// ComplementMaj flips all three inverters of one majority. By self-duality
+// M(ā,b̄,c̄) = ¬M(a,b,c), this complements exactly output `maj`.
+func (c Config) ComplementMaj(maj int) Config {
+	return c ^ (1<<uint(8-maj) | 1<<uint(5-maj) | 1<<uint(2-maj))
+}
+
+// InvertInputAll sets/toggles inverters on input port `input` of all three
+// majorities, which complements that input for every output.
+func (c Config) InvertInputAll(input int) Config {
+	return c ^ (0b111 << uint(6-3*input))
+}
+
+// String renders the configuration in the paper's "g1-g2-g3" notation.
+func (c Config) String() string {
+	return fmt.Sprintf("%03b-%03b-%03b", c>>6&7, c>>3&7, c&7)
+}
+
+// ParseConfig parses the "g1-g2-g3" notation.
+func ParseConfig(s string) (Config, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("rqfp: config %q must have three groups", s)
+	}
+	var c Config
+	for _, p := range parts {
+		if len(p) != 3 {
+			return 0, fmt.Errorf("rqfp: config group %q must have three bits", p)
+		}
+		for _, ch := range p {
+			c <<= 1
+			switch ch {
+			case '1':
+				c |= 1
+			case '0':
+			default:
+				return 0, fmt.Errorf("rqfp: invalid config bit %q", ch)
+			}
+		}
+	}
+	return c, nil
+}
+
+// OutputBool evaluates output `maj` of a gate with this configuration on
+// concrete input values.
+func (c Config) OutputBool(maj int, in [3]bool) bool {
+	n := 0
+	for j := 0; j < 3; j++ {
+		v := in[j]
+		if c.Inv(maj, j) {
+			v = !v
+		}
+		if v {
+			n++
+		}
+	}
+	return n >= 2
+}
+
+// InvMasks returns, for output `maj`, the three XOR word masks implementing
+// the configured inverters (all-ones where an inverter is present). Used by
+// the bit-parallel simulator.
+func (c Config) InvMasks(maj int) (m0, m1, m2 uint64) {
+	if c.Inv(maj, 0) {
+		m0 = ^uint64(0)
+	}
+	if c.Inv(maj, 1) {
+		m1 = ^uint64(0)
+	}
+	if c.Inv(maj, 2) {
+		m2 = ^uint64(0)
+	}
+	return
+}
+
+// Cost model from the paper's experimental section: a buffer and a splitter
+// have 2 JJs each and a 3-input majority has 6, so an RQFP gate
+// (3 splitters + 3 majorities) has 24 JJs and an RQFP buffer (two cascaded
+// AQFP buffers) has 4.
+const (
+	JJsPerGate   = 24
+	JJsPerBuffer = 4
+)

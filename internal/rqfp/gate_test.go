@@ -1,0 +1,196 @@
+package rqfp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigNotationPaperExamples(t *testing.T) {
+	// The paper gives 352 = "101-100-000" and, after flipping bits 3,4,5,
+	// 344 = "101-011-000".
+	if got := Config(352).String(); got != "101-100-000" {
+		t.Fatalf("Config(352) = %s, want 101-100-000", got)
+	}
+	c := Config(352).FlipBit(3).FlipBit(4).FlipBit(5)
+	if c != 344 {
+		t.Fatalf("352 after flipping bits 3..5 = %d, want 344", c)
+	}
+	if got := c.String(); got != "101-011-000" {
+		t.Fatalf("Config(344) = %s, want 101-011-000", got)
+	}
+}
+
+func TestParseConfigRoundTrip(t *testing.T) {
+	for c := Config(0); c < NumConfigs; c++ {
+		p, err := ParseConfig(c.String())
+		if err != nil {
+			t.Fatalf("config %d: %v", c, err)
+		}
+		if p != c {
+			t.Fatalf("round trip %d -> %s -> %d", c, c.String(), p)
+		}
+	}
+	for _, bad := range []string{"", "111", "111-000", "11-000-000", "abc-000-000", "111-000-000-000"} {
+		if _, err := ParseConfig(bad); err == nil {
+			t.Fatalf("ParseConfig(%q) should fail", bad)
+		}
+	}
+}
+
+func TestConfigNormalSemantics(t *testing.T) {
+	// Normal gate: R(a,b,c) = {M(ā,b,c), M(a,b̄,c), M(a,b,c̄)}.
+	if ConfigNormal.String() != "100-010-001" {
+		t.Fatalf("ConfigNormal = %s", ConfigNormal)
+	}
+	maj := func(a, b, c bool) bool {
+		n := 0
+		for _, v := range []bool{a, b, c} {
+			if v {
+				n++
+			}
+		}
+		return n >= 2
+	}
+	for m := 0; m < 8; m++ {
+		a, b, c := m&1 == 1, m>>1&1 == 1, m>>2&1 == 1
+		in := [3]bool{a, b, c}
+		want := [3]bool{maj(!a, b, c), maj(a, !b, c), maj(a, b, !c)}
+		for out := 0; out < 3; out++ {
+			if got := ConfigNormal.OutputBool(out, in); got != want[out] {
+				t.Fatalf("normal gate input %03b output %d: got %v want %v", m, out, got, want[out])
+			}
+		}
+	}
+}
+
+func TestConfigNormalIsReversible(t *testing.T) {
+	// The normal RQFP gate is a bijection on 3 bits (the paper's premise).
+	seen := make(map[int]bool)
+	for m := 0; m < 8; m++ {
+		in := [3]bool{m&1 == 1, m>>1&1 == 1, m>>2&1 == 1}
+		out := 0
+		for j := 0; j < 3; j++ {
+			if ConfigNormal.OutputBool(j, in) {
+				out |= 1 << uint(j)
+			}
+		}
+		if seen[out] {
+			t.Fatalf("normal gate not injective: output %03b repeated", out)
+		}
+		seen[out] = true
+	}
+}
+
+func TestSplitterSemantics(t *testing.T) {
+	// R(1, a, 0) with the splitter config yields {a, a, a} (paper §2.1).
+	if ConfigSplitter.String() != "000-000-111" {
+		t.Fatalf("ConfigSplitter = %s", ConfigSplitter)
+	}
+	for _, a := range []bool{false, true} {
+		in := [3]bool{true, a, true} // third input is constant 1, inverted by config
+		for m := 0; m < 3; m++ {
+			if got := ConfigSplitter.OutputBool(m, in); got != a {
+				t.Fatalf("splitter output %d = %v, want %v", m, got, a)
+			}
+		}
+	}
+}
+
+func TestAndGateViaConstant(t *testing.T) {
+	// Paper §3.1: R(a,b,1) with the normal config =
+	// {ā+b, a+b̄, ab}: the third output is AND.
+	for m := 0; m < 4; m++ {
+		a, b := m&1 == 1, m>>1&1 == 1
+		in := [3]bool{a, b, true}
+		if got := ConfigNormal.OutputBool(0, in); got != (!a || b) {
+			t.Fatalf("output 1 at %02b: got %v want %v", m, got, !a || b)
+		}
+		if got := ConfigNormal.OutputBool(1, in); got != (a || !b) {
+			t.Fatalf("output 2 at %02b: got %v want %v", m, got, a || !b)
+		}
+		if got := ConfigNormal.OutputBool(2, in); got != (a && b) {
+			t.Fatalf("output 3 at %02b: got %v want %v", m, got, a && b)
+		}
+	}
+}
+
+func TestComplementMaj(t *testing.T) {
+	// ComplementMaj(m) must complement output m and leave the others alone.
+	f := func(cfgRaw uint16, majRaw uint8, inRaw uint8) bool {
+		cfg := Config(cfgRaw % NumConfigs)
+		maj := int(majRaw) % 3
+		in := [3]bool{inRaw&1 == 1, inRaw>>1&1 == 1, inRaw>>2&1 == 1}
+		flipped := cfg.ComplementMaj(maj)
+		for m := 0; m < 3; m++ {
+			want := cfg.OutputBool(m, in)
+			if m == maj {
+				want = !want
+			}
+			if flipped.OutputBool(m, in) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvertInputAll(t *testing.T) {
+	// InvertInputAll(j) must behave as complementing input j.
+	f := func(cfgRaw uint16, jRaw uint8, inRaw uint8) bool {
+		cfg := Config(cfgRaw % NumConfigs)
+		j := int(jRaw) % 3
+		in := [3]bool{inRaw&1 == 1, inRaw>>1&1 == 1, inRaw>>2&1 == 1}
+		inFlipped := in
+		inFlipped[j] = !inFlipped[j]
+		mod := cfg.InvertInputAll(j)
+		for m := 0; m < 3; m++ {
+			if mod.OutputBool(m, in) != cfg.OutputBool(m, inFlipped) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvMasksMatchOutputBool(t *testing.T) {
+	for cfg := Config(0); cfg < NumConfigs; cfg += 7 {
+		for m := 0; m < 3; m++ {
+			x0, x1, x2 := cfg.InvMasks(m)
+			for pat := 0; pat < 8; pat++ {
+				var a, b, c uint64
+				if pat&1 == 1 {
+					a = ^uint64(0)
+				}
+				if pat>>1&1 == 1 {
+					b = ^uint64(0)
+				}
+				if pat>>2&1 == 1 {
+					c = ^uint64(0)
+				}
+				aa, bb, cc := a^x0, b^x1, c^x2
+				word := aa&bb | aa&cc | bb&cc
+				want := cfg.OutputBool(m, [3]bool{pat&1 == 1, pat>>1&1 == 1, pat>>2&1 == 1})
+				if (word != 0) != want {
+					t.Fatalf("cfg %s maj %d pat %03b: mask eval %v want %v", cfg, m, pat, word != 0, want)
+				}
+			}
+		}
+	}
+}
+
+func TestFlipInv(t *testing.T) {
+	c := Config(0)
+	c2 := c.FlipInv(1, 2) // inverter before input 3 of majority 2
+	if !c2.Inv(1, 2) || c2.Inv(0, 2) || c2.Inv(1, 1) {
+		t.Fatalf("FlipInv set wrong bit: %s", c2)
+	}
+	if c2.FlipInv(1, 2) != c {
+		t.Fatal("FlipInv not involutive")
+	}
+}

@@ -1,0 +1,104 @@
+package rqfp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// optimalBuffers exhaustively searches level assignments of tiny netlists
+// (slack window bounded) for the minimum total buffer count under the same
+// model as DepthAndBuffers: PIs at level 0, constants free, gates strictly
+// above their sources, POs aligned to the maximum gate level.
+func optimalBuffers(n *Netlist, slack int) int {
+	nn := n.Shrink()
+	g := len(nn.Gates)
+	if g == 0 {
+		return 0
+	}
+	// ASAP levels as the base.
+	asap := make([]int, g)
+	srcLevel := func(s Signal, level []int) (int, bool) {
+		if s == ConstPort {
+			return 0, false
+		}
+		if nn.IsPI(s) {
+			return 0, true
+		}
+		gg, _, _ := nn.PortOwner(s)
+		return level[gg], true
+	}
+	for i := 0; i < g; i++ {
+		mx := 0
+		for _, in := range nn.Gates[i].In {
+			if l, ok := srcLevel(in, asap); ok && l >= mx {
+				mx = l
+			}
+		}
+		asap[i] = mx + 1
+	}
+	level := make([]int, g)
+	best := 1 << 30
+	var rec func(i int)
+	rec = func(i int) {
+		if i == g {
+			// Feasibility and cost.
+			depth := 0
+			for _, l := range level {
+				if l > depth {
+					depth = l
+				}
+			}
+			cost := 0
+			for k := 0; k < g; k++ {
+				for _, in := range nn.Gates[k].In {
+					if l, ok := srcLevel(in, level); ok {
+						gap := level[k] - 1 - l
+						if gap < 0 {
+							return // infeasible
+						}
+						cost += gap
+					}
+				}
+			}
+			for _, po := range nn.POs {
+				if l, ok := srcLevel(po, level); ok {
+					cost += depth - l
+				}
+			}
+			if cost < best {
+				best = cost
+			}
+			return
+		}
+		for d := 0; d <= slack; d++ {
+			level[i] = asap[i] + d
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+func TestLevelHeuristicAgainstExhaustiveOptimum(t *testing.T) {
+	r := rand.New(rand.NewSource(27))
+	worstGap := 0
+	for trial := 0; trial < 40; trial++ {
+		n := randomNetlist(3, 6, 2, r)
+		if n.NumActive() > 6 {
+			continue
+		}
+		_, heuristic := n.DepthAndBuffers()
+		opt := optimalBuffers(n, 3)
+		if heuristic < opt {
+			t.Fatalf("trial %d: heuristic %d below exhaustive optimum %d — enumeration or model bug",
+				trial, heuristic, opt)
+		}
+		if gap := heuristic - opt; gap > worstGap {
+			worstGap = gap
+		}
+		if heuristic > 2*opt+4 {
+			t.Fatalf("trial %d: heuristic %d far above optimum %d", trial, heuristic, opt)
+		}
+	}
+	t.Logf("worst heuristic-vs-optimal buffer gap over tiny netlists: %d", worstGap)
+}

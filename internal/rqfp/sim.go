@@ -1,0 +1,118 @@
+package rqfp
+
+import (
+	"github.com/reversible-eda/rcgp/internal/bits"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+// SimContext holds reusable simulation storage so the CGP inner loop can
+// evaluate thousands of offspring without allocating.
+type SimContext struct {
+	words int
+	ports []bits.Vec // indexed by Signal; ports[0] is all-ones (constant 1)
+}
+
+// NewSimContext allocates storage for a netlist with up to maxPorts ports
+// and the given stimulus width in words.
+func NewSimContext(maxPorts, words int) *SimContext {
+	ctx := &SimContext{words: words, ports: make([]bits.Vec, maxPorts)}
+	for i := range ctx.ports {
+		ctx.ports[i] = bits.NewWords(words)
+	}
+	ctx.ports[0].Fill(^uint64(0))
+	return ctx
+}
+
+// Words returns the stimulus width.
+func (ctx *SimContext) Words() int { return ctx.words }
+
+// Port returns the simulated vector of a signal after Run.
+func (ctx *SimContext) Port(s Signal) bits.Vec { return ctx.ports[s] }
+
+// Run simulates the netlist on the given per-PI stimulus. If active is
+// non-nil, inactive gates are skipped (their port vectors are stale). The
+// port vectors live in the context; output vectors can be read via Port.
+func (ctx *SimContext) Run(n *Netlist, inputs []bits.Vec, active []bool) {
+	if len(inputs) != n.NumPI {
+		panic("rqfp: wrong number of input vectors")
+	}
+	if n.NumPorts() > len(ctx.ports) {
+		old := len(ctx.ports)
+		for i := old; i < n.NumPorts(); i++ {
+			ctx.ports = append(ctx.ports, bits.NewWords(ctx.words))
+		}
+	}
+	for i, in := range inputs {
+		copy(ctx.ports[n.PIPort(i)], in)
+	}
+	for g := range n.Gates {
+		if active != nil && !active[g] {
+			continue
+		}
+		gate := &n.Gates[g]
+		v0 := ctx.ports[gate.In[0]]
+		v1 := ctx.ports[gate.In[1]]
+		v2 := ctx.ports[gate.In[2]]
+		base := n.GateBase(g)
+		for m := 0; m < 3; m++ {
+			x0, x1, x2 := gate.Cfg.InvMasks(m)
+			out := ctx.ports[base+Signal(m)]
+			for w := 0; w < ctx.words; w++ {
+				a := v0[w] ^ x0
+				b := v1[w] ^ x1
+				c := v2[w] ^ x2
+				out[w] = a&b | a&c | b&c
+			}
+		}
+	}
+}
+
+// Simulate evaluates the netlist and returns one vector per primary output.
+func (n *Netlist) Simulate(inputs []bits.Vec) []bits.Vec {
+	words := 1
+	if len(inputs) > 0 {
+		words = len(inputs[0])
+	}
+	ctx := NewSimContext(n.NumPorts(), words)
+	ctx.Run(n, inputs, nil)
+	outs := make([]bits.Vec, len(n.POs))
+	for i, po := range n.POs {
+		outs[i] = ctx.ports[po].Clone()
+	}
+	return outs
+}
+
+// TruthTables collapses every primary output over all primary inputs.
+func (n *Netlist) TruthTables() []tt.TT {
+	ins := bits.ExhaustiveInputs(n.NumPI)
+	outs := n.Simulate(ins)
+	size := 1 << uint(n.NumPI)
+	res := make([]tt.TT, len(outs))
+	for i, o := range outs {
+		o.MaskTail(size)
+		res[i] = tt.TT{N: n.NumPI, Bits: o}
+	}
+	return res
+}
+
+// EvalBool evaluates the netlist on a single concrete input assignment
+// (bit i of `assignment` = primary input i). Reference semantics for tests.
+func (n *Netlist) EvalBool(assignment uint) []bool {
+	vals := make([]bool, n.NumPorts())
+	vals[ConstPort] = true
+	for i := 0; i < n.NumPI; i++ {
+		vals[n.PIPort(i)] = assignment>>uint(i)&1 == 1
+	}
+	for g := range n.Gates {
+		gate := &n.Gates[g]
+		in := [3]bool{vals[gate.In[0]], vals[gate.In[1]], vals[gate.In[2]]}
+		for m := 0; m < 3; m++ {
+			vals[n.Port(g, m)] = gate.Cfg.OutputBool(m, in)
+		}
+	}
+	outs := make([]bool, len(n.POs))
+	for i, po := range n.POs {
+		outs[i] = vals[po]
+	}
+	return outs
+}

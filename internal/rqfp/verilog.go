@@ -1,0 +1,96 @@
+package rqfp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteVerilog exports the active part of the netlist as a structural
+// Verilog module: each RQFP gate output becomes a continuous assignment of
+// its configured three-input majority, so the circuit can be re-simulated
+// by any Verilog tool (including this repository's own parser, which the
+// tests use to round-trip).
+func (n *Netlist) WriteVerilog(w io.Writer, module string) error {
+	if module == "" {
+		module = "rqfp"
+	}
+	bw := bufio.NewWriter(w)
+	active := n.ActiveGates()
+
+	sig := func(s Signal) string {
+		switch {
+		case s == ConstPort:
+			return "1'b1"
+		case n.IsPI(s):
+			return fmt.Sprintf("x%d", int(s)-1)
+		default:
+			g, m, _ := n.PortOwner(s)
+			return fmt.Sprintf("g%d_%d", g, m)
+		}
+	}
+
+	fmt.Fprintf(bw, "// RQFP netlist export: %d gates, %d garbage outputs\n", n.NumActive(), n.Garbage())
+	fmt.Fprintf(bw, "module %s (", module)
+	for i := 0; i < n.NumPI; i++ {
+		fmt.Fprintf(bw, "x%d, ", i)
+	}
+	for i := range n.POs {
+		if i > 0 {
+			fmt.Fprint(bw, ", ")
+		}
+		fmt.Fprintf(bw, "y%d", i)
+	}
+	fmt.Fprintln(bw, ");")
+	if n.NumPI > 0 {
+		fmt.Fprint(bw, "  input")
+		for i := 0; i < n.NumPI; i++ {
+			if i > 0 {
+				fmt.Fprint(bw, ",")
+			}
+			fmt.Fprintf(bw, " x%d", i)
+		}
+		fmt.Fprintln(bw, ";")
+	}
+	fmt.Fprint(bw, "  output")
+	for i := range n.POs {
+		if i > 0 {
+			fmt.Fprint(bw, ",")
+		}
+		fmt.Fprintf(bw, " y%d", i)
+	}
+	fmt.Fprintln(bw, ";")
+
+	for g := range n.Gates {
+		if !active[g] {
+			continue
+		}
+		for m := 0; m < 3; m++ {
+			fmt.Fprintf(bw, "  wire g%d_%d;\n", g, m)
+		}
+	}
+	for g := range n.Gates {
+		if !active[g] {
+			continue
+		}
+		gate := &n.Gates[g]
+		for m := 0; m < 3; m++ {
+			var term [3]string
+			for j := 0; j < 3; j++ {
+				s := sig(gate.In[j])
+				if gate.Cfg.Inv(m, j) {
+					s = "(~" + s + ")"
+				}
+				term[j] = s
+			}
+			// MAJ(a,b,c) = ab + ac + bc.
+			fmt.Fprintf(bw, "  assign g%d_%d = (%s & %s) | (%s & %s) | (%s & %s);\n",
+				g, m, term[0], term[1], term[0], term[2], term[1], term[2])
+		}
+	}
+	for i, po := range n.POs {
+		fmt.Fprintf(bw, "  assign y%d = %s;\n", i, sig(po))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}

@@ -1,0 +1,54 @@
+package rqfp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/verilog"
+)
+
+func TestWriteVerilogRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 25; trial++ {
+		n := randomNetlist(3+r.Intn(3), 5+r.Intn(15), 2+r.Intn(3), r)
+		var buf bytes.Buffer
+		if err := n.WriteVerilog(&buf, "export"); err != nil {
+			t.Fatal(err)
+		}
+		a, err := verilog.Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d: exported Verilog does not parse: %v\n%s", trial, err, buf.String())
+		}
+		if a.NumPIs() != n.NumPI || a.NumPOs() != len(n.POs) {
+			t.Fatalf("trial %d: interface mismatch", trial)
+		}
+		want := n.TruthTables()
+		got := a.TruthTables()
+		for i := range want {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("trial %d output %d: Verilog export changed the function\n%s",
+					trial, i, buf.String())
+			}
+		}
+	}
+}
+
+func TestWriteVerilogAndGate(t *testing.T) {
+	n := andGateNetlist()
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	a, err := verilog.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	tts := a.TruthTables()
+	for s := uint(0); s < 4; s++ {
+		want := s == 3
+		if tts[0].Get(s) != want {
+			t.Fatalf("AND export wrong at %d", s)
+		}
+	}
+}

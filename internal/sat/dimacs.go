@@ -1,0 +1,100 @@
+package sat
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseDIMACS reads a CNF formula in DIMACS format into a fresh solver.
+// Variables are dense: DIMACS variable k maps to solver variable k-1.
+func ParseDIMACS(r io.Reader) (*Solver, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	s := New()
+	declared := -1
+	var clause []Lit
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "c") {
+			continue
+		}
+		if strings.HasPrefix(text, "p") {
+			fields := strings.Fields(text)
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("sat: line %d: bad problem line %q", line, text)
+			}
+			nv, err := strconv.Atoi(fields[2])
+			if err != nil || nv < 0 {
+				return nil, fmt.Errorf("sat: line %d: bad variable count", line)
+			}
+			declared = nv
+			for s.NumVars() < nv {
+				s.NewVar()
+			}
+			continue
+		}
+		if declared < 0 {
+			return nil, fmt.Errorf("sat: line %d: clause before problem line", line)
+		}
+		for _, f := range strings.Fields(text) {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("sat: line %d: bad literal %q", line, f)
+			}
+			if v == 0 {
+				s.AddClause(clause...)
+				clause = clause[:0]
+				continue
+			}
+			abs := v
+			if abs < 0 {
+				abs = -abs
+			}
+			if abs > declared {
+				return nil, fmt.Errorf("sat: line %d: literal %d exceeds declared %d variables", line, v, declared)
+			}
+			clause = append(clause, MkLit(abs-1, v < 0))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(clause) > 0 {
+		s.AddClause(clause...)
+	}
+	return s, nil
+}
+
+// WriteDIMACS emits clauses in DIMACS format. Because the solver stores
+// clauses post-simplification, this is a debugging/interchange aid rather
+// than a bit-exact echo of the input.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	count := 0
+	for i := range s.clauses {
+		if s.clauses[i].lits != nil && !s.clauses[i].learnt {
+			count++
+		}
+	}
+	fmt.Fprintf(bw, "p cnf %d %d\n", s.numVars, count)
+	for i := range s.clauses {
+		c := &s.clauses[i]
+		if c.lits == nil || c.learnt {
+			continue
+		}
+		for _, l := range c.lits {
+			v := l.Var() + 1
+			if l.Neg() {
+				v = -v
+			}
+			fmt.Fprintf(bw, "%d ", v)
+		}
+		fmt.Fprintln(bw, 0)
+	}
+	return bw.Flush()
+}

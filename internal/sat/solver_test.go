@@ -1,0 +1,352 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLitBasics(t *testing.T) {
+	p := MkLit(3, false)
+	n := MkLit(3, true)
+	if p.Var() != 3 || n.Var() != 3 {
+		t.Fatal("Var wrong")
+	}
+	if p.Neg() || !n.Neg() {
+		t.Fatal("Neg wrong")
+	}
+	if p.Not() != n || n.Not() != p {
+		t.Fatal("Not wrong")
+	}
+	if p.String() != "x3" || n.String() != "!x3" {
+		t.Fatalf("String wrong: %s %s", p, n)
+	}
+}
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	b := s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	s.AddClause(MkLit(a, true))
+	st, err := s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("status %v err %v", st, err)
+	}
+	if s.Value(a) {
+		t.Fatal("a must be false")
+	}
+	if !s.Value(b) {
+		t.Fatal("b must be true")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	s.AddClause(MkLit(a, false))
+	if ok := s.AddClause(MkLit(a, true)); ok {
+		t.Fatal("adding complementary unit should fail")
+	}
+	st, _ := s.Solve()
+	if st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	s.NewVar()
+	if s.AddClause() {
+		t.Fatal("empty clause should report unsat")
+	}
+	st, _ := s.Solve()
+	if st != Unsat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	a := s.NewVar()
+	if !s.AddClause(MkLit(a, false), MkLit(a, true)) {
+		t.Fatal("tautology rejected")
+	}
+	st, _ := s.Solve()
+	if st != Sat {
+		t.Fatalf("status %v", st)
+	}
+}
+
+// xorClauses encodes a XOR b XOR c = rhs.
+func xorClauses(s *Solver, a, b, c int, rhs bool) {
+	for m := 0; m < 8; m++ {
+		ones := m&1 + m>>1&1 + m>>2&1
+		val := ones%2 == 1
+		if val != rhs {
+			// Forbid assignment m.
+			s.AddClause(
+				MkLit(a, m&1 == 1),
+				MkLit(b, m>>1&1 == 1),
+				MkLit(c, m>>2&1 == 1),
+			)
+		}
+	}
+}
+
+func TestXorChain(t *testing.T) {
+	s := New()
+	n := 12
+	vars := make([]int, n)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	// x0^x1^x2=1, x2^x3^x4=1, ... overlapping chain.
+	for i := 0; i+2 < n; i += 2 {
+		xorClauses(s, vars[i], vars[i+1], vars[i+2], true)
+	}
+	st, err := s.Solve()
+	if err != nil || st != Sat {
+		t.Fatalf("status %v err %v", st, err)
+	}
+	for i := 0; i+2 < n; i += 2 {
+		v := s.Value(vars[i]) != s.Value(vars[i+1])
+		v = v != s.Value(vars[i+2])
+		if !v {
+			t.Fatalf("xor constraint %d violated", i)
+		}
+	}
+}
+
+// pigeonhole builds the classic PHP(n+1, n) formula: n+1 pigeons, n holes.
+func pigeonhole(pigeons, holes int) *Solver {
+	s := New()
+	v := make([][]int, pigeons)
+	for p := range v {
+		v[p] = make([]int, holes)
+		for h := range v[p] {
+			v[p][h] = s.NewVar()
+		}
+	}
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = MkLit(v[p][h], false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(MkLit(v[p1][h], true), MkLit(v[p2][h], true))
+			}
+		}
+	}
+	return s
+}
+
+func TestPigeonholeUnsat(t *testing.T) {
+	for n := 2; n <= 6; n++ {
+		s := pigeonhole(n+1, n)
+		st, err := s.Solve()
+		if err != nil {
+			t.Fatalf("php(%d): %v", n, err)
+		}
+		if st != Unsat {
+			t.Fatalf("php(%d) = %v, want UNSAT", n, st)
+		}
+	}
+}
+
+func TestPigeonholeSatWhenEnoughHoles(t *testing.T) {
+	s := pigeonhole(4, 4)
+	st, _ := s.Solve()
+	if st != Sat {
+		t.Fatalf("php(4,4) = %v, want SAT", st)
+	}
+}
+
+// bruteForce checks satisfiability of a clause set over n vars exhaustively.
+func bruteForce(n int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<uint(n); m++ {
+		ok := true
+		for _, cl := range clauses {
+			sat := false
+			for _, l := range cl {
+				bit := m>>uint(l.Var())&1 == 1
+				if bit != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + r.Intn(9) // 4..12 vars
+		m := n * (3 + r.Intn(3))
+		clauses := make([][]Lit, m)
+		for i := range clauses {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = MkLit(r.Intn(n), r.Intn(2) == 1)
+			}
+			clauses[i] = cl
+		}
+		s := New()
+		for v := 0; v < n; v++ {
+			s.NewVar()
+		}
+		addOK := true
+		for _, cl := range clauses {
+			if !s.AddClause(cl...) {
+				addOK = false
+				break
+			}
+		}
+		want := bruteForce(n, clauses)
+		if !addOK {
+			if want {
+				t.Fatalf("trial %d: solver claims top-level unsat, brute force says SAT", trial)
+			}
+			continue
+		}
+		st, err := s.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if (st == Sat) != want {
+			t.Fatalf("trial %d: solver=%v bruteforce=%v (n=%d m=%d)", trial, st, want, n, m)
+		}
+		if st == Sat {
+			// Check the model actually satisfies every clause.
+			for ci, cl := range clauses {
+				ok := false
+				for _, l := range cl {
+					if s.ValueLit(l) {
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d: model violates clause %d", trial, ci)
+				}
+			}
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	a, b := s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false)) // a | b
+	st, _ := s.Solve(MkLit(a, true), MkLit(b, true))
+	if st != Unsat {
+		t.Fatalf("assuming !a & !b should be UNSAT, got %v", st)
+	}
+	// Solver must remain usable after assumption-unsat.
+	st, _ = s.Solve(MkLit(a, true))
+	if st != Sat {
+		t.Fatalf("assuming !a should be SAT, got %v", st)
+	}
+	if s.Value(a) || !s.Value(b) {
+		t.Fatal("model violates assumption semantics")
+	}
+	st, _ = s.Solve()
+	if st != Sat {
+		t.Fatalf("unconstrained solve should be SAT, got %v", st)
+	}
+}
+
+func TestIncrementalAddAfterSolve(t *testing.T) {
+	s := New()
+	a, b, c := s.NewVar(), s.NewVar(), s.NewVar()
+	s.AddClause(MkLit(a, false), MkLit(b, false))
+	st, _ := s.Solve()
+	if st != Sat {
+		t.Fatal("phase 1 should be SAT")
+	}
+	s.AddClause(MkLit(a, true))
+	s.AddClause(MkLit(b, true), MkLit(c, false))
+	st, _ = s.Solve()
+	if st != Sat {
+		t.Fatal("phase 2 should be SAT")
+	}
+	if s.Value(a) {
+		t.Fatal("a must be false")
+	}
+	if !s.Value(b) {
+		t.Fatal("b must be true")
+	}
+	if !s.Value(c) {
+		t.Fatal("c must be true")
+	}
+}
+
+func TestConflictLimit(t *testing.T) {
+	s := pigeonhole(9, 8) // hard enough to take >5 conflicts
+	s.ConflictLimit = 5
+	st, err := s.Solve()
+	if err != ErrLimit || st != Unknown {
+		t.Fatalf("status %v err %v, want Unknown/ErrLimit", st, err)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Fatal("Status.String wrong")
+	}
+}
+
+func TestStatsNonZero(t *testing.T) {
+	s := pigeonhole(5, 4)
+	if st, _ := s.Solve(); st != Unsat {
+		t.Fatal("expected unsat")
+	}
+	conflicts, decisions, props, _ := s.Stats()
+	if conflicts == 0 || decisions == 0 || props == 0 {
+		t.Fatalf("stats look wrong: %d %d %d", conflicts, decisions, props)
+	}
+}
+
+func BenchmarkPigeonhole8(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := pigeonhole(8, 7)
+		if st, _ := s.Solve(); st != Unsat {
+			b.Fatal("expected unsat")
+		}
+	}
+}
+
+func BenchmarkRandom3SAT50(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := rand.New(rand.NewSource(int64(i)))
+		s := New()
+		n := 50
+		for v := 0; v < n; v++ {
+			s.NewVar()
+		}
+		for c := 0; c < 200; c++ {
+			s.AddClause(
+				MkLit(r.Intn(n), r.Intn(2) == 1),
+				MkLit(r.Intn(n), r.Intn(2) == 1),
+				MkLit(r.Intn(n), r.Intn(2) == 1),
+			)
+		}
+		if _, err := s.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package tables
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/bench"
+)
+
+func TestRunCircuitWithExact(t *testing.T) {
+	row, err := RunCircuit(bench.Decoder(2), Config{
+		Generations: 2000,
+		WithExact:   true,
+		ExactBudget: 2 * time.Minute,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Exact == nil || row.Exact.TimedOut {
+		t.Fatal("exact should finish on decoder_2_4")
+	}
+	if row.Exact.Stats.Gates != 3 {
+		t.Fatalf("exact gates = %d, want 3 (paper)", row.Exact.Stats.Gates)
+	}
+	if row.RCGP.Gates > row.Init.Gates {
+		t.Fatal("RCGP worse than init")
+	}
+}
+
+func TestExactTimeoutMarker(t *testing.T) {
+	row, err := RunCircuit(bench.Decoder(3), Config{
+		Generations: 100,
+		WithExact:   true,
+		ExactBudget: time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Exact == nil || !row.Exact.TimedOut {
+		t.Fatal("expected timeout marker")
+	}
+	var buf bytes.Buffer
+	Render(&buf, "Table 1", []Row{row}, true)
+	if !strings.Contains(buf.String(), `\`) {
+		t.Fatalf("render misses timeout marker:\n%s", buf.String())
+	}
+}
+
+func TestRenderAndSummary(t *testing.T) {
+	var log bytes.Buffer
+	rows := []Row{}
+	for _, c := range []bench.Circuit{bench.Gt10(), bench.Graycode(4)} {
+		row, err := RunCircuit(c, Config{Generations: 1500, Seed: 3, Log: &log})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, row)
+	}
+	var buf bytes.Buffer
+	Render(&buf, "Table X", rows, false)
+	out := buf.String()
+	for _, want := range []string{"4gt10", "graycode4", "n_r", "JJs"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if log.Len() == 0 {
+		t.Fatal("progress log empty")
+	}
+	s := Summarize(rows)
+	if s.GateReduction < 0 || s.GateReduction > 1 {
+		t.Fatalf("gate reduction out of range: %v", s.GateReduction)
+	}
+	var sum bytes.Buffer
+	RenderSummary(&sum, "Table X", s, 50.8, 71.55)
+	if !strings.Contains(sum.String(), "paper") {
+		t.Fatal("summary render wrong")
+	}
+}
+
+func TestRenderJSON(t *testing.T) {
+	row, err := RunCircuit(bench.Gt10(), Config{Generations: 300, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := RenderJSON(&buf, "Table X", []Row{row}); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Title string
+		Rows  []Row
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if decoded.Title != "Table X" || len(decoded.Rows) != 1 || decoded.Rows[0].Name != "4gt10" {
+		t.Fatalf("decoded %+v", decoded)
+	}
+}

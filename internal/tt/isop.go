@@ -1,0 +1,159 @@
+package tt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cube is a product term over at most MaxVars variables. A variable appears
+// in the cube iff its bit is set in Mask; its polarity (1 = positive
+// literal) is then given by the corresponding bit of Pol.
+type Cube struct {
+	Mask uint32
+	Pol  uint32
+}
+
+// Lit adds literal v (positive if pos) to the cube and returns the result.
+func (c Cube) Lit(v int, pos bool) Cube {
+	c.Mask |= 1 << uint(v)
+	if pos {
+		c.Pol |= 1 << uint(v)
+	} else {
+		c.Pol &^= 1 << uint(v)
+	}
+	return c
+}
+
+// NumLits returns the number of literals in the cube.
+func (c Cube) NumLits() int {
+	n := 0
+	for m := c.Mask; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// Has reports whether variable v appears, and with which polarity.
+func (c Cube) Has(v int) (present, pos bool) {
+	bit := uint32(1) << uint(v)
+	return c.Mask&bit != 0, c.Pol&bit != 0
+}
+
+// Eval returns the cube's truth table over n variables.
+func (c Cube) Eval(n int) TT {
+	r := Const(n, true)
+	for v := 0; v < n; v++ {
+		if present, pos := c.Has(v); present {
+			x := Var(n, v)
+			if !pos {
+				x = x.Not()
+			}
+			r = r.And(x)
+		}
+	}
+	return r
+}
+
+// Contains reports whether the cube evaluates to true on the assignment.
+func (c Cube) Contains(assignment uint) bool {
+	return uint32(assignment)&c.Mask == c.Pol&c.Mask
+}
+
+// String renders the cube in the usual literal notation, e.g. "x0·!x2".
+func (c Cube) String() string {
+	if c.Mask == 0 {
+		return "1"
+	}
+	var parts []string
+	for v := 0; v < MaxVars; v++ {
+		if present, pos := c.Has(v); present {
+			if pos {
+				parts = append(parts, fmt.Sprintf("x%d", v))
+			} else {
+				parts = append(parts, fmt.Sprintf("!x%d", v))
+			}
+		}
+	}
+	return strings.Join(parts, "·")
+}
+
+// Cover is a sum of cubes.
+type Cover []Cube
+
+// Eval returns the cover's truth table over n variables.
+func (cv Cover) Eval(n int) TT {
+	r := Const(n, false)
+	for _, c := range cv {
+		r = r.Or(c.Eval(n))
+	}
+	return r
+}
+
+// NumLits returns the total literal count of the cover.
+func (cv Cover) NumLits() int {
+	n := 0
+	for _, c := range cv {
+		n += c.NumLits()
+	}
+	return n
+}
+
+// ISOP computes an irredundant sum-of-products cover of f using the
+// Minato-Morreale procedure on the interval [f, f] (completely specified).
+func ISOP(f TT) Cover {
+	cover, _ := isop(f, f, f.N-1)
+	return cover
+}
+
+// ISOPInterval computes an irredundant cover C with on ⊆ C ⊆ upper. The
+// caller must guarantee on ⊆ upper. It is used for don't-care-aware
+// refactoring.
+func ISOPInterval(on, upper TT) Cover {
+	cover, _ := isop(on, upper, on.N-1)
+	return cover
+}
+
+// isop implements Minato-Morreale over variables 0..v. It returns the cover
+// and its evaluated truth table (to avoid re-evaluation in the recursion).
+func isop(lower, upper TT, v int) (Cover, TT) {
+	if lower.IsConst0() {
+		return nil, Const(lower.N, false)
+	}
+	if upper.IsConst1() {
+		return Cover{{}}, Const(lower.N, true)
+	}
+	// Find the top variable on which either bound depends.
+	for v >= 0 && !lower.DependsOn(v) && !upper.DependsOn(v) {
+		v--
+	}
+	if v < 0 {
+		// lower is a non-zero constant function over remaining vars while
+		// upper is not const1: impossible for a valid interval.
+		panic("tt: invalid ISOP interval")
+	}
+	l0, l1 := lower.Cofactor0(v), lower.Cofactor1(v)
+	u0, u1 := upper.Cofactor0(v), upper.Cofactor1(v)
+
+	// Cubes that must include literal ¬v: cover l0 minus what u1 allows.
+	c0, f0 := isop(l0.And(u1.Not()), u0, v-1)
+	// Cubes that must include literal v.
+	c1, f1 := isop(l1.And(u0.Not()), u1, v-1)
+	// Remaining onset handled by cubes independent of v.
+	lr0 := l0.And(f0.Not())
+	lr1 := l1.And(f1.Not())
+	cr, fr := isop(lr0.Or(lr1), u0.And(u1), v-1)
+
+	cover := make(Cover, 0, len(c0)+len(c1)+len(cr))
+	for _, c := range c0 {
+		cover = append(cover, c.Lit(v, false))
+	}
+	for _, c := range c1 {
+		cover = append(cover, c.Lit(v, true))
+	}
+	cover = append(cover, cr...)
+
+	// Result function: fr + ¬v·f0 + v·f1.
+	xv := Var(lower.N, v)
+	res := fr.Or(xv.Not().And(f0)).Or(xv.And(f1))
+	return cover, res
+}

@@ -1,0 +1,145 @@
+package tt
+
+import "fmt"
+
+// NPN canonicalization: two functions are NPN-equivalent when one becomes
+// the other under input negations, input permutation, and output negation.
+// Logic rewriting engines key their structure caches on the canonical
+// class representative; RQFP inverter configurations make all sixteen
+// polarity variants of a majority free, so NPN classes are the natural
+// granularity for RQFP-oriented matching too (internal/mig's majority
+// lookup is a special case). Exact canonicalization is provided for up to
+// NPNMaxVars variables by exhaustive transform search.
+
+// NPNMaxVars bounds exact NPN canonicalization (2·n!·2ⁿ transforms).
+const NPNMaxVars = 5
+
+// NPNTransform describes g(x) = f(π(x ⊕ inputNeg)) ⊕ outputNeg, i.e. how
+// to transform the original function into its canonical representative.
+type NPNTransform struct {
+	Perm      [NPNMaxVars]uint8 // canonical input i reads original input Perm[i]
+	InputNeg  uint32            // bit i: original input Perm[i] is complemented
+	OutputNeg bool
+	N         int
+}
+
+// Apply transforms f by the recorded permutation/negations.
+func (tr NPNTransform) Apply(f TT) TT {
+	if f.N != tr.N {
+		panic(fmt.Sprintf("tt: transform over %d vars applied to %d-var function", tr.N, f.N))
+	}
+	g := New(f.N)
+	for s := uint(0); s < 1<<uint(f.N); s++ {
+		// Build the original assignment corresponding to canonical s.
+		var orig uint
+		for i := 0; i < f.N; i++ {
+			bit := s >> uint(i) & 1
+			if tr.InputNeg>>uint(i)&1 == 1 {
+				bit ^= 1
+			}
+			if bit == 1 {
+				orig |= 1 << uint(tr.Perm[i])
+			}
+		}
+		v := f.Get(orig)
+		if tr.OutputNeg {
+			v = !v
+		}
+		g.Set(s, v)
+	}
+	return g
+}
+
+// NPNCanonical returns the lexicographically smallest truth table in f's
+// NPN class together with the transform that produces it from f.
+func NPNCanonical(f TT) (TT, NPNTransform) {
+	if f.N > NPNMaxVars {
+		panic(fmt.Sprintf("tt: NPN canonicalization limited to %d vars", NPNMaxVars))
+	}
+	n := f.N
+	size := uint(1) << uint(n)
+	orig := uint64(0)
+	for s := uint(0); s < size; s++ {
+		if f.Get(s) {
+			orig |= 1 << s
+		}
+	}
+
+	perms := permutations(n)
+	bestBits := ^uint64(0)
+	if size < 64 {
+		bestBits = 1<<size - 1
+	}
+	var best NPNTransform
+	first := true
+
+	for _, perm := range perms {
+		for neg := uint32(0); neg < 1<<uint(n); neg++ {
+			// Transform the packed table.
+			var bits uint64
+			for s := uint(0); s < size; s++ {
+				var o uint
+				for i := 0; i < n; i++ {
+					bit := s >> uint(i) & 1
+					if neg>>uint(i)&1 == 1 {
+						bit ^= 1
+					}
+					if bit == 1 {
+						o |= 1 << uint(perm[i])
+					}
+				}
+				if orig>>o&1 == 1 {
+					bits |= 1 << s
+				}
+			}
+			for _, outNeg := range []bool{false, true} {
+				cand := bits
+				if outNeg {
+					cand = ^bits
+					if size < 64 {
+						cand &= 1<<size - 1
+					}
+				}
+				if first || cand < bestBits {
+					first = false
+					bestBits = cand
+					best = NPNTransform{InputNeg: neg, OutputNeg: outNeg, N: n}
+					copy(best.Perm[:], perm)
+				}
+			}
+		}
+	}
+
+	canon := New(n)
+	for s := uint(0); s < size; s++ {
+		if bestBits>>s&1 == 1 {
+			canon.Set(s, true)
+		}
+	}
+	return canon, best
+}
+
+// permutations enumerates all permutations of 0..n-1.
+func permutations(n int) [][]uint8 {
+	base := make([]uint8, n)
+	for i := range base {
+		base[i] = uint8(i)
+	}
+	var out [][]uint8
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			p := make([]uint8, n)
+			copy(p, base)
+			out = append(out, p)
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,110 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNPNTransformApplyIdentity(t *testing.T) {
+	f := FromFunc(3, func(s uint) bool { return s == 5 || s == 6 })
+	tr := NPNTransform{Perm: [NPNMaxVars]uint8{0, 1, 2}, N: 3}
+	if !tr.Apply(f).Equal(f) {
+		t.Fatal("identity transform changed function")
+	}
+}
+
+func TestNPNCanonicalIsInClass(t *testing.T) {
+	// The canonical form must equal tr.Apply(f).
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(4)
+		f := New(n)
+		f.Bits.Randomize(r)
+		f.Bits.MaskTail(f.Size())
+		canon, tr := NPNCanonical(f)
+		if !tr.Apply(f).Equal(canon) {
+			t.Fatalf("trial %d: transform does not reproduce the canonical form", trial)
+		}
+	}
+}
+
+func TestNPNCanonicalInvariantUnderRandomTransforms(t *testing.T) {
+	// Applying random NPN transforms must not change the canonical form.
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(3)
+		f := New(n)
+		f.Bits.Randomize(r)
+		f.Bits.MaskTail(f.Size())
+		canon1, _ := NPNCanonical(f)
+
+		perm := make([]uint8, n)
+		for i := range perm {
+			perm[i] = uint8(i)
+		}
+		r.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		tr := NPNTransform{InputNeg: uint32(r.Intn(1 << uint(n))), OutputNeg: r.Intn(2) == 1, N: n}
+		copy(tr.Perm[:], perm)
+		g := tr.Apply(f)
+
+		canon2, _ := NPNCanonical(g)
+		if !canon1.Equal(canon2) {
+			t.Fatalf("trial %d: canonical form not invariant\nf  = %s\ng  = %s\nc1 = %s\nc2 = %s",
+				trial, f, g, canon1, canon2)
+		}
+	}
+}
+
+func TestNPNClassCounts(t *testing.T) {
+	// Classic results: 2-var functions form 4 NPN classes, 3-var form 14.
+	for _, c := range []struct{ n, want int }{{1, 2}, {2, 4}, {3, 14}} {
+		classes := map[string]bool{}
+		for bits := uint64(0); bits < 1<<(1<<uint(c.n)); bits++ {
+			f := New(c.n)
+			f.Bits[0] = bits
+			canon, _ := NPNCanonical(f)
+			classes[canon.Hex()] = true
+		}
+		if len(classes) != c.want {
+			t.Fatalf("n=%d: %d NPN classes, want %d", c.n, len(classes), c.want)
+		}
+	}
+}
+
+func TestNPNMajoritySelfDual(t *testing.T) {
+	// All polarity variants of MAJ3 share one class; XOR3 is in another.
+	maj := FromFunc(3, func(s uint) bool { return s&1+s>>1&1+s>>2&1 >= 2 })
+	cm, _ := NPNCanonical(maj)
+	majInv := FromFunc(3, func(s uint) bool { return !(s&1 == 1) && s>>1&1 == 1 || (!(s&1 == 1) || s>>1&1 == 1) && s>>2&1 == 1 })
+	_ = majInv
+	variant := FromFunc(3, func(s uint) bool {
+		a, b, c := s&1 == 0, s>>1&1 == 1, s>>2&1 == 0 // ā, b, c̄
+		n := 0
+		for _, v := range []bool{a, b, c} {
+			if v {
+				n++
+			}
+		}
+		return n < 2 // output negated too
+	})
+	cv, _ := NPNCanonical(variant)
+	if !cm.Equal(cv) {
+		t.Fatal("majority polarity variant not in the same NPN class")
+	}
+	xor := FromFunc(3, func(s uint) bool { return (s&1 ^ s>>1&1 ^ s>>2&1) == 1 })
+	cx, _ := NPNCanonical(xor)
+	if cm.Equal(cx) {
+		t.Fatal("XOR3 and MAJ3 must be in different classes")
+	}
+}
+
+func BenchmarkNPNCanonical4(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	f := New(4)
+	f.Bits.Randomize(r)
+	f.Bits.MaskTail(f.Size())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NPNCanonical(f)
+	}
+}

@@ -1,0 +1,34 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the structural-Verilog parser never panics.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		c17Verilog,
+		"module m (a, y); input a; output y; assign y = ~a; endmodule",
+		"module m (a, y); input a; output y; assign y = ((((a))));; endmodule",
+		"module m (a, y); input a; output y; assign y = 1'b0 ^ 1'b1 & a | ~a; endmodule",
+		"module m (a, y); input a; output y; nand g(y, a, a, a, a, a); endmodule",
+		"module",
+		"/* unterminated",
+		"// only a comment",
+		"module m (a); input a; output a; assign a = a; endmodule",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if a.NumPIs() == 0 {
+			t.Fatal("accepted module without inputs")
+		}
+	})
+}

@@ -1,0 +1,392 @@
+// Package verilog parses a gate-level structural Verilog subset — the
+// entry format the RCGP paper's RTL front door accepts. Supported:
+// module/endmodule, input/output/wire declarations, the gate primitives
+// and/or/nand/nor/xor/xnor/not/buf, and continuous assignments with the
+// operators ~ & ^ | and parentheses, plus the constants 1'b0/1'b1.
+package verilog
+
+import (
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+)
+
+// Parse reads one module and returns it as an AIG.
+func Parse(r io.Reader) (*aig.AIG, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	src := stripComments(string(raw))
+
+	// Split into ';'-terminated statements; 'endmodule' has no semicolon.
+	var stmts []string
+	for _, part := range strings.Split(src, ";") {
+		s := strings.TrimSpace(part)
+		if s != "" {
+			stmts = append(stmts, s)
+		}
+	}
+
+	var inputs, outputs []string
+	wires := map[string]bool{}
+	type gateInst struct {
+		kind string
+		args []string
+	}
+	type assign struct {
+		lhs  string
+		expr string
+	}
+	var gates []gateInst
+	var assigns []assign
+
+	identRe := regexp.MustCompile(`^[A-Za-z_][A-Za-z0-9_$]*$`)
+	splitNames := func(s string) ([]string, error) {
+		var out []string
+		for _, n := range strings.Split(s, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if !identRe.MatchString(n) {
+				return nil, fmt.Errorf("verilog: invalid identifier %q", n)
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	}
+
+	sawModule, sawEnd := false, false
+	for _, stmt := range stmts {
+		if i := strings.Index(stmt, "endmodule"); i >= 0 {
+			sawEnd = true
+			stmt = strings.TrimSpace(strings.Replace(stmt, "endmodule", "", 1))
+			if stmt == "" {
+				continue
+			}
+		}
+		fields := strings.Fields(stmt)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "module":
+			sawModule = true
+		case "input", "output", "wire":
+			rest := strings.TrimSpace(stmt[len(fields[0]):])
+			if strings.HasPrefix(rest, "[") {
+				return nil, fmt.Errorf("verilog: vector declarations unsupported: %q", stmt)
+			}
+			names, err := splitNames(rest)
+			if err != nil {
+				return nil, err
+			}
+			switch fields[0] {
+			case "input":
+				inputs = append(inputs, names...)
+			case "output":
+				outputs = append(outputs, names...)
+			default:
+				for _, n := range names {
+					wires[n] = true
+				}
+			}
+		case "assign":
+			rest := strings.TrimSpace(stmt[len("assign"):])
+			eq := strings.Index(rest, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("verilog: assign without '=': %q", stmt)
+			}
+			lhs := strings.TrimSpace(rest[:eq])
+			if !identRe.MatchString(lhs) {
+				return nil, fmt.Errorf("verilog: bad assign target %q", lhs)
+			}
+			assigns = append(assigns, assign{lhs: lhs, expr: strings.TrimSpace(rest[eq+1:])})
+		case "and", "or", "nand", "nor", "xor", "xnor", "not", "buf":
+			open := strings.Index(stmt, "(")
+			close_ := strings.LastIndex(stmt, ")")
+			if open < 0 || close_ < open {
+				return nil, fmt.Errorf("verilog: malformed gate instance %q", stmt)
+			}
+			args, err := splitNames(stmt[open+1 : close_])
+			if err != nil {
+				return nil, err
+			}
+			if len(args) < 2 {
+				return nil, fmt.Errorf("verilog: gate %q needs output and inputs", stmt)
+			}
+			gates = append(gates, gateInst{kind: fields[0], args: args})
+		default:
+			return nil, fmt.Errorf("verilog: unsupported statement %q", stmt)
+		}
+	}
+	if !sawModule || !sawEnd {
+		return nil, fmt.Errorf("verilog: missing module/endmodule")
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("verilog: no inputs declared")
+	}
+
+	a := aig.New(len(inputs))
+	a.InputNames = append([]string(nil), inputs...)
+	a.OutputNames = append([]string(nil), outputs...)
+	signal := map[string]aig.Lit{}
+	for i, n := range inputs {
+		signal[n] = a.PI(i)
+	}
+
+	// Resolve gate instances and assigns iteratively (any order allowed).
+	// build returns errNotReady while fanins are still undefined.
+	type def struct {
+		lhs   string
+		build func() (aig.Lit, error)
+	}
+	var defs []def
+	for _, g := range gates {
+		g := g
+		defs = append(defs, def{lhs: g.args[0], build: func() (aig.Lit, error) {
+			ins := make([]aig.Lit, 0, len(g.args)-1)
+			for _, name := range g.args[1:] {
+				l, ok := signal[name]
+				if !ok {
+					return 0, undefinedSignal(name)
+				}
+				ins = append(ins, l)
+			}
+			switch g.kind {
+			case "and":
+				return a.AndN(ins), nil
+			case "nand":
+				return a.AndN(ins).Not(), nil
+			case "or":
+				return a.OrN(ins), nil
+			case "nor":
+				return a.OrN(ins).Not(), nil
+			case "xor", "xnor":
+				acc := ins[0]
+				for _, l := range ins[1:] {
+					acc = a.Xor(acc, l)
+				}
+				if g.kind == "xnor" {
+					acc = acc.Not()
+				}
+				return acc, nil
+			case "not":
+				return ins[0].Not(), nil
+			default: // buf
+				return ins[0], nil
+			}
+		}})
+	}
+	for _, as := range assigns {
+		as := as
+		defs = append(defs, def{lhs: as.lhs, build: func() (aig.Lit, error) {
+			p := exprParser{src: as.expr, a: a, signal: signal}
+			return p.parse()
+		}})
+	}
+	remaining := defs
+	for len(remaining) > 0 {
+		progress := false
+		var next []def
+		for _, d := range remaining {
+			lit, err := d.build()
+			if err != nil {
+				if _, undef := err.(undefinedSignal); undef {
+					next = append(next, d)
+					continue
+				}
+				return nil, err
+			}
+			if _, dup := signal[d.lhs]; dup {
+				return nil, fmt.Errorf("verilog: signal %q driven twice", d.lhs)
+			}
+			signal[d.lhs] = lit
+			progress = true
+		}
+		if !progress {
+			var names []string
+			for _, d := range next {
+				names = append(names, d.lhs)
+			}
+			return nil, fmt.Errorf("verilog: unresolved signals (cycle or undeclared input): %v", names)
+		}
+		remaining = next
+	}
+
+	for _, out := range outputs {
+		lit, ok := signal[out]
+		if !ok {
+			return nil, fmt.Errorf("verilog: output %q undriven", out)
+		}
+		a.AddPO(lit)
+	}
+	return a, nil
+}
+
+func stripComments(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); {
+		switch {
+		case strings.HasPrefix(s[i:], "//"):
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case strings.HasPrefix(s[i:], "/*"):
+			end := strings.Index(s[i+2:], "*/")
+			if end < 0 {
+				return sb.String()
+			}
+			i += end + 4
+		default:
+			sb.WriteByte(s[i])
+			i++
+		}
+	}
+	return sb.String()
+}
+
+type undefinedSignal string
+
+func (u undefinedSignal) Error() string {
+	return fmt.Sprintf("verilog: undefined signal %q", string(u))
+}
+
+// exprParser is a recursive-descent parser for assign expressions with
+// precedence ~ > & > ^ > |.
+type exprParser struct {
+	src    string
+	pos    int
+	a      *aig.AIG
+	signal map[string]aig.Lit
+}
+
+func (p *exprParser) parse() (aig.Lit, error) {
+	lit, err := p.parseOr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("verilog: trailing junk in expression %q", p.src[p.pos:])
+	}
+	return lit, nil
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n' || p.src[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *exprParser) parseOr() (aig.Lit, error) {
+	l, err := p.parseXor()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == '|' {
+		p.pos++
+		r, err := p.parseXor()
+		if err != nil {
+			return 0, err
+		}
+		l = p.a.Or(l, r)
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseXor() (aig.Lit, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == '^' {
+		p.pos++
+		r, err := p.parseAnd()
+		if err != nil {
+			return 0, err
+		}
+		l = p.a.Xor(l, r)
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseAnd() (aig.Lit, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for p.peek() == '&' {
+		p.pos++
+		r, err := p.parseUnary()
+		if err != nil {
+			return 0, err
+		}
+		l = p.a.And(l, r)
+	}
+	return l, nil
+}
+
+func (p *exprParser) parseUnary() (aig.Lit, error) {
+	switch p.peek() {
+	case '~':
+		p.pos++
+		l, err := p.parseUnary()
+		if err != nil {
+			return 0, err
+		}
+		return l.Not(), nil
+	case '(':
+		p.pos++
+		l, err := p.parseOr()
+		if err != nil {
+			return 0, err
+		}
+		if p.peek() != ')' {
+			return 0, fmt.Errorf("verilog: missing ')' in %q", p.src)
+		}
+		p.pos++
+		return l, nil
+	case '1':
+		if strings.HasPrefix(p.src[p.pos:], "1'b0") {
+			p.pos += 4
+			return aig.Const0, nil
+		}
+		if strings.HasPrefix(p.src[p.pos:], "1'b1") {
+			p.pos += 4
+			return aig.Const1, nil
+		}
+	}
+	// Identifier.
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || c == '$' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || (p.pos > start && c >= '0' && c <= '9') {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return 0, fmt.Errorf("verilog: expected operand at %q", p.src[start:])
+	}
+	name := p.src[start:p.pos]
+	lit, ok := p.signal[name]
+	if !ok {
+		return 0, undefinedSignal(name)
+	}
+	return lit, nil
+}

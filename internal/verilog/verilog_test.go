@@ -1,0 +1,162 @@
+package verilog
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+const c17Verilog = `
+// ISCAS-85 c17 benchmark
+module c17 (n1, n2, n3, n6, n7, n22, n23);
+  input n1, n2, n3, n6, n7;
+  output n22, n23;
+  wire n10, n11, n16, n19;
+  nand g0 (n10, n1, n3);
+  nand g1 (n11, n3, n6);
+  nand g2 (n16, n2, n11);
+  nand g3 (n19, n11, n7);
+  nand g4 (n22, n10, n16);
+  nand g5 (n23, n16, n19);
+endmodule
+`
+
+func TestParseC17(t *testing.T) {
+	a, err := Parse(strings.NewReader(c17Verilog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumPIs() != 5 || a.NumPOs() != 2 {
+		t.Fatalf("shape %d/%d", a.NumPIs(), a.NumPOs())
+	}
+	// Reference model: inputs x0..x4 = n1,n2,n3,n6,n7.
+	nand := func(x, y bool) bool { return !(x && y) }
+	want22 := tt.FromFunc(5, func(s uint) bool {
+		n1, n2, n3, n6 := s&1 == 1, s>>1&1 == 1, s>>2&1 == 1, s>>3&1 == 1
+		n10 := nand(n1, n3)
+		n11 := nand(n3, n6)
+		n16 := nand(n2, n11)
+		return nand(n10, n16)
+	})
+	want23 := tt.FromFunc(5, func(s uint) bool {
+		n2, n3, n6, n7 := s>>1&1 == 1, s>>2&1 == 1, s>>3&1 == 1, s>>4&1 == 1
+		n11 := nand(n3, n6)
+		n16 := nand(n2, n11)
+		n19 := nand(n11, n7)
+		return nand(n16, n19)
+	})
+	tts := a.TruthTables()
+	if !tts[0].Equal(want22) {
+		t.Fatalf("n22 wrong")
+	}
+	if !tts[1].Equal(want23) {
+		t.Fatalf("n23 wrong")
+	}
+}
+
+func TestParseAssignExpressions(t *testing.T) {
+	src := `
+module m (a, b, c, y, z);
+  input a, b, c;
+  output y, z;
+  wire w;
+  assign w = ~(a & b) | (b ^ c);
+  assign y = w & 1'b1;
+  assign z = c | 1'b0 & a; /* precedence: & binds tighter */
+endmodule
+`
+	a, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := a.TruthTables()
+	wantY := tt.FromFunc(3, func(s uint) bool {
+		av, bv, cv := s&1 == 1, s>>1&1 == 1, s>>2&1 == 1
+		return !(av && bv) || (bv != cv)
+	})
+	if !tts[0].Equal(wantY) {
+		t.Fatalf("y wrong: %s", tts[0])
+	}
+	wantZ := tt.FromFunc(3, func(s uint) bool { return s>>2&1 == 1 })
+	if !tts[1].Equal(wantZ) {
+		t.Fatalf("z wrong: %s", tts[1])
+	}
+}
+
+func TestParseOutOfOrderDefinitions(t *testing.T) {
+	src := `
+module m (a, y);
+  input a;
+  output y;
+  wire w1, w2;
+  assign y = w2;
+  assign w2 = ~w1;
+  not g(w1, a);
+endmodule
+`
+	a, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.TruthTables()[0].Equal(tt.Var(1, 0)) {
+		t.Fatal("double negation lost")
+	}
+}
+
+func TestParseMultiInputGatesAndBuf(t *testing.T) {
+	src := `
+module m (a, b, c, d, y1, y2, y3);
+  input a, b, c, d;
+  output y1, y2, y3;
+  and g1(y1, a, b, c, d);
+  xnor g2(y2, a, b);
+  buf g3(y3, a);
+endmodule
+`
+	a, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tts := a.TruthTables()
+	want1 := tt.FromFunc(4, func(s uint) bool { return s == 15 })
+	if !tts[0].Equal(want1) {
+		t.Fatal("4-and wrong")
+	}
+	want2 := tt.FromFunc(4, func(s uint) bool { return (s&1 == 1) == (s>>1&1 == 1) })
+	if !tts[1].Equal(want2) {
+		t.Fatal("xnor wrong")
+	}
+	if !tts[2].Equal(tt.Var(4, 0)) {
+		t.Fatal("buf wrong")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"module m (a); input a; output y;", // no endmodule
+		"module m (y); output y; assign y = 1'b1; endmodule",                                // no inputs
+		"module m (a, y); input a; output y; endmodule",                                     // y undriven
+		"module m (a, y); input a; output y; assign y = q; endmodule",                       // undefined
+		"module m (a, y); input a; output y; assign y = (a; endmodule",                      // paren
+		"module m (a, y); input a; output y; assign y = a a; endmodule",                     // junk
+		"module m (a, y); input a; output y; flipflop f(y, a); endmodule",                   // unknown stmt
+		"module m (a, y); input a; output y; assign y = a; assign y = ~a; endmodule",        // double drive
+		"module m (a, y); input [1:0] a; output y; assign y = a; endmodule",                 // vectors
+		"module m (a, y); input a; output y; wire w; assign y = w; assign w = y; endmodule", // cycle
+	}
+	for i, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d should fail: %s", i, c)
+		}
+	}
+}
+
+func TestStripComments(t *testing.T) {
+	src := "a // line\nb /* block\nmore */ c"
+	got := stripComments(src)
+	if strings.Contains(got, "line") || strings.Contains(got, "block") || !strings.Contains(got, "c") {
+		t.Fatalf("stripComments = %q", got)
+	}
+}

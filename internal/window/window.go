@@ -1,0 +1,336 @@
+// Package window implements windowed CGP resynthesis for large RQFP
+// circuits, the scalability route the paper points to via Kocnova &
+// Vasicek's EA-based resynthesis: instead of evolving a million-gate
+// chromosome, repeatedly carve out a small subcircuit (a *window*),
+// optimize it with the ordinary CGP engine against its own exhaustively
+// simulated local function, and splice the improvement back.
+//
+// Windows are contiguous gate ranges of the (topologically ordered)
+// netlist. Contiguity makes splicing sound by construction: every external
+// source of the window lies before it and every external consumer after
+// it, so the optimized replacement drops into the same position without
+// re-sorting — and the single-fanout discipline carries over because the
+// window interface is exactly the set of ports crossing the range
+// boundary.
+package window
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/core"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+// Options tunes the windowed optimization.
+type Options struct {
+	// MaxGates bounds the window size (default 12).
+	MaxGates int
+	// MaxInputs bounds the window interface so the local specification
+	// stays exhaustively simulable (default 10, hard cap 14).
+	MaxInputs int
+	// Rounds is the number of window attempts (default 50).
+	Rounds int
+	// GenerationsPerWindow is the CGP budget per window (default 5000).
+	GenerationsPerWindow int
+	// Seed drives window selection and the per-window evolution.
+	Seed int64
+	// TimeBudget optionally bounds the whole pass.
+	TimeBudget time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxGates <= 0 {
+		o.MaxGates = 12
+	}
+	if o.MaxInputs <= 0 {
+		o.MaxInputs = 10
+	}
+	if o.MaxInputs > cec.ExhaustiveMaxPIs {
+		o.MaxInputs = cec.ExhaustiveMaxPIs
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 50
+	}
+	if o.GenerationsPerWindow <= 0 {
+		o.GenerationsPerWindow = 5000
+	}
+	return o
+}
+
+// Report summarizes a windowed pass.
+type Report struct {
+	Rounds        int
+	Accepted      int
+	GatesBefore   int
+	GatesAfter    int
+	GarbageBefore int
+	GarbageAfter  int
+	Elapsed       time.Duration
+}
+
+// Optimize runs windowed CGP resynthesis and returns the improved netlist.
+// The result is always validated; function preservation follows from each
+// window being proved equivalent to its local specification.
+func Optimize(n *rqfp.Netlist, opt Options) (*rqfp.Netlist, Report, error) {
+	opt = opt.withDefaults()
+	start := time.Now()
+	r := rand.New(rand.NewSource(opt.Seed))
+	cur := n.Shrink()
+	rep := Report{GatesBefore: len(cur.Gates), GarbageBefore: cur.Garbage()}
+
+	for round := 0; round < opt.Rounds; round++ {
+		rep.Rounds++
+		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+			break
+		}
+		if len(cur.Gates) == 0 {
+			break
+		}
+		ext, ok := selectBestWindow(cur, r, opt.MaxGates, opt.MaxInputs)
+		if !ok {
+			continue
+		}
+		sub := extract(cur, ext)
+		spec := cec.NewSpecFromNetlist(sub, 0, opt.Seed)
+		res, err := core.Optimize(sub, spec, core.Options{
+			Generations:  opt.GenerationsPerWindow,
+			MutationRate: 0.15,
+			Seed:         r.Int63(),
+		})
+		if err != nil {
+			return nil, rep, fmt.Errorf("window: %w", err)
+		}
+		// Accept gate reductions, or garbage reductions at equal gates
+		// (both are global improvements: window garbage is circuit
+		// garbage).
+		beforeGates := ext.hi - ext.lo
+		beforeGarbage := sub.Garbage()
+		afterGates := len(res.Best.Gates)
+		afterGarbage := res.Best.Garbage()
+		if afterGates > beforeGates ||
+			(afterGates == beforeGates && afterGarbage >= beforeGarbage) {
+			continue
+		}
+		next, err := splice(cur, ext, res.Best)
+		if err != nil {
+			return nil, rep, err
+		}
+		if err := next.Validate(); err != nil {
+			return nil, rep, fmt.Errorf("window: splice produced invalid netlist: %w", err)
+		}
+		cur = next.Shrink()
+		rep.Accepted++
+	}
+	rep.GatesAfter = len(cur.Gates)
+	rep.GarbageAfter = cur.Garbage()
+	rep.Elapsed = time.Since(start)
+	return cur, rep, nil
+}
+
+// extraction describes a contiguous window [lo, hi) of gates and its
+// interface.
+type extraction struct {
+	lo, hi  int
+	inputs  []rqfp.Signal // external source signals, in discovery order
+	outputs []rqfp.Signal // window ports consumed outside the window
+}
+
+// selectBestWindow samples a few random windows and keeps the one with
+// the most slack between gate count and interface outputs — a window
+// whose every port escapes cannot lose gates, so favour ones with mostly
+// internal structure.
+func selectBestWindow(n *rqfp.Netlist, r *rand.Rand, maxGates, maxInputs int) (extraction, bool) {
+	const candidates = 4
+	var best extraction
+	bestScore := -1 << 30
+	found := false
+	for i := 0; i < candidates; i++ {
+		ext, ok := selectWindow(n, r, maxGates, maxInputs)
+		if !ok {
+			continue
+		}
+		score := 3*(ext.hi-ext.lo) - len(ext.outputs)
+		if !found || score > bestScore {
+			best, bestScore, found = ext, score, true
+		}
+	}
+	return best, found
+}
+
+// selectWindow picks a random contiguous range whose interface satisfies
+// the input budget.
+func selectWindow(n *rqfp.Netlist, r *rand.Rand, maxGates, maxInputs int) (extraction, bool) {
+	if len(n.Gates) == 0 {
+		return extraction{}, false
+	}
+	lo := r.Intn(len(n.Gates))
+	hi := lo
+	var ext extraction
+	for hi < len(n.Gates) && hi-lo < maxGates {
+		cand := buildInterface(n, lo, hi+1)
+		if len(cand.inputs) > maxInputs {
+			break
+		}
+		hi++
+		ext = cand
+	}
+	if hi == lo {
+		return extraction{}, false
+	}
+	return ext, true
+}
+
+// buildInterface computes the interface of window [lo, hi).
+func buildInterface(n *rqfp.Netlist, lo, hi int) extraction {
+	ext := extraction{lo: lo, hi: hi}
+	base := n.GateBase(lo)
+	limit := n.GateBase(hi)
+	seen := map[rqfp.Signal]bool{}
+	for g := lo; g < hi; g++ {
+		for _, in := range n.Gates[g].In {
+			if in == rqfp.ConstPort || in >= base {
+				continue // constant or window-internal
+			}
+			if !seen[in] {
+				seen[in] = true
+				ext.inputs = append(ext.inputs, in)
+			}
+		}
+	}
+	// Outputs: window ports consumed by later gates or POs.
+	isWindowPort := func(s rqfp.Signal) bool { return s >= base && s < limit }
+	outSeen := map[rqfp.Signal]bool{}
+	addOut := func(s rqfp.Signal) {
+		if isWindowPort(s) && !outSeen[s] {
+			outSeen[s] = true
+			ext.outputs = append(ext.outputs, s)
+		}
+	}
+	for g := hi; g < len(n.Gates); g++ {
+		for _, in := range n.Gates[g].In {
+			addOut(in)
+		}
+	}
+	for _, po := range n.POs {
+		addOut(po)
+	}
+	return ext
+}
+
+// extract materializes the window as a standalone netlist whose PIs are
+// the interface inputs and whose POs are the interface outputs.
+func extract(n *rqfp.Netlist, ext extraction) *rqfp.Netlist {
+	sub := rqfp.NewNetlist(len(ext.inputs))
+	inputIdx := map[rqfp.Signal]int{}
+	for i, s := range ext.inputs {
+		inputIdx[s] = i
+	}
+	base := n.GateBase(ext.lo)
+	mapSig := func(s rqfp.Signal) rqfp.Signal {
+		switch {
+		case s == rqfp.ConstPort:
+			return rqfp.ConstPort
+		case s >= base:
+			g, m, _ := n.PortOwner(s)
+			return sub.Port(g-ext.lo, m)
+		default:
+			return sub.PIPort(inputIdx[s])
+		}
+	}
+	for g := ext.lo; g < ext.hi; g++ {
+		gate := n.Gates[g]
+		var ng rqfp.Gate
+		ng.Cfg = gate.Cfg
+		for j, in := range gate.In {
+			ng.In[j] = mapSig(in)
+		}
+		sub.AddGate(ng)
+	}
+	for _, out := range ext.outputs {
+		sub.POs = append(sub.POs, mapSig(out))
+	}
+	return sub
+}
+
+// splice replaces window [lo, hi) of n with the optimized subcircuit,
+// whose PIs correspond to ext.inputs and POs to ext.outputs.
+func splice(n *rqfp.Netlist, ext extraction, optimized *rqfp.Netlist) (*rqfp.Netlist, error) {
+	if len(optimized.POs) != len(ext.outputs) {
+		return nil, fmt.Errorf("window: optimized window has %d outputs, want %d",
+			len(optimized.POs), len(ext.outputs))
+	}
+	out := rqfp.NewNetlist(n.NumPI)
+
+	// Gates before the window keep their indices and port numbers.
+	for g := 0; g < ext.lo; g++ {
+		out.AddGate(n.Gates[g])
+	}
+	// Optimized window gates drop in next; map their signals.
+	newBase := ext.lo
+	mapOptSig := func(s rqfp.Signal) rqfp.Signal {
+		switch {
+		case s == rqfp.ConstPort:
+			return rqfp.ConstPort
+		case optimized.IsPI(s):
+			return ext.inputs[int(s)-1] // original external signal (< window base, unchanged)
+		default:
+			g, m, _ := optimized.PortOwner(s)
+			return out.Port(newBase+g, m)
+		}
+	}
+	for _, gate := range optimized.Gates {
+		var ng rqfp.Gate
+		ng.Cfg = gate.Cfg
+		for j, in := range gate.In {
+			ng.In[j] = mapOptSig(in)
+		}
+		out.AddGate(ng)
+	}
+	// Mapping for signals referenced by the tail and the POs.
+	windowBase := n.GateBase(ext.lo)
+	windowLimit := n.GateBase(ext.hi)
+	outIdx := map[rqfp.Signal]int{}
+	for k, s := range ext.outputs {
+		outIdx[s] = k
+	}
+	delta := rqfp.Signal(3 * (len(optimized.Gates) - (ext.hi - ext.lo)))
+	mapTailSig := func(s rqfp.Signal) (rqfp.Signal, error) {
+		switch {
+		case s < windowBase:
+			return s, nil
+		case s < windowLimit:
+			k, ok := outIdx[s]
+			if !ok {
+				return 0, fmt.Errorf("window: tail references non-interface window port %d", s)
+			}
+			return mapOptSig(optimized.POs[k]), nil
+		default:
+			return s + delta, nil
+		}
+	}
+	for g := ext.hi; g < len(n.Gates); g++ {
+		gate := n.Gates[g]
+		var ng rqfp.Gate
+		ng.Cfg = gate.Cfg
+		for j, in := range gate.In {
+			m, err := mapTailSig(in)
+			if err != nil {
+				return nil, err
+			}
+			ng.In[j] = m
+		}
+		out.AddGate(ng)
+	}
+	out.POs = make([]rqfp.Signal, len(n.POs))
+	for i, po := range n.POs {
+		m, err := mapTailSig(po)
+		if err != nil {
+			return nil, err
+		}
+		out.POs[i] = m
+	}
+	return out, nil
+}

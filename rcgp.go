@@ -1,0 +1,391 @@
+// Package rcgp is the public facade of the RCGP reproduction: an automatic
+// synthesis framework for Reversible Quantum-Flux-Parametron (RQFP) logic
+// circuits based on Cartesian genetic programming (Fu, Wille, Ho —
+// DAC 2024).
+//
+// The typical flow mirrors the paper's Fig. 2:
+//
+//	design, _ := rcgp.FromVerilog(file)         // or BLIF / AIGER / PLA / RevLib .real
+//	result, _ := design.Synthesize(rcgp.Options{Generations: 200000})
+//	fmt.Println(result.Stats())                  // n_r, n_b, JJs, n_d, n_g
+//	result.WriteText(out)                        // serialized RQFP netlist
+//
+// Everything underneath — the AIG/MIG classical synthesis, the RQFP
+// substrate, the CGP engine, the CDCL SAT solver used for formal
+// equivalence checking and for the exact-synthesis baseline — lives in
+// internal/ packages and is exercised through this API by the examples and
+// command-line tools.
+package rcgp
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/aiger"
+	"github.com/reversible-eda/rcgp/internal/aqfp"
+	"github.com/reversible-eda/rcgp/internal/bench"
+	"github.com/reversible-eda/rcgp/internal/blif"
+	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/core"
+	"github.com/reversible-eda/rcgp/internal/exact"
+	"github.com/reversible-eda/rcgp/internal/flow"
+	"github.com/reversible-eda/rcgp/internal/pla"
+	"github.com/reversible-eda/rcgp/internal/real"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/tt"
+	"github.com/reversible-eda/rcgp/internal/verilog"
+)
+
+// Design is a combinational specification awaiting RQFP synthesis.
+type Design struct {
+	aig  *aig.AIG
+	name string
+}
+
+// FromVerilog reads a gate-level structural Verilog module.
+func FromVerilog(r io.Reader) (*Design, error) {
+	a, err := verilog.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{aig: a}, nil
+}
+
+// FromBLIF reads a combinational BLIF model.
+func FromBLIF(r io.Reader) (*Design, error) {
+	a, err := blif.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{aig: a}, nil
+}
+
+// FromAIGER reads an AIGER file, ASCII (.aag) or binary (.aig).
+func FromAIGER(r io.Reader) (*Design, error) {
+	a, err := aiger.ParseAny(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{aig: a}, nil
+}
+
+// FromPLA reads an Espresso PLA description.
+func FromPLA(r io.Reader) (*Design, error) {
+	a, err := pla.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{aig: a}, nil
+}
+
+// FromREAL reads a RevLib .real reversible circuit and uses its
+// non-constant inputs / non-garbage outputs as the specification.
+func FromREAL(r io.Reader) (*Design, error) {
+	c, err := real.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	a, err := c.ToAIG()
+	if err != nil {
+		return nil, err
+	}
+	return &Design{aig: a}, nil
+}
+
+// FromTruthTablesHex builds a design from hexadecimal truth tables over
+// numInputs variables (one string per output, MSB nibble first — the
+// format tt.TT.Hex produces).
+func FromTruthTablesHex(numInputs int, outputs []string) (*Design, error) {
+	if len(outputs) == 0 {
+		return nil, errors.New("rcgp: no outputs")
+	}
+	tables := make([]tt.TT, len(outputs))
+	for i, h := range outputs {
+		f, err := tt.FromHex(numInputs, h)
+		if err != nil {
+			return nil, err
+		}
+		tables[i] = f
+	}
+	return &Design{aig: aig.FromTruthTables(tables)}, nil
+}
+
+// FromFunc builds a design by sampling f on all 2^numInputs assignments;
+// bit o of f's result drives output o.
+func FromFunc(numInputs, numOutputs int, f func(x uint) uint) *Design {
+	tables := make([]tt.TT, numOutputs)
+	for o := 0; o < numOutputs; o++ {
+		o := o
+		tables[o] = tt.FromFunc(numInputs, func(s uint) bool { return f(s)>>uint(o)&1 == 1 })
+	}
+	return &Design{aig: aig.FromTruthTables(tables)}
+}
+
+// Benchmark returns one of the paper's evaluation circuits by name (e.g.
+// "decoder_2_4", "hwb8", "intdiv7"; RevLib-style aliases like "hwb8_64"
+// are accepted).
+func Benchmark(name string) (*Design, error) {
+	c, err := bench.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{aig: aig.FromTruthTables(c.Tables), name: c.Name}, nil
+}
+
+// BenchmarkNames lists all built-in benchmark circuits (Table 1 then
+// Table 2 of the paper).
+func BenchmarkNames() []string {
+	var names []string
+	for _, c := range bench.All() {
+		names = append(names, c.Name)
+	}
+	return names
+}
+
+// NumInputs returns the design's primary input count.
+func (d *Design) NumInputs() int { return d.aig.NumPIs() }
+
+// NumOutputs returns the design's primary output count.
+func (d *Design) NumOutputs() int { return d.aig.NumPOs() }
+
+// Name returns the benchmark name, if the design came from Benchmark.
+func (d *Design) Name() string { return d.name }
+
+// Options tunes Synthesize. The zero value uses laptop-scale defaults
+// (the paper runs 5·10⁷ generations on a cluster; see EXPERIMENTS.md).
+type Options struct {
+	// Generations bounds the CGP evolution (default 20000).
+	Generations int
+	// Lambda is the offspring count per generation (default 4).
+	Lambda int
+	// MutationRate is the CGP mutation rate μ (default 0.05; paper: 1).
+	MutationRate float64
+	// Seed makes runs reproducible.
+	Seed int64
+	// TimeBudget bounds the wall-clock time of the evolution.
+	TimeBudget time.Duration
+	// InitializationOnly skips the CGP stage, yielding the paper's
+	// heuristic baseline.
+	InitializationOnly bool
+	// WindowRounds, when positive, follows the global evolution with that
+	// many rounds of windowed CGP resynthesis (for large circuits).
+	WindowRounds int
+	// Resubstitution finishes with the deterministic simulation-driven
+	// resubstitution pass (circuits up to 14 inputs).
+	Resubstitution bool
+	// Optimizer selects the search engine: "" or "cgp" for the paper's
+	// (1+λ) evolutionary strategy, "anneal" for simulated annealing over
+	// the same chromosome, "hybrid" for CGP followed by annealing.
+	Optimizer string
+	// Progress, when non-nil, receives periodic generation updates.
+	Progress func(generation, gates, garbage int)
+}
+
+// Stats are the paper's cost metrics for an RQFP circuit.
+type Stats struct {
+	Inputs  int // n_pi
+	Outputs int // n_po
+	Gates   int // n_r — RQFP logic gates
+	Buffers int // n_b — path-balancing RQFP buffers
+	JJs     int // Josephson junctions: 24·n_r + 4·n_b
+	Depth   int // n_d — logic depth in clocked stages
+	Garbage int // n_g — garbage outputs
+}
+
+func fromInternalStats(s rqfp.Stats) Stats {
+	return Stats{
+		Inputs: s.PIs, Outputs: s.POs, Gates: s.Gates, Buffers: s.Buffers,
+		JJs: s.JJs, Depth: s.Depth, Garbage: s.Garbage,
+	}
+}
+
+// String renders the stats in the paper's column order.
+func (s Stats) String() string {
+	return fmt.Sprintf("n_r=%d n_b=%d JJs=%d n_d=%d n_g=%d", s.Gates, s.Buffers, s.JJs, s.Depth, s.Garbage)
+}
+
+// Result is a synthesized RQFP circuit together with its baseline.
+type Result struct {
+	circuit *Circuit
+	initial *Circuit
+
+	// Generations and Evaluations report the evolutionary effort spent.
+	Generations int
+	Evaluations int64
+	// Runtime is the end-to-end pipeline time.
+	Runtime time.Duration
+}
+
+// Circuit returns the final optimized RQFP circuit.
+func (r *Result) Circuit() *Circuit { return r.circuit }
+
+// Initial returns the initialization-baseline circuit (after netlist
+// conversion and splitter insertion, before CGP).
+func (r *Result) Initial() *Circuit { return r.initial }
+
+// Stats is shorthand for r.Circuit().Stats().
+func (r *Result) Stats() Stats { return r.circuit.Stats() }
+
+// Synthesize runs the full RCGP pipeline on the design.
+func (d *Design) Synthesize(opt Options) (*Result, error) {
+	fopt := flow.Options{
+		SynthEffort:  aig.EffortStd,
+		SkipCGP:      opt.InitializationOnly,
+		WindowRounds: opt.WindowRounds,
+		Resub:        opt.Resubstitution,
+		Optimizer:    opt.Optimizer,
+		CGP: core.Options{
+			Lambda:       opt.Lambda,
+			Generations:  opt.Generations,
+			MutationRate: opt.MutationRate,
+			Seed:         opt.Seed,
+			TimeBudget:   opt.TimeBudget,
+		},
+	}
+	if opt.Progress != nil {
+		fopt.CGP.Progress = func(gen int, best core.Fitness) {
+			opt.Progress(gen, best.Gates, best.Garbage)
+		}
+	}
+	res, err := flow.Run(d.aig, fopt)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		circuit: &Circuit{net: res.Final},
+		initial: &Circuit{net: res.Initial},
+		Runtime: res.Runtime,
+	}
+	if res.CGP != nil {
+		out.Generations = res.CGP.Generations
+		out.Evaluations = res.CGP.Evaluations
+	}
+	return out, nil
+}
+
+// Circuit is an RQFP logic circuit.
+type Circuit struct {
+	net *rqfp.Netlist
+}
+
+// ReadCircuit parses the textual netlist format produced by WriteText.
+func ReadCircuit(r io.Reader) (*Circuit, error) {
+	n, err := rqfp.ReadText(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{net: n}, nil
+}
+
+// Stats computes the paper's cost metrics (including the buffers that path
+// balancing will insert).
+func (c *Circuit) Stats() Stats { return fromInternalStats(c.net.ComputeStats()) }
+
+// NumGates returns the number of active RQFP gates.
+func (c *Circuit) NumGates() int { return c.net.NumActive() }
+
+// Evaluate runs the circuit on one input assignment (bit i = input i) and
+// returns the output bits.
+func (c *Circuit) Evaluate(assignment uint) []bool { return c.net.EvalBool(assignment) }
+
+// Chromosome renders the circuit in the paper's CGP string notation.
+func (c *Circuit) Chromosome() string { return c.net.String() }
+
+// WriteText serializes the circuit netlist.
+func (c *Circuit) WriteText(w io.Writer) error { return c.net.WriteText(w) }
+
+// WriteVerilog exports the circuit as a structural Verilog module (each
+// configured majority as a continuous assignment).
+func (c *Circuit) WriteVerilog(w io.Writer, module string) error {
+	return c.net.WriteVerilog(w, module)
+}
+
+// Validate checks the RQFP structural invariants (topological order and
+// the single-fanout rule).
+func (c *Circuit) Validate() error { return c.net.Validate() }
+
+// Equivalent formally checks functional equivalence of two circuits using
+// the SAT-based miter.
+func (c *Circuit) Equivalent(other *Circuit) (bool, error) {
+	return cec.NetlistsEquivalent(c.net, other.net)
+}
+
+// AQFPStats describes the cell-level AQFP expansion of a circuit: an RQFP
+// gate is three splitters plus three majorities (paper Fig. 1a); an RQFP
+// buffer is two cascaded AQFP buffers; phases count AQFP clock stages.
+type AQFPStats struct {
+	Buffers    int
+	Splitters  int
+	Majorities int
+	JJs        int
+	Phases     int
+}
+
+// ExpandAQFP lowers the circuit to AQFP cells (with path-balancing buffers
+// inserted), validates the clock-phase discipline, and returns the cell
+// inventory. The JJ count always equals the netlist-level cost model.
+func (c *Circuit) ExpandAQFP() (AQFPStats, error) {
+	balanced := c.net.InsertBuffers()
+	if err := balanced.Validate(); err != nil {
+		return AQFPStats{}, err
+	}
+	cells, err := aqfp.Expand(balanced)
+	if err != nil {
+		return AQFPStats{}, err
+	}
+	if err := cells.Validate(); err != nil {
+		return AQFPStats{}, err
+	}
+	st := cells.Stats()
+	return AQFPStats{
+		Buffers:    st.Buffers,
+		Splitters:  st.Splitters,
+		Majorities: st.Majs,
+		JJs:        st.JJs,
+		Phases:     st.Phases,
+	}, nil
+}
+
+// ExactOptions tunes the exact-synthesis baseline.
+type ExactOptions struct {
+	// MaxGates caps the gate-count search (default 8).
+	MaxGates int
+	// TimeBudget bounds the search; expiry returns ErrExactTimeout.
+	TimeBudget time.Duration
+	// ConflictLimit bounds each SAT call.
+	ConflictLimit int64
+}
+
+// ErrExactTimeout is returned when exact synthesis exceeds its budget —
+// the expected outcome beyond tiny circuits, as the paper demonstrates.
+var ErrExactTimeout = exact.ErrTimeout
+
+// ErrExactUnsat is returned when no circuit exists within MaxGates.
+var ErrExactUnsat = exact.ErrUnsat
+
+// SynthesizeExact runs the SAT-based exact synthesis baseline on the
+// design (practical only for very small input counts).
+func (d *Design) SynthesizeExact(opt ExactOptions) (*Circuit, error) {
+	if d.aig.NumPIs() > 8 {
+		return nil, fmt.Errorf("rcgp: exact synthesis limited to 8 inputs (got %d)", d.aig.NumPIs())
+	}
+	res, err := exact.Synthesize(d.aig.TruthTables(), exact.Options{
+		MaxGates:      opt.MaxGates,
+		TimeBudget:    opt.TimeBudget,
+		ConflictLimit: opt.ConflictLimit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{net: res.Netlist}, nil
+}
+
+// Verify formally checks that the circuit implements the design.
+func (d *Design) Verify(c *Circuit) (bool, error) {
+	spec := cec.NewSpecFromAIG(d.aig, 0, 0)
+	v := spec.Check(c.net, nil, nil)
+	return v.Proved, nil
+}
