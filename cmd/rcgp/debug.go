@@ -1,0 +1,28 @@
+package main
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+)
+
+// Live progress of the evolution, exported on /debug/vars when the debug
+// server is enabled (-debug-addr). Updated from the Progress callback.
+var (
+	dbgGeneration = expvar.NewInt("rcgp_generation")
+	dbgGates      = expvar.NewInt("rcgp_gates")
+	dbgGarbage    = expvar.NewInt("rcgp_garbage")
+)
+
+// startDebugServer serves expvar (/debug/vars) and pprof (/debug/pprof/)
+// on addr for the lifetime of the run. A bind failure is reported but does
+// not abort the synthesis.
+func startDebugServer(addr string) {
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "rcgp: debug server:", err)
+		}
+	}()
+}

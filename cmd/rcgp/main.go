@@ -10,6 +10,7 @@
 //	rcgp -bench decoder_2_4 -gens 50000
 //	rcgp -in adder.v -o adder.rqfp
 //	rcgp -in circuit.blif -format blif -time 30s -seed 7
+//	rcgp -bench hwb7 -metrics -trace run.jsonl -debug-addr localhost:6060
 package main
 
 import (
@@ -47,6 +48,9 @@ func run() error {
 		windows   = flag.Int("window-rounds", 0, "rounds of windowed resynthesis after the evolution")
 		chrom     = flag.Bool("chromosome", false, "print the CGP chromosome string")
 		quiet     = flag.Bool("q", false, "suppress progress output")
+		tracePath = flag.String("trace", "", "write a JSONL trace of the run to this file")
+		metrics   = flag.Bool("metrics", false, "print the telemetry summary (stages, CGP, CEC/SAT) to stderr")
+		debugAddr = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 
@@ -74,14 +78,32 @@ func run() error {
 		InitializationOnly: *initOnly,
 		WindowRounds:       *windows,
 	}
-	if !*quiet {
-		opt.Progress = func(gen, gates, garbage int) {
+	verbose := !*quiet
+	opt.Progress = func(gen, gates, garbage int) {
+		dbgGeneration.Set(int64(gen))
+		dbgGates.Set(int64(gates))
+		dbgGarbage.Set(int64(garbage))
+		if verbose {
 			fmt.Printf("  gen %-8d n_r=%-5d n_g=%-5d\n", gen, gates, garbage)
 		}
+	}
+	if *debugAddr != "" {
+		startDebugServer(*debugAddr)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		opt.Trace = f
 	}
 	res, err := design.Synthesize(opt)
 	if err != nil {
 		return err
+	}
+	if *metrics {
+		writeMetrics(os.Stderr, res)
 	}
 	fmt.Printf("initialization: %s\n", res.Initial().Stats())
 	fmt.Printf("rcgp:           %s\n", res.Stats())

@@ -3,6 +3,8 @@ package main
 import (
 	"strings"
 	"testing"
+
+	rcgp "github.com/reversible-eda/rcgp"
 )
 
 func TestFormatFromExt(t *testing.T) {
@@ -51,5 +53,27 @@ func TestLoadDesignBench(t *testing.T) {
 	}
 	if _, _, err := loadDesign("/nonexistent/file.v", "", ""); err == nil {
 		t.Fatal("missing file should fail")
+	}
+}
+
+func TestWriteMetrics(t *testing.T) {
+	d, err := rcgp.Benchmark("decoder_2_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Synthesize(rcgp.Options{Generations: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	writeMetrics(&buf, res)
+	out := buf.String()
+	for _, want := range []string{
+		"stage breakdown", "flow.cgp", "evaluations", "evals/sec",
+		"adoptions", "mut accept rate", "checks", "exhaustive proof",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output lacks %q:\n%s", want, out)
+		}
 	}
 }

@@ -2,10 +2,15 @@
 // format) and reports the paper's cost metrics: gate count, buffer count
 // after path balancing, Josephson junctions, depth, and garbage outputs.
 //
+// With -equiv it additionally runs the SAT-based equivalence check against
+// a second netlist and reports the verdict together with the solver's
+// search counters.
+//
 // Usage:
 //
 //	rqfp-stat circuit.rqfp
 //	rqfp-stat -chromosome -tt circuit.rqfp
+//	rqfp-stat -equiv other.rqfp circuit.rqfp
 package main
 
 import (
@@ -21,25 +26,30 @@ func main() {
 		chrom = flag.Bool("chromosome", false, "print the CGP chromosome string")
 		tt    = flag.Bool("tt", false, "print output truth tables (small circuits only)")
 		cells = flag.Bool("aqfp", false, "print the AQFP cell-level inventory")
+		equiv = flag.String("equiv", "", "check SAT equivalence against this second netlist")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: rqfp-stat [-chromosome] [-tt] [-aqfp] <file.rqfp>")
+		fmt.Fprintln(os.Stderr, "usage: rqfp-stat [-chromosome] [-tt] [-aqfp] [-equiv other.rqfp] <file.rqfp>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *chrom, *tt, *cells); err != nil {
+	if err := run(flag.Arg(0), *chrom, *tt, *cells, *equiv); err != nil {
 		fmt.Fprintln(os.Stderr, "rqfp-stat:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string, chrom, printTT, cells bool) error {
+func readCircuit(path string) (*rcgp.Circuit, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer f.Close()
-	c, err := rcgp.ReadCircuit(f)
+	return rcgp.ReadCircuit(f)
+}
+
+func run(path string, chrom, printTT, cells bool, equivPath string) error {
+	c, err := readCircuit(path)
 	if err != nil {
 		return err
 	}
@@ -79,6 +89,23 @@ func run(path string, chrom, printTT, cells bool) error {
 			}
 			fmt.Println()
 		}
+	}
+	if equivPath != "" {
+		other, err := readCircuit(equivPath)
+		if err != nil {
+			return err
+		}
+		eq, st, err := c.EquivalentStats(other)
+		if err != nil {
+			return err
+		}
+		verdict := "NOT equivalent"
+		if eq {
+			verdict = "equivalent"
+		}
+		fmt.Printf("  equivalence vs %s: %s\n", equivPath, verdict)
+		fmt.Printf("  sat solver: %d conflicts, %d decisions, %d propagations, %d restarts\n",
+			st.Conflicts, st.Decisions, st.Propagations, st.Restarts)
 	}
 	return nil
 }

@@ -13,13 +13,38 @@ const sampleNetlist = `.rqfp
 .end
 `
 
-func TestRunOnValidNetlist(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "and.rqfp")
-	if err := os.WriteFile(path, []byte(sampleNetlist), 0o644); err != nil {
+// swappedNetlist computes the same function as sampleNetlist — the PO is
+// majority 2, M(a,b,c̄), which is symmetric in its first two inputs — but
+// with the input ports swapped, so the equivalence miter sees two
+// structurally distinct circuits.
+const swappedNetlist = `.rqfp
+.pi 2
+.gate 2 1 0 100-010-001
+.po 5
+.end
+`
+
+// inequivNetlist drops the inverter on majority 2's third input, turning
+// the PO from M(x0,x1,1) = OR into M(x0,x1,0) = AND.
+const inequivNetlist = `.rqfp
+.pi 2
+.gate 1 2 0 100-010-000
+.po 5
+.end
+`
+
+func writeNetlist(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, true, true, true); err != nil {
+	return path
+}
+
+func TestRunOnValidNetlist(t *testing.T) {
+	path := writeNetlist(t, "and.rqfp", sampleNetlist)
+	if err := run(path, true, true, true, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -32,10 +57,27 @@ func TestRunRejectsInvalidNetlist(t *testing.T) {
 	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, false, false, false); err == nil {
+	if err := run(path, false, false, false, ""); err == nil {
 		t.Fatal("invalid netlist accepted")
 	}
-	if err := run(filepath.Join(dir, "missing.rqfp"), false, false, false); err == nil {
+	if err := run(filepath.Join(dir, "missing.rqfp"), false, false, false, ""); err == nil {
 		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunEquiv(t *testing.T) {
+	a := writeNetlist(t, "a.rqfp", sampleNetlist)
+	b := writeNetlist(t, "b.rqfp", swappedNetlist)
+	x := writeNetlist(t, "x.rqfp", inequivNetlist)
+	// Equivalent and inequivalent pairs both succeed (the verdict is
+	// output, not an error); a missing -equiv file is an error.
+	if err := run(a, false, false, false, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(a, false, false, false, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(a, false, false, false, filepath.Join(t.TempDir(), "nope.rqfp")); err == nil {
+		t.Fatal("missing -equiv file accepted")
 	}
 }

@@ -11,10 +11,12 @@ package cec
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"github.com/reversible-eda/rcgp/internal/aig"
 	"github.com/reversible-eda/rcgp/internal/bits"
 	"github.com/reversible-eda/rcgp/internal/cnf"
+	"github.com/reversible-eda/rcgp/internal/obs"
 	"github.com/reversible-eda/rcgp/internal/rqfp"
 	"github.com/reversible-eda/rcgp/internal/sat"
 )
@@ -40,7 +42,60 @@ type Spec struct {
 	// specAIG drives SAT confirmation and counterexample re-simulation in
 	// the non-exhaustive regime; nil when exhaustive.
 	specAIG *aig.AIG
+
+	stats Stats
+	trace *obs.Tracer
 }
+
+// Stats aggregates the oracle's activity across Check calls: how often the
+// cheap simulation screen refuted a candidate outright, how often a proof
+// was by exhaustive simulation vs. an UNSAT miter, and the accumulated
+// CDCL solver counters of every SAT confirmation. The counters are plain
+// fields because a Spec — like its stimulus — is owned by one search loop
+// at a time.
+type Stats struct {
+	// Checks counts Check calls (the oracle is the CGP evaluation hot
+	// path, so this equals the candidate evaluations it served).
+	Checks int64 `json:"checks"`
+	// SimRefuted counts candidates the simulation screen rejected.
+	SimRefuted int64 `json:"sim_refuted"`
+	// ExhaustiveProved counts proofs by complete simulation.
+	ExhaustiveProved int64 `json:"exhaustive_proved"`
+	// SATProved / SATRefuted / SATUnknown classify the SAT confirmations
+	// run after a passing random-pattern simulation.
+	SATProved  int64 `json:"sat_proved"`
+	SATRefuted int64 `json:"sat_refuted"`
+	SATUnknown int64 `json:"sat_unknown"`
+	// Counterexamples counts distinguishing assignments folded back into
+	// the stimulus.
+	Counterexamples int64 `json:"counterexamples"`
+	// SATTime is the wall-clock time spent inside SAT solving.
+	SATTime time.Duration `json:"sat_time_ns"`
+	// SAT accumulates the solver search counters across all SAT calls.
+	SAT sat.Stats `json:"sat"`
+}
+
+// Add accumulates o into s, for merging oracle stats across specs.
+func (s *Stats) Add(o Stats) {
+	s.Checks += o.Checks
+	s.SimRefuted += o.SimRefuted
+	s.ExhaustiveProved += o.ExhaustiveProved
+	s.SATProved += o.SATProved
+	s.SATRefuted += o.SATRefuted
+	s.SATUnknown += o.SATUnknown
+	s.Counterexamples += o.Counterexamples
+	s.SATTime += o.SATTime
+	s.SAT.Add(o.SAT)
+}
+
+// Stats returns the accumulated oracle counters.
+func (s *Spec) Stats() Stats { return s.stats }
+
+// AttachTracer routes SAT verdicts and counterexample events to t (nil
+// detaches). Per-simulation events are deliberately not emitted: the
+// simulation screen runs once per candidate evaluation and must stay
+// allocation-free.
+func (s *Spec) AttachTracer(t *obs.Tracer) { s.trace = t }
 
 // Verdict is the outcome of checking one candidate.
 type Verdict struct {
@@ -146,10 +201,13 @@ func (s *Spec) Check(n *rqfp.Netlist, ctx *rqfp.SimContext, active []bool) Verdi
 		}
 	}
 	match := 1 - float64(wrong)/float64(totalBits)
+	s.stats.Checks++
 	if wrong > 0 {
+		s.stats.SimRefuted++
 		return Verdict{Match: match}
 	}
 	if s.Exhaustive {
+		s.stats.ExhaustiveProved++
 		return Verdict{Match: 1, Proved: true}
 	}
 	// Simulation passed on random patterns: confirm formally.
@@ -187,7 +245,31 @@ func (s *Spec) satCheck(n *rqfp.Netlist) (bool, []bool) {
 	}
 	bad := b.MiterOutputs(candOut, specOut)
 	b.AddClause(bad)
+	start := time.Now()
 	st, err := b.S.Solve()
+	elapsed := time.Since(start)
+	s.stats.SATTime += elapsed
+	s.stats.SAT.Add(b.S.Counters())
+	verdict := "unknown"
+	switch {
+	case err == nil && st == sat.Unsat:
+		verdict = "proved"
+		s.stats.SATProved++
+	case err == nil && st == sat.Sat:
+		verdict = "refuted"
+		s.stats.SATRefuted++
+	default:
+		s.stats.SATUnknown++
+	}
+	if s.trace != nil {
+		c := b.S.Counters()
+		s.trace.Emit("cec.sat", map[string]any{
+			"verdict":   verdict,
+			"dur_us":    elapsed.Microseconds(),
+			"conflicts": c.Conflicts,
+			"decisions": c.Decisions,
+		})
+	}
 	if err != nil || st == sat.Unknown {
 		// Budget exhausted: be conservative, treat as not equivalent.
 		return false, nil
@@ -206,6 +288,10 @@ func (s *Spec) satCheck(n *rqfp.Netlist) (bool, []bool) {
 // distinguishing assignment (remaining bits random from its hash), and
 // recomputes the golden responses.
 func (s *Spec) addCounterexample(cex []bool) {
+	s.stats.Counterexamples++
+	if s.trace != nil {
+		s.trace.Emit("cec.counterexample", map[string]any{"words": s.words + 1})
+	}
 	seed := int64(0)
 	for i, v := range cex {
 		if v {
@@ -266,8 +352,16 @@ func EncodeNetlist(b *cnf.Builder, n *rqfp.Netlist, pis []sat.Lit) []sat.Lit {
 // NetlistsEquivalent decides full equivalence of two RQFP netlists by SAT,
 // regardless of input count. Used by tests and the exact-synthesis harness.
 func NetlistsEquivalent(x, y *rqfp.Netlist) (bool, error) {
+	eq, _, err := NetlistsEquivalentStats(x, y)
+	return eq, err
+}
+
+// NetlistsEquivalentStats is NetlistsEquivalent plus the SAT solver's
+// search counters for the miter, so callers (e.g. rqfp-stat) can report
+// how hard the proof was.
+func NetlistsEquivalentStats(x, y *rqfp.Netlist) (bool, sat.Stats, error) {
 	if x.NumPI != y.NumPI || len(x.POs) != len(y.POs) {
-		return false, nil
+		return false, sat.Stats{}, nil
 	}
 	b := cnf.NewBuilder()
 	pis := make([]sat.Lit, x.NumPI)
@@ -280,9 +374,9 @@ func NetlistsEquivalent(x, y *rqfp.Netlist) (bool, error) {
 	b.AddClause(bad)
 	st, err := b.S.Solve()
 	if err != nil {
-		return false, err
+		return false, b.S.Counters(), err
 	}
-	return st == sat.Unsat, nil
+	return st == sat.Unsat, b.S.Counters(), nil
 }
 
 func netlistToAIG(n *rqfp.Netlist) *aig.AIG {

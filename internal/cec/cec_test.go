@@ -225,3 +225,103 @@ func TestThreeOraclesAgree(t *testing.T) {
 		}
 	}
 }
+
+func TestStatsExhaustivePath(t *testing.T) {
+	// spec = AND(x0, x1): the constant-1 mutant below is wrong on 3 of 4
+	// assignments, so the sim screen must refute it.
+	a := aig.New(2)
+	a.AddPO(a.And(a.PI(0), a.PI(1)))
+	n, err := rqfp.FromMIG(mig.FromAIG(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := NewSpecFromAIG(a, 0, 1)
+	spec.Check(n, nil, nil) // correct: exhaustive proof
+	m := n.Clone()
+	m.POs[0] = rqfp.ConstPort // constant 1
+	spec.Check(m, nil, nil)
+	st := spec.Stats()
+	if st.Checks != 2 {
+		t.Fatalf("checks = %d, want 2", st.Checks)
+	}
+	if st.ExhaustiveProved != 1 {
+		t.Fatalf("exhaustive proofs = %d, want 1", st.ExhaustiveProved)
+	}
+	if st.SimRefuted+st.ExhaustiveProved != 2 {
+		t.Fatalf("counters don't cover both checks: %+v", st)
+	}
+	if st.SATProved != 0 || st.SAT.Decisions != 0 {
+		t.Fatalf("SAT ran on the exhaustive path: %+v", st)
+	}
+}
+
+func TestStatsSATPath(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	a, n := buildPair(16, 60, 3, r)
+	spec := NewSpecFromAIG(a, 4, 7)
+	if v := spec.Check(n, nil, nil); !v.Proved {
+		t.Fatalf("correct netlist not proved: %+v", v)
+	}
+	st := spec.Stats()
+	if st.SATProved != 1 {
+		t.Fatalf("SAT proofs = %d, want 1: %+v", st.SATProved, st)
+	}
+	if st.SAT.Propagations == 0 {
+		t.Fatal("solver counters were not propagated into the oracle stats")
+	}
+	if st.SATTime <= 0 {
+		t.Fatal("SAT time not recorded")
+	}
+}
+
+func TestStatsCounterexample(t *testing.T) {
+	// Same construction as TestSATPathCatchesRareDivergence: spec is the
+	// 16-input AND, candidate is constant 0 — only SAT can tell them apart.
+	a := aig.New(16)
+	acc := a.PI(0)
+	for i := 1; i < 16; i++ {
+		acc = a.And(acc, a.PI(i))
+	}
+	a.AddPO(acc)
+	spec := NewSpecFromAIG(a, 4, 99)
+
+	n := rqfp.NewNetlist(16)
+	cfg := rqfp.ConfigCopy.InvertInputAll(0).InvertInputAll(1).InvertInputAll(2)
+	g := n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{rqfp.ConstPort, rqfp.ConstPort, rqfp.ConstPort}, Cfg: cfg})
+	n.POs = []rqfp.Signal{n.Port(g, 0)}
+
+	spec.Check(n, nil, nil)
+	st := spec.Stats()
+	if st.SATRefuted != 1 || st.Counterexamples != 1 {
+		t.Fatalf("SAT refutations/counterexamples = %d/%d, want 1/1", st.SATRefuted, st.Counterexamples)
+	}
+	// Second check must now fail in simulation, without SAT.
+	spec.Check(n, nil, nil)
+	st = spec.Stats()
+	if st.SimRefuted != 1 || st.SATRefuted != 1 {
+		t.Fatalf("counterexample did not move refutation to the sim screen: %+v", st)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	x := Stats{Checks: 1, SimRefuted: 2, SATProved: 3}
+	x.SAT.Conflicts = 4
+	y := Stats{Checks: 10, ExhaustiveProved: 5, Counterexamples: 6}
+	y.SAT.Conflicts = 40
+	x.Add(y)
+	if x.Checks != 11 || x.ExhaustiveProved != 5 || x.SAT.Conflicts != 44 {
+		t.Fatalf("Add mismatch: %+v", x)
+	}
+}
+
+func TestNetlistsEquivalentStats(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	_, n := buildPair(6, 25, 2, r)
+	eq, st, err := NetlistsEquivalentStats(n, n.Clone())
+	if err != nil || !eq {
+		t.Fatalf("self-equivalence failed: %v %v", eq, err)
+	}
+	if st.Propagations == 0 {
+		t.Fatal("no solver counters returned")
+	}
+}

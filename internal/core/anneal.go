@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/obs"
 	"github.com/reversible-eda/rcgp/internal/rqfp"
 )
 
@@ -29,6 +30,9 @@ type AnnealOptions struct {
 	Seed int64
 	// TimeBudget optionally bounds wall-clock time.
 	TimeBudget time.Duration
+	// Trace, when non-nil, receives JSONL events for accepted improvements
+	// and the final summary.
+	Trace *obs.Tracer
 }
 
 func (o AnnealOptions) withDefaults() AnnealOptions {
@@ -61,11 +65,13 @@ func Anneal(initial *rqfp.Netlist, spec *cec.Spec, opt AnnealOptions) (*Result, 
 	r := rand.New(rand.NewSource(opt.Seed))
 	start := time.Now()
 
+	res := &Result{}
+	tel := &res.Telemetry
+
 	ctx := rqfp.NewSimContext(initial.NumPorts(), spec.Words())
 	var costs rqfp.CostEvaluator
-	evaluations := int64(0)
 	evaluate := func(n *rqfp.Netlist) Fitness {
-		evaluations++
+		tel.Evaluations++
 		if spec.Words() != ctx.Words() {
 			ctx = rqfp.NewSimContext(n.NumPorts(), spec.Words())
 		}
@@ -78,6 +84,7 @@ func Anneal(initial *rqfp.Netlist, spec *cec.Spec, opt AnnealOptions) (*Result, 
 	}
 
 	cur := newGenotype(initial.Clone())
+	cur.stats = &tel.Mutations
 	curFit := evaluate(cur.net)
 	if !curFit.Valid {
 		return nil, errors.New("core: initial netlist does not satisfy the specification")
@@ -85,8 +92,8 @@ func Anneal(initial *rqfp.Netlist, spec *cec.Spec, opt AnnealOptions) (*Result, 
 	best := cur.clone()
 	bestFit := curFit
 
-	res := &Result{}
 	scratch := newGenotype(initial.Clone())
+	scratch.stats = &tel.Mutations
 	step := 0
 	for ; step < opt.Steps; step++ {
 		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
@@ -103,9 +110,20 @@ func Anneal(initial *rqfp.Netlist, spec *cec.Spec, opt AnnealOptions) (*Result, 
 		if delta <= 0 || (temp > 0 && r.Float64() < math.Exp(-delta/temp)) {
 			cur, scratch = scratch, cur
 			curFit = fit
+			tel.Adoptions++
+			if delta == 0 {
+				tel.NeutralAdoptions++
+			}
 			if fit.BetterOrEqual(bestFit) {
 				if fit.Better(bestFit) {
 					res.Improved++
+					tel.Improvements++
+					if opt.Trace != nil {
+						opt.Trace.Emit("anneal.improve", map[string]any{
+							"step": step, "gates": fit.Gates,
+							"garbage": fit.Garbage, "temp": temp,
+						})
+					}
 				}
 				best.copyFrom(cur)
 				bestFit = fit
@@ -116,7 +134,15 @@ func Anneal(initial *rqfp.Netlist, spec *cec.Spec, opt AnnealOptions) (*Result, 
 	res.Best = best.net.Shrink()
 	res.Fitness = bestFit
 	res.Generations = step
-	res.Evaluations = evaluations
+	res.Evaluations = tel.Evaluations
 	res.Elapsed = time.Since(start)
+	tel.Elapsed = res.Elapsed
+	if opt.Trace != nil {
+		opt.Trace.Emit("anneal.done", map[string]any{
+			"steps": step, "evals": tel.Evaluations,
+			"improvements": tel.Improvements,
+			"gates":        bestFit.Gates, "garbage": bestFit.Garbage,
+		})
+	}
 	return res, nil
 }

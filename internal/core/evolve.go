@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/obs"
 	"github.com/reversible-eda/rcgp/internal/rqfp"
 )
 
@@ -34,6 +35,11 @@ type Options struct {
 	// with the current generation and parent fitness.
 	Progress      func(gen int, best Fitness)
 	ProgressEvery int
+	// Trace, when non-nil, receives JSONL evolution events: generation
+	// checkpoints at the Progress cadence, improvement and shrink
+	// adoptions, and a final summary. The per-candidate evaluation path
+	// emits nothing, so an attached tracer does not slow the hot loop.
+	Trace *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -63,6 +69,9 @@ type Result struct {
 	Evaluations int64
 	Improved    int // number of strict parent improvements
 	Elapsed     time.Duration
+	// Telemetry carries the full per-run counter snapshot (Evaluations,
+	// Improved, and Elapsed above are retained as convenience mirrors).
+	Telemetry Telemetry
 }
 
 // Optimize evolves the initial RQFP netlist against the specification,
@@ -77,11 +86,13 @@ func Optimize(initial *rqfp.Netlist, spec *cec.Spec, opt Options) (*Result, erro
 	r := rand.New(rand.NewSource(opt.Seed))
 	start := time.Now()
 
+	res := &Result{}
+	tel := &res.Telemetry
+
 	ctx := rqfp.NewSimContext(initial.NumPorts(), spec.Words())
 	var costs rqfp.CostEvaluator
-	evaluations := int64(0)
 	evaluate := func(n *rqfp.Netlist) Fitness {
-		evaluations++
+		tel.Evaluations++
 		if spec.Words() != ctx.Words() {
 			// The oracle widened its stimulus with a counterexample.
 			ctx = rqfp.NewSimContext(n.NumPorts(), spec.Words())
@@ -101,6 +112,7 @@ func Optimize(initial *rqfp.Netlist, spec *cec.Spec, opt Options) (*Result, erro
 	}
 
 	parent := newGenotype(initial.Clone())
+	parent.stats = &tel.Mutations
 	parentFit := evaluate(parent.net)
 	if !parentFit.Valid {
 		return nil, errors.New("core: initial netlist does not satisfy the specification")
@@ -111,17 +123,28 @@ func Optimize(initial *rqfp.Netlist, spec *cec.Spec, opt Options) (*Result, erro
 	pool := make([]*genotype, opt.Lambda)
 	for i := range pool {
 		pool[i] = newGenotype(initial.Clone())
+		pool[i].stats = &tel.Mutations
 	}
 
-	res := &Result{}
+	// The budget is checked between offspring evaluations as well as
+	// between generations: one λ-batch of slow evaluations (wide stimulus,
+	// large netlist) could otherwise overshoot the budget by a whole
+	// batch. A mid-batch expiry abandons the partial batch.
+	overBudget := func() bool {
+		return opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget
+	}
 	gen := 0
+evolve:
 	for ; gen < opt.Generations; gen++ {
-		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+		if overBudget() {
 			break
 		}
 		bestIdx := -1
 		var bestFit Fitness
 		for i := 0; i < opt.Lambda; i++ {
+			if i > 0 && overBudget() {
+				break evolve
+			}
 			off := pool[i]
 			off.copyFrom(parent)
 			off.mutate(r, opt.MutationRate)
@@ -136,22 +159,59 @@ func Optimize(initial *rqfp.Netlist, spec *cec.Spec, opt Options) (*Result, erro
 			parent, pool[bestIdx] = pool[bestIdx], parent
 			strictly := bestFit.Better(parentFit)
 			parentFit = bestFit
+			tel.Adoptions++
 			if strictly {
 				res.Improved++
-				if opt.ShrinkOnImprove {
-					parent = newGenotype(parent.net.Shrink())
+				tel.Improvements++
+				if opt.Trace != nil {
+					opt.Trace.Emit("cgp.improve", map[string]any{
+						"gen": gen, "evals": tel.Evaluations,
+						"gates": bestFit.Gates, "garbage": bestFit.Garbage,
+						"buffers": bestFit.Buffers,
+					})
 				}
+				if opt.ShrinkOnImprove {
+					before := len(parent.net.Gates)
+					parent = newGenotype(parent.net.Shrink())
+					parent.stats = &tel.Mutations
+					tel.Shrinks++
+					if opt.Trace != nil {
+						opt.Trace.Emit("cgp.shrink", map[string]any{
+							"gen": gen, "gates_before": before,
+							"gates_after": len(parent.net.Gates),
+						})
+					}
+				}
+			} else {
+				tel.NeutralAdoptions++
 			}
 		}
-		if opt.Progress != nil && gen%opt.ProgressEvery == 0 {
-			opt.Progress(gen, parentFit)
+		if gen%opt.ProgressEvery == 0 {
+			if opt.Progress != nil {
+				opt.Progress(gen, parentFit)
+			}
+			if opt.Trace != nil {
+				opt.Trace.Emit("cgp.gen", map[string]any{
+					"gen": gen, "evals": tel.Evaluations,
+					"gates": parentFit.Gates, "garbage": parentFit.Garbage,
+					"match": parentFit.Match,
+				})
+			}
 		}
 	}
 
 	res.Best = parent.net.Shrink()
 	res.Fitness = parentFit
 	res.Generations = gen
-	res.Evaluations = evaluations
+	res.Evaluations = tel.Evaluations
 	res.Elapsed = time.Since(start)
+	tel.Elapsed = res.Elapsed
+	if opt.Trace != nil {
+		opt.Trace.Emit("cgp.done", map[string]any{
+			"gens": gen, "evals": tel.Evaluations,
+			"improvements": tel.Improvements, "neutral": tel.NeutralAdoptions,
+			"gates": res.Fitness.Gates, "garbage": res.Fitness.Garbage,
+		})
+	}
 	return res, nil
 }

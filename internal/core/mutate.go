@@ -12,6 +12,10 @@ import (
 type genotype struct {
 	net   *rqfp.Netlist
 	users []rqfp.PortUser
+	// stats, when non-nil, receives per-kind attempt/accept counts from
+	// mutateOnce. Plain increments on a shared struct: the evolution is
+	// single-goroutine and the hot loop must stay allocation-free.
+	stats *MutationStats
 }
 
 func newGenotype(n *rqfp.Netlist) *genotype {
@@ -50,17 +54,31 @@ func (g *genotype) mutateOnce(r *rand.Rand) bool {
 		return false
 	}
 	idx := r.Intn(total)
+	var kind MutationKind
+	var applied bool
 	if idx < 4*len(n.Gates) {
 		gate, field := idx/4, idx%4
 		if field == 3 {
 			// Inverter configuration: f' = f ⊕ (1 << β), β ∈ [0,9).
+			kind = MutConfig
 			beta := r.Intn(9)
 			n.Gates[gate].Cfg = n.Gates[gate].Cfg.FlipBit(beta)
-			return true
+			applied = true
+		} else {
+			kind = MutGateInput
+			applied = g.reconnectInput(gate, field, r)
 		}
-		return g.reconnectInput(gate, field, r)
+	} else {
+		kind = MutPO
+		applied = g.reconnectPO(idx-4*len(n.Gates), r)
 	}
-	return g.reconnectPO(idx-4*len(n.Gates), r)
+	if g.stats != nil {
+		g.stats.Attempts[kind]++
+		if applied {
+			g.stats.Applied[kind]++
+		}
+	}
+	return applied
 }
 
 // reconnectInput rewires input `field` of gate `gate` to a random earlier

@@ -1,0 +1,106 @@
+package core
+
+import "time"
+
+// MutationKind enumerates the paper's three RQFP-aware point mutations
+// (§3.2.2): an inverter-configuration flip, a gate-input reconnection, and
+// a primary-output reconnection.
+type MutationKind int
+
+const (
+	MutConfig MutationKind = iota
+	MutGateInput
+	MutPO
+	NumMutationKinds
+)
+
+func (k MutationKind) String() string {
+	switch k {
+	case MutConfig:
+		return "config"
+	case MutGateInput:
+		return "gate_input"
+	case MutPO:
+		return "po"
+	default:
+		return "unknown"
+	}
+}
+
+// MutationStats counts attempted vs. actually applied point mutations by
+// kind. An attempt that samples a no-op or a structurally illegal swap
+// (the paper's rules only fire when legal) counts as attempted but not
+// applied, so Applied/Attempts is the mutation legality rate per kind.
+type MutationStats struct {
+	Attempts [NumMutationKinds]int64
+	Applied  [NumMutationKinds]int64
+}
+
+// Add accumulates o into m, for merging stats across engine runs.
+func (m *MutationStats) Add(o MutationStats) {
+	for k := 0; k < int(NumMutationKinds); k++ {
+		m.Attempts[k] += o.Attempts[k]
+		m.Applied[k] += o.Applied[k]
+	}
+}
+
+// TotalAttempts sums attempts over all kinds.
+func (m *MutationStats) TotalAttempts() int64 {
+	var t int64
+	for _, v := range m.Attempts {
+		t += v
+	}
+	return t
+}
+
+// TotalApplied sums applied mutations over all kinds.
+func (m *MutationStats) TotalApplied() int64 {
+	var t int64
+	for _, v := range m.Applied {
+		t += v
+	}
+	return t
+}
+
+// Telemetry is the per-run counter snapshot of a search engine run. All
+// counts are deterministic per seed; Elapsed (and therefore EvalsPerSec)
+// is the only wall-clock-dependent field.
+type Telemetry struct {
+	// Evaluations counts fitness evaluations (candidate simulations).
+	Evaluations int64
+	// Elapsed is the wall-clock time of the run.
+	Elapsed time.Duration
+	// Mutations breaks attempts/applications down by mutation kind.
+	Mutations MutationStats
+	// Adoptions counts generations whose best offspring replaced the
+	// parent (the (1+λ) "better or equal" rule), including neutral drift.
+	Adoptions int64
+	// NeutralAdoptions counts adoptions at exactly equal fitness — the
+	// neutral drift CGP relies on to escape plateaus.
+	NeutralAdoptions int64
+	// Improvements counts strict parent improvements.
+	Improvements int64
+	// Shrinks counts in-run shrink passes (ShrinkOnImprove only; the
+	// final shrink of the returned best individual is not counted).
+	Shrinks int64
+}
+
+// Add accumulates o into t, for merging the phases of a hybrid run.
+func (t *Telemetry) Add(o Telemetry) {
+	t.Evaluations += o.Evaluations
+	t.Elapsed += o.Elapsed
+	t.Mutations.Add(o.Mutations)
+	t.Adoptions += o.Adoptions
+	t.NeutralAdoptions += o.NeutralAdoptions
+	t.Improvements += o.Improvements
+	t.Shrinks += o.Shrinks
+}
+
+// EvalsPerSec is the evaluation throughput of the run (0 when Elapsed is
+// too small to measure).
+func (t Telemetry) EvalsPerSec() float64 {
+	if t.Elapsed <= 0 {
+		return 0
+	}
+	return float64(t.Evaluations) / t.Elapsed.Seconds()
+}

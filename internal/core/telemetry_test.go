@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/obs"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+func TestProgressCadence(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	var gens []int
+	_, err := Optimize(n, spec, Options{
+		Generations:   10,
+		Seed:          1,
+		ProgressEvery: 3,
+		Progress:      func(gen int, best Fitness) { gens = append(gens, gen) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 6, 9}
+	if len(gens) != len(want) {
+		t.Fatalf("progress fired %d times (%v), want %v", len(gens), gens, want)
+	}
+	for i, g := range gens {
+		if g != want[i] {
+			t.Fatalf("progress gens = %v, want %v", gens, want)
+		}
+		if g >= 10 {
+			t.Fatalf("progress fired at gen %d, after termination", g)
+		}
+	}
+}
+
+func TestProgressNotAfterBudgetExpiry(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	var gens []int
+	res, err := Optimize(n, spec, Options{
+		Generations:   1 << 30,
+		Seed:          1,
+		ProgressEvery: 1,
+		TimeBudget:    20 * time.Millisecond,
+		Progress:      func(gen int, best Fitness) { gens = append(gens, gen) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range gens {
+		if g >= res.Generations {
+			t.Fatalf("progress fired at gen %d but the run terminated at %d", g, res.Generations)
+		}
+	}
+}
+
+func TestTelemetryDeterministicPerSeed(t *testing.T) {
+	run := func() Telemetry {
+		spec, n := buildCase(decoderTables())
+		res, err := Optimize(n, spec, Options{Generations: 2000, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Telemetry
+	}
+	a, b := run(), run()
+	// Timings are the only permitted divergence.
+	a.Elapsed, b.Elapsed = 0, 0
+	if a != b {
+		t.Fatalf("telemetry diverged for identical seeds:\n%+v\n%+v", a, b)
+	}
+	if a.Evaluations == 0 || a.Mutations.TotalAttempts() == 0 {
+		t.Fatalf("counters empty: %+v", a)
+	}
+	for k := MutationKind(0); k < NumMutationKinds; k++ {
+		if a.Mutations.Applied[k] > a.Mutations.Attempts[k] {
+			t.Fatalf("kind %v applied > attempted: %+v", k, a.Mutations)
+		}
+	}
+	if a.Adoptions != a.Improvements+a.NeutralAdoptions {
+		t.Fatalf("adoptions %d != improvements %d + neutral %d",
+			a.Adoptions, a.Improvements, a.NeutralAdoptions)
+	}
+}
+
+// wideTables builds a 10-input specification whose evaluations are slow
+// enough (16-word stimulus) that a mid-batch budget check must fire.
+func wideTables() []tt.TT {
+	tables := make([]tt.TT, 3)
+	tables[0] = tt.FromFunc(10, func(s uint) bool {
+		p := false
+		for i := 0; i < 10; i++ {
+			p = p != (s>>uint(i)&1 == 1)
+		}
+		return p
+	})
+	tables[1] = tt.FromFunc(10, func(s uint) bool { return s%3 == 0 })
+	tables[2] = tt.FromFunc(10, func(s uint) bool { return s&5 == 5 })
+	return tables
+}
+
+func TestTimeBudgetChecksBetweenOffspring(t *testing.T) {
+	spec, n := buildCase(wideTables())
+	const lambda = 500
+	res, err := Optimize(n, spec, Options{
+		Generations: 1,
+		Lambda:      lambda,
+		Seed:        2,
+		TimeBudget:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The budget expires during the first λ-batch; the per-offspring check
+	// must abandon the batch instead of finishing all λ evaluations.
+	if res.Generations != 0 {
+		t.Fatalf("generations = %d, want 0 (budget expired mid-batch)", res.Generations)
+	}
+	if res.Evaluations >= lambda+1 {
+		t.Fatalf("all %d offspring evaluated: the batch was not interrupted", lambda)
+	}
+	if res.Evaluations < 1 {
+		t.Fatalf("evaluations = %d", res.Evaluations)
+	}
+}
+
+func TestOptimizeTraceEvents(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	var buf bytes.Buffer
+	res, err := Optimize(n, spec, Options{
+		Generations:   200,
+		Seed:          3,
+		ProgressEvery: 50,
+		Trace:         obs.NewTracer(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		counts[ev["ev"].(string)]++
+	}
+	if counts["cgp.gen"] != 4 { // gens 0, 50, 100, 150
+		t.Fatalf("cgp.gen events = %d, want 4", counts["cgp.gen"])
+	}
+	if counts["cgp.done"] != 1 {
+		t.Fatalf("cgp.done events = %d, want 1", counts["cgp.done"])
+	}
+	if int64(counts["cgp.improve"]) != res.Telemetry.Improvements {
+		t.Fatalf("cgp.improve events = %d, telemetry says %d",
+			counts["cgp.improve"], res.Telemetry.Improvements)
+	}
+}
+
+func TestAnnealTelemetry(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	var buf bytes.Buffer
+	res, err := Anneal(n, spec, AnnealOptions{
+		Steps: 2000, Seed: 9, Trace: obs.NewTracer(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := res.Telemetry
+	if tel.Evaluations != res.Evaluations || tel.Evaluations == 0 {
+		t.Fatalf("evaluations mismatch: %d vs %d", tel.Evaluations, res.Evaluations)
+	}
+	if tel.Mutations.TotalAttempts() == 0 {
+		t.Fatal("no mutation attempts recorded")
+	}
+	if int64(res.Improved) != tel.Improvements {
+		t.Fatalf("Improved %d != Telemetry.Improvements %d", res.Improved, tel.Improvements)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("anneal.done")) {
+		t.Fatal("anneal.done event missing")
+	}
+}

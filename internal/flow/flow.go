@@ -13,6 +13,7 @@ import (
 	"github.com/reversible-eda/rcgp/internal/cec"
 	"github.com/reversible-eda/rcgp/internal/core"
 	"github.com/reversible-eda/rcgp/internal/mig"
+	"github.com/reversible-eda/rcgp/internal/obs"
 	"github.com/reversible-eda/rcgp/internal/resub"
 	"github.com/reversible-eda/rcgp/internal/rqfp"
 	"github.com/reversible-eda/rcgp/internal/tt"
@@ -43,6 +44,13 @@ type Options struct {
 	// same chromosome/mutations), or "hybrid" (half the budget each,
 	// annealing seeded with the CGP result).
 	Optimizer string
+	// Trace, when non-nil, receives the run's JSONL telemetry: pipeline
+	// span begin/end events, CGP generation checkpoints and improvement
+	// events, and CEC SAT verdicts.
+	Trace *obs.Tracer
+	// Obs, when non-nil, is the metric registry the run records into;
+	// nil allocates a fresh per-run registry (snapshot on Result.Obs).
+	Obs *obs.Registry
 }
 
 // Result carries everything the evaluation tables need.
@@ -68,6 +76,16 @@ type Result struct {
 	// Window is the windowed-resynthesis report (nil unless requested).
 	Window *window.Report
 
+	// StageTimes is the wall-clock breakdown per pipeline stage, in
+	// execution order (stages that did not run are absent).
+	StageTimes []obs.StageTime
+	// CEC aggregates the main oracle's counters: sim-refuted vs.
+	// SAT-proved checks and the accumulated solver statistics. Window
+	// rounds use their own local oracles, which are not included.
+	CEC cec.Stats
+	// Obs is the final snapshot of the run's metric registry.
+	Obs obs.Snapshot
+
 	// Runtime covers the whole pipeline.
 	Runtime time.Duration
 }
@@ -77,85 +95,181 @@ func Run(spec *aig.AIG, opt Options) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
 
+	reg := opt.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if opt.Trace != nil {
+		reg.AttachTracer(opt.Trace)
+	}
+	root := reg.Span("flow.synth")
+	defer root.End()
+	// stage times a pipeline stage as a child span of the run and appends
+	// it to the StageTimes breakdown (also on error, so a failed run still
+	// shows where the time went).
+	stage := func(name string, f func() error) error {
+		sp := root.Child(name)
+		err := f()
+		res.StageTimes = append(res.StageTimes, obs.StageTime{Name: name, Duration: sp.End()})
+		return err
+	}
+
 	// Stage 1: classical logic synthesis (ABC resyn2 stand-in).
-	optimized := spec.Optimize(opt.SynthEffort)
-	res.AIGAnds = optimized.NumAnds()
+	var optimized *aig.AIG
+	stage("flow.aig_opt", func() error {
+		optimized = spec.Optimize(opt.SynthEffort)
+		res.AIGAnds = optimized.NumAnds()
+		return nil
+	})
 
 	// Stage 2: majority resynthesis (mockturtle aqfp_resynthesis stand-in).
-	m := mig.ResynthesizeAIG(optimized)
-	res.MIGMajs = m.NumMajs()
+	var m *mig.MIG
+	stage("flow.mig_resyn", func() error {
+		m = mig.ResynthesizeAIG(optimized)
+		res.MIGMajs = m.NumMajs()
+		return nil
+	})
 
-	// Stage 3: RQFP netlist conversion + splitter insertion.
-	initial, err := rqfp.FromMIG(m)
-	if err != nil {
-		return nil, fmt.Errorf("flow: %w", err)
-	}
-	res.Initial = initial
-	res.InitialStats = initial.ComputeStats()
-
-	// Oracle over the *original* specification: every later stage is
+	// Stage 3: RQFP netlist conversion + splitter insertion, then the
+	// oracle over the *original* specification: every later stage is
 	// checked against the untouched input function.
-	oracle := cec.NewSpecFromAIG(spec, opt.RandomWords, opt.CGP.Seed+1)
-	res.Spec = oracle
-	if v := oracle.Check(initial, nil, nil); !v.Proved {
-		return nil, fmt.Errorf("flow: initialization does not match the specification (match=%.6f)", v.Match)
+	var initial *rqfp.Netlist
+	var oracle *cec.Spec
+	err := stage("flow.convert", func() error {
+		var err error
+		initial, err = rqfp.FromMIG(m)
+		if err != nil {
+			return fmt.Errorf("flow: %w", err)
+		}
+		res.Initial = initial
+		res.InitialStats = initial.ComputeStats()
+		oracle = cec.NewSpecFromAIG(spec, opt.RandomWords, opt.CGP.Seed+1)
+		oracle.AttachTracer(opt.Trace)
+		res.Spec = oracle
+		if v := oracle.Check(initial, nil, nil); !v.Proved {
+			return fmt.Errorf("flow: initialization does not match the specification (match=%.6f)", v.Match)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res.Final = initial
 	res.FinalStats = res.InitialStats
 	if !opt.SkipCGP {
 		// Stage 4: evolutionary optimization.
-		optRes, err := runOptimizer(initial, oracle, opt)
+		err := stage("flow.cgp", func() error {
+			optRes, err := runOptimizer(initial, oracle, opt)
+			if err != nil {
+				return fmt.Errorf("flow: %w", err)
+			}
+			res.CGP = optRes
+			res.Final = optRes.Best
+			res.FinalStats = optRes.Best.ComputeStats()
+			if v := oracle.Check(res.Final, nil, nil); !v.Proved {
+				return fmt.Errorf("flow: optimized netlist lost equivalence (match=%.6f)", v.Match)
+			}
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("flow: %w", err)
-		}
-		res.CGP = optRes
-		res.Final = optRes.Best
-		res.FinalStats = optRes.Best.ComputeStats()
-		if v := oracle.Check(res.Final, nil, nil); !v.Proved {
-			return nil, fmt.Errorf("flow: optimized netlist lost equivalence (match=%.6f)", v.Match)
+			return nil, err
 		}
 	}
 
 	if opt.WindowRounds > 0 {
 		// Stage 4b: windowed resynthesis for scale.
-		windowed, wrep, err := window.Optimize(res.Final, window.Options{
-			Rounds: opt.WindowRounds,
-			Seed:   opt.CGP.Seed,
+		err := stage("flow.window", func() error {
+			windowed, wrep, err := window.Optimize(res.Final, window.Options{
+				Rounds: opt.WindowRounds,
+				Seed:   opt.CGP.Seed,
+			})
+			if err != nil {
+				return fmt.Errorf("flow: %w", err)
+			}
+			res.Window = &wrep
+			if v := oracle.Check(windowed, nil, nil); !v.Proved {
+				return fmt.Errorf("flow: windowed netlist lost equivalence (match=%.6f)", v.Match)
+			}
+			res.Final = windowed
+			res.FinalStats = windowed.ComputeStats()
+			return nil
 		})
 		if err != nil {
-			return nil, fmt.Errorf("flow: %w", err)
+			return nil, err
 		}
-		res.Window = &wrep
-		if v := oracle.Check(windowed, nil, nil); !v.Proved {
-			return nil, fmt.Errorf("flow: windowed netlist lost equivalence (match=%.6f)", v.Match)
-		}
-		res.Final = windowed
-		res.FinalStats = windowed.ComputeStats()
 	}
 
 	if opt.Resub && spec.NumPIs() <= cec.ExhaustiveMaxPIs {
 		// Stage 4c: deterministic resubstitution cleanup.
-		cleaned, _, err := resub.Optimize(res.Final)
+		err := stage("flow.resub", func() error {
+			cleaned, _, err := resub.Optimize(res.Final)
+			if err != nil {
+				return fmt.Errorf("flow: %w", err)
+			}
+			if v := oracle.Check(cleaned, nil, nil); !v.Proved {
+				return fmt.Errorf("flow: resubstitution lost equivalence (match=%.6f)", v.Match)
+			}
+			res.Final = cleaned
+			res.FinalStats = cleaned.ComputeStats()
+			return nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("flow: %w", err)
+			return nil, err
 		}
-		if v := oracle.Check(cleaned, nil, nil); !v.Proved {
-			return nil, fmt.Errorf("flow: resubstitution lost equivalence (match=%.6f)", v.Match)
-		}
-		res.Final = cleaned
-		res.FinalStats = cleaned.ComputeStats()
 	}
 
 	// Stage 5: RQFP buffer insertion sanity (stats already include the
 	// buffer counts; this validates the explicit balanced form).
-	balanced := res.Final.InsertBuffers()
-	if err := balanced.Validate(); err != nil {
-		return nil, fmt.Errorf("flow: buffer insertion failed: %w", err)
+	err = stage("flow.buffer", func() error {
+		balanced := res.Final.InsertBuffers()
+		if err := balanced.Validate(); err != nil {
+			return fmt.Errorf("flow: buffer insertion failed: %w", err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
+	res.CEC = oracle.Stats()
+	recordRunMetrics(reg, res)
+	res.Obs = reg.Snapshot()
 	res.Runtime = time.Since(start)
+	if opt.Trace != nil {
+		opt.Trace.Emit("flow.done", map[string]any{
+			"gates": res.FinalStats.Gates, "garbage": res.FinalStats.Garbage,
+			"buffers": res.FinalStats.Buffers, "jjs": res.FinalStats.JJs,
+			"runtime_us": res.Runtime.Microseconds(),
+		})
+	}
 	return res, nil
+}
+
+// recordRunMetrics folds the run's counters into the metric registry so a
+// single snapshot (or the -debug-addr expvar endpoint) carries the whole
+// picture: CGP search effort, oracle verdict mix, and SAT work.
+func recordRunMetrics(reg *obs.Registry, res *Result) {
+	if res.CGP != nil {
+		tel := res.CGP.Telemetry
+		reg.Counter("cgp.evaluations").Add(tel.Evaluations)
+		reg.Counter("cgp.adoptions").Add(tel.Adoptions)
+		reg.Counter("cgp.neutral_adoptions").Add(tel.NeutralAdoptions)
+		reg.Counter("cgp.improvements").Add(tel.Improvements)
+		reg.Counter("cgp.mutations_attempted").Add(tel.Mutations.TotalAttempts())
+		reg.Counter("cgp.mutations_applied").Add(tel.Mutations.TotalApplied())
+	}
+	cs := res.CEC
+	reg.Counter("cec.checks").Add(cs.Checks)
+	reg.Counter("cec.sim_refuted").Add(cs.SimRefuted)
+	reg.Counter("cec.exhaustive_proved").Add(cs.ExhaustiveProved)
+	reg.Counter("cec.sat_proved").Add(cs.SATProved)
+	reg.Counter("cec.sat_refuted").Add(cs.SATRefuted)
+	reg.Counter("cec.counterexamples").Add(cs.Counterexamples)
+	reg.Counter("sat.conflicts").Add(cs.SAT.Conflicts)
+	reg.Counter("sat.decisions").Add(cs.SAT.Decisions)
+	reg.Counter("sat.propagations").Add(cs.SAT.Propagations)
+	reg.Counter("sat.restarts").Add(cs.SAT.Restarts)
 }
 
 // RunTables is Run for a truth-table specification.
@@ -166,10 +280,14 @@ func RunTables(tables []tt.TT, opt Options) (*Result, error) {
 // runOptimizer dispatches stage 4 on Options.Optimizer.
 func runOptimizer(initial *rqfp.Netlist, oracle *cec.Spec, opt Options) (*core.Result, error) {
 	cgpOpt := opt.CGP
+	if cgpOpt.Trace == nil {
+		cgpOpt.Trace = opt.Trace
+	}
 	annealOpt := core.AnnealOptions{
 		MutationRate: cgpOpt.MutationRate,
 		Seed:         cgpOpt.Seed,
 		TimeBudget:   cgpOpt.TimeBudget,
+		Trace:        cgpOpt.Trace,
 	}
 	lambda := cgpOpt.Lambda
 	if lambda <= 0 {
@@ -205,6 +323,7 @@ func runOptimizer(initial *rqfp.Netlist, oracle *cec.Spec, opt Options) (*core.R
 		}
 		second.Evaluations += first.Evaluations
 		second.Improved += first.Improved
+		second.Telemetry.Add(first.Telemetry)
 		if !second.Fitness.BetterOrEqual(first.Fitness) {
 			second.Best = first.Best
 			second.Fitness = first.Fitness

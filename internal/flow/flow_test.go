@@ -1,11 +1,16 @@
 package flow
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
 	"testing"
+	"time"
 
 	"github.com/reversible-eda/rcgp/internal/aig"
 	"github.com/reversible-eda/rcgp/internal/bench"
 	"github.com/reversible-eda/rcgp/internal/core"
+	"github.com/reversible-eda/rcgp/internal/obs"
 )
 
 func TestRunAllTable1Circuits(t *testing.T) {
@@ -156,5 +161,116 @@ func TestWideCircuitUsesSATOracle(t *testing.T) {
 	}
 	if res.FinalStats.Gates > res.InitialStats.Gates {
 		t.Fatal("grew")
+	}
+}
+
+func TestStageTimesAndTrace(t *testing.T) {
+	c := bench.Decoder(2)
+	var buf bytes.Buffer
+	res, err := RunTables(c.Tables, Options{
+		CGP:          core.Options{Generations: 500, Seed: 7},
+		WindowRounds: 2,
+		Resub:        true,
+		Trace:        obs.NewTracer(&buf),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"flow.aig_opt", "flow.mig_resyn", "flow.convert", "flow.cgp", "flow.window", "flow.resub", "flow.buffer"}
+	if len(res.StageTimes) != len(want) {
+		t.Fatalf("stage times = %+v, want stages %v", res.StageTimes, want)
+	}
+	var sum time.Duration
+	for i, st := range res.StageTimes {
+		if st.Name != want[i] {
+			t.Fatalf("stage %d = %q, want %q", i, st.Name, want[i])
+		}
+		if st.Duration < 0 {
+			t.Fatalf("negative stage duration: %+v", st)
+		}
+		sum += st.Duration
+	}
+	if sum > res.Runtime+50*time.Millisecond {
+		t.Fatalf("stage sum %v exceeds runtime %v", sum, res.Runtime)
+	}
+	// CEC counters must cover every CGP evaluation plus the per-stage
+	// verification checks.
+	if res.CEC.Checks < res.CGP.Evaluations {
+		t.Fatalf("CEC checks %d < CGP evaluations %d", res.CEC.Checks, res.CGP.Evaluations)
+	}
+	if res.CEC.ExhaustiveProved == 0 {
+		t.Fatal("no exhaustive proofs recorded for a 2-input circuit")
+	}
+	// Registry snapshot carries the same counters.
+	if res.Obs.Counters["cec.checks"] != res.CEC.Checks {
+		t.Fatalf("registry snapshot disagrees: %+v", res.Obs.Counters)
+	}
+	if res.Obs.Counters["cgp.evaluations"] != res.CGP.Telemetry.Evaluations {
+		t.Fatalf("cgp.evaluations = %d, want %d",
+			res.Obs.Counters["cgp.evaluations"], res.CGP.Telemetry.Evaluations)
+	}
+	if res.Obs.Histograms["flow.cgp"].Count != 1 {
+		t.Fatalf("flow.cgp histogram missing: %+v", res.Obs.Histograms)
+	}
+
+	// The JSONL trace must parse line by line and its spans must nest.
+	var events []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	if err := obs.ValidateSpanNesting(events); err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]bool{}
+	for _, ev := range events {
+		kinds[ev["ev"].(string)] = true
+	}
+	for _, k := range []string{"span_begin", "span_end", "cgp.gen", "cgp.done", "flow.done"} {
+		if !kinds[k] {
+			t.Fatalf("trace lacks %q events (have %v)", k, kinds)
+		}
+	}
+}
+
+func TestSkipCGPStageTimes(t *testing.T) {
+	c := bench.Decoder(2)
+	res, err := RunTables(c.Tables, Options{SkipCGP: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range res.StageTimes {
+		if st.Name == "flow.cgp" {
+			t.Fatal("flow.cgp stage recorded despite SkipCGP")
+		}
+	}
+	if res.CEC.Checks == 0 {
+		t.Fatal("initialization check not counted")
+	}
+}
+
+func TestHybridMergesTelemetry(t *testing.T) {
+	c := bench.Decoder(2)
+	res, err := RunTables(c.Tables, Options{
+		CGP:       core.Options{Generations: 400, Seed: 2},
+		Optimizer: "hybrid",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := res.CGP.Telemetry
+	if tel.Evaluations != res.CGP.Evaluations {
+		t.Fatalf("telemetry evaluations %d != result evaluations %d",
+			tel.Evaluations, res.CGP.Evaluations)
+	}
+	if tel.Mutations.TotalAttempts() == 0 {
+		t.Fatal("hybrid run lost mutation stats")
 	}
 }

@@ -1,0 +1,269 @@
+// Package obs is the zero-dependency telemetry substrate of the RCGP
+// pipeline: a metric registry of atomic counters, gauges, and duration
+// histograms; span-style timers that attribute wall-clock time to pipeline
+// stages; and an optional JSONL trace sink. Everything is safe for
+// concurrent use, and every read path degrades to a no-op when the
+// corresponding sink is absent, so instrumented hot loops pay only a few
+// integer increments when telemetry is off.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the gauge by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// histBuckets is one bucket per power-of-two nanosecond duration; bucket i
+// holds observations d with bits.Len64(d) == i, i.e. [2^(i-1), 2^i) ns.
+const histBuckets = 64
+
+// Histogram records durations in exponential (power-of-two nanosecond)
+// buckets, cheap enough for per-call observation and precise enough for
+// p50/p90/p99 reporting.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	min     atomic.Int64 // nanoseconds + 1, so the zero value means "unset"
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration. Negative durations are clamped to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.min.Load()
+		if old != 0 && old <= ns+1 {
+			break
+		}
+		if h.min.CompareAndSwap(old, ns+1) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if ns <= old {
+			break
+		}
+		if h.max.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	b := bits.Len64(uint64(ns))
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	h.buckets[b].Add(1)
+}
+
+// HistSnapshot is a point-in-time histogram summary. Quantiles are bucket
+// estimates (geometric midpoint of the containing power-of-two bucket),
+// exact enough to tell a 1ms SAT call from a 100ms one.
+type HistSnapshot struct {
+	Count int64         `json:"count"`
+	Sum   time.Duration `json:"sum_ns"`
+	Mean  time.Duration `json:"mean_ns"`
+	Min   time.Duration `json:"min_ns"`
+	Max   time.Duration `json:"max_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P90   time.Duration `json:"p90_ns"`
+	P99   time.Duration `json:"p99_ns"`
+}
+
+// Snapshot summarizes the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count.Load(), Sum: time.Duration(h.sum.Load())}
+	if s.Count == 0 {
+		return s
+	}
+	s.Mean = s.Sum / time.Duration(s.Count)
+	s.Min = time.Duration(h.min.Load() - 1)
+	s.Max = time.Duration(h.max.Load())
+	var counts [histBuckets]int64
+	total := int64(0)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	s.P50 = bucketQuantile(&counts, total, 0.50)
+	s.P90 = bucketQuantile(&counts, total, 0.90)
+	s.P99 = bucketQuantile(&counts, total, 0.99)
+	if s.P50 < s.Min {
+		s.P50 = s.Min
+	}
+	if s.P99 > s.Max {
+		s.P99 = s.Max
+	}
+	if s.P90 > s.P99 {
+		s.P90 = s.P99
+	}
+	return s
+}
+
+func bucketQuantile(counts *[histBuckets]int64, total int64, q float64) time.Duration {
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total-1))
+	cum := int64(0)
+	for i, c := range counts {
+		cum += c
+		if cum > rank {
+			if i == 0 {
+				return 0
+			}
+			lo := int64(1) << uint(i-1)
+			hi := int64(1) << uint(i)
+			return time.Duration((lo + hi) / 2)
+		}
+	}
+	return 0
+}
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// call NewRegistry. A process-wide Default registry exists for code without
+// an obvious owner; pipeline runs create their own so per-run snapshots
+// start from zero.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	tracer   atomic.Pointer[Tracer]
+	spanID   atomic.Uint64
+}
+
+// Default is the process-wide registry.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named duration histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// AttachTracer routes this registry's span events to t (nil detaches).
+func (r *Registry) AttachTracer(t *Tracer) { r.tracer.Store(t) }
+
+// Tracer returns the attached tracer, possibly nil.
+func (r *Registry) Tracer() *Tracer { return r.tracer.Load() }
+
+// Snapshot is a plain, JSON-serializable copy of a registry's state.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters,omitempty"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{}
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for n, c := range r.counters {
+			s.Counters[n] = c.Load()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for n, g := range r.gauges {
+			s.Gauges[n] = g.Load()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistSnapshot, len(r.hists))
+		for n, h := range r.hists {
+			s.Histograms[n] = h.Snapshot()
+		}
+	}
+	return s
+}
+
+// CounterNames returns the sorted names of all registered counters, for
+// stable human-readable dumps.
+func (s Snapshot) CounterNames() []string {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// StageTime is one entry of a pipeline stage-time breakdown.
+type StageTime struct {
+	Name     string        `json:"name"`
+	Duration time.Duration `json:"dur_ns"`
+}

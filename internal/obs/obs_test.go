@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Load())
+	}
+	if r.Counter("a") != c {
+		t.Fatal("Counter must return the same instance per name")
+	}
+	g := r.Gauge("b")
+	g.Set(7)
+	g.Add(-2)
+	if g.Load() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Load())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 100 observations at ~1ms, 10 at ~100ms: p50 must land in the ms
+	// bucket and p99 in the 100ms bucket (both are power-of-two estimates).
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Millisecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 110 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Min != time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", s.Min, s.Max)
+	}
+	if s.P50 < 500*time.Microsecond || s.P50 > 2*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1ms", s.P50)
+	}
+	if s.P99 < 50*time.Millisecond || s.P99 > 200*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~100ms", s.P99)
+	}
+	if s.Mean <= 0 || s.Sum <= 0 {
+		t.Fatalf("mean/sum = %v/%v", s.Mean, s.Sum)
+	}
+}
+
+func TestHistogramEmptyAndConcurrent(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot(); s.Count != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != 8000 {
+		t.Fatalf("concurrent count = %d, want 8000", s.Count)
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cgp.evaluations").Add(42)
+	r.Gauge("cgp.generation").Set(7)
+	r.Histogram("flow.cgp").Observe(3 * time.Millisecond)
+	s := r.Snapshot()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["cgp.evaluations"] != 42 {
+		t.Fatalf("round-trip counter = %d", back.Counters["cgp.evaluations"])
+	}
+	if back.Histograms["flow.cgp"].Count != 1 {
+		t.Fatalf("round-trip histogram = %+v", back.Histograms["flow.cgp"])
+	}
+	if names := s.CounterNames(); len(names) != 1 || names[0] != "cgp.evaluations" {
+		t.Fatalf("CounterNames = %v", names)
+	}
+}
+
+func TestSpanRecordsHistogram(t *testing.T) {
+	r := NewRegistry()
+	sp := r.Span("stage")
+	child := sp.Child("stage.sub")
+	time.Sleep(time.Millisecond)
+	cd := child.End()
+	d := sp.End()
+	if cd <= 0 || d < cd {
+		t.Fatalf("durations: parent %v, child %v", d, cd)
+	}
+	if sp.End() == 0 {
+		t.Fatal("second End must still return a duration")
+	}
+	s := r.Snapshot()
+	if s.Histograms["stage"].Count != 1 || s.Histograms["stage.sub"].Count != 1 {
+		t.Fatalf("span histograms missing: %+v", s.Histograms)
+	}
+	if sp.Name() != "stage" {
+		t.Fatalf("name = %q", sp.Name())
+	}
+}
+
+func TestDefaultRegistrySpan(t *testing.T) {
+	sp := Span("obs.test.default")
+	if sp.End() < 0 {
+		t.Fatal("negative duration")
+	}
+	if Default.Snapshot().Histograms["obs.test.default"].Count == 0 {
+		t.Fatal("default registry did not record the span")
+	}
+}

@@ -1,0 +1,70 @@
+package obs
+
+import "time"
+
+// Timer is a span-style stage timer started by Registry.Span (or the
+// package-level Span helper). Ending a timer records its wall-clock
+// duration into the registry histogram named after the span, and — when a
+// tracer is attached to the registry — emits span_begin/span_end trace
+// events carrying the span id and its parent id, so a trace consumer can
+// reconstruct the nesting.
+type Timer struct {
+	reg    *Registry
+	name   string
+	start  time.Time
+	id     uint64
+	parent uint64
+	ended  bool
+}
+
+// Span starts a root span on the registry.
+func (r *Registry) Span(name string) *Timer {
+	return r.newSpan(name, 0)
+}
+
+// Span starts a root span on the Default registry — obs.Span("flow.synth")
+// … End().
+func Span(name string) *Timer { return Default.Span(name) }
+
+// Child starts a nested span attributing time to a sub-stage of s.
+func (s *Timer) Child(name string) *Timer {
+	return s.reg.newSpan(name, s.id)
+}
+
+func (r *Registry) newSpan(name string, parent uint64) *Timer {
+	s := &Timer{
+		reg:    r,
+		name:   name,
+		start:  time.Now(),
+		id:     r.spanID.Add(1),
+		parent: parent,
+	}
+	if t := r.Tracer(); t != nil {
+		t.Emit("span_begin", map[string]any{
+			"name": name, "span": s.id, "parent": s.parent,
+		})
+	}
+	return s
+}
+
+// Name returns the span name.
+func (s *Timer) Name() string { return s.name }
+
+// End stops the timer, records the duration, and returns it. End is
+// idempotent: a second call returns the recorded duration without
+// re-recording.
+func (s *Timer) End() time.Duration {
+	d := time.Since(s.start)
+	if s.ended {
+		return d
+	}
+	s.ended = true
+	s.reg.Histogram(s.name).Observe(d)
+	if t := s.reg.Tracer(); t != nil {
+		t.Emit("span_end", map[string]any{
+			"name": s.name, "span": s.id, "parent": s.parent,
+			"dur_us": d.Microseconds(),
+		})
+	}
+	return d
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer writes one JSON object per line to a sink: span begin/end events,
+// generation checkpoints, improvement/shrink adoptions, CEC verdicts.
+// Every event carries "t_us" (microseconds since the tracer was created)
+// and "ev" (the event kind); remaining keys are event-specific. Writes are
+// serialized by a mutex, so a single Tracer is safe for concurrent
+// emitters. A nil *Tracer is a valid no-op sink, so instrumented code
+// never needs nil checks at call sites.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	epoch time.Time
+	err   error
+	buf   []byte
+}
+
+// NewTracer wraps w as a JSONL trace sink.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w, epoch: time.Now()}
+}
+
+// Emit writes one event. fields must not contain the reserved keys "t_us"
+// or "ev" (they would be overwritten). Emit on a nil tracer is a no-op.
+func (t *Tracer) Emit(ev string, fields map[string]any) {
+	if t == nil {
+		return
+	}
+	rec := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		rec[k] = v
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	rec["t_us"] = time.Since(t.epoch).Microseconds()
+	rec["ev"] = ev
+	line, err := json.Marshal(rec)
+	if err != nil {
+		t.err = err
+		return
+	}
+	t.buf = append(t.buf[:0], line...)
+	t.buf = append(t.buf, '\n')
+	if _, err := t.w.Write(t.buf); err != nil {
+		t.err = err
+	}
+}
+
+// ValidateSpanNesting checks that the span events of a decoded JSONL trace
+// nest correctly: every span_end matches an open span_begin, a span's
+// parent is open when the span begins (parent 0 = root), and no span is
+// left open. Non-span events are ignored. Used by tests and the CI trace
+// smoke check.
+func ValidateSpanNesting(events []map[string]any) error {
+	open := map[uint64]bool{}
+	num := func(ev map[string]any, key string) (uint64, bool) {
+		v, ok := ev[key].(float64)
+		return uint64(v), ok
+	}
+	for i, ev := range events {
+		switch ev["ev"] {
+		case "span_begin":
+			id, ok := num(ev, "span")
+			if !ok || id == 0 {
+				return fmt.Errorf("event %d: span_begin without span id", i)
+			}
+			if open[id] {
+				return fmt.Errorf("event %d: span %d begun twice", i, id)
+			}
+			if parent, ok := num(ev, "parent"); ok && parent != 0 && !open[parent] {
+				return fmt.Errorf("event %d: span %d begun under closed parent %d", i, id, parent)
+			}
+			open[id] = true
+		case "span_end":
+			id, ok := num(ev, "span")
+			if !ok || !open[id] {
+				return fmt.Errorf("event %d: span_end for span that is not open", i)
+			}
+			delete(open, id)
+		}
+	}
+	if len(open) > 0 {
+		return fmt.Errorf("%d spans left open at end of trace", len(open))
+	}
+	return nil
+}
+
+// Err returns the first marshal or write error, if any. Events after an
+// error are dropped.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parseJSONL decodes every line of a trace and fails on malformed input.
+func parseJSONL(t *testing.T, data []byte) []map[string]any {
+	t.Helper()
+	var events []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		var ev map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad trace line %q: %v", sc.Text(), err)
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+func TestTracerEmitsValidJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	tr.Emit("hello", map[string]any{"x": 1})
+	tr.Emit("world", nil)
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	events := parseJSONL(t, buf.Bytes())
+	if len(events) != 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	if events[0]["ev"] != "hello" || events[0]["x"] != float64(1) {
+		t.Fatalf("event 0 = %v", events[0])
+	}
+	if _, ok := events[0]["t_us"]; !ok {
+		t.Fatal("missing t_us")
+	}
+}
+
+func TestNilTracerIsNoop(t *testing.T) {
+	var tr *Tracer
+	tr.Emit("ev", map[string]any{"x": 1}) // must not panic
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanEventsNest(t *testing.T) {
+	var buf bytes.Buffer
+	r := NewRegistry()
+	r.AttachTracer(NewTracer(&buf))
+	root := r.Span("root")
+	a := root.Child("a")
+	aa := a.Child("a.a")
+	aa.End()
+	a.End()
+	b := root.Child("b")
+	b.End()
+	root.End()
+
+	events := parseJSONL(t, buf.Bytes())
+	if err := ValidateSpanNesting(events); err != nil {
+		t.Fatal(err)
+	}
+	// Check parentage explicitly: "a.a" under "a" under "root".
+	parents := map[string]float64{}
+	ids := map[string]float64{}
+	for _, ev := range events {
+		if ev["ev"] == "span_begin" {
+			name := ev["name"].(string)
+			ids[name] = ev["span"].(float64)
+			parents[name] = ev["parent"].(float64)
+		}
+	}
+	if parents["root"] != 0 {
+		t.Fatalf("root parent = %v", parents["root"])
+	}
+	if parents["a"] != ids["root"] || parents["b"] != ids["root"] {
+		t.Fatal("a/b not parented to root")
+	}
+	if parents["a.a"] != ids["a"] {
+		t.Fatal("a.a not parented to a")
+	}
+}
+
+func TestValidateSpanNestingRejectsOrphans(t *testing.T) {
+	bad := []map[string]any{
+		{"ev": "span_end", "span": float64(3), "name": "ghost"},
+	}
+	if err := ValidateSpanNesting(bad); err == nil {
+		t.Fatal("orphan span_end accepted")
+	}
+}
+
+func TestTracerWriteErrorSticks(t *testing.T) {
+	tr := NewTracer(failWriter{})
+	tr.Emit("x", nil)
+	if tr.Err() == nil {
+		t.Fatal("write error not surfaced")
+	}
+	tr.Emit("y", nil) // dropped, no panic
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("sink closed") }
+
+func TestTracerConcurrentWriters(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				tr.Emit("tick", map[string]any{"writer": id, "n": j})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	events := parseJSONL(t, buf.Bytes())
+	if len(events) != 1600 {
+		t.Fatalf("got %d events, want 1600", len(events))
+	}
+	for _, ev := range events {
+		if ev["ev"] != "tick" {
+			t.Fatalf("interleaved line: %v", ev)
+		}
+	}
+	if strings.Count(buf.String(), "\n") != 1600 {
+		t.Fatal("line count mismatch")
+	}
+}

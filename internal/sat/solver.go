@@ -173,6 +173,34 @@ func (s *Solver) Stats() (conflicts, decisions, propagations, restarts int64) {
 	return s.conflicts, s.decisions, s.propagations, s.restarts
 }
 
+// Stats bundles the solver's search counters for propagation through
+// results (cec verdicts, exact-synthesis reports, CLI output).
+type Stats struct {
+	Conflicts    int64 `json:"conflicts"`
+	Decisions    int64 `json:"decisions"`
+	Propagations int64 `json:"propagations"`
+	Restarts     int64 `json:"restarts"`
+}
+
+// Counters returns the search counters as a Stats value.
+func (s *Solver) Counters() Stats {
+	return Stats{
+		Conflicts:    s.conflicts,
+		Decisions:    s.decisions,
+		Propagations: s.propagations,
+		Restarts:     s.restarts,
+	}
+}
+
+// Add accumulates o into s, for aggregating counters across solver
+// instances.
+func (s *Stats) Add(o Stats) {
+	s.Conflicts += o.Conflicts
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Restarts += o.Restarts
+}
+
 func (s *Solver) value(l Lit) lbool {
 	v := s.assigns[l.Var()]
 	if v == lUndef {

@@ -32,6 +32,7 @@ import (
 	"github.com/reversible-eda/rcgp/internal/core"
 	"github.com/reversible-eda/rcgp/internal/exact"
 	"github.com/reversible-eda/rcgp/internal/flow"
+	"github.com/reversible-eda/rcgp/internal/obs"
 	"github.com/reversible-eda/rcgp/internal/pla"
 	"github.com/reversible-eda/rcgp/internal/real"
 	"github.com/reversible-eda/rcgp/internal/rqfp"
@@ -182,6 +183,10 @@ type Options struct {
 	Optimizer string
 	// Progress, when non-nil, receives periodic generation updates.
 	Progress func(generation, gates, garbage int)
+	// Trace, when non-nil, receives a line-delimited JSON event stream of
+	// the run (spans, generation samples, SAT escalations). The writer is
+	// serialized internally, so an os.File is fine.
+	Trace io.Writer
 }
 
 // Stats are the paper's cost metrics for an RQFP circuit.
@@ -217,6 +222,9 @@ type Result struct {
 	Evaluations int64
 	// Runtime is the end-to-end pipeline time.
 	Runtime time.Duration
+	// Telemetry is the run's observability snapshot: per-stage times and
+	// the evolution / equivalence-checking counters.
+	Telemetry Telemetry
 }
 
 // Circuit returns the final optimized RQFP circuit.
@@ -250,14 +258,25 @@ func (d *Design) Synthesize(opt Options) (*Result, error) {
 			opt.Progress(gen, best.Gates, best.Garbage)
 		}
 	}
+	var tracer *obs.Tracer
+	if opt.Trace != nil {
+		tracer = obs.NewTracer(opt.Trace)
+		fopt.Trace = tracer
+	}
 	res, err := flow.Run(d.aig, fopt)
 	if err != nil {
 		return nil, err
 	}
+	if tracer != nil {
+		if terr := tracer.Err(); terr != nil {
+			return nil, fmt.Errorf("rcgp: trace write failed: %w", terr)
+		}
+	}
 	out := &Result{
-		circuit: &Circuit{net: res.Final},
-		initial: &Circuit{net: res.Initial},
-		Runtime: res.Runtime,
+		circuit:   &Circuit{net: res.Final},
+		initial:   &Circuit{net: res.Initial},
+		Runtime:   res.Runtime,
+		Telemetry: telemetryFromFlow(res),
 	}
 	if res.CGP != nil {
 		out.Generations = res.CGP.Generations

@@ -1,0 +1,141 @@
+package rcgp
+
+import (
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/core"
+	"github.com/reversible-eda/rcgp/internal/flow"
+	"github.com/reversible-eda/rcgp/internal/sat"
+)
+
+// StageTime is one entry of the pipeline's wall-clock breakdown, in
+// execution order (e.g. "flow.aig_opt", "flow.cgp", "flow.buffer").
+type StageTime struct {
+	Name     string
+	Duration time.Duration
+}
+
+// SATStats are the CDCL solver's search counters.
+type SATStats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Restarts     int64
+}
+
+// CECStats describe the equivalence oracle's activity: how often the
+// bit-parallel simulation screen refuted a candidate outright (the cheap,
+// common case), how often a proof came from exhaustive simulation vs. an
+// UNSAT miter, and the accumulated SAT solver work.
+type CECStats struct {
+	Checks           int64
+	SimRefuted       int64
+	ExhaustiveProved int64
+	SATProved        int64
+	SATRefuted       int64
+	SATUnknown       int64
+	Counterexamples  int64
+	SATTime          time.Duration
+	Solver           SATStats
+}
+
+// MutationStat reports one RQFP-aware mutation kind ("config",
+// "gate_input", "po"): how often it was attempted and how often the
+// sampled mutation was legal and actually changed the chromosome.
+type MutationStat struct {
+	Kind     string
+	Attempts int64
+	Applied  int64
+}
+
+// Telemetry is the observability snapshot of one Synthesize run: the
+// per-stage time breakdown plus the evolution and equivalence-checking
+// counters. All counts are deterministic per seed; only the timings vary
+// between runs.
+type Telemetry struct {
+	// Stages is the pipeline wall-clock breakdown, in execution order.
+	Stages []StageTime
+	// Evaluations counts candidate fitness evaluations; EvalsPerSec is
+	// the evaluation throughput of the search stage.
+	Evaluations int64
+	EvalsPerSec float64
+	// Mutations breaks the search's point mutations down by kind.
+	Mutations []MutationStat
+	// Adoptions counts parent replacements, split into strict
+	// Improvements and equal-fitness NeutralAdoptions (the neutral drift
+	// CGP relies on).
+	Adoptions        int64
+	NeutralAdoptions int64
+	Improvements     int64
+	// CEC aggregates the functional-equivalence oracle counters.
+	CEC CECStats
+}
+
+func satStatsFromInternal(s sat.Stats) SATStats {
+	return SATStats{
+		Conflicts:    s.Conflicts,
+		Decisions:    s.Decisions,
+		Propagations: s.Propagations,
+		Restarts:     s.Restarts,
+	}
+}
+
+func cecStatsFromInternal(s cec.Stats) CECStats {
+	return CECStats{
+		Checks:           s.Checks,
+		SimRefuted:       s.SimRefuted,
+		ExhaustiveProved: s.ExhaustiveProved,
+		SATProved:        s.SATProved,
+		SATRefuted:       s.SATRefuted,
+		SATUnknown:       s.SATUnknown,
+		Counterexamples:  s.Counterexamples,
+		SATTime:          s.SATTime,
+		Solver:           satStatsFromInternal(s.SAT),
+	}
+}
+
+func telemetryFromFlow(res *flow.Result) Telemetry {
+	t := Telemetry{CEC: cecStatsFromInternal(res.CEC)}
+	t.Stages = make([]StageTime, len(res.StageTimes))
+	for i, st := range res.StageTimes {
+		t.Stages[i] = StageTime{Name: st.Name, Duration: st.Duration}
+	}
+	if res.CGP != nil {
+		tel := res.CGP.Telemetry
+		t.Evaluations = tel.Evaluations
+		t.EvalsPerSec = tel.EvalsPerSec()
+		t.Adoptions = tel.Adoptions
+		t.NeutralAdoptions = tel.NeutralAdoptions
+		t.Improvements = tel.Improvements
+		for k := 0; k < len(tel.Mutations.Attempts); k++ {
+			t.Mutations = append(t.Mutations, MutationStat{
+				Kind:     core.MutationKind(k).String(),
+				Attempts: tel.Mutations.Attempts[k],
+				Applied:  tel.Mutations.Applied[k],
+			})
+		}
+	}
+	return t
+}
+
+// MutationAcceptRate is the fraction of attempted point mutations that
+// were legal and changed the chromosome (0 when nothing was attempted).
+func (t Telemetry) MutationAcceptRate() float64 {
+	var att, app int64
+	for _, m := range t.Mutations {
+		att += m.Attempts
+		app += m.Applied
+	}
+	if att == 0 {
+		return 0
+	}
+	return float64(app) / float64(att)
+}
+
+// EquivalentStats is Equivalent plus the SAT solver's search counters for
+// the equivalence miter.
+func (c *Circuit) EquivalentStats(other *Circuit) (bool, SATStats, error) {
+	eq, st, err := cec.NetlistsEquivalentStats(c.net, other.net)
+	return eq, satStatsFromInternal(st), err
+}
