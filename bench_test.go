@@ -17,6 +17,7 @@ package rcgp
 // EXPERIMENTS.md for the scaled-up runs.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -265,6 +266,40 @@ func BenchmarkAblationOptimizer(b *testing.B) {
 		}
 		b.ReportMetric(gates, "gates")
 	})
+}
+
+// BenchmarkParallelEvaluation measures the worker-pool scaling of the
+// (1+λ) engine on an 8-input circuit (hwb8): same seed, same generation
+// budget, 1/2/4/8 evaluation workers. The evals/sec metric comes from the
+// run's own telemetry; the gates metric doubles as the determinism witness
+// (it must not move with the worker count). results/bench_parallel.sh
+// records the same sweep as BENCH_parallel.json.
+func BenchmarkParallelEvaluation(b *testing.B) {
+	c := bench.HWB(8)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var last *flow.Result
+			for i := 0; i < b.N; i++ {
+				res, err := flow.RunTables(c.Tables, flow.Options{
+					CGP: core.Options{
+						Generations:  benchGenerations / 4,
+						Lambda:       8,
+						MutationRate: 0.15,
+						Seed:         1,
+						Workers:      workers,
+					},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.ReportMetric(last.CGP.Telemetry.EvalsPerSec(), "evals/sec")
+			b.ReportMetric(float64(last.FinalStats.Gates), "gates")
+		})
+	}
 }
 
 // BenchmarkAblationInitialization compares the conversion front ends: the

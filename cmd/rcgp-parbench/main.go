@@ -1,0 +1,144 @@
+// Command rcgp-parbench sweeps the evaluation worker count of the (1+λ)
+// engine on one benchmark circuit and writes the scaling record the
+// repository tracks as results/BENCH_parallel.json: per worker count the
+// evaluation throughput (from the run's own telemetry), the speedup over
+// the sequential run, and whether the evolved circuit is bit-identical to
+// the sequential one — the determinism witness.
+//
+// Usage:
+//
+//	rcgp-parbench -bench hwb8 -gens 5000 -workers 1,2,4,8 -o results/BENCH_parallel.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/bench"
+	"github.com/reversible-eda/rcgp/internal/core"
+	"github.com/reversible-eda/rcgp/internal/flow"
+)
+
+type run struct {
+	Workers       int     `json:"workers"`
+	Islands       int     `json:"islands,omitempty"`
+	Evaluations   int64   `json:"evaluations"`
+	EvalsPerSec   float64 `json:"evals_per_sec"`
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	Gates         int     `json:"gates"`
+	Garbage       int     `json:"garbage"`
+	Speedup       float64 `json:"speedup"`
+	BestIdentical bool    `json:"best_identical"`
+}
+
+type report struct {
+	Benchmark   string `json:"benchmark"`
+	Generations int    `json:"generations"`
+	Lambda      int    `json:"lambda"`
+	Seed        int64  `json:"seed"`
+	GOMAXPROCS  int    `json:"gomaxprocs"`
+	Runs        []run  `json:"runs"`
+}
+
+func main() {
+	if err := mainErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcgp-parbench:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr() error {
+	var (
+		benchName = flag.String("bench", "hwb8", "benchmark circuit (see rcgp -list)")
+		gens      = flag.Int("gens", 5000, "CGP generation budget per run")
+		lambda    = flag.Int("lambda", 8, "offspring per generation (λ)")
+		seed      = flag.Int64("seed", 1, "random seed (shared by every run)")
+		islands   = flag.Int("islands", 1, "island count for every run")
+		sweep     = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
+		outPath   = flag.String("o", "results/BENCH_parallel.json", "output JSON path")
+	)
+	flag.Parse()
+
+	c, err := bench.ByName(*benchName)
+	if err != nil {
+		return err
+	}
+	var counts []int
+	for _, f := range strings.Split(*sweep, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w <= 0 {
+			return fmt.Errorf("bad -workers entry %q", f)
+		}
+		counts = append(counts, w)
+	}
+
+	rep := report{
+		Benchmark:   c.Name,
+		Generations: *gens,
+		Lambda:      *lambda,
+		Seed:        *seed,
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	var baseRate float64
+	var baseBest string
+	for _, w := range counts {
+		start := time.Now()
+		res, err := flow.RunTables(c.Tables, flow.Options{
+			CGP: core.Options{
+				Generations:  *gens,
+				Lambda:       *lambda,
+				MutationRate: 0.15,
+				Seed:         *seed,
+				Workers:      w,
+				Islands:      *islands,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		tel := res.CGP.Telemetry
+		r := run{
+			Workers:     w,
+			Evaluations: tel.Evaluations,
+			EvalsPerSec: tel.EvalsPerSec(),
+			ElapsedSec:  elapsed.Seconds(),
+			Gates:       res.FinalStats.Gates,
+			Garbage:     res.FinalStats.Garbage,
+		}
+		if *islands > 1 {
+			r.Islands = *islands
+		}
+		best := res.Final.String()
+		if baseRate == 0 {
+			baseRate, baseBest = r.EvalsPerSec, best
+		}
+		r.Speedup = r.EvalsPerSec / baseRate
+		r.BestIdentical = best == baseBest
+		rep.Runs = append(rep.Runs, r)
+		fmt.Printf("workers=%d  %9.0f evals/sec  speedup %.2fx  gates=%d  identical=%v\n",
+			w, r.EvalsPerSec, r.Speedup, r.Gates, r.BestIdentical)
+		if !r.BestIdentical {
+			return fmt.Errorf("workers=%d evolved a different circuit than workers=%d (determinism violated)", w, counts[0])
+		}
+	}
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *outPath)
+	return nil
+}

@@ -14,11 +14,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	rcgp "github.com/reversible-eda/rcgp"
@@ -43,6 +46,8 @@ func run() error {
 		lambda    = flag.Int("lambda", 4, "CGP offspring per generation (λ)")
 		mu        = flag.Float64("mu", 0.05, "CGP mutation rate (μ); the paper uses 1")
 		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 1, "goroutines evaluating offspring concurrently (0 = NumCPU); deterministic per seed")
+		islands   = flag.Int("islands", 1, "independent (1+λ) populations with periodic ring migration")
 		budget    = flag.Duration("time", 0, "wall-clock budget for the evolution (0 = none)")
 		initOnly  = flag.Bool("init-only", false, "stop after initialization (baseline)")
 		windows   = flag.Int("window-rounds", 0, "rounds of windowed resynthesis after the evolution")
@@ -69,11 +74,16 @@ func run() error {
 		fmt.Printf("design %s: %d inputs, %d outputs\n", name, design.NumInputs(), design.NumOutputs())
 	}
 
+	if *workers <= 0 {
+		*workers = runtime.NumCPU()
+	}
 	opt := rcgp.Options{
 		Generations:        *gens,
 		Lambda:             *lambda,
 		MutationRate:       *mu,
 		Seed:               *seed,
+		Workers:            *workers,
+		Islands:            *islands,
 		TimeBudget:         *budget,
 		InitializationOnly: *initOnly,
 		WindowRounds:       *windows,
@@ -98,9 +108,17 @@ func run() error {
 		defer f.Close()
 		opt.Trace = f
 	}
-	res, err := design.Synthesize(opt)
+	// Ctrl-C cancels the synthesis context: the evolution (and any
+	// in-flight SAT proof) stops promptly and the validated best-so-far
+	// circuit is reported. A second Ctrl-C kills the process.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := design.SynthesizeContext(ctx, opt)
 	if err != nil {
 		return err
+	}
+	if ctx.Err() != nil && !*quiet {
+		fmt.Fprintln(os.Stderr, "rcgp: interrupted — reporting best circuit found so far")
 	}
 	if *metrics {
 		writeMetrics(os.Stderr, res)

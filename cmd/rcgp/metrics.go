@@ -26,6 +26,12 @@ func writeMetrics(w io.Writer, res *rcgp.Result) {
 	fmt.Fprintf(w, "  evaluations      %10d  (%.0f evals/sec)\n", tel.Evaluations, tel.EvalsPerSec)
 	fmt.Fprintf(w, "  adoptions        %10d  (%d improvements, %d neutral)\n",
 		tel.Adoptions, tel.Improvements, tel.NeutralAdoptions)
+	if tel.Migrations > 0 {
+		fmt.Fprintf(w, "  migrations       %10d  (%d accepted)\n", tel.Migrations, tel.MigrationsAccepted)
+	}
+	if tel.StopReason != "" {
+		fmt.Fprintf(w, "  stop reason      %10s\n", tel.StopReason)
+	}
 	for _, m := range tel.Mutations {
 		rate := 0.0
 		if m.Attempts > 0 {
@@ -44,7 +50,7 @@ func writeMetrics(w io.Writer, res *rcgp.Result) {
 	fmt.Fprintf(w, "  sat proved       %10d\n", c.SATProved)
 	fmt.Fprintf(w, "  sat refuted      %10d  (%d counterexamples learned)\n", c.SATRefuted, c.Counterexamples)
 	if c.SATUnknown > 0 {
-		fmt.Fprintf(w, "  sat unknown      %10d\n", c.SATUnknown)
+		fmt.Fprintf(w, "  sat unknown      %10d  (%d aborted by cancellation)\n", c.SATUnknown, c.SATAborted)
 	}
 	if c.SATTime > 0 || c.Solver != (rcgp.SATStats{}) {
 		fmt.Fprintf(w, "  sat time         %10s\n", c.SATTime.Round(time.Microsecond))

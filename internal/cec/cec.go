@@ -9,8 +9,10 @@
 package cec
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"github.com/reversible-eda/rcgp/internal/aig"
@@ -30,12 +32,16 @@ const ExhaustiveMaxPIs = 14
 const DefaultRandomWords = 16
 
 // Spec is a golden specification an RQFP netlist is checked against.
+// CheckContext may be called from many goroutines at once (each with its
+// own SimContext); the stimulus tables are guarded by a reader-writer lock
+// that only AddCounterexample takes exclusively.
 type Spec struct {
 	NumPI, NumPO int
 	Exhaustive   bool
 
-	stimulus []bits.Vec // one vector per PI
-	golden   []bits.Vec // one vector per PO
+	mu       sync.RWMutex // guards stimulus/golden/words/samples
+	stimulus []bits.Vec   // one vector per PI
+	golden   []bits.Vec   // one vector per PO
 	words    int
 	samples  int
 
@@ -43,16 +49,17 @@ type Spec struct {
 	// the non-exhaustive regime; nil when exhaustive.
 	specAIG *aig.AIG
 
-	stats Stats
-	trace *obs.Tracer
+	statsMu sync.Mutex
+	stats   Stats
+	trace   *obs.Tracer
 }
 
 // Stats aggregates the oracle's activity across Check calls: how often the
 // cheap simulation screen refuted a candidate outright, how often a proof
 // was by exhaustive simulation vs. an UNSAT miter, and the accumulated
-// CDCL solver counters of every SAT confirmation. The counters are plain
-// fields because a Spec — like its stimulus — is owned by one search loop
-// at a time.
+// CDCL solver counters of every SAT confirmation. The Spec updates the
+// counters under its own lock so concurrent CheckContext calls stay safe;
+// read them through Spec.Stats.
 type Stats struct {
 	// Checks counts Check calls (the oracle is the CGP evaluation hot
 	// path, so this equals the candidate evaluations it served).
@@ -62,10 +69,13 @@ type Stats struct {
 	// ExhaustiveProved counts proofs by complete simulation.
 	ExhaustiveProved int64 `json:"exhaustive_proved"`
 	// SATProved / SATRefuted / SATUnknown classify the SAT confirmations
-	// run after a passing random-pattern simulation.
+	// run after a passing random-pattern simulation. SATAborted counts the
+	// subset of SATUnknown where the proof was cut short by context
+	// cancellation (deadline or interrupt) rather than a conflict budget.
 	SATProved  int64 `json:"sat_proved"`
 	SATRefuted int64 `json:"sat_refuted"`
 	SATUnknown int64 `json:"sat_unknown"`
+	SATAborted int64 `json:"sat_aborted"`
 	// Counterexamples counts distinguishing assignments folded back into
 	// the stimulus.
 	Counterexamples int64 `json:"counterexamples"`
@@ -83,13 +93,25 @@ func (s *Stats) Add(o Stats) {
 	s.SATProved += o.SATProved
 	s.SATRefuted += o.SATRefuted
 	s.SATUnknown += o.SATUnknown
+	s.SATAborted += o.SATAborted
 	s.Counterexamples += o.Counterexamples
 	s.SATTime += o.SATTime
 	s.SAT.Add(o.SAT)
 }
 
 // Stats returns the accumulated oracle counters.
-func (s *Spec) Stats() Stats { return s.stats }
+func (s *Spec) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	return s.stats
+}
+
+// bump applies f to the counters under the stats lock.
+func (s *Spec) bump(f func(*Stats)) {
+	s.statsMu.Lock()
+	f(&s.stats)
+	s.statsMu.Unlock()
+}
 
 // AttachTracer routes SAT verdicts and counterexample events to t (nil
 // detaches). Per-simulation events are deliberately not emitted: the
@@ -105,6 +127,15 @@ type Verdict struct {
 	// Proved reports functional equivalence established either by
 	// exhaustive simulation or by an UNSAT miter.
 	Proved bool
+	// Counterexample, when non-nil, is a distinguishing input assignment
+	// found by the SAT refutation. CheckContext returns it without touching
+	// the stimulus so concurrent evaluations stay deterministic; callers
+	// decide when to fold it back via AddCounterexample (Check does so
+	// immediately).
+	Counterexample []bool
+	// Aborted reports that the verdict is inconclusive because the context
+	// was cancelled mid-check (the candidate is conservatively unproved).
+	Aborted bool
 }
 
 // NewSpecFromAIG builds the oracle from a specification AIG. For small
@@ -165,28 +196,53 @@ func NewSpecFromNetlist(n *rqfp.Netlist, randomWords int, seed int64) *Spec {
 }
 
 // Words returns the stimulus width in 64-bit words.
-func (s *Spec) Words() int { return s.words }
+func (s *Spec) Words() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.words
+}
 
 // Samples returns the number of stimulus patterns.
-func (s *Spec) Samples() int { return s.samples }
+func (s *Spec) Samples() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.samples
+}
 
-// Check evaluates a candidate netlist. ctx must be sized for the netlist
-// and the spec's word count; pass nil to allocate a fresh context.
-func (s *Spec) Check(n *rqfp.Netlist, ctx *rqfp.SimContext, active []bool) Verdict {
+// Check evaluates a candidate netlist, immediately folding any SAT
+// counterexample back into the stimulus. sim must be sized for the netlist
+// and the spec's word count; pass nil to allocate a fresh context. Check
+// keeps the original single-caller semantics; concurrent evaluators use
+// CheckContext and apply counterexamples at a point of their choosing.
+func (s *Spec) Check(n *rqfp.Netlist, sim *rqfp.SimContext, active []bool) Verdict {
+	v := s.CheckContext(context.Background(), n, sim, active)
+	if v.Counterexample != nil {
+		s.AddCounterexample(v.Counterexample)
+	}
+	return v
+}
+
+// CheckContext evaluates a candidate netlist: bit-parallel simulation
+// screen, then either an exhaustive proof or a SAT confirmation that
+// honors ctx cancellation. It never mutates the stimulus — a refuting
+// assignment is returned in Verdict.Counterexample — so it is safe to call
+// from many goroutines, each with its own SimContext.
+func (s *Spec) CheckContext(ctx context.Context, n *rqfp.Netlist, sim *rqfp.SimContext, active []bool) Verdict {
 	if n.NumPI != s.NumPI || len(n.POs) != s.NumPO {
 		return Verdict{}
-	}
-	if ctx == nil {
-		ctx = rqfp.NewSimContext(n.NumPorts(), s.words)
 	}
 	if active == nil {
 		active = n.ActiveGates()
 	}
-	ctx.Run(n, s.stimulus, active)
+	s.mu.RLock()
+	if sim == nil || sim.Words() != s.words {
+		sim = rqfp.NewSimContext(n.NumPorts(), s.words)
+	}
+	sim.Run(n, s.stimulus, active)
 	totalBits := s.samples * s.NumPO
 	wrong := 0
 	for i, po := range n.POs {
-		got := ctx.Port(po)
+		got := sim.Port(po)
 		if s.Exhaustive {
 			// Compare only the valid samples.
 			for w := 0; w < s.words; w++ {
@@ -200,25 +256,24 @@ func (s *Spec) Check(n *rqfp.Netlist, ctx *rqfp.SimContext, active []bool) Verdi
 			wrong += got.HammingDistance(s.golden[i])
 		}
 	}
+	s.mu.RUnlock()
 	match := 1 - float64(wrong)/float64(totalBits)
-	s.stats.Checks++
+	s.bump(func(st *Stats) { st.Checks++ })
 	if wrong > 0 {
-		s.stats.SimRefuted++
+		s.bump(func(st *Stats) { st.SimRefuted++ })
 		return Verdict{Match: match}
 	}
 	if s.Exhaustive {
-		s.stats.ExhaustiveProved++
+		s.bump(func(st *Stats) { st.ExhaustiveProved++ })
 		return Verdict{Match: 1, Proved: true}
 	}
 	// Simulation passed on random patterns: confirm formally.
-	eq, cex := s.satCheck(n)
+	eq, cex, aborted := s.satCheck(ctx, n)
 	if eq {
 		return Verdict{Match: 1, Proved: true}
 	}
-	if cex != nil {
-		s.addCounterexample(cex)
-	}
-	return Verdict{Match: match} // match recomputed lazily by next Check
+	// match recomputed lazily once the counterexample is applied
+	return Verdict{Match: match, Counterexample: cex, Aborted: aborted}
 }
 
 func onesCount(w uint64) int {
@@ -230,10 +285,12 @@ func onesCount(w uint64) int {
 }
 
 // satCheck builds a miter between the candidate netlist and the spec AIG.
-// Returns (true, nil) on proven equivalence, or (false, assignment) with a
-// distinguishing input assignment.
-func (s *Spec) satCheck(n *rqfp.Netlist) (bool, []bool) {
+// Returns (true, nil, false) on proven equivalence, (false, assignment,
+// false) with a distinguishing input assignment, or (false, nil, aborted)
+// when the solver gave up — aborted marks a context cancellation.
+func (s *Spec) satCheck(ctx context.Context, n *rqfp.Netlist) (bool, []bool, bool) {
 	b := cnf.NewBuilder()
+	b.S.SetContext(ctx)
 	pis := make([]sat.Lit, s.NumPI)
 	for i := range pis {
 		pis[i] = b.Lit()
@@ -248,19 +305,31 @@ func (s *Spec) satCheck(n *rqfp.Netlist) (bool, []bool) {
 	start := time.Now()
 	st, err := b.S.Solve()
 	elapsed := time.Since(start)
-	s.stats.SATTime += elapsed
-	s.stats.SAT.Add(b.S.Counters())
+	aborted := err != nil && ctx.Err() != nil
 	verdict := "unknown"
 	switch {
 	case err == nil && st == sat.Unsat:
 		verdict = "proved"
-		s.stats.SATProved++
 	case err == nil && st == sat.Sat:
 		verdict = "refuted"
-		s.stats.SATRefuted++
-	default:
-		s.stats.SATUnknown++
+	case aborted:
+		verdict = "aborted"
 	}
+	s.bump(func(stats *Stats) {
+		stats.SATTime += elapsed
+		stats.SAT.Add(b.S.Counters())
+		switch verdict {
+		case "proved":
+			stats.SATProved++
+		case "refuted":
+			stats.SATRefuted++
+		default:
+			stats.SATUnknown++
+			if aborted {
+				stats.SATAborted++
+			}
+		}
+	})
 	if s.trace != nil {
 		c := b.S.Counters()
 		s.trace.Emit("cec.sat", map[string]any{
@@ -271,24 +340,33 @@ func (s *Spec) satCheck(n *rqfp.Netlist) (bool, []bool) {
 		})
 	}
 	if err != nil || st == sat.Unknown {
-		// Budget exhausted: be conservative, treat as not equivalent.
-		return false, nil
+		// Budget exhausted or cancelled: be conservative, treat as not
+		// equivalent.
+		return false, nil, aborted
 	}
 	if st == sat.Unsat {
-		return true, nil
+		return true, nil, false
 	}
 	cex := make([]bool, s.NumPI)
 	for i, p := range pis {
 		cex[i] = b.S.ValueLit(p)
 	}
-	return false, cex
+	return false, cex, false
 }
 
-// addCounterexample widens the stimulus by one word whose bit 0 carries the
+// AddCounterexample widens the stimulus by one word whose bit 0 carries the
 // distinguishing assignment (remaining bits random from its hash), and
-// recomputes the golden responses.
-func (s *Spec) addCounterexample(cex []bool) {
-	s.stats.Counterexamples++
+// recomputes the golden responses. Exported so concurrent search engines
+// can defer the widening to their reduction step, keeping the stimulus —
+// and therefore every Match value — deterministic per seed regardless of
+// goroutine scheduling. No-op on exhaustive specs or mis-sized inputs.
+func (s *Spec) AddCounterexample(cex []bool) {
+	if s.Exhaustive || len(cex) != s.NumPI {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bump(func(st *Stats) { st.Counterexamples++ })
 	if s.trace != nil {
 		s.trace.Emit("cec.counterexample", map[string]any{"words": s.words + 1})
 	}

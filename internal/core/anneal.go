@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -28,7 +29,8 @@ type AnnealOptions struct {
 	StartTemp float64
 	// Seed drives randomness.
 	Seed int64
-	// TimeBudget optionally bounds wall-clock time.
+	// TimeBudget optionally bounds wall-clock time, implemented as a
+	// context deadline (it also interrupts in-flight SAT proofs).
 	TimeBudget time.Duration
 	// Trace, when non-nil, receives JSONL events for accepted improvements
 	// and the final summary.
@@ -58,9 +60,23 @@ func scalarCost(f Fitness) float64 {
 // space of functionally correct circuits (incorrect neighbours are always
 // rejected, as in the paper's fitness rule 1).
 func Anneal(initial *rqfp.Netlist, spec *cec.Spec, opt AnnealOptions) (*Result, error) {
+	return AnnealContext(context.Background(), initial, spec, opt)
+}
+
+// AnnealContext is Anneal under an external cancellation context. The
+// annealer's proposal chain is inherently sequential, so it always runs on
+// one goroutine; it shares the Evaluator abstraction with the parallel ES
+// engine and learns counterexamples immediately (there is no batch whose
+// determinism the widening could disturb).
+func AnnealContext(ctx context.Context, initial *rqfp.Netlist, spec *cec.Spec, opt AnnealOptions) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := initial.Validate(); err != nil {
 		return nil, err
+	}
+	if opt.TimeBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.TimeBudget)
+		defer cancel()
 	}
 	r := rand.New(rand.NewSource(opt.Seed))
 	start := time.Now()
@@ -68,24 +84,22 @@ func Anneal(initial *rqfp.Netlist, spec *cec.Spec, opt AnnealOptions) (*Result, 
 	res := &Result{}
 	tel := &res.Telemetry
 
-	ctx := rqfp.NewSimContext(initial.NumPorts(), spec.Words())
-	var costs rqfp.CostEvaluator
-	evaluate := func(n *rqfp.Netlist) Fitness {
+	ev := NewSpecEvaluator(spec)
+	evaluate := func(ctx context.Context, g *genotype) (Fitness, bool) {
+		out := ev.Evaluate(ctx, g.net)
+		if out.Aborted {
+			return Fitness{}, true
+		}
 		tel.Evaluations++
-		if spec.Words() != ctx.Words() {
-			ctx = rqfp.NewSimContext(n.NumPorts(), spec.Words())
+		if out.Counterexample != nil {
+			ev.Learn(out.Counterexample)
 		}
-		c := costs.Eval(n)
-		v := spec.Check(n, ctx, costs.Active())
-		if !v.Proved {
-			return Fitness{Match: v.Match}
-		}
-		return Fitness{Valid: true, Match: 1, Gates: c.Gates, Garbage: c.Garbage, Buffers: c.Buffers}
+		return out.Fitness, false
 	}
 
 	cur := newGenotype(initial.Clone())
 	cur.stats = &tel.Mutations
-	curFit := evaluate(cur.net)
+	curFit, _ := evaluate(context.Background(), cur)
 	if !curFit.Valid {
 		return nil, errors.New("core: initial netlist does not satisfy the specification")
 	}
@@ -94,15 +108,21 @@ func Anneal(initial *rqfp.Netlist, spec *cec.Spec, opt AnnealOptions) (*Result, 
 
 	scratch := newGenotype(initial.Clone())
 	scratch.stats = &tel.Mutations
+	reason := StopGenerations
 	step := 0
 	for ; step < opt.Steps; step++ {
-		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+		if ctx.Err() != nil {
+			reason = stopFromCtx(ctx)
 			break
 		}
 		temp := opt.StartTemp * (1 - float64(step)/float64(opt.Steps))
 		scratch.copyFrom(cur)
 		scratch.mutate(r, opt.MutationRate)
-		fit := evaluate(scratch.net)
+		fit, aborted := evaluate(ctx, scratch)
+		if aborted {
+			reason = stopFromCtx(ctx)
+			break
+		}
 		if !fit.Valid {
 			continue
 		}
@@ -137,6 +157,7 @@ func Anneal(initial *rqfp.Netlist, spec *cec.Spec, opt AnnealOptions) (*Result, 
 	res.Evaluations = tel.Evaluations
 	res.Elapsed = time.Since(start)
 	tel.Elapsed = res.Elapsed
+	tel.StopReason = reason
 	if opt.Trace != nil {
 		opt.Trace.Emit("anneal.done", map[string]any{
 			"steps": step, "evals": tel.Evaluations,

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/obs"
+)
+
+// evalSlot is the per-offspring state of one generation batch. Each slot
+// owns its genotype storage, RNG, and mutation counters, so a worker can
+// fill it without touching any shared state; the reducer drains the slots
+// strictly in index order.
+type evalSlot struct {
+	g    *genotype
+	rng  *rand.Rand
+	stat MutationStats
+	out  Outcome
+	done bool // evaluation completed (not aborted)
+}
+
+// engine runs one (1+λ) population. The λ offspring of each generation are
+// mutated and evaluated either inline (Workers == 1) or on a pool of
+// persistent worker goroutines, but always from per-offspring RNG streams
+// whose seeds the coordinator pre-draws in offspring order. Combined with
+// the index-ordered reduction (adoption scan, telemetry merge, deferred
+// counterexample learning), the search trajectory is bit-identical for any
+// worker count on the same Options.Seed.
+//
+// Progress and Trace callbacks are only ever invoked from the goroutine
+// that calls run — never from a worker — so user callbacks need no
+// synchronization even with Workers > 1.
+type engine struct {
+	opt    Options
+	island int // -1 for a plain single-population run
+
+	eval  Evaluator // reducer-side root; workers use forks
+	r     *rand.Rand
+	seeds []int64
+
+	parent    *genotype
+	parentFit Fitness
+
+	slots []*evalSlot
+	jobs  chan int
+	wg    sync.WaitGroup
+	ctx   context.Context // batch context, published to workers via jobs
+
+	gen int
+	tel Telemetry
+
+	// deferLearn queues counterexamples instead of applying them, so an
+	// island coordinator can merge them across islands at epoch barriers.
+	deferLearn bool
+	pendingCex [][]bool
+
+	hists []*obs.Histogram // per-worker eval latency, nil entries when unmetered
+}
+
+// newEngine validates and scores the initial netlist and starts the worker
+// pool. The initial evaluation deliberately ignores cancellation (its SAT
+// proof already succeeded during pipeline validation), so even a budget
+// that expires immediately still yields a valid parent rather than an
+// error. close must be called when the engine is done.
+func newEngine(initial *genotype, ev Evaluator, opt Options, island int) (*engine, error) {
+	e := &engine{opt: opt, island: island, eval: ev, r: rand.New(rand.NewSource(opt.Seed))}
+	e.parent = initial
+	out := ev.Evaluate(context.Background(), e.parent.net)
+	e.tel.Evaluations++
+	if !out.Fitness.Valid {
+		return nil, errors.New("core: initial netlist does not satisfy the specification")
+	}
+	e.parentFit = out.Fitness
+
+	e.seeds = make([]int64, opt.Lambda)
+	e.slots = make([]*evalSlot, opt.Lambda)
+	for i := range e.slots {
+		s := &evalSlot{g: newGenotype(e.parent.net.Clone()), rng: rand.New(rand.NewSource(0))}
+		s.g.stats = &s.stat
+		e.slots[i] = s
+	}
+	e.hists = make([]*obs.Histogram, opt.Workers)
+	if opt.Metrics != nil {
+		for w := range e.hists {
+			e.hists[w] = opt.Metrics.Histogram(e.histName(w))
+		}
+	}
+	if opt.Workers > 1 {
+		e.jobs = make(chan int)
+		for w := 0; w < opt.Workers; w++ {
+			go e.worker(w, ev.Fork())
+		}
+	}
+	return e, nil
+}
+
+func (e *engine) histName(w int) string {
+	if e.island >= 0 {
+		return fmt.Sprintf("cgp.eval.island_%d.worker_%d", e.island, w)
+	}
+	return fmt.Sprintf("cgp.eval.worker_%d", w)
+}
+
+// close stops the worker pool. Safe to call more than once.
+func (e *engine) close() {
+	if e.jobs != nil {
+		close(e.jobs)
+		e.jobs = nil
+	}
+}
+
+func (e *engine) worker(w int, ev Evaluator) {
+	for i := range e.jobs {
+		e.runSlot(i, ev, e.hists[w])
+		e.wg.Done()
+	}
+}
+
+// runSlot mutates and evaluates offspring i into its slot. All inputs
+// (parent, seed) were published by the coordinator before dispatch; all
+// outputs stay inside the slot until the reducer reads them.
+func (e *engine) runSlot(i int, ev Evaluator, hist *obs.Histogram) {
+	s := e.slots[i]
+	s.done = false
+	if e.ctx.Err() != nil {
+		s.out = Outcome{Aborted: true}
+		return
+	}
+	s.rng.Seed(e.seeds[i])
+	s.g.copyFrom(e.parent)
+	s.g.mutate(s.rng, e.opt.MutationRate)
+	var start time.Time
+	if hist != nil {
+		start = time.Now()
+	}
+	s.out = ev.Evaluate(e.ctx, s.g.net)
+	if hist != nil {
+		hist.Observe(time.Since(start))
+	}
+	s.done = !s.out.Aborted
+}
+
+// learn applies (or defers) a counterexample from the reducer.
+func (e *engine) learn(cex []bool) {
+	if e.deferLearn {
+		e.pendingCex = append(e.pendingCex, cex)
+		return
+	}
+	e.eval.Learn(cex)
+}
+
+// run advances the population by up to gens more generations and reports
+// why it stopped ("" when the generation budget was reached). A context
+// expiry mid-batch abandons the partial batch: the generation does not
+// count, matching the sequential engine's historical TimeBudget semantics.
+func (e *engine) run(ctx context.Context, gens int) StopReason {
+	e.ctx = ctx
+	for target := e.gen + gens; e.gen < target; e.gen++ {
+		if ctx.Err() != nil {
+			return stopFromCtx(ctx)
+		}
+		for i := range e.seeds {
+			e.seeds[i] = e.r.Int63()
+		}
+		if e.jobs != nil {
+			e.wg.Add(len(e.slots))
+			for i := range e.slots {
+				e.jobs <- i
+			}
+			e.wg.Wait()
+		} else {
+			for i := range e.slots {
+				e.runSlot(i, e.eval, e.hists[0])
+				if e.slots[i].out.Aborted {
+					for j := i + 1; j < len(e.slots); j++ {
+						e.slots[j].out = Outcome{Aborted: true}
+						e.slots[j].done = false
+					}
+					break
+				}
+			}
+		}
+
+		// Reduce in offspring-index order: this fixes the order of
+		// telemetry merges, counterexample learning, and the adoption
+		// tie-break, independent of which worker finished first.
+		aborted := false
+		bestIdx := -1
+		var bestFit Fitness
+		for i, s := range e.slots {
+			e.tel.Mutations.Add(s.stat)
+			s.stat = MutationStats{}
+			if !s.done {
+				if s.out.Aborted {
+					aborted = true
+				}
+				continue
+			}
+			e.tel.Evaluations++
+			if s.out.Counterexample != nil {
+				e.learn(s.out.Counterexample)
+			}
+			if bestIdx < 0 || s.out.Fitness.BetterOrEqual(bestFit) {
+				bestIdx, bestFit = i, s.out.Fitness
+			}
+		}
+		if aborted {
+			return stopFromCtx(ctx)
+		}
+		e.adopt(bestIdx, bestFit)
+
+		if e.gen%e.opt.ProgressEvery == 0 {
+			if e.opt.Progress != nil {
+				e.opt.Progress(e.gen, e.parentFit)
+			}
+			if e.opt.Trace != nil {
+				e.opt.Trace.Emit("cgp.gen", e.traceFields(map[string]any{
+					"gen": e.gen, "evals": e.tel.Evaluations,
+					"gates": e.parentFit.Gates, "garbage": e.parentFit.Garbage,
+					"match": e.parentFit.Match,
+				}))
+			}
+		}
+	}
+	return ""
+}
+
+// adopt applies the (1+λ) "better or equal" rule to the generation's best
+// offspring.
+func (e *engine) adopt(bestIdx int, bestFit Fitness) {
+	if bestIdx < 0 || !bestFit.BetterOrEqual(e.parentFit) {
+		return
+	}
+	// Swap the winner into the parent slot; the old parent storage rejoins
+	// the pool. The slot keeps counting into its own stats struct.
+	s := e.slots[bestIdx]
+	e.parent, s.g = s.g, e.parent
+	e.parent.stats = nil
+	s.g.stats = &s.stat
+	strictly := bestFit.Better(e.parentFit)
+	e.parentFit = bestFit
+	e.tel.Adoptions++
+	if !strictly {
+		e.tel.NeutralAdoptions++
+		return
+	}
+	e.tel.Improvements++
+	if e.opt.Trace != nil {
+		e.opt.Trace.Emit("cgp.improve", e.traceFields(map[string]any{
+			"gen": e.gen, "evals": e.tel.Evaluations,
+			"gates": bestFit.Gates, "garbage": bestFit.Garbage,
+			"buffers": bestFit.Buffers,
+		}))
+	}
+	if e.opt.ShrinkOnImprove {
+		before := len(e.parent.net.Gates)
+		e.parent = newGenotype(e.parent.net.Shrink())
+		e.tel.Shrinks++
+		if e.opt.Trace != nil {
+			e.opt.Trace.Emit("cgp.shrink", e.traceFields(map[string]any{
+				"gen": e.gen, "gates_before": before,
+				"gates_after": len(e.parent.net.Gates),
+			}))
+		}
+	}
+}
+
+// traceFields tags island runs so interleaved multi-population traces stay
+// attributable.
+func (e *engine) traceFields(f map[string]any) map[string]any {
+	if e.island >= 0 {
+		f["island"] = e.island
+	}
+	return f
+}
+
+// result assembles the Result after run finished.
+func (e *engine) result(start time.Time, reason StopReason) *Result {
+	if reason == "" {
+		reason = StopGenerations
+	}
+	e.tel.StopReason = reason
+	e.tel.Elapsed = time.Since(start)
+	return &Result{
+		Best:        e.parent.net.Shrink(),
+		Fitness:     e.parentFit,
+		Generations: e.gen,
+		Evaluations: e.tel.Evaluations,
+		Improved:    int(e.tel.Improvements),
+		Elapsed:     e.tel.Elapsed,
+		Telemetry:   e.tel,
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+
+	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+// Outcome is one candidate evaluation result.
+type Outcome struct {
+	// Fitness is the candidate's lexicographic fitness.
+	Fitness Fitness
+	// Counterexample, when non-nil, is a distinguishing input assignment
+	// the oracle found but did not yet learn. The engine feeds it back via
+	// Learn at a deterministic point (the reduction step), never from a
+	// worker goroutine.
+	Counterexample []bool
+	// Aborted marks an evaluation cut short by context cancellation; its
+	// Fitness is meaningless and the engine must not count or adopt it.
+	Aborted bool
+}
+
+// Evaluator scores candidate netlists. One Evaluator instance is owned by
+// exactly one goroutine (it carries mutable scratch buffers); Fork derives
+// an independent instance sharing the same underlying oracle for another
+// worker. Learn feeds a counterexample from a previous Outcome back into
+// the shared oracle and must only be called from the engine's reducer, so
+// stimulus widening stays ordered and deterministic.
+type Evaluator interface {
+	Evaluate(ctx context.Context, n *rqfp.Netlist) Outcome
+	Fork() Evaluator
+	Learn(cex []bool)
+}
+
+// SpecEvaluator evaluates candidates against a cec.Spec: cost extraction on
+// the active cone, then the oracle's simulation screen plus proof. The
+// scratch simulation context and cost evaluator are reused across calls so
+// the hot loop stays allocation-free.
+type SpecEvaluator struct {
+	spec  *cec.Spec
+	sim   *rqfp.SimContext
+	costs rqfp.CostEvaluator
+}
+
+// NewSpecEvaluator wraps spec for single-goroutine use; Fork it once per
+// additional worker.
+func NewSpecEvaluator(spec *cec.Spec) *SpecEvaluator {
+	return &SpecEvaluator{spec: spec}
+}
+
+// Fork returns a fresh evaluator over the same oracle with its own scratch
+// buffers.
+func (e *SpecEvaluator) Fork() Evaluator { return &SpecEvaluator{spec: e.spec} }
+
+// Learn folds a counterexample into the oracle's stimulus.
+func (e *SpecEvaluator) Learn(cex []bool) { e.spec.AddCounterexample(cex) }
+
+// Evaluate scores one candidate. Safe to call concurrently on distinct
+// (forked) evaluators.
+func (e *SpecEvaluator) Evaluate(ctx context.Context, n *rqfp.Netlist) Outcome {
+	if ctx.Err() != nil {
+		return Outcome{Aborted: true}
+	}
+	if words := e.spec.Words(); e.sim == nil || e.sim.Words() != words {
+		// The oracle widened its stimulus with a counterexample.
+		e.sim = rqfp.NewSimContext(n.NumPorts(), words)
+	}
+	c := e.costs.Eval(n)
+	v := e.spec.CheckContext(ctx, n, e.sim, e.costs.Active())
+	out := Outcome{Counterexample: v.Counterexample, Aborted: v.Aborted}
+	if v.Proved {
+		out.Fitness = Fitness{
+			Valid:   true,
+			Match:   1,
+			Gates:   c.Gates,
+			Garbage: c.Garbage,
+			Buffers: c.Buffers,
+		}
+	} else {
+		out.Fitness = Fitness{Match: v.Match}
+	}
+	return out
+}

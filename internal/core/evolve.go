@@ -1,8 +1,7 @@
 package core
 
 import (
-	"errors"
-	"math/rand"
+	"context"
 	"time"
 
 	"github.com/reversible-eda/rcgp/internal/cec"
@@ -21,7 +20,9 @@ type Options struct {
 	// mutations. The paper sets μ = 1; smaller values are far more sample
 	// efficient at small generation budgets. Default 0.05.
 	MutationRate float64
-	// Seed drives all randomness; runs are deterministic per seed.
+	// Seed drives all randomness; runs are deterministic per seed — for
+	// any Workers value, because offspring RNG streams are pre-drawn by
+	// the coordinator and results are reduced in offspring order.
 	Seed int64
 	// ShrinkOnImprove removes useless gates from the chromosome whenever a
 	// strictly better parent is adopted, instead of only once at the end
@@ -29,17 +30,42 @@ type Options struct {
 	// the inactive-gate material CGP's neutral drift feeds on, so the
 	// default shrinks only the final individual, as in the paper's Fig. 3.
 	ShrinkOnImprove bool
-	// TimeBudget optionally bounds wall-clock time (0 = unlimited).
+	// Workers bounds the goroutines evaluating one generation's offspring
+	// concurrently. Useful up to min(Lambda, GOMAXPROCS); the result is
+	// bit-identical to Workers = 1 on the same seed. Default 1.
+	Workers int
+	// Islands runs that many independent (1+λ) populations, each seeded
+	// from Seed, with the best individual migrating around a ring every
+	// MigrateEvery generations. Workers are divided evenly among islands.
+	// Default 1 (no island model).
+	Islands int
+	// MigrateEvery is the island epoch length in generations between
+	// migrations (Islands > 1 only). Default 500.
+	MigrateEvery int
+	// TimeBudget optionally bounds wall-clock time (0 = unlimited). It is
+	// implemented as a context deadline, so it also interrupts in-flight
+	// SAT proofs.
 	TimeBudget time.Duration
 	// Progress, when non-nil, is called every ProgressEvery generations
-	// with the current generation and parent fitness.
+	// with the current generation and parent fitness (with Islands > 1,
+	// once per migration epoch with the best fitness across islands).
+	// Progress is always invoked from a single goroutine — the engine
+	// coordinator, never a worker — regardless of Workers and Islands, so
+	// callbacks need no locking.
 	Progress      func(gen int, best Fitness)
 	ProgressEvery int
 	// Trace, when non-nil, receives JSONL evolution events: generation
 	// checkpoints at the Progress cadence, improvement and shrink
-	// adoptions, and a final summary. The per-candidate evaluation path
-	// emits nothing, so an attached tracer does not slow the hot loop.
+	// adoptions, island migrations, and a final summary. With Workers > 1
+	// all events still come from the coordinator goroutine; with
+	// Islands > 1 the island engines emit concurrently (the Tracer
+	// serializes internally and events carry an "island" tag). The
+	// per-candidate evaluation path emits nothing, so an attached tracer
+	// does not slow the hot loop.
 	Trace *obs.Tracer
+	// Metrics, when non-nil, receives per-worker evaluation-latency
+	// histograms (cgp.eval.worker_N) and island migration counters.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -54,6 +80,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MutationRate > 1 {
 		o.MutationRate = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Workers > o.Lambda {
+		o.Workers = o.Lambda // more workers than offspring would idle
+	}
+	if o.Islands <= 0 {
+		o.Islands = 1
+	}
+	if o.MigrateEvery <= 0 {
+		o.MigrateEvery = 500
 	}
 	if o.ProgressEvery <= 0 {
 		o.ProgressEvery = 1000
@@ -79,137 +117,45 @@ type Result struct {
 // while preserving (proved) functional equivalence. The initial netlist
 // must itself satisfy the specification.
 func Optimize(initial *rqfp.Netlist, spec *cec.Spec, opt Options) (*Result, error) {
+	return OptimizeContext(context.Background(), initial, spec, opt)
+}
+
+// OptimizeContext is Optimize under an external cancellation context: a
+// cancelled ctx stops the evolution (and any in-flight SAT proof) and
+// returns the best individual found so far, with Telemetry.StopReason
+// explaining the interruption.
+func OptimizeContext(ctx context.Context, initial *rqfp.Netlist, spec *cec.Spec, opt Options) (*Result, error) {
+	return OptimizeWithEvaluator(ctx, initial, NewSpecEvaluator(spec), opt)
+}
+
+// OptimizeWithEvaluator runs the (1+λ) engine against a pluggable fitness
+// evaluator — the extension point for alternative oracles and future
+// sharded or batched evaluation backends.
+func OptimizeWithEvaluator(ctx context.Context, initial *rqfp.Netlist, ev Evaluator, opt Options) (*Result, error) {
 	opt = opt.withDefaults()
 	if err := initial.Validate(); err != nil {
 		return nil, err
 	}
-	r := rand.New(rand.NewSource(opt.Seed))
+	if opt.TimeBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.TimeBudget)
+		defer cancel()
+	}
 	start := time.Now()
-
-	res := &Result{}
-	tel := &res.Telemetry
-
-	ctx := rqfp.NewSimContext(initial.NumPorts(), spec.Words())
-	var costs rqfp.CostEvaluator
-	evaluate := func(n *rqfp.Netlist) Fitness {
-		tel.Evaluations++
-		if spec.Words() != ctx.Words() {
-			// The oracle widened its stimulus with a counterexample.
-			ctx = rqfp.NewSimContext(n.NumPorts(), spec.Words())
-		}
-		c := costs.Eval(n)
-		v := spec.Check(n, ctx, costs.Active())
-		if !v.Proved {
-			return Fitness{Match: v.Match}
-		}
-		return Fitness{
-			Valid:   true,
-			Match:   1,
-			Gates:   c.Gates,
-			Garbage: c.Garbage,
-			Buffers: c.Buffers,
-		}
+	if opt.Islands > 1 {
+		return optimizeIslands(ctx, start, initial, ev, opt)
 	}
-
-	parent := newGenotype(initial.Clone())
-	parent.stats = &tel.Mutations
-	parentFit := evaluate(parent.net)
-	if !parentFit.Valid {
-		return nil, errors.New("core: initial netlist does not satisfy the specification")
+	e, err := newEngine(newGenotype(initial.Clone()), ev, opt, -1)
+	if err != nil {
+		return nil, err
 	}
-
-	// Offspring buffers are reused across generations to keep the inner
-	// loop allocation-free.
-	pool := make([]*genotype, opt.Lambda)
-	for i := range pool {
-		pool[i] = newGenotype(initial.Clone())
-		pool[i].stats = &tel.Mutations
-	}
-
-	// The budget is checked between offspring evaluations as well as
-	// between generations: one λ-batch of slow evaluations (wide stimulus,
-	// large netlist) could otherwise overshoot the budget by a whole
-	// batch. A mid-batch expiry abandons the partial batch.
-	overBudget := func() bool {
-		return opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget
-	}
-	gen := 0
-evolve:
-	for ; gen < opt.Generations; gen++ {
-		if overBudget() {
-			break
-		}
-		bestIdx := -1
-		var bestFit Fitness
-		for i := 0; i < opt.Lambda; i++ {
-			if i > 0 && overBudget() {
-				break evolve
-			}
-			off := pool[i]
-			off.copyFrom(parent)
-			off.mutate(r, opt.MutationRate)
-			fit := evaluate(off.net)
-			if bestIdx < 0 || fit.BetterOrEqual(bestFit) {
-				bestIdx, bestFit = i, fit
-			}
-		}
-		if bestFit.BetterOrEqual(parentFit) {
-			// Swap the winner into the parent slot; the old parent storage
-			// rejoins the pool.
-			parent, pool[bestIdx] = pool[bestIdx], parent
-			strictly := bestFit.Better(parentFit)
-			parentFit = bestFit
-			tel.Adoptions++
-			if strictly {
-				res.Improved++
-				tel.Improvements++
-				if opt.Trace != nil {
-					opt.Trace.Emit("cgp.improve", map[string]any{
-						"gen": gen, "evals": tel.Evaluations,
-						"gates": bestFit.Gates, "garbage": bestFit.Garbage,
-						"buffers": bestFit.Buffers,
-					})
-				}
-				if opt.ShrinkOnImprove {
-					before := len(parent.net.Gates)
-					parent = newGenotype(parent.net.Shrink())
-					parent.stats = &tel.Mutations
-					tel.Shrinks++
-					if opt.Trace != nil {
-						opt.Trace.Emit("cgp.shrink", map[string]any{
-							"gen": gen, "gates_before": before,
-							"gates_after": len(parent.net.Gates),
-						})
-					}
-				}
-			} else {
-				tel.NeutralAdoptions++
-			}
-		}
-		if gen%opt.ProgressEvery == 0 {
-			if opt.Progress != nil {
-				opt.Progress(gen, parentFit)
-			}
-			if opt.Trace != nil {
-				opt.Trace.Emit("cgp.gen", map[string]any{
-					"gen": gen, "evals": tel.Evaluations,
-					"gates": parentFit.Gates, "garbage": parentFit.Garbage,
-					"match": parentFit.Match,
-				})
-			}
-		}
-	}
-
-	res.Best = parent.net.Shrink()
-	res.Fitness = parentFit
-	res.Generations = gen
-	res.Evaluations = tel.Evaluations
-	res.Elapsed = time.Since(start)
-	tel.Elapsed = res.Elapsed
+	defer e.close()
+	reason := e.run(ctx, opt.Generations)
+	res := e.result(start, reason)
 	if opt.Trace != nil {
 		opt.Trace.Emit("cgp.done", map[string]any{
-			"gens": gen, "evals": tel.Evaluations,
-			"improvements": tel.Improvements, "neutral": tel.NeutralAdoptions,
+			"gens": res.Generations, "evals": res.Evaluations,
+			"improvements": res.Telemetry.Improvements, "neutral": res.Telemetry.NeutralAdoptions,
 			"gates": res.Fitness.Gates, "garbage": res.Fitness.Garbage,
 		})
 	}

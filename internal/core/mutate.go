@@ -13,8 +13,10 @@ type genotype struct {
 	net   *rqfp.Netlist
 	users []rqfp.PortUser
 	// stats, when non-nil, receives per-kind attempt/accept counts from
-	// mutateOnce. Plain increments on a shared struct: the evolution is
-	// single-goroutine and the hot loop must stay allocation-free.
+	// mutateOnce. Plain increments keep the hot loop allocation-free; the
+	// parallel engine gives every offspring slot its own stats struct and
+	// merges them in the single-goroutine reducer, so no increment is ever
+	// shared between goroutines.
 	stats *MutationStats
 }
 

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// Determinism contract of the parallel engine: for any Workers value the
+// run is bit-identical to the sequential one on the same seed, because the
+// coordinator pre-draws every offspring's RNG stream and reduces results
+// in offspring order. These tests are the -race regression suite for that
+// contract.
+
+func optimizeWithWorkers(t *testing.T, workers, islands int) *Result {
+	t.Helper()
+	spec, n := buildCase(decoderTables())
+	res, err := Optimize(n, spec, Options{
+		Generations:  1500,
+		Lambda:       8,
+		MutationRate: 0.15,
+		Seed:         42,
+		Workers:      workers,
+		Islands:      islands,
+		MigrateEvery: 250,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestParallelDeterministicAcrossWorkers(t *testing.T) {
+	want := optimizeWithWorkers(t, 1, 1)
+	for _, workers := range []int{2, 4, 8} {
+		got := optimizeWithWorkers(t, workers, 1)
+		if got.Fitness != want.Fitness {
+			t.Fatalf("Workers=%d fitness %+v != Workers=1 fitness %+v", workers, got.Fitness, want.Fitness)
+		}
+		if got.Best.String() != want.Best.String() {
+			t.Fatalf("Workers=%d evolved a different circuit than Workers=1", workers)
+		}
+		if got.Evaluations != want.Evaluations {
+			t.Fatalf("Workers=%d evaluations %d != %d", workers, got.Evaluations, want.Evaluations)
+		}
+	}
+}
+
+func TestIslandDeterministicPerSeed(t *testing.T) {
+	a := optimizeWithWorkers(t, 4, 3)
+	b := optimizeWithWorkers(t, 4, 3)
+	if a.Fitness != b.Fitness || a.Best.String() != b.Best.String() {
+		t.Fatalf("island runs on the same seed diverged: %+v vs %+v", a.Fitness, b.Fitness)
+	}
+	ta, tb := a.Telemetry, b.Telemetry
+	ta.Elapsed, tb.Elapsed = 0, 0 // only the wall clock may differ
+	if ta != tb {
+		t.Fatalf("island telemetry diverged:\n%+v\n%+v", ta, tb)
+	}
+	// Worker split must not affect the island trajectories either.
+	c := optimizeWithWorkers(t, 1, 3)
+	if c.Fitness != a.Fitness || c.Best.String() != a.Best.String() {
+		t.Fatalf("island run with different worker split diverged: %+v vs %+v", c.Fitness, a.Fitness)
+	}
+}
+
+func TestIslandMigrationSchedule(t *testing.T) {
+	// 1500 generations at MigrateEvery=250 is 6 epochs, so 5 migration
+	// rounds of 3 transfers each (no migration after the final epoch).
+	res := optimizeWithWorkers(t, 2, 3)
+	if want := int64(5 * 3); res.Telemetry.Migrations != want {
+		t.Fatalf("Migrations = %d, want %d", res.Telemetry.Migrations, want)
+	}
+	if res.Telemetry.MigrationsAccepted > res.Telemetry.Migrations {
+		t.Fatalf("accepted %d > attempted %d", res.Telemetry.MigrationsAccepted, res.Telemetry.Migrations)
+	}
+	if res.Telemetry.StopReason != StopGenerations {
+		t.Fatalf("StopReason = %q, want %q", res.Telemetry.StopReason, StopGenerations)
+	}
+}
+
+// gid parses the current goroutine's id out of the runtime stack header —
+// test-only introspection to pin down which goroutine ran a callback.
+func gid() string {
+	buf := make([]byte, 64)
+	buf = buf[:runtime.Stack(buf, false)]
+	buf = bytes.TrimPrefix(buf, []byte("goroutine "))
+	if i := bytes.IndexByte(buf, ' '); i >= 0 {
+		buf = buf[:i]
+	}
+	return string(buf)
+}
+
+// TestProgressSingleGoroutine enforces the documented callback contract:
+// even with Workers > 1, Progress is only ever invoked from the engine
+// coordinator, so every call must come from one goroutine and never
+// concurrently. Run under -race this also catches unsynchronized access
+// to the callback's state.
+func TestProgressSingleGoroutine(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	var owner string
+	calls := 0
+	_, err := Optimize(n, spec, Options{
+		Generations:   400,
+		Lambda:        8,
+		MutationRate:  0.15,
+		Seed:          7,
+		Workers:       8,
+		ProgressEvery: 50,
+		Progress: func(gen int, best Fitness) {
+			// Unsynchronized on purpose: concurrent calls would be a
+			// data race here and fail under -race.
+			calls++
+			if owner == "" {
+				owner = gid()
+			} else if g := gid(); g != owner {
+				t.Errorf("Progress called from goroutine %s, first call was on %s", g, owner)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("Progress never called")
+	}
+}

@@ -1,6 +1,29 @@
 package core
 
-import "time"
+import (
+	"context"
+	"time"
+)
+
+// StopReason records why a search engine run terminated. Deterministic
+// runs (no TimeBudget, no external cancellation) always stop with
+// StopGenerations.
+type StopReason string
+
+// Stop reasons.
+const (
+	StopGenerations StopReason = "generations" // budget of generations/steps exhausted
+	StopDeadline    StopReason = "deadline"    // TimeBudget (or parent deadline) expired
+	StopCanceled    StopReason = "canceled"    // context cancelled (e.g. interrupt signal)
+)
+
+// stopFromCtx classifies a cancelled context into a StopReason.
+func stopFromCtx(ctx context.Context) StopReason {
+	if ctx.Err() == context.DeadlineExceeded {
+		return StopDeadline
+	}
+	return StopCanceled
+}
 
 // MutationKind enumerates the paper's three RQFP-aware point mutations
 // (§3.2.2): an inverter-configuration flip, a gate-input reconnection, and
@@ -83,9 +106,18 @@ type Telemetry struct {
 	// Shrinks counts in-run shrink passes (ShrinkOnImprove only; the
 	// final shrink of the returned best individual is not counted).
 	Shrinks int64
+	// Migrations / MigrationsAccepted count island-model migration
+	// attempts and the subset where the incoming individual replaced the
+	// receiving island's parent (Islands > 1 only).
+	Migrations         int64
+	MigrationsAccepted int64
+	// StopReason records why the run terminated.
+	StopReason StopReason
 }
 
-// Add accumulates o into t, for merging the phases of a hybrid run.
+// Add accumulates o into t, for merging the phases of a hybrid run or the
+// islands of a multi-population run. t keeps its own StopReason unless it
+// is empty (the phase that terminates the run decides the reason).
 func (t *Telemetry) Add(o Telemetry) {
 	t.Evaluations += o.Evaluations
 	t.Elapsed += o.Elapsed
@@ -94,6 +126,11 @@ func (t *Telemetry) Add(o Telemetry) {
 	t.NeutralAdoptions += o.NeutralAdoptions
 	t.Improvements += o.Improvements
 	t.Shrinks += o.Shrinks
+	t.Migrations += o.Migrations
+	t.MigrationsAccepted += o.MigrationsAccepted
+	if t.StopReason == "" {
+		t.StopReason = o.StopReason
+	}
 }
 
 // EvalsPerSec is the evaluation throughput of the run (0 when Elapsed is

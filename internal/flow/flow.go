@@ -6,6 +6,7 @@
 package flow
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -92,6 +93,14 @@ type Result struct {
 
 // Run synthesizes an RQFP circuit from a specification AIG.
 func Run(spec *aig.AIG, opt Options) (*Result, error) {
+	return RunContext(context.Background(), spec, opt)
+}
+
+// RunContext is Run under an external cancellation context, threaded
+// through every stage down to the SAT solver: cancelling ctx stops the
+// evolution, window rounds, and in-flight equivalence proofs promptly and
+// returns the context error.
+func RunContext(ctx context.Context, spec *aig.AIG, opt Options) (*Result, error) {
 	start := time.Now()
 	res := &Result{}
 
@@ -102,6 +111,7 @@ func Run(spec *aig.AIG, opt Options) (*Result, error) {
 	if opt.Trace != nil {
 		reg.AttachTracer(opt.Trace)
 	}
+	opt.CGP.Metrics = reg
 	root := reg.Span("flow.synth")
 	defer root.End()
 	// stage times a pipeline stage as a child span of the run and appends
@@ -146,7 +156,10 @@ func Run(spec *aig.AIG, opt Options) (*Result, error) {
 		oracle = cec.NewSpecFromAIG(spec, opt.RandomWords, opt.CGP.Seed+1)
 		oracle.AttachTracer(opt.Trace)
 		res.Spec = oracle
-		if v := oracle.Check(initial, nil, nil); !v.Proved {
+		if v := oracle.CheckContext(ctx, initial, nil, nil); !v.Proved {
+			if v.Aborted {
+				return fmt.Errorf("flow: initialization check interrupted: %w", ctx.Err())
+			}
 			return fmt.Errorf("flow: initialization does not match the specification (match=%.6f)", v.Match)
 		}
 		return nil
@@ -160,13 +173,16 @@ func Run(spec *aig.AIG, opt Options) (*Result, error) {
 	if !opt.SkipCGP {
 		// Stage 4: evolutionary optimization.
 		err := stage("flow.cgp", func() error {
-			optRes, err := runOptimizer(initial, oracle, opt)
+			optRes, err := runOptimizer(ctx, initial, oracle, opt)
 			if err != nil {
 				return fmt.Errorf("flow: %w", err)
 			}
 			res.CGP = optRes
 			res.Final = optRes.Best
 			res.FinalStats = optRes.Best.ComputeStats()
+			// The final validation proof runs to completion even under a
+			// cancelled ctx: the optimizer already returned its best-so-far
+			// and the caller deserves a verified result, not a torn one.
 			if v := oracle.Check(res.Final, nil, nil); !v.Proved {
 				return fmt.Errorf("flow: optimized netlist lost equivalence (match=%.6f)", v.Match)
 			}
@@ -177,12 +193,16 @@ func Run(spec *aig.AIG, opt Options) (*Result, error) {
 		}
 	}
 
-	if opt.WindowRounds > 0 {
+	// The optional improvement passes are skipped once ctx is cancelled:
+	// the evolution already returned its validated best-so-far, and the
+	// caller asked the run to wind down, not to start new work.
+	if opt.WindowRounds > 0 && ctx.Err() == nil {
 		// Stage 4b: windowed resynthesis for scale.
 		err := stage("flow.window", func() error {
-			windowed, wrep, err := window.Optimize(res.Final, window.Options{
-				Rounds: opt.WindowRounds,
-				Seed:   opt.CGP.Seed,
+			windowed, wrep, err := window.OptimizeContext(ctx, res.Final, window.Options{
+				Rounds:  opt.WindowRounds,
+				Seed:    opt.CGP.Seed,
+				Workers: opt.CGP.Workers,
 			})
 			if err != nil {
 				return fmt.Errorf("flow: %w", err)
@@ -200,7 +220,7 @@ func Run(spec *aig.AIG, opt Options) (*Result, error) {
 		}
 	}
 
-	if opt.Resub && spec.NumPIs() <= cec.ExhaustiveMaxPIs {
+	if opt.Resub && spec.NumPIs() <= cec.ExhaustiveMaxPIs && ctx.Err() == nil {
 		// Stage 4c: deterministic resubstitution cleanup.
 		err := stage("flow.resub", func() error {
 			cleaned, _, err := resub.Optimize(res.Final)
@@ -258,6 +278,11 @@ func recordRunMetrics(reg *obs.Registry, res *Result) {
 		reg.Counter("cgp.improvements").Add(tel.Improvements)
 		reg.Counter("cgp.mutations_attempted").Add(tel.Mutations.TotalAttempts())
 		reg.Counter("cgp.mutations_applied").Add(tel.Mutations.TotalApplied())
+		reg.Counter("cgp.migrations").Add(tel.Migrations)
+		reg.Counter("cgp.migrations_accepted").Add(tel.MigrationsAccepted)
+		if tel.StopReason != "" {
+			reg.Counter("cgp.stop." + string(tel.StopReason)).Add(1)
+		}
 	}
 	cs := res.CEC
 	reg.Counter("cec.checks").Add(cs.Checks)
@@ -265,11 +290,13 @@ func recordRunMetrics(reg *obs.Registry, res *Result) {
 	reg.Counter("cec.exhaustive_proved").Add(cs.ExhaustiveProved)
 	reg.Counter("cec.sat_proved").Add(cs.SATProved)
 	reg.Counter("cec.sat_refuted").Add(cs.SATRefuted)
+	reg.Counter("cec.sat_aborted").Add(cs.SATAborted)
 	reg.Counter("cec.counterexamples").Add(cs.Counterexamples)
 	reg.Counter("sat.conflicts").Add(cs.SAT.Conflicts)
 	reg.Counter("sat.decisions").Add(cs.SAT.Decisions)
 	reg.Counter("sat.propagations").Add(cs.SAT.Propagations)
 	reg.Counter("sat.restarts").Add(cs.SAT.Restarts)
+	reg.Counter("sat.aborted").Add(cs.SAT.Aborted)
 }
 
 // RunTables is Run for a truth-table specification.
@@ -278,7 +305,7 @@ func RunTables(tables []tt.TT, opt Options) (*Result, error) {
 }
 
 // runOptimizer dispatches stage 4 on Options.Optimizer.
-func runOptimizer(initial *rqfp.Netlist, oracle *cec.Spec, opt Options) (*core.Result, error) {
+func runOptimizer(ctx context.Context, initial *rqfp.Netlist, oracle *cec.Spec, opt Options) (*core.Result, error) {
 	cgpOpt := opt.CGP
 	if cgpOpt.Trace == nil {
 		cgpOpt.Trace = opt.Trace
@@ -299,17 +326,17 @@ func runOptimizer(initial *rqfp.Netlist, oracle *cec.Spec, opt Options) (*core.R
 	}
 	switch opt.Optimizer {
 	case "", "cgp":
-		return core.Optimize(initial, oracle, cgpOpt)
+		return core.OptimizeContext(ctx, initial, oracle, cgpOpt)
 	case "anneal":
 		annealOpt.Steps = gens * lambda
-		return core.Anneal(initial, oracle, annealOpt)
+		return core.AnnealContext(ctx, initial, oracle, annealOpt)
 	case "hybrid":
 		half := cgpOpt
 		half.Generations = gens / 2
 		if cgpOpt.TimeBudget > 0 {
 			half.TimeBudget = cgpOpt.TimeBudget / 2
 		}
-		first, err := core.Optimize(initial, oracle, half)
+		first, err := core.OptimizeContext(ctx, initial, oracle, half)
 		if err != nil {
 			return nil, err
 		}
@@ -317,7 +344,7 @@ func runOptimizer(initial *rqfp.Netlist, oracle *cec.Spec, opt Options) (*core.R
 		if cgpOpt.TimeBudget > 0 {
 			annealOpt.TimeBudget = cgpOpt.TimeBudget / 2
 		}
-		second, err := core.Anneal(first.Best, oracle, annealOpt)
+		second, err := core.AnnealContext(ctx, first.Best, oracle, annealOpt)
 		if err != nil {
 			return nil, err
 		}

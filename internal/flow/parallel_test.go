@@ -1,0 +1,82 @@
+package flow
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/bench"
+	"github.com/reversible-eda/rcgp/internal/core"
+)
+
+// TestOptimizerWorkersDeterminism checks the end-to-end determinism
+// contract for every search engine: on the same seed, Workers = 8 must
+// produce a bit-identical final circuit to Workers = 1. The annealer is
+// inherently sequential (Workers only affects the CGP phases), but it
+// still runs through the shared Evaluator path, so all three optimizers
+// are covered.
+func TestOptimizerWorkersDeterminism(t *testing.T) {
+	c := bench.Decoder(2)
+	for _, optimizer := range []string{"cgp", "anneal", "hybrid"} {
+		optimizer := optimizer
+		t.Run(optimizer, func(t *testing.T) {
+			run := func(workers int) *Result {
+				res, err := RunTables(c.Tables, Options{
+					Optimizer: optimizer,
+					CGP: core.Options{
+						Generations:  2000,
+						Lambda:       8,
+						MutationRate: 0.15,
+						Seed:         11,
+						Workers:      workers,
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			seq := run(1)
+			par := run(8)
+			if seq.CGP.Fitness != par.CGP.Fitness {
+				t.Fatalf("fitness diverged: Workers=1 %+v, Workers=8 %+v", seq.CGP.Fitness, par.CGP.Fitness)
+			}
+			if seq.Final.String() != par.Final.String() {
+				t.Fatal("final circuits diverged between Workers=1 and Workers=8")
+			}
+			if seq.FinalStats != par.FinalStats {
+				t.Fatalf("final stats diverged: %+v vs %+v", seq.FinalStats, par.FinalStats)
+			}
+		})
+	}
+}
+
+// TestRunContextCancelledMidRun verifies the wind-down path: cancelling
+// the context during the evolution still yields a validated best-so-far
+// result, with the stop reason recorded.
+func TestRunContextCancelledMidRun(t *testing.T) {
+	c := bench.Decoder(2)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	res, err := RunContext(ctx, aig.FromTruthTables(c.Tables), Options{
+		CGP: core.Options{
+			Generations:  1 << 30, // far beyond the deadline
+			MutationRate: 0.15,
+			Seed:         5,
+			Workers:      4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CGP == nil {
+		t.Fatal("no CGP report")
+	}
+	if got := res.CGP.Telemetry.StopReason; got != core.StopCanceled && got != core.StopDeadline {
+		t.Fatalf("StopReason = %q, want canceled or deadline", got)
+	}
+	if res.Final == nil || res.Final.Validate() != nil {
+		t.Fatal("cancelled run did not return a valid circuit")
+	}
+}

@@ -1,0 +1,63 @@
+package sat
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSolveAlreadyCancelledContext(t *testing.T) {
+	s := pigeonhole(5, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.SetContext(ctx)
+	st, err := s.Solve()
+	if st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := s.Counters().Aborted; got != 1 {
+		t.Fatalf("Aborted = %d, want 1", got)
+	}
+
+	// The solver stays usable: with a live context the same instance
+	// solves to its real verdict.
+	s.SetContext(context.Background())
+	st, err = s.Solve()
+	if err != nil || st != Unsat {
+		t.Fatalf("after reset: status %v err %v, want Unsat", st, err)
+	}
+	if got := s.Counters().Aborted; got != 1 {
+		t.Fatalf("Aborted after successful solve = %d, want still 1", got)
+	}
+}
+
+func TestSolveCancelMidSearch(t *testing.T) {
+	// PHP(12, 11) takes far longer than the deadline, so the solver must
+	// notice the expiry at one of its periodic conflict checks and bail
+	// out instead of running to completion.
+	s := pigeonhole(12, 11)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	s.SetContext(ctx)
+	start := time.Now()
+	st, err := s.Solve()
+	elapsed := time.Since(start)
+	if st != Unknown {
+		t.Fatalf("status = %v, want Unknown", st)
+	}
+	if err != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("solver ignored cancellation for %v", elapsed)
+	}
+	if got := s.Counters().Aborted; got != 1 {
+		t.Fatalf("Aborted = %d, want 1", got)
+	}
+	if s.Counters().Conflicts == 0 {
+		t.Fatal("expected the solver to have searched before aborting")
+	}
+}

@@ -7,6 +7,7 @@
 package sat
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -135,7 +136,11 @@ type Solver struct {
 	propagations  int64
 	decisions     int64
 	restarts      int64
+	aborted       int64
 	ConflictLimit int64 // 0 = unlimited
+
+	ctx         context.Context // optional cancellation, see SetContext
+	interrupted bool            // set by search when ctx fired mid-run
 
 	ok bool // false once top-level conflict proven
 
@@ -180,6 +185,9 @@ type Stats struct {
 	Decisions    int64 `json:"decisions"`
 	Propagations int64 `json:"propagations"`
 	Restarts     int64 `json:"restarts"`
+	// Aborted counts Solve calls that returned early because the context
+	// installed with SetContext was cancelled.
+	Aborted int64 `json:"aborted"`
 }
 
 // Counters returns the search counters as a Stats value.
@@ -189,6 +197,7 @@ func (s *Solver) Counters() Stats {
 		Decisions:    s.decisions,
 		Propagations: s.propagations,
 		Restarts:     s.restarts,
+		Aborted:      s.aborted,
 	}
 }
 
@@ -199,7 +208,20 @@ func (s *Stats) Add(o Stats) {
 	s.Decisions += o.Decisions
 	s.Propagations += o.Propagations
 	s.Restarts += o.Restarts
+	s.Aborted += o.Aborted
 }
+
+// ctxCheckConflicts is how many conflicts may pass between cancellation
+// polls. Checking ctx.Err() costs an atomic load plus a mutex in the
+// deadline case, so polling every conflict would slow the hot loop; a few
+// hundred conflicts resolve in well under a millisecond.
+const ctxCheckConflicts = 256
+
+// SetContext installs a cancellation context that the CDCL search polls
+// every ctxCheckConflicts conflicts. A cancelled context makes Solve
+// return (Unknown, ctx.Err()) and increments the Aborted counter. nil
+// (the default) disables the polling entirely.
+func (s *Solver) SetContext(ctx context.Context) { s.ctx = ctx }
 
 func (s *Solver) value(l Lit) lbool {
 	v := s.assigns[l.Var()]
@@ -665,11 +687,17 @@ func luby(i int64) int64 {
 
 // Solve determines satisfiability under the given assumptions. On Sat, the
 // model is available through Value. Returns ErrLimit if ConflictLimit was
-// exceeded.
+// exceeded, or the context error if the context installed with SetContext
+// was cancelled mid-search.
 func (s *Solver) Solve(assumptions ...Lit) (Status, error) {
 	if !s.ok {
 		return Unsat, nil
 	}
+	if s.ctx != nil && s.ctx.Err() != nil {
+		s.aborted++
+		return Unknown, s.ctx.Err()
+	}
+	s.interrupted = false
 	s.cancelUntil(0)
 	s.maxLearnts = float64(s.NumClauses())/3 + 1000
 
@@ -688,6 +716,11 @@ func (s *Solver) Solve(assumptions ...Lit) (Status, error) {
 		case Unsat:
 			s.cancelUntil(0)
 			return Unsat, nil
+		}
+		if s.interrupted {
+			s.cancelUntil(0)
+			s.aborted++
+			return Unknown, s.ctx.Err()
 		}
 		restartNum++
 		s.restarts++
@@ -710,6 +743,10 @@ func (s *Solver) search(nofConflicts int64, assumptions []Lit) Status {
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat
+			}
+			if s.ctx != nil && s.conflicts%ctxCheckConflicts == 0 && s.ctx.Err() != nil {
+				s.interrupted = true
+				return Unknown
 			}
 			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)

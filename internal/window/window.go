@@ -15,6 +15,7 @@
 package window
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -37,6 +38,10 @@ type Options struct {
 	GenerationsPerWindow int
 	// Seed drives window selection and the per-window evolution.
 	Seed int64
+	// Workers bounds the worker goroutines of each per-window evolution
+	// (windows themselves run sequentially: each round's input is the
+	// previous round's output). Default 1.
+	Workers int
 	// TimeBudget optionally bounds the whole pass.
 	TimeBudget time.Duration
 }
@@ -75,15 +80,27 @@ type Report struct {
 // The result is always validated; function preservation follows from each
 // window being proved equivalent to its local specification.
 func Optimize(n *rqfp.Netlist, opt Options) (*rqfp.Netlist, Report, error) {
+	return OptimizeContext(context.Background(), n, opt)
+}
+
+// OptimizeContext is Optimize under an external cancellation context: a
+// cancelled ctx finishes the in-flight window round early and returns the
+// netlist improved so far.
+func OptimizeContext(ctx context.Context, n *rqfp.Netlist, opt Options) (*rqfp.Netlist, Report, error) {
 	opt = opt.withDefaults()
 	start := time.Now()
+	if opt.TimeBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.TimeBudget)
+		defer cancel()
+	}
 	r := rand.New(rand.NewSource(opt.Seed))
 	cur := n.Shrink()
 	rep := Report{GatesBefore: len(cur.Gates), GarbageBefore: cur.Garbage()}
 
 	for round := 0; round < opt.Rounds; round++ {
 		rep.Rounds++
-		if opt.TimeBudget > 0 && time.Since(start) > opt.TimeBudget {
+		if ctx.Err() != nil {
 			break
 		}
 		if len(cur.Gates) == 0 {
@@ -95,10 +112,11 @@ func Optimize(n *rqfp.Netlist, opt Options) (*rqfp.Netlist, Report, error) {
 		}
 		sub := extract(cur, ext)
 		spec := cec.NewSpecFromNetlist(sub, 0, opt.Seed)
-		res, err := core.Optimize(sub, spec, core.Options{
+		res, err := core.OptimizeContext(ctx, sub, spec, core.Options{
 			Generations:  opt.GenerationsPerWindow,
 			MutationRate: 0.15,
 			Seed:         r.Int63(),
+			Workers:      opt.Workers,
 		})
 		if err != nil {
 			return nil, rep, fmt.Errorf("window: %w", err)

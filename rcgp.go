@@ -18,6 +18,7 @@
 package rcgp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -166,6 +167,14 @@ type Options struct {
 	MutationRate float64
 	// Seed makes runs reproducible.
 	Seed int64
+	// Workers bounds the goroutines evaluating one generation's offspring
+	// concurrently (useful up to min(Lambda, GOMAXPROCS)). Results are
+	// bit-identical to Workers = 1 on the same seed. Default 1.
+	Workers int
+	// Islands runs that many independent (1+λ) populations with periodic
+	// best-individual ring migration, dividing Workers among them.
+	// Default 1 (no island model).
+	Islands int
 	// TimeBudget bounds the wall-clock time of the evolution.
 	TimeBudget time.Duration
 	// InitializationOnly skips the CGP stage, yielding the paper's
@@ -239,6 +248,15 @@ func (r *Result) Stats() Stats { return r.circuit.Stats() }
 
 // Synthesize runs the full RCGP pipeline on the design.
 func (d *Design) Synthesize(opt Options) (*Result, error) {
+	return d.SynthesizeContext(context.Background(), opt)
+}
+
+// SynthesizeContext is Synthesize under an external cancellation context,
+// threaded through every stage down to the SAT solver. Cancelling ctx
+// after the evolution has started returns the validated best-so-far
+// circuit (Telemetry.StopReason records why the search stopped);
+// cancelling before the pipeline is built returns the context error.
+func (d *Design) SynthesizeContext(ctx context.Context, opt Options) (*Result, error) {
 	fopt := flow.Options{
 		SynthEffort:  aig.EffortStd,
 		SkipCGP:      opt.InitializationOnly,
@@ -250,6 +268,8 @@ func (d *Design) Synthesize(opt Options) (*Result, error) {
 			Generations:  opt.Generations,
 			MutationRate: opt.MutationRate,
 			Seed:         opt.Seed,
+			Workers:      opt.Workers,
+			Islands:      opt.Islands,
 			TimeBudget:   opt.TimeBudget,
 		},
 	}
@@ -263,7 +283,7 @@ func (d *Design) Synthesize(opt Options) (*Result, error) {
 		tracer = obs.NewTracer(opt.Trace)
 		fopt.Trace = tracer
 	}
-	res, err := flow.Run(d.aig, fopt)
+	res, err := flow.RunContext(ctx, d.aig, fopt)
 	if err != nil {
 		return nil, err
 	}

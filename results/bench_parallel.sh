@@ -1,0 +1,10 @@
+#!/bin/sh
+# Regenerates results/BENCH_parallel.json: the worker-scaling sweep of the
+# parallel (1+λ) evaluation engine on an 8-input benchmark, including the
+# determinism check (every worker count must evolve the identical circuit).
+# Extra flags are passed through, e.g.:
+#
+#   results/bench_parallel.sh -bench hwb8 -gens 20000 -workers 1,2,4,8
+set -e
+cd "$(dirname "$0")/.."
+exec go run ./cmd/rcgp-parbench -o results/BENCH_parallel.json "$@"

@@ -16,12 +16,15 @@ type StageTime struct {
 	Duration time.Duration
 }
 
-// SATStats are the CDCL solver's search counters.
+// SATStats are the CDCL solver's search counters. Aborted counts solver
+// calls that returned early because the synthesis context was cancelled
+// mid-proof.
 type SATStats struct {
 	Conflicts    int64
 	Decisions    int64
 	Propagations int64
 	Restarts     int64
+	Aborted      int64
 }
 
 // CECStats describe the equivalence oracle's activity: how often the
@@ -35,9 +38,11 @@ type CECStats struct {
 	SATProved        int64
 	SATRefuted       int64
 	SATUnknown       int64
-	Counterexamples  int64
-	SATTime          time.Duration
-	Solver           SATStats
+	// SATAborted is the subset of SATUnknown cut short by cancellation.
+	SATAborted      int64
+	Counterexamples int64
+	SATTime         time.Duration
+	Solver          SATStats
 }
 
 // MutationStat reports one RQFP-aware mutation kind ("config",
@@ -68,6 +73,16 @@ type Telemetry struct {
 	Adoptions        int64
 	NeutralAdoptions int64
 	Improvements     int64
+	// Migrations counts island-model best-individual transfers attempted
+	// (Islands > 1 only); MigrationsAccepted is how many strictly improved
+	// the receiving island's parent.
+	Migrations         int64
+	MigrationsAccepted int64
+	// StopReason records why the search stopped: "generations" (budget
+	// exhausted), "deadline" (TimeBudget expired), or "canceled" (the
+	// SynthesizeContext ctx was cancelled). Empty when the CGP stage was
+	// skipped.
+	StopReason string
 	// CEC aggregates the functional-equivalence oracle counters.
 	CEC CECStats
 }
@@ -78,6 +93,7 @@ func satStatsFromInternal(s sat.Stats) SATStats {
 		Decisions:    s.Decisions,
 		Propagations: s.Propagations,
 		Restarts:     s.Restarts,
+		Aborted:      s.Aborted,
 	}
 }
 
@@ -89,6 +105,7 @@ func cecStatsFromInternal(s cec.Stats) CECStats {
 		SATProved:        s.SATProved,
 		SATRefuted:       s.SATRefuted,
 		SATUnknown:       s.SATUnknown,
+		SATAborted:       s.SATAborted,
 		Counterexamples:  s.Counterexamples,
 		SATTime:          s.SATTime,
 		Solver:           satStatsFromInternal(s.SAT),
@@ -108,6 +125,9 @@ func telemetryFromFlow(res *flow.Result) Telemetry {
 		t.Adoptions = tel.Adoptions
 		t.NeutralAdoptions = tel.NeutralAdoptions
 		t.Improvements = tel.Improvements
+		t.Migrations = tel.Migrations
+		t.MigrationsAccepted = tel.MigrationsAccepted
+		t.StopReason = string(tel.StopReason)
 		for k := 0; k < len(tel.Mutations.Attempts); k++ {
 			t.Mutations = append(t.Mutations, MutationStat{
 				Kind:     core.MutationKind(k).String(),
