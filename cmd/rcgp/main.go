@@ -51,6 +51,8 @@ func run() error {
 		budget    = flag.Duration("time", 0, "wall-clock budget for the evolution (0 = none)")
 		initOnly  = flag.Bool("init-only", false, "stop after initialization (baseline)")
 		windows   = flag.Int("window-rounds", 0, "rounds of windowed resynthesis after the evolution")
+		script    = flag.String("script", "", "explicit pass script replacing the default pipeline, e.g. 'aig.resyn2;convert;cgp(gens=500);resub;buffer'")
+		passList  = flag.Bool("list-passes", false, "list the registered pipeline passes (with options) and exit")
 		chrom     = flag.Bool("chromosome", false, "print the CGP chromosome string")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		tracePath = flag.String("trace", "", "write a JSONL trace of the run to this file")
@@ -63,6 +65,10 @@ func run() error {
 		for _, n := range rcgp.BenchmarkNames() {
 			fmt.Println(n)
 		}
+		return nil
+	}
+	if *passList {
+		printPasses(os.Stdout)
 		return nil
 	}
 
@@ -87,6 +93,7 @@ func run() error {
 		TimeBudget:         *budget,
 		InitializationOnly: *initOnly,
 		WindowRounds:       *windows,
+		Script:             *script,
 	}
 	verbose := !*quiet
 	opt.Progress = func(gen, gates, garbage int) {
@@ -119,6 +126,11 @@ func run() error {
 	}
 	if ctx.Err() != nil && !*quiet {
 		fmt.Fprintln(os.Stderr, "rcgp: interrupted — reporting best circuit found so far")
+	}
+	if !*quiet {
+		for _, sk := range res.Telemetry.Skipped {
+			fmt.Fprintf(os.Stderr, "rcgp: pass %s skipped: %s\n", sk.Name, sk.Reason)
+		}
 	}
 	if *metrics {
 		writeMetrics(os.Stderr, res)
@@ -168,6 +180,23 @@ func run() error {
 		}
 	}
 	return nil
+}
+
+// printPasses renders the -list-passes catalog: every registered pipeline
+// pass with its telemetry stage name and option table.
+func printPasses(w io.Writer) {
+	for _, p := range rcgp.Passes() {
+		mark := " "
+		if p.Mutates {
+			mark = "*"
+		}
+		fmt.Fprintf(w, "%s %-12s %-16s %s\n", mark, p.Name, p.Stage, p.Summary)
+		for _, o := range p.Options {
+			fmt.Fprintf(w, "      %-11s %-14s default %-12s %s\n", o.Name+"=", o.Kind, o.Default, o.Help)
+		}
+	}
+	fmt.Fprintln(w, "\npasses marked * mutate the RQFP netlist and are equivalence-checked after running")
+	fmt.Fprintln(w, "script syntax: pass[;pass(...)]* e.g. 'aig.resyn2;mig.resyn;convert;cgp(gens=500,workers=8);resub;buffer'")
 }
 
 func loadDesign(inPath, format, benchName string) (*rcgp.Design, string, error) {

@@ -22,6 +22,13 @@ func writeMetrics(w io.Writer, res *rcgp.Result) {
 		fmt.Fprintf(w, "  %-16s %10.3fs  %5.1f%%\n", st.Name, st.Duration.Seconds(), pct)
 	}
 
+	if len(tel.Skipped) > 0 {
+		fmt.Fprintf(w, "--- skipped passes ---\n")
+		for _, sk := range tel.Skipped {
+			fmt.Fprintf(w, "  %-16s %s\n", sk.Name, sk.Reason)
+		}
+	}
+
 	fmt.Fprintf(w, "--- cgp ---\n")
 	fmt.Fprintf(w, "  evaluations      %10d  (%.0f evals/sec)\n", tel.Evaluations, tel.EvalsPerSec)
 	fmt.Fprintf(w, "  adoptions        %10d  (%d improvements, %d neutral)\n",

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintPasses(t *testing.T) {
+	var sb strings.Builder
+	printPasses(&sb)
+	out := sb.String()
+	for _, want := range []string{
+		"aig.resyn2", "mig.resyn", "convert", "cgp", "anneal", "hybrid",
+		"window", "resub", "buffer",
+		"gens=", "rounds=", "workers=",
+		"flow.cgp", "flow.buffer",
+		"script syntax",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list-passes output lacks %q:\n%s", want, out)
+		}
+	}
+	// Mutating passes carry the * marker.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "flow.convert") && !strings.HasPrefix(line, "*") {
+			t.Errorf("convert not marked as mutating: %q", line)
+		}
+	}
+}

@@ -112,6 +112,24 @@ type Result struct {
 	Telemetry Telemetry
 }
 
+// Merge folds an earlier search phase's report into r: evaluation and
+// improvement counters and the telemetry are accumulated, and the better
+// of the two best individuals is kept. It is the reduction used when
+// chained search passes hand a netlist on — the hybrid optimizer's
+// CGP→annealing handoff, or any scripted cgp;anneal sequence.
+func (r *Result) Merge(prev *Result) {
+	if prev == nil {
+		return
+	}
+	r.Evaluations += prev.Evaluations
+	r.Improved += prev.Improved
+	r.Telemetry.Add(prev.Telemetry)
+	if !r.Fitness.BetterOrEqual(prev.Fitness) {
+		r.Best = prev.Best
+		r.Fitness = prev.Fitness
+	}
+}
+
 // Optimize evolves the initial RQFP netlist against the specification,
 // minimizing gate count, garbage outputs, and buffer count in that order
 // while preserving (proved) functional equivalence. The initial netlist

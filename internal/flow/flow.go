@@ -1,20 +1,28 @@
-// Package flow wires the full RCGP pipeline of Fig. 2: specification →
+// Package flow runs the full RCGP pipeline of Fig. 2: specification →
 // classical AIG optimization ("resyn2" stage) → majority resynthesis
 // ("aqfp_resynthesis" stage) → RQFP netlist conversion with splitter
 // insertion → CGP-based optimization → RQFP buffer insertion, with the
 // heuristic initialization baseline reported alongside.
+//
+// Since the pass-manager refactor the pipeline itself lives in
+// internal/pass: every stage is a registered pass over a shared pipeline
+// State, and Run/RunContext merely render Options into the default pass
+// script (or parse Options.Script) and hand it to the pass.Manager, which
+// owns timing, tracing, cancellation, skip bookkeeping, and the
+// equivalence verification after every netlist-mutating pass.
 package flow
 
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"github.com/reversible-eda/rcgp/internal/aig"
 	"github.com/reversible-eda/rcgp/internal/cec"
 	"github.com/reversible-eda/rcgp/internal/core"
-	"github.com/reversible-eda/rcgp/internal/mig"
 	"github.com/reversible-eda/rcgp/internal/obs"
+	"github.com/reversible-eda/rcgp/internal/pass"
 	"github.com/reversible-eda/rcgp/internal/resub"
 	"github.com/reversible-eda/rcgp/internal/rqfp"
 	"github.com/reversible-eda/rcgp/internal/tt"
@@ -37,14 +45,21 @@ type Options struct {
 	// large to evolve whole.
 	WindowRounds int
 	// Resub, when set, finishes with deterministic simulation-driven
-	// resubstitution (exhaustive-proof; circuits ≤ 14 inputs only — wider
-	// circuits skip the pass silently).
+	// resubstitution. The pass needs an exhaustive oracle (circuits ≤ 14
+	// inputs); on wider circuits it is recorded as skipped with a reason
+	// in Result.Skipped.
 	Resub bool
 	// Optimizer selects the search engine: "cgp" (default — the paper's
 	// (1+λ) evolutionary strategy), "anneal" (simulated annealing over the
 	// same chromosome/mutations), or "hybrid" (half the budget each,
 	// annealing seeded with the CGP result).
 	Optimizer string
+	// Script, when non-empty, replaces the default pipeline with an
+	// explicit pass script, e.g. "aig.resyn2;convert;cgp(gens=500);buffer"
+	// (see internal/pass). SkipCGP, WindowRounds, Resub, and Optimizer are
+	// ignored when Script is set; CGP still supplies the baseline search
+	// options that script passes may override.
+	Script string
 	// Trace, when non-nil, receives the run's JSONL telemetry: pipeline
 	// span begin/end events, CGP generation checkpoints and improvement
 	// events, and CEC SAT verdicts.
@@ -72,14 +87,19 @@ type Result struct {
 	Final      *rqfp.Netlist
 	FinalStats rqfp.Stats
 
-	// CGP is the evolution report (nil when SkipCGP).
+	// CGP is the accumulated search report (nil when no search pass ran).
 	CGP *core.Result
 	// Window is the windowed-resynthesis report (nil unless requested).
 	Window *window.Report
+	// Resub is the resubstitution report (nil unless the pass ran).
+	Resub *resub.Stats
 
-	// StageTimes is the wall-clock breakdown per pipeline stage, in
-	// execution order (stages that did not run are absent).
+	// StageTimes is the wall-clock breakdown per executed pipeline pass,
+	// in execution order. Skipped records scheduled passes that did not
+	// run — the resubstitution pass on a too-wide circuit, or passes
+	// behind a cancellation — each with the reason in StageTime.Skipped.
 	StageTimes []obs.StageTime
+	Skipped    []obs.StageTime
 	// CEC aggregates the main oracle's counters: sim-refuted vs.
 	// SAT-proved checks and the accumulated solver statistics. Window
 	// rounds use their own local oracles, which are not included.
@@ -96,13 +116,59 @@ func Run(spec *aig.AIG, opt Options) (*Result, error) {
 	return RunContext(context.Background(), spec, opt)
 }
 
+// DefaultScript renders Options into the invocation list of the paper's
+// Fig. 2 pipeline: aig.resyn2 → mig.resyn → convert → one search pass
+// (unless SkipCGP) → window (when WindowRounds > 0) → resub (when Resub)
+// → buffer. It is the exact pipeline the pre-pass-manager monolith
+// hardcoded, so the default flow stays bit-identical per seed.
+func DefaultScript(opt Options) ([]pass.Invocation, error) {
+	invs := []pass.Invocation{
+		{Name: "aig.resyn2"},
+		{Name: "mig.resyn"},
+		{Name: "convert"},
+	}
+	if !opt.SkipCGP {
+		engine := opt.Optimizer
+		if engine == "" {
+			engine = "cgp"
+		}
+		switch engine {
+		case "cgp", "anneal", "hybrid":
+		default:
+			return nil, fmt.Errorf("unknown optimizer %q (cgp|anneal|hybrid)", opt.Optimizer)
+		}
+		invs = append(invs, pass.Invocation{Name: engine})
+	}
+	if opt.WindowRounds > 0 {
+		invs = append(invs, pass.Invocation{
+			Name: "window",
+			Args: pass.Args{"rounds": strconv.Itoa(opt.WindowRounds)},
+		})
+	}
+	if opt.Resub {
+		invs = append(invs, pass.Invocation{Name: "resub"})
+	}
+	invs = append(invs, pass.Invocation{Name: "buffer"})
+	return invs, nil
+}
+
+// scriptInvocations resolves the run's pipeline: an explicit Script wins,
+// otherwise the default script rendered from the remaining Options.
+func scriptInvocations(opt Options) ([]pass.Invocation, error) {
+	if opt.Script != "" {
+		return pass.ParseScript(opt.Script)
+	}
+	return DefaultScript(opt)
+}
+
 // RunContext is Run under an external cancellation context, threaded
-// through every stage down to the SAT solver: cancelling ctx stops the
-// evolution, window rounds, and in-flight equivalence proofs promptly and
-// returns the context error.
+// through every pass down to the SAT solver: cancelling ctx lets the
+// current pass wind down (the search passes return their validated
+// best-so-far), records the remaining passes as skipped, and returns the
+// verified result; cancelling before the netlist exists returns the
+// context error.
 func RunContext(ctx context.Context, spec *aig.AIG, opt Options) (*Result, error) {
 	start := time.Now()
-	res := &Result{}
 
 	reg := opt.Obs
 	if reg == nil {
@@ -111,148 +177,60 @@ func RunContext(ctx context.Context, spec *aig.AIG, opt Options) (*Result, error
 	if opt.Trace != nil {
 		reg.AttachTracer(opt.Trace)
 	}
-	opt.CGP.Metrics = reg
-	root := reg.Span("flow.synth")
-	defer root.End()
-	// stage times a pipeline stage as a child span of the run and appends
-	// it to the StageTimes breakdown (also on error, so a failed run still
-	// shows where the time went).
-	stage := func(name string, f func() error) error {
-		sp := root.Child(name)
-		err := f()
-		res.StageTimes = append(res.StageTimes, obs.StageTime{Name: name, Duration: sp.End()})
-		return err
-	}
 
-	// Stage 1: classical logic synthesis (ABC resyn2 stand-in).
-	var optimized *aig.AIG
-	stage("flow.aig_opt", func() error {
-		optimized = spec.Optimize(opt.SynthEffort)
-		res.AIGAnds = optimized.NumAnds()
-		return nil
-	})
-
-	// Stage 2: majority resynthesis (mockturtle aqfp_resynthesis stand-in).
-	var m *mig.MIG
-	stage("flow.mig_resyn", func() error {
-		m = mig.ResynthesizeAIG(optimized)
-		res.MIGMajs = m.NumMajs()
-		return nil
-	})
-
-	// Stage 3: RQFP netlist conversion + splitter insertion, then the
-	// oracle over the *original* specification: every later stage is
-	// checked against the untouched input function.
-	var initial *rqfp.Netlist
-	var oracle *cec.Spec
-	err := stage("flow.convert", func() error {
-		var err error
-		initial, err = rqfp.FromMIG(m)
-		if err != nil {
-			return fmt.Errorf("flow: %w", err)
-		}
-		res.Initial = initial
-		res.InitialStats = initial.ComputeStats()
-		oracle = cec.NewSpecFromAIG(spec, opt.RandomWords, opt.CGP.Seed+1)
-		oracle.AttachTracer(opt.Trace)
-		res.Spec = oracle
-		if v := oracle.CheckContext(ctx, initial, nil, nil); !v.Proved {
-			if v.Aborted {
-				return fmt.Errorf("flow: initialization check interrupted: %w", ctx.Err())
-			}
-			return fmt.Errorf("flow: initialization does not match the specification (match=%.6f)", v.Match)
-		}
-		return nil
-	})
+	invs, err := scriptInvocations(opt)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("flow: %w", err)
 	}
-
-	res.Final = initial
-	res.FinalStats = res.InitialStats
-	if !opt.SkipCGP {
-		// Stage 4: evolutionary optimization.
-		err := stage("flow.cgp", func() error {
-			optRes, err := runOptimizer(ctx, initial, oracle, opt)
-			if err != nil {
-				return fmt.Errorf("flow: %w", err)
-			}
-			res.CGP = optRes
-			res.Final = optRes.Best
-			res.FinalStats = optRes.Best.ComputeStats()
-			// The final validation proof runs to completion even under a
-			// cancelled ctx: the optimizer already returned its best-so-far
-			// and the caller deserves a verified result, not a torn one.
-			if v := oracle.Check(res.Final, nil, nil); !v.Proved {
-				return fmt.Errorf("flow: optimized netlist lost equivalence (match=%.6f)", v.Match)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// The optional improvement passes are skipped once ctx is cancelled:
-	// the evolution already returned its validated best-so-far, and the
-	// caller asked the run to wind down, not to start new work.
-	if opt.WindowRounds > 0 && ctx.Err() == nil {
-		// Stage 4b: windowed resynthesis for scale.
-		err := stage("flow.window", func() error {
-			windowed, wrep, err := window.OptimizeContext(ctx, res.Final, window.Options{
-				Rounds:  opt.WindowRounds,
-				Seed:    opt.CGP.Seed,
-				Workers: opt.CGP.Workers,
-			})
-			if err != nil {
-				return fmt.Errorf("flow: %w", err)
-			}
-			res.Window = &wrep
-			if v := oracle.Check(windowed, nil, nil); !v.Proved {
-				return fmt.Errorf("flow: windowed netlist lost equivalence (match=%.6f)", v.Match)
-			}
-			res.Final = windowed
-			res.FinalStats = windowed.ComputeStats()
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	if opt.Resub && spec.NumPIs() <= cec.ExhaustiveMaxPIs && ctx.Err() == nil {
-		// Stage 4c: deterministic resubstitution cleanup.
-		err := stage("flow.resub", func() error {
-			cleaned, _, err := resub.Optimize(res.Final)
-			if err != nil {
-				return fmt.Errorf("flow: %w", err)
-			}
-			if v := oracle.Check(cleaned, nil, nil); !v.Proved {
-				return fmt.Errorf("flow: resubstitution lost equivalence (match=%.6f)", v.Match)
-			}
-			res.Final = cleaned
-			res.FinalStats = cleaned.ComputeStats()
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// Stage 5: RQFP buffer insertion sanity (stats already include the
-	// buffer counts; this validates the explicit balanced form).
-	err = stage("flow.buffer", func() error {
-		balanced := res.Final.InsertBuffers()
-		if err := balanced.Validate(); err != nil {
-			return fmt.Errorf("flow: buffer insertion failed: %w", err)
-		}
-		return nil
-	})
+	mgr, err := pass.NewManager(invs)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("flow: %w", err)
 	}
 
-	res.CEC = oracle.Stats()
+	cgpOpt := opt.CGP
+	cgpOpt.Metrics = reg
+	if cgpOpt.Trace == nil {
+		cgpOpt.Trace = opt.Trace
+	}
+	st := &pass.State{
+		Spec:        spec,
+		SynthEffort: opt.SynthEffort,
+		CGP:         cgpOpt,
+		RandomWords: opt.RandomWords,
+		Reg:         reg,
+		Tracer:      opt.Trace,
+	}
+	if err := mgr.Run(ctx, st); err != nil {
+		return nil, fmt.Errorf("flow: %w", err)
+	}
+	if st.Net == nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("flow: canceled before initialization: %w", cerr)
+		}
+		return nil, fmt.Errorf("flow: pipeline built no netlist (missing a convert pass?)")
+	}
+
+	res := &Result{
+		Spec:         st.Oracle,
+		AIGAnds:      st.AIGAnds,
+		MIGMajs:      st.MIGMajs,
+		Initial:      st.Initial,
+		InitialStats: st.InitialStats,
+		Final:        st.Net,
+		CGP:          st.Search,
+		Window:       st.Window,
+		Resub:        st.Resub,
+		StageTimes:   st.StageTimes,
+		Skipped:      st.Skipped,
+	}
+	if res.Final == res.Initial {
+		res.FinalStats = res.InitialStats
+	} else {
+		res.FinalStats = res.Final.ComputeStats()
+	}
+	if st.Oracle != nil {
+		res.CEC = st.Oracle.Stats()
+	}
 	recordRunMetrics(reg, res)
 	res.Obs = reg.Snapshot()
 	res.Runtime = time.Since(start)
@@ -302,61 +280,4 @@ func recordRunMetrics(reg *obs.Registry, res *Result) {
 // RunTables is Run for a truth-table specification.
 func RunTables(tables []tt.TT, opt Options) (*Result, error) {
 	return Run(aig.FromTruthTables(tables), opt)
-}
-
-// runOptimizer dispatches stage 4 on Options.Optimizer.
-func runOptimizer(ctx context.Context, initial *rqfp.Netlist, oracle *cec.Spec, opt Options) (*core.Result, error) {
-	cgpOpt := opt.CGP
-	if cgpOpt.Trace == nil {
-		cgpOpt.Trace = opt.Trace
-	}
-	annealOpt := core.AnnealOptions{
-		MutationRate: cgpOpt.MutationRate,
-		Seed:         cgpOpt.Seed,
-		TimeBudget:   cgpOpt.TimeBudget,
-		Trace:        cgpOpt.Trace,
-	}
-	lambda := cgpOpt.Lambda
-	if lambda <= 0 {
-		lambda = 4
-	}
-	gens := cgpOpt.Generations
-	if gens <= 0 {
-		gens = 20000
-	}
-	switch opt.Optimizer {
-	case "", "cgp":
-		return core.OptimizeContext(ctx, initial, oracle, cgpOpt)
-	case "anneal":
-		annealOpt.Steps = gens * lambda
-		return core.AnnealContext(ctx, initial, oracle, annealOpt)
-	case "hybrid":
-		half := cgpOpt
-		half.Generations = gens / 2
-		if cgpOpt.TimeBudget > 0 {
-			half.TimeBudget = cgpOpt.TimeBudget / 2
-		}
-		first, err := core.OptimizeContext(ctx, initial, oracle, half)
-		if err != nil {
-			return nil, err
-		}
-		annealOpt.Steps = gens * lambda / 2
-		if cgpOpt.TimeBudget > 0 {
-			annealOpt.TimeBudget = cgpOpt.TimeBudget / 2
-		}
-		second, err := core.AnnealContext(ctx, first.Best, oracle, annealOpt)
-		if err != nil {
-			return nil, err
-		}
-		second.Evaluations += first.Evaluations
-		second.Improved += first.Improved
-		second.Telemetry.Add(first.Telemetry)
-		if !second.Fitness.BetterOrEqual(first.Fitness) {
-			second.Best = first.Best
-			second.Fitness = first.Fitness
-		}
-		return second, nil
-	default:
-		return nil, fmt.Errorf("unknown optimizer %q (cgp|anneal|hybrid)", opt.Optimizer)
-	}
 }

@@ -262,8 +262,11 @@ func (s Snapshot) CounterNames() []string {
 	return names
 }
 
-// StageTime is one entry of a pipeline stage-time breakdown.
+// StageTime is one entry of a pipeline stage-time breakdown. A stage that
+// was scheduled but did not run carries the skip reason in Skipped (with a
+// zero Duration) so pipelines never drop a pass silently.
 type StageTime struct {
 	Name     string        `json:"name"`
 	Duration time.Duration `json:"dur_ns"`
+	Skipped  string        `json:"skipped,omitempty"`
 }

@@ -1,0 +1,137 @@
+package pass
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Args are the parsed key=value options of one pass invocation.
+type Args map[string]string
+
+// ArgReader is the typed option parser pass builders use: each accessor
+// consumes one key, the first conversion failure is latched, and Err
+// reports it — or any option the builder never asked about, so misspelled
+// options fail loudly instead of being ignored.
+type ArgReader struct {
+	args Args
+	used map[string]bool
+	err  error
+}
+
+// NewArgReader wraps args (nil is an empty option list).
+func NewArgReader(args Args) *ArgReader {
+	return &ArgReader{args: args, used: make(map[string]bool)}
+}
+
+func (r *ArgReader) take(key string) (string, bool) {
+	r.used[key] = true
+	v, ok := r.args[key]
+	return v, ok
+}
+
+func (r *ArgReader) fail(key, val, kind string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("option %s=%q: not a valid %s", key, val, kind)
+	}
+}
+
+// StringOpt returns the raw value of key, or nil when absent.
+func (r *ArgReader) StringOpt(key string) *string {
+	v, ok := r.take(key)
+	if !ok {
+		return nil
+	}
+	return &v
+}
+
+// IntOpt parses key as an int, or nil when absent.
+func (r *ArgReader) IntOpt(key string) *int {
+	v, ok := r.take(key)
+	if !ok {
+		return nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		r.fail(key, v, "integer")
+		return nil
+	}
+	return &n
+}
+
+// Int64Opt parses key as an int64, or nil when absent.
+func (r *ArgReader) Int64Opt(key string) *int64 {
+	v, ok := r.take(key)
+	if !ok {
+		return nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		r.fail(key, v, "integer")
+		return nil
+	}
+	return &n
+}
+
+// FloatOpt parses key as a float64, or nil when absent.
+func (r *ArgReader) FloatOpt(key string) *float64 {
+	v, ok := r.take(key)
+	if !ok {
+		return nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		r.fail(key, v, "number")
+		return nil
+	}
+	return &f
+}
+
+// BoolOpt parses key as a bool (true/false/1/0), or nil when absent.
+func (r *ArgReader) BoolOpt(key string) *bool {
+	v, ok := r.take(key)
+	if !ok {
+		return nil
+	}
+	b, err := strconv.ParseBool(v)
+	if err != nil {
+		r.fail(key, v, "bool")
+		return nil
+	}
+	return &b
+}
+
+// DurationOpt parses key as a time.Duration ("30s", "2m"), or nil when
+// absent.
+func (r *ArgReader) DurationOpt(key string) *time.Duration {
+	v, ok := r.take(key)
+	if !ok {
+		return nil
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		r.fail(key, v, "duration")
+		return nil
+	}
+	return &d
+}
+
+// Err returns the first conversion error, or an unknown-option error for
+// any key no accessor consumed.
+func (r *ArgReader) Err() error {
+	if r.err != nil {
+		return r.err
+	}
+	var unknown []string
+	for k := range r.args {
+		if !r.used[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) > 0 {
+		sort.Strings(unknown)
+		return fmt.Errorf("unknown option %q", unknown[0])
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package pass
+
+import "testing"
+
+// FuzzParseScript checks the script parser over arbitrary input: it must
+// return an error or a well-formed invocation list, never panic, and
+// accepted scripts must round-trip through FormatScript.
+func FuzzParseScript(f *testing.F) {
+	seeds := []string{
+		"aig.resyn2;mig.resyn;convert;cgp(gens=500,workers=8);window(rounds=2);resub;buffer",
+		"cgp()",
+		"cgp(gens=1,gens=2)",
+		"cgp;;buffer",
+		"a(b=c)",
+		" a ( b = c , d = e ) ; f ",
+		"(x=1)",
+		"cgp(",
+		"p(k=)",
+		"p(k",
+		";",
+		"",
+		"p(k=v))",
+		"день(k=v)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, script string) {
+		invs, err := ParseScript(script)
+		if err != nil {
+			return
+		}
+		if len(invs) == 0 {
+			t.Fatal("accepted script produced no invocations")
+		}
+		for _, inv := range invs {
+			if inv.Name == "" {
+				t.Fatalf("accepted script produced empty pass name: %q", script)
+			}
+		}
+		again, err := ParseScript(FormatScript(invs))
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted script %q rejected: %v", FormatScript(invs), script, err)
+		}
+		if len(again) != len(invs) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(invs))
+		}
+	})
+}

@@ -1,0 +1,227 @@
+package pass
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/core"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+// newTestState builds a pipeline state over a small non-trivial spec
+// (2-input AND, 2-input XOR).
+func newTestState(t *testing.T) *State {
+	t.Helper()
+	tables := []tt.TT{
+		tt.FromFunc(2, func(s uint) bool { return s&1 != 0 && s&2 != 0 }),
+		tt.FromFunc(2, func(s uint) bool { return (s&1 != 0) != (s&2 != 0) }),
+	}
+	return &State{
+		Spec:        aig.FromTruthTables(tables),
+		CGP:         core.Options{Seed: 1},
+		RandomWords: 16,
+	}
+}
+
+// frontEnd builds the manager for the classical front of the pipeline, up
+// to and including the netlist conversion.
+func frontEnd(t *testing.T) *Manager {
+	t.Helper()
+	invs, err := ParseScript("aig.resyn2;mig.resyn;convert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// funcPass adapts a closure into a Pass for injection tests.
+type funcPass struct {
+	name string
+	run  func(ctx context.Context, st *State) error
+}
+
+func (p funcPass) Name() string                             { return p.name }
+func (p funcPass) Run(ctx context.Context, st *State) error { return p.run(ctx, st) }
+
+// TestManagerCatchesCorruptingPass is the acceptance check for the
+// post-pass verification hook: a pass that swaps in a functionally wrong
+// netlist must abort the pipeline with its name and the lost-equivalence
+// diagnosis in the error.
+func TestManagerCatchesCorruptingPass(t *testing.T) {
+	st := newTestState(t)
+	m := frontEnd(t)
+	m.Passes = append(m.Passes, funcPass{name: "test.corrupt", run: func(ctx context.Context, st *State) error {
+		bad := st.Net.Clone()
+		bad.POs[0] = rqfp.ConstPort // AND output pinned to constant 1
+		st.Net = bad
+		return nil
+	}})
+	err := m.Run(context.Background(), st)
+	if err == nil {
+		t.Fatal("manager accepted a corrupting pass")
+	}
+	if !strings.Contains(err.Error(), "test.corrupt") {
+		t.Errorf("error does not name the pass: %v", err)
+	}
+	if !strings.Contains(err.Error(), "lost equivalence") {
+		t.Errorf("error does not diagnose lost equivalence: %v", err)
+	}
+}
+
+// TestManagerCatchesInPlaceMutation: the fingerprint hook must catch a
+// pass that edits the current netlist in place (same pointer).
+func TestManagerCatchesInPlaceMutation(t *testing.T) {
+	st := newTestState(t)
+	m := frontEnd(t)
+	m.Passes = append(m.Passes, funcPass{name: "test.inplace", run: func(ctx context.Context, st *State) error {
+		st.Net.POs[0] = rqfp.ConstPort
+		return nil
+	}})
+	err := m.Run(context.Background(), st)
+	if err == nil || !strings.Contains(err.Error(), "test.inplace") || !strings.Contains(err.Error(), "lost equivalence") {
+		t.Fatalf("in-place corruption not caught: %v", err)
+	}
+}
+
+// TestManagerSkipsVerifyForReadOnlyPass: a pass that leaves the netlist
+// untouched must not trigger an oracle check.
+func TestManagerSkipsVerifyForReadOnlyPass(t *testing.T) {
+	st := newTestState(t)
+	m := frontEnd(t)
+	m.Passes = append(m.Passes, funcPass{name: "test.readonly", run: func(ctx context.Context, st *State) error {
+		return nil
+	}})
+	if err := m.Run(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one check: the initialization verification after convert.
+	if got := st.Oracle.Stats().Checks; got != 1 {
+		t.Fatalf("oracle ran %d checks, want 1 (convert only)", got)
+	}
+	last := st.StageTimes[len(st.StageTimes)-1]
+	if last.Name != "test.readonly" {
+		t.Fatalf("last stage = %q, want test.readonly", last.Name)
+	}
+}
+
+// TestManagerSkipError: a pass declining via SkipError is recorded with
+// its reason and the pipeline continues.
+func TestManagerSkipError(t *testing.T) {
+	st := newTestState(t)
+	m := frontEnd(t)
+	m.Passes = append(m.Passes,
+		funcPass{name: "test.decline", run: func(ctx context.Context, st *State) error {
+			return Skipf("not applicable here")
+		}},
+		funcPass{name: "test.after", run: func(ctx context.Context, st *State) error { return nil }},
+	)
+	if err := m.Run(context.Background(), st); err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Skipped) != 1 || st.Skipped[0].Name != "test.decline" || st.Skipped[0].Skipped != "not applicable here" {
+		t.Fatalf("skip record = %+v", st.Skipped)
+	}
+	for _, s := range st.StageTimes {
+		if s.Name == "test.decline" {
+			t.Fatal("skipped pass must not appear in StageTimes")
+		}
+	}
+	last := st.StageTimes[len(st.StageTimes)-1]
+	if last.Name != "test.after" {
+		t.Fatalf("pipeline did not continue past the skip: last stage %q", last.Name)
+	}
+}
+
+// TestManagerCancellationSkipsRemainingPasses: once the context is
+// cancelled the remaining passes are recorded skipped with "canceled" and
+// Run returns nil so the caller keeps the validated best-so-far state.
+func TestManagerCancellationSkipsRemainingPasses(t *testing.T) {
+	st := newTestState(t)
+	m := frontEnd(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	m.Passes = append(m.Passes,
+		funcPass{name: "test.cancel", run: func(ctx context.Context, st *State) error {
+			cancel()
+			return nil
+		}},
+		funcPass{name: "test.never1", run: func(ctx context.Context, st *State) error {
+			t.Error("pass ran after cancellation")
+			return nil
+		}},
+		funcPass{name: "test.never2", run: func(ctx context.Context, st *State) error {
+			t.Error("pass ran after cancellation")
+			return nil
+		}},
+	)
+	if err := m.Run(ctx, st); err != nil {
+		t.Fatalf("cancelled run must return the best-so-far state, got %v", err)
+	}
+	if st.Net == nil {
+		t.Fatal("netlist lost on cancellation")
+	}
+	if len(st.Skipped) != 2 {
+		t.Fatalf("skipped = %+v, want the two trailing passes", st.Skipped)
+	}
+	for i, name := range []string{"test.never1", "test.never2"} {
+		if st.Skipped[i].Name != name || st.Skipped[i].Skipped != "canceled" {
+			t.Fatalf("skip %d = %+v", i, st.Skipped[i])
+		}
+	}
+}
+
+func TestManagerEmptyPipeline(t *testing.T) {
+	if _, err := NewManager(nil); err == nil {
+		t.Fatal("NewManager accepted an empty pipeline")
+	}
+}
+
+func TestArgReader(t *testing.T) {
+	r := NewArgReader(Args{
+		"i": "42", "i64": "-7", "f": "0.25", "b": "true", "d": "150ms", "s": "hello",
+	})
+	if v := r.IntOpt("i"); v == nil || *v != 42 {
+		t.Errorf("IntOpt = %v", v)
+	}
+	if v := r.Int64Opt("i64"); v == nil || *v != -7 {
+		t.Errorf("Int64Opt = %v", v)
+	}
+	if v := r.FloatOpt("f"); v == nil || *v != 0.25 {
+		t.Errorf("FloatOpt = %v", v)
+	}
+	if v := r.BoolOpt("b"); v == nil || !*v {
+		t.Errorf("BoolOpt = %v", v)
+	}
+	if v := r.DurationOpt("d"); v == nil || v.Milliseconds() != 150 {
+		t.Errorf("DurationOpt = %v", v)
+	}
+	if v := r.StringOpt("s"); v == nil || *v != "hello" {
+		t.Errorf("StringOpt = %v", v)
+	}
+	if v := r.IntOpt("absent"); v != nil {
+		t.Errorf("absent option = %v, want nil", v)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A conversion failure is latched and reported by Err.
+	r = NewArgReader(Args{"i": "xyz"})
+	r.IntOpt("i")
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "i") {
+		t.Fatalf("conversion error not reported: %v", err)
+	}
+
+	// Unconsumed options are unknown options.
+	r = NewArgReader(Args{"known": "1", "mystery": "2"})
+	r.IntOpt("known")
+	if err := r.Err(); err == nil || !strings.Contains(err.Error(), "mystery") {
+		t.Fatalf("unknown option not reported: %v", err)
+	}
+}

@@ -1,0 +1,56 @@
+// Package pass is the pass-manager architecture of the RCGP pipeline.
+//
+// The paper's Fig. 2 flow — classical AIG optimization, majority
+// resynthesis, RQFP conversion, CGP evolution, windowed resynthesis,
+// resubstitution, buffer insertion — is expressed here the way ABC and
+// mockturtle structure their synthesis flows: as a registry of named,
+// individually-optioned passes over a shared pipeline State, executed by a
+// Manager that owns every cross-cutting policy exactly once:
+//
+//   - a telemetry span and a StageTimes entry per executed pass,
+//   - context cancellation between passes (the current pass winds down,
+//     later passes are recorded as skipped),
+//   - skipped-pass bookkeeping with a reason string (no silent drops),
+//   - equivalence verification against the untouched specification oracle
+//     after every pass that mutated the RQFP netlist.
+//
+// Flows are scriptable: ParseScript turns a string such as
+//
+//	aig.resyn2;mig.resyn;convert;cgp(gens=500,workers=8);resub;buffer
+//
+// into an invocation list, and internal/flow's default pipeline is itself
+// just one such script rendered from its Options.
+package pass
+
+import (
+	"context"
+	"fmt"
+)
+
+// Pass is one pipeline stage. Name is the telemetry stage name (e.g.
+// "flow.cgp") used for the pass's span, histogram, and StageTimes entry;
+// Run transforms the shared State and may consult ctx to wind down early.
+// A Run that returns a *SkipError is recorded as skipped, not failed.
+type Pass interface {
+	Name() string
+	Run(ctx context.Context, st *State) error
+}
+
+// Skipper is an optional Pass interface: a non-empty SkipReason, evaluated
+// before the pass starts, records the pass as skipped without opening a
+// telemetry span (the pre-pass-manager pipeline omitted such stages
+// entirely; the reason string is the improvement).
+type Skipper interface {
+	SkipReason(st *State) string
+}
+
+// SkipError is returned by a Pass that discovered mid-run it should not
+// apply; the Manager records the reason and continues with the next pass.
+type SkipError struct{ Reason string }
+
+func (e *SkipError) Error() string { return "skipped: " + e.Reason }
+
+// Skipf builds a SkipError.
+func Skipf(format string, args ...any) error {
+	return &SkipError{Reason: fmt.Sprintf(format, args...)}
+}

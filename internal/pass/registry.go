@@ -1,0 +1,94 @@
+package pass
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// OptionDoc documents one option a registered pass accepts; Kind and
+// Default are display strings for -list-passes and the README table.
+type OptionDoc struct {
+	Name    string
+	Kind    string
+	Default string
+	Help    string
+}
+
+// Info is a registered pass: its script name, the telemetry stage name its
+// instances report under, documentation, whether it mutates the RQFP
+// netlist (and therefore triggers the manager's equivalence check), and
+// the builder turning parsed options into a Pass.
+type Info struct {
+	Name    string
+	Stage   string
+	Summary string
+	Mutates bool
+	Options []OptionDoc
+	Build   func(args Args) (Pass, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Info{}
+	regOrder []string
+)
+
+// Register adds a pass to the registry. Registration happens in init
+// functions; a duplicate or malformed registration is a programmer error
+// and panics.
+func Register(info Info) {
+	if info.Name == "" || info.Stage == "" || info.Build == nil {
+		panic(fmt.Sprintf("pass: incomplete registration %+v", info))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[info.Name]; dup {
+		panic(fmt.Sprintf("pass: duplicate registration of %q", info.Name))
+	}
+	registry[info.Name] = info
+	regOrder = append(regOrder, info.Name)
+}
+
+// Lookup returns the registration of a script name.
+func Lookup(name string) (Info, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	info, ok := registry[name]
+	return info, ok
+}
+
+// All lists the registered passes in registration (pipeline) order.
+func All() []Info {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Info, 0, len(regOrder))
+	for _, name := range regOrder {
+		out = append(out, registry[name])
+	}
+	return out
+}
+
+// Names lists the registered script names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := append([]string(nil), regOrder...)
+	sort.Strings(names)
+	return names
+}
+
+// Build resolves one invocation against the registry and constructs the
+// pass with its options parsed.
+func Build(inv Invocation) (Pass, error) {
+	info, ok := Lookup(inv.Name)
+	if !ok {
+		return nil, fmt.Errorf("unknown pass %q (have: %s)", inv.Name, strings.Join(Names(), ", "))
+	}
+	p, err := info.Build(inv.Args)
+	if err != nil {
+		return nil, fmt.Errorf("pass %s: %w", inv.Name, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,149 @@
+package pass
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Invocation is one parsed script segment: a pass name plus its options.
+type Invocation struct {
+	Name string
+	Args Args
+}
+
+// String renders the invocation back into script syntax (options sorted
+// for a stable form).
+func (inv Invocation) String() string {
+	if len(inv.Args) == 0 {
+		return inv.Name
+	}
+	keys := make([]string, 0, len(inv.Args))
+	for k := range inv.Args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteString(inv.Name)
+	sb.WriteByte('(')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(inv.Args[k])
+	}
+	sb.WriteByte(')')
+	return sb.String()
+}
+
+// FormatScript renders an invocation list as a semicolon-joined script
+// that ParseScript accepts back.
+func FormatScript(invs []Invocation) string {
+	parts := make([]string, len(invs))
+	for i, inv := range invs {
+		parts[i] = inv.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseScript parses a flow script — semicolon-separated pass invocations,
+// each an identifier with an optional parenthesized comma-separated option
+// list:
+//
+//	aig.resyn2; convert; cgp(gens=500, workers=8); window(rounds=2); buffer
+//
+// Whitespace around every token is ignored. The parser validates shape
+// only; pass names and option names/values are checked when the Manager
+// builds the pipeline. It returns errors — never panics — on malformed
+// input: empty scripts or segments, bad identifiers, unbalanced
+// parentheses, and options that are not key=value.
+func ParseScript(script string) ([]Invocation, error) {
+	if strings.TrimSpace(script) == "" {
+		return nil, errors.New("pass: empty script")
+	}
+	segs := strings.Split(script, ";")
+	invs := make([]Invocation, 0, len(segs))
+	for i, seg := range segs {
+		inv, err := parseSegment(seg)
+		if err != nil {
+			return nil, fmt.Errorf("pass: script segment %d: %w", i+1, err)
+		}
+		invs = append(invs, inv)
+	}
+	return invs, nil
+}
+
+func parseSegment(seg string) (Invocation, error) {
+	seg = strings.TrimSpace(seg)
+	if seg == "" {
+		return Invocation{}, errors.New("empty pass (stray ';'?)")
+	}
+	name := seg
+	body := ""
+	hasBody := false
+	if i := strings.IndexByte(seg, '('); i >= 0 {
+		if !strings.HasSuffix(seg, ")") {
+			return Invocation{}, fmt.Errorf("%q: missing closing ')'", seg)
+		}
+		if strings.IndexByte(seg, ')') != len(seg)-1 {
+			return Invocation{}, fmt.Errorf("%q: text after closing ')'", seg)
+		}
+		name = strings.TrimSpace(seg[:i])
+		body = seg[i+1 : len(seg)-1]
+		hasBody = true
+	}
+	if err := checkName(name); err != nil {
+		return Invocation{}, err
+	}
+	inv := Invocation{Name: name}
+	if !hasBody {
+		return inv, nil
+	}
+	if strings.TrimSpace(body) == "" {
+		return inv, nil
+	}
+	inv.Args = Args{}
+	for _, opt := range strings.Split(body, ",") {
+		opt = strings.TrimSpace(opt)
+		if opt == "" {
+			return Invocation{}, fmt.Errorf("%q: empty option (stray ','?)", seg)
+		}
+		eq := strings.IndexByte(opt, '=')
+		if eq < 0 {
+			return Invocation{}, fmt.Errorf("option %q is not key=value", opt)
+		}
+		key := strings.TrimSpace(opt[:eq])
+		val := strings.TrimSpace(opt[eq+1:])
+		if err := checkName(key); err != nil {
+			return Invocation{}, fmt.Errorf("option key %q: %w", key, err)
+		}
+		if val == "" {
+			return Invocation{}, fmt.Errorf("option %q has an empty value", key)
+		}
+		if _, dup := inv.Args[key]; dup {
+			return Invocation{}, fmt.Errorf("option %q given twice", key)
+		}
+		inv.Args[key] = val
+	}
+	return inv, nil
+}
+
+// checkName validates a pass or option identifier: a letter followed by
+// letters, digits, '.', '_', or '-'.
+func checkName(name string) error {
+	if name == "" {
+		return errors.New("empty identifier")
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z':
+		case i > 0 && (c >= '0' && c <= '9' || c == '.' || c == '_' || c == '-'):
+		default:
+			return fmt.Errorf("invalid identifier %q", name)
+		}
+	}
+	return nil
+}

@@ -32,6 +32,12 @@ type Stats struct {
 	GarbageAfter  int
 }
 
+// String renders the report on one line for verbose pipeline output.
+func (s Stats) String() string {
+	return fmt.Sprintf("iterations=%d rewires=%d constfolds=%d gates %d→%d garbage %d→%d",
+		s.Iterations, s.Rewires, s.ConstFolds, s.GatesBefore, s.GatesAfter, s.GarbageBefore, s.GarbageAfter)
+}
+
 // Optimize runs resubstitution to a fixpoint (bounded) and returns the
 // improved netlist. The function is preserved exactly; the input netlist
 // is not modified.

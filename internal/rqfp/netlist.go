@@ -77,6 +77,32 @@ func (n *Netlist) Clone() *Netlist {
 	return c
 }
 
+// Fingerprint returns a structural hash of the netlist (FNV-1a over the
+// interface size, the gate genes, and the PO signals). The pass manager
+// compares fingerprints around each pass to decide whether the netlist was
+// mutated — including in-place edits that keep the pointer stable — and
+// therefore needs re-verification against the specification oracle.
+func (n *Netlist) Fingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	mix(uint64(n.NumPI))
+	for _, g := range n.Gates {
+		mix(uint64(g.In[0]))
+		mix(uint64(g.In[1]))
+		mix(uint64(g.In[2]))
+		mix(uint64(g.Cfg))
+	}
+	mix(uint64(len(n.Gates)))
+	for _, po := range n.POs {
+		mix(uint64(po))
+	}
+	return h
+}
+
 // Validate checks the structural invariants of RQFP logic: signal ranges,
 // topological ordering (a gate reads only earlier ports), and the
 // single-fanout rule (every non-constant port drives at most one load

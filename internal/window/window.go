@@ -76,6 +76,12 @@ type Report struct {
 	Elapsed       time.Duration
 }
 
+// String renders the report on one line for verbose pipeline output.
+func (r Report) String() string {
+	return fmt.Sprintf("rounds=%d accepted=%d gates %d→%d garbage %d→%d",
+		r.Rounds, r.Accepted, r.GatesBefore, r.GatesAfter, r.GarbageBefore, r.GarbageAfter)
+}
+
 // Optimize runs windowed CGP resynthesis and returns the improved netlist.
 // The result is always validated; function preservation follows from each
 // window being proved equivalent to its local specification.

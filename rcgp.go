@@ -34,6 +34,7 @@ import (
 	"github.com/reversible-eda/rcgp/internal/exact"
 	"github.com/reversible-eda/rcgp/internal/flow"
 	"github.com/reversible-eda/rcgp/internal/obs"
+	"github.com/reversible-eda/rcgp/internal/pass"
 	"github.com/reversible-eda/rcgp/internal/pla"
 	"github.com/reversible-eda/rcgp/internal/real"
 	"github.com/reversible-eda/rcgp/internal/rqfp"
@@ -190,6 +191,14 @@ type Options struct {
 	// (1+λ) evolutionary strategy, "anneal" for simulated annealing over
 	// the same chromosome, "hybrid" for CGP followed by annealing.
 	Optimizer string
+	// Script, when non-empty, replaces the default Fig. 2 pipeline with an
+	// explicit pass script — semicolon-separated pass invocations with
+	// optional options, e.g. "aig.resyn2;convert;cgp(gens=500);resub;buffer".
+	// Passes() enumerates the registered passes and their options. When
+	// Script is set, InitializationOnly, WindowRounds, Resubstitution, and
+	// Optimizer are ignored; the remaining options (Seed, Generations,
+	// Workers, …) become the baseline that script options override.
+	Script string
 	// Progress, when non-nil, receives periodic generation updates.
 	Progress func(generation, gates, garbage int)
 	// Trace, when non-nil, receives a line-delimited JSON event stream of
@@ -263,6 +272,7 @@ func (d *Design) SynthesizeContext(ctx context.Context, opt Options) (*Result, e
 		WindowRounds: opt.WindowRounds,
 		Resub:        opt.Resubstitution,
 		Optimizer:    opt.Optimizer,
+		Script:       opt.Script,
 		CGP: core.Options{
 			Lambda:       opt.Lambda,
 			Generations:  opt.Generations,
@@ -386,6 +396,47 @@ func (c *Circuit) ExpandAQFP() (AQFPStats, error) {
 		JJs:        st.JJs,
 		Phases:     st.Phases,
 	}, nil
+}
+
+// PassOption documents one option of a registered pipeline pass.
+type PassOption struct {
+	Name    string // option key, e.g. "gens"
+	Kind    string // display type: int, float, bool, duration, …
+	Default string
+	Help    string
+}
+
+// PassInfo describes one registered pipeline pass — the vocabulary of
+// Options.Script.
+type PassInfo struct {
+	Name    string // script name, e.g. "cgp"
+	Stage   string // telemetry stage name, e.g. "flow.cgp"
+	Summary string
+	// Mutates marks passes that transform the RQFP netlist; the pass
+	// manager re-verifies equivalence against the specification oracle
+	// after each of them.
+	Mutates bool
+	Options []PassOption
+}
+
+// Passes enumerates the registered pipeline passes in pipeline order.
+func Passes() []PassInfo {
+	var out []PassInfo
+	for _, info := range pass.All() {
+		pi := PassInfo{
+			Name:    info.Name,
+			Stage:   info.Stage,
+			Summary: info.Summary,
+			Mutates: info.Mutates,
+		}
+		for _, o := range info.Options {
+			pi.Options = append(pi.Options, PassOption{
+				Name: o.Name, Kind: o.Kind, Default: o.Default, Help: o.Help,
+			})
+		}
+		out = append(out, pi)
+	}
+	return out
 }
 
 // ExactOptions tunes the exact-synthesis baseline.

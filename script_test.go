@@ -1,0 +1,68 @@
+package rcgp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSynthesizeWithScript(t *testing.T) {
+	d, err := Benchmark("decoder_2_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.Synthesize(Options{
+		Seed:   3,
+		Script: "aig.resyn2;mig.resyn;convert;resub;cgp(gens=800);buffer",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := d.Verify(res.Circuit())
+	if err != nil || !ok {
+		t.Fatalf("scripted result failed verification: %v %v", ok, err)
+	}
+	stages := make([]string, len(res.Telemetry.Stages))
+	for i, s := range res.Telemetry.Stages {
+		stages[i] = s.Name
+	}
+	want := []string{"flow.aig_opt", "flow.mig_resyn", "flow.convert", "flow.resub", "flow.cgp", "flow.buffer"}
+	if strings.Join(stages, ",") != strings.Join(want, ",") {
+		t.Fatalf("stages = %v, want %v", stages, want)
+	}
+
+	if _, err := d.Synthesize(Options{Script: "cgp(oops"}); err == nil {
+		t.Fatal("malformed script accepted")
+	}
+}
+
+func TestPassesCatalog(t *testing.T) {
+	passes := Passes()
+	if len(passes) < 9 {
+		t.Fatalf("only %d passes exported", len(passes))
+	}
+	byName := map[string]PassInfo{}
+	for _, p := range passes {
+		if p.Name == "" || p.Stage == "" || p.Summary == "" {
+			t.Fatalf("incomplete pass info: %+v", p)
+		}
+		byName[p.Name] = p
+	}
+	cgp, ok := byName["cgp"]
+	if !ok || !cgp.Mutates {
+		t.Fatalf("cgp pass missing or not marked mutating: %+v", cgp)
+	}
+	var hasGens bool
+	for _, o := range cgp.Options {
+		if o.Name == "gens" {
+			hasGens = true
+		}
+	}
+	if !hasGens {
+		t.Fatalf("cgp pass does not document gens=: %+v", cgp.Options)
+	}
+	for _, name := range []string{"aig.resyn2", "mig.resyn", "convert", "anneal", "hybrid", "window", "resub", "buffer"} {
+		if _, ok := byName[name]; !ok {
+			t.Fatalf("pass %q missing from catalog", name)
+		}
+	}
+}

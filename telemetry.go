@@ -16,6 +16,15 @@ type StageTime struct {
 	Duration time.Duration
 }
 
+// SkippedPass records a pipeline pass that was scheduled but did not run,
+// with the reason — e.g. the resubstitution pass on a circuit too wide for
+// an exhaustive oracle, or passes behind a cancellation. Nothing is ever
+// dropped silently.
+type SkippedPass struct {
+	Name   string
+	Reason string
+}
+
 // SATStats are the CDCL solver's search counters. Aborted counts solver
 // calls that returned early because the synthesis context was cancelled
 // mid-proof.
@@ -61,6 +70,9 @@ type MutationStat struct {
 type Telemetry struct {
 	// Stages is the pipeline wall-clock breakdown, in execution order.
 	Stages []StageTime
+	// Skipped lists scheduled pipeline passes that did not run, each with
+	// the reason.
+	Skipped []SkippedPass
 	// Evaluations counts candidate fitness evaluations; EvalsPerSec is
 	// the evaluation throughput of the search stage.
 	Evaluations int64
@@ -117,6 +129,9 @@ func telemetryFromFlow(res *flow.Result) Telemetry {
 	t.Stages = make([]StageTime, len(res.StageTimes))
 	for i, st := range res.StageTimes {
 		t.Stages[i] = StageTime{Name: st.Name, Duration: st.Duration}
+	}
+	for _, sk := range res.Skipped {
+		t.Skipped = append(t.Skipped, SkippedPass{Name: sk.Name, Reason: sk.Skipped})
 	}
 	if res.CGP != nil {
 		tel := res.CGP.Telemetry
