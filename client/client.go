@@ -1,0 +1,260 @@
+// Package client is the Go client for the rcgp-serve synthesis service:
+// the wire types of the HTTP/JSON API plus a small typed client that
+// submits jobs, polls them to completion, and reads server health. The
+// server side (internal/serve) imports this package, so the structs here
+// are the single source of truth for the protocol.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Request describes one synthesis job. Exactly one specification source
+// must be set: Benchmark, Format+Source, or NumInputs+TruthTables.
+type Request struct {
+	// Benchmark names one of the built-in paper benchmarks.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Format + Source carry an inline design: "verilog", "blif", "aiger",
+	// "pla", or "real".
+	Format string `json:"format,omitempty"`
+	Source string `json:"source,omitempty"`
+	// NumInputs + TruthTables specify the function directly, one
+	// hexadecimal table per output (MSB nibble first).
+	NumInputs   int      `json:"num_inputs,omitempty"`
+	TruthTables []string `json:"truth_tables,omitempty"`
+
+	// Search options; zero values take the server defaults.
+	Generations  int     `json:"generations,omitempty"`
+	Lambda       int     `json:"lambda,omitempty"`
+	MutationRate float64 `json:"mutation_rate,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+	Script       string  `json:"script,omitempty"`
+
+	// Priority orders the queue: higher runs first, ties FIFO.
+	Priority int `json:"priority,omitempty"`
+	// TimeoutMS bounds the job's wall-clock run time; expiry returns the
+	// best circuit found so far.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// NoCache skips the result cache for this job (both lookup and store).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// Status is a job's lifecycle state.
+type Status string
+
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusCanceled Status = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+// Stats are the paper's RQFP cost metrics.
+type Stats struct {
+	Inputs  int `json:"inputs"`
+	Outputs int `json:"outputs"`
+	Gates   int `json:"gates"`
+	Buffers int `json:"buffers"`
+	JJs     int `json:"jjs"`
+	Depth   int `json:"depth"`
+	Garbage int `json:"garbage"`
+}
+
+// Result is a finished job's circuit and provenance.
+type Result struct {
+	// Netlist is the circuit in the textual RQFP format.
+	Netlist string `json:"netlist"`
+	Stats   Stats  `json:"stats"`
+	// Generations/Evaluations report the evolutionary effort spent (zero
+	// for cache hits).
+	Generations int   `json:"generations"`
+	Evaluations int64 `json:"evaluations"`
+	RuntimeMS   int64 `json:"runtime_ms"`
+	// FromCache marks results served from the NPN-class result cache;
+	// CacheKey is the class signature.
+	FromCache bool   `json:"from_cache"`
+	CacheKey  string `json:"cache_key,omitempty"`
+	// Verified reports the final formal equivalence check against the
+	// submitted specification.
+	Verified bool `json:"verified"`
+	// StopReason records why the search stopped ("generations",
+	// "deadline", "canceled", or "cache").
+	StopReason string `json:"stop_reason,omitempty"`
+}
+
+// Job is the server's view of one synthesis job.
+type Job struct {
+	ID          string     `json:"id"`
+	Status      Status     `json:"status"`
+	Priority    int        `json:"priority"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+	// Error is set for failed jobs.
+	Error string `json:"error,omitempty"`
+	// Resumed marks jobs recovered from a checkpoint after a restart.
+	Resumed bool `json:"resumed,omitempty"`
+	// Best-so-far progress from the latest checkpoint of a running job.
+	CheckpointGeneration int `json:"checkpoint_generation,omitempty"`
+	BestGates            int `json:"best_gates,omitempty"`
+	BestGarbage          int `json:"best_garbage,omitempty"`
+	// Result is present once Status is "done" (and for canceled jobs that
+	// produced a best-so-far circuit before cancellation).
+	Result *Result `json:"result,omitempty"`
+}
+
+// CacheStats mirrors the server cache counters.
+type CacheStats struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Stores       int64 `json:"stores"`
+	BadEntries   int64 `json:"bad_entries"`
+	MemEntries   int   `json:"mem_entries"`
+	DiskEntries  int   `json:"disk_entries"`
+	DiskPromotes int64 `json:"disk_promotes"`
+}
+
+// Health is the GET /healthz payload.
+type Health struct {
+	// Status is "ok" while accepting jobs, "draining" during shutdown.
+	Status   string      `json:"status"`
+	Queued   int         `json:"queued"`
+	Running  int         `json:"running"`
+	Finished int         `json:"finished"`
+	Cache    *CacheStats `json:"cache,omitempty"`
+}
+
+// APIError is a non-2xx response decoded from the server.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("rcgp-serve: %d: %s", e.StatusCode, e.Message)
+}
+
+// Client talks to one rcgp-serve instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// New returns a client for the server at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+// Submit enqueues a synthesis job and returns its initial state.
+func (c *Client) Submit(ctx context.Context, req Request) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodPost, "/synthesize", req, &j)
+	return j, err
+}
+
+// Job fetches one job by ID.
+func (c *Client) Job(ctx context.Context, id string) (Job, error) {
+	var j Job
+	err := c.do(ctx, http.MethodGet, "/jobs/"+id, nil, &j)
+	return j, err
+}
+
+// Jobs lists all jobs the server knows about, newest first.
+func (c *Client) Jobs(ctx context.Context) ([]Job, error) {
+	var js []Job
+	err := c.do(ctx, http.MethodGet, "/jobs", nil, &js)
+	return js, err
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/jobs/"+id, nil, nil)
+}
+
+// Wait polls the job every poll interval (default 100ms) until it reaches
+// a terminal status or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (Job, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			return j, err
+		}
+		if j.Status.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Health fetches the server health summary.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Benchmarks lists the server's built-in benchmark circuits.
+func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
+	var names []string
+	err := c.do(ctx, http.MethodGet, "/benchmarks", nil, &names)
+	return names, err
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

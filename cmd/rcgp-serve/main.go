@@ -1,0 +1,105 @@
+// Command rcgp-serve runs the RQFP synthesis service: an HTTP/JSON API
+// over a job queue, an NPN-canonical result cache, and checkpoint/resume
+// of in-flight searches.
+//
+//	rcgp-serve -addr :8080 -cache-dir /var/lib/rcgp/cache \
+//	           -checkpoint-dir /var/lib/rcgp/jobs -max-concurrent 2
+//
+// Submit with the client package or plain curl:
+//
+//	curl -s localhost:8080/synthesize -d '{"benchmark":"decoder_2_4"}'
+//	curl -s localhost:8080/jobs/j000001
+//
+// SIGINT/SIGTERM drain gracefully: no new jobs are admitted, running
+// searches wind down to their best-so-far circuits, and their checkpoints
+// stay on disk so the next process resumes them.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/internal/obs"
+	"github.com/reversible-eda/rcgp/internal/serve"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", "127.0.0.1:8080", "listen address")
+		cacheDir      = flag.String("cache-dir", "", "result cache directory (empty: in-memory only)")
+		cacheEntries  = flag.Int("cache-entries", 0, "in-memory cache capacity (0: default)")
+		checkpointDir = flag.String("checkpoint-dir", "", "job checkpoint directory (empty: no crash recovery)")
+		checkpointGen = flag.Int("checkpoint-every", 1000, "checkpoint cadence in generations")
+		maxConcurrent = flag.Int("max-concurrent", 2, "concurrent synthesis jobs")
+		totalWorkers  = flag.Int("workers", 0, "evaluation worker budget shared by all jobs (0: GOMAXPROCS)")
+		queueLimit    = flag.Int("queue-limit", 256, "maximum queued jobs")
+		generations   = flag.Int("generations", 20000, "default generations per job")
+		jobTimeout    = flag.Duration("job-timeout", 0, "default per-job wall-clock bound (0: none)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+	)
+	flag.Parse()
+
+	var cache *rcgp.Cache
+	var err error
+	if *cacheDir != "" {
+		cache, err = rcgp.OpenCache(*cacheDir, *cacheEntries)
+		if err != nil {
+			log.Fatalf("rcgp-serve: opening cache: %v", err)
+		}
+	} else {
+		cache = rcgp.NewMemoryCache(*cacheEntries)
+	}
+	defer cache.Close()
+
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Config{
+		MaxConcurrent:      *maxConcurrent,
+		TotalWorkers:       *totalWorkers,
+		QueueLimit:         *queueLimit,
+		DefaultGenerations: *generations,
+		DefaultTimeout:     *jobTimeout,
+		Cache:              cache,
+		CheckpointDir:      *checkpointDir,
+		CheckpointEvery:    *checkpointGen,
+		Registry:           reg,
+		Logf:               log.Printf,
+	})
+
+	// Bind before serving, so a bad -addr is a startup error, not a log
+	// line racing the "listening" banner.
+	l, err := serve.Listen(*addr)
+	if err != nil {
+		log.Fatalf("rcgp-serve: %v", err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() {
+		if err := hs.Serve(l); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("rcgp-serve: %v", err)
+		}
+	}()
+	log.Printf("rcgp-serve: listening on %s", l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("rcgp-serve: %s: draining", got)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Close(ctx); err != nil {
+		log.Printf("rcgp-serve: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("rcgp-serve: http shutdown: %v", err)
+	}
+	h := srv.Health()
+	fmt.Printf("rcgp-serve: drained (finished=%d)\n", h.Finished)
+}

@@ -1,0 +1,205 @@
+// Command rcgp-servebench measures the synthesis service end to end: it
+// boots an in-process server on a loopback listener, drives it over real
+// HTTP with the client package, and reports throughput, cache hit rate,
+// and request-latency quantiles as JSON (results/BENCH_serve.json).
+//
+// The run has two phases. The cold phase submits distinct functions, so
+// every job pays for a full CGP search. The warm phase resubmits the same
+// function classes (half of them as NPN variants), so jobs are answered
+// from the NPN-canonical result cache — the cold/warm latency gap is the
+// point of the serving subsystem.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/client"
+	"github.com/reversible-eda/rcgp/internal/obs"
+	"github.com/reversible-eda/rcgp/internal/serve"
+)
+
+type phaseReport struct {
+	Requests   int     `json:"requests"`
+	WallMS     int64   `json:"wall_ms"`
+	ReqPerSec  float64 `json:"req_per_sec"`
+	CacheHits  int64   `json:"cache_hits"`
+	HitRate    float64 `json:"hit_rate"`
+	P50LatMS   float64 `json:"p50_latency_ms"`
+	P99LatMS   float64 `json:"p99_latency_ms"`
+	MeanLatMS  float64 `json:"mean_latency_ms"`
+	TotalGates int     `json:"total_gates"`
+}
+
+type report struct {
+	Functions   int             `json:"functions"`
+	Inputs      int             `json:"inputs"`
+	Generations int             `json:"generations"`
+	Concurrent  int             `json:"max_concurrent"`
+	Workers     int             `json:"workers"`
+	Seed        int64           `json:"seed"`
+	Cold        phaseReport     `json:"cold"`
+	Warm        phaseReport     `json:"warm"`
+	HTTPp50MS   float64         `json:"http_p50_ms"`
+	HTTPp99MS   float64         `json:"http_p99_ms"`
+	Cache       rcgp.CacheStats `json:"cache"`
+}
+
+func main() {
+	var (
+		out        = flag.String("o", "results/BENCH_serve.json", "output JSON path")
+		functions  = flag.Int("functions", 8, "distinct 4-input functions in the working set")
+		warmReqs   = flag.Int("warm-requests", 32, "requests in the warm phase")
+		gens       = flag.Int("gens", 3000, "generations per cold search")
+		concurrent = flag.Int("concurrent", 2, "server MaxConcurrent")
+		seed       = flag.Int64("seed", 1, "function-set seed")
+	)
+	flag.Parse()
+
+	cache := rcgp.NewMemoryCache(0)
+	defer cache.Close()
+	reg := obs.NewRegistry()
+	srv := serve.New(serve.Config{
+		MaxConcurrent: *concurrent,
+		Cache:         cache,
+		Registry:      reg,
+	})
+	l, err := serve.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(l)
+	c := client.New("http://" + l.Addr().String())
+	ctx := context.Background()
+
+	// The working set: random 4-input single-output functions. The warm
+	// phase resubmits them verbatim or as an NPN variant (complemented
+	// output), which must land in the same cache class.
+	rng := rand.New(rand.NewSource(*seed))
+	tables := make([]uint16, *functions)
+	for i := range tables {
+		tables[i] = uint16(rng.Intn(1 << 16))
+	}
+	request := func(w uint16) client.Request {
+		return client.Request{
+			NumInputs:   4,
+			TruthTables: []string{fmt.Sprintf("%04x", w)},
+			Generations: *gens,
+			Seed:        *seed,
+		}
+	}
+
+	runPhase := func(reqs []client.Request) phaseReport {
+		before := cache.Stats()
+		start := time.Now()
+		ids := make([]string, len(reqs))
+		for i, r := range reqs {
+			j, err := c.Submit(ctx, r)
+			if err != nil {
+				log.Fatalf("submit %d: %v", i, err)
+			}
+			ids[i] = j.ID
+		}
+		var p phaseReport
+		var latencies []time.Duration
+		for i, id := range ids {
+			j, err := c.Wait(ctx, id, 10*time.Millisecond)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if j.Status != client.StatusDone || j.Result == nil || !j.Result.Verified {
+				log.Fatalf("request %d: %s (%s)", i, j.Status, j.Error)
+			}
+			latencies = append(latencies, j.FinishedAt.Sub(j.SubmittedAt))
+			p.TotalGates += j.Result.Stats.Gates
+		}
+		wall := time.Since(start)
+		after := cache.Stats()
+		p.Requests = len(reqs)
+		p.WallMS = wall.Milliseconds()
+		p.ReqPerSec = float64(len(reqs)) / wall.Seconds()
+		p.CacheHits = after.Hits - before.Hits
+		p.HitRate = float64(p.CacheHits) / float64(len(reqs))
+		p50, p99, mean := quantiles(latencies)
+		p.P50LatMS, p.P99LatMS, p.MeanLatMS = ms(p50), ms(p99), ms(mean)
+		return p
+	}
+
+	cold := make([]client.Request, 0, len(tables))
+	for _, w := range tables {
+		cold = append(cold, request(w))
+	}
+	warm := make([]client.Request, 0, *warmReqs)
+	for i := 0; i < *warmReqs; i++ {
+		w := tables[rng.Intn(len(tables))]
+		if i%2 == 1 {
+			w = ^w // output complement: NPN variant, same cache class
+		}
+		warm = append(warm, request(w))
+	}
+
+	rep := report{
+		Functions:   *functions,
+		Inputs:      4,
+		Generations: *gens,
+		Concurrent:  *concurrent,
+		Workers:     runtime.GOMAXPROCS(0),
+		Seed:        *seed,
+		Cold:        runPhase(cold),
+		Warm:        runPhase(warm),
+	}
+	snap := reg.Snapshot()
+	if h, ok := snap.Histograms["serve.http_request"]; ok {
+		rep.HTTPp50MS, rep.HTTPp99MS = ms(h.P50), ms(h.P99)
+	}
+	rep.Cache = cache.Stats()
+
+	sctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	srv.Close(sctx)
+	hs.Shutdown(sctx)
+
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold: %d reqs in %dms (%.2f req/s, hit rate %.2f)\n",
+		rep.Cold.Requests, rep.Cold.WallMS, rep.Cold.ReqPerSec, rep.Cold.HitRate)
+	fmt.Printf("warm: %d reqs in %dms (%.2f req/s, hit rate %.2f, p50 %.2fms, p99 %.2fms)\n",
+		rep.Warm.Requests, rep.Warm.WallMS, rep.Warm.ReqPerSec, rep.Warm.HitRate,
+		rep.Warm.P50LatMS, rep.Warm.P99LatMS)
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func quantiles(d []time.Duration) (p50, p99, mean time.Duration) {
+	if len(d) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), d...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: n is tiny
+		for k := i; k > 0 && sorted[k] < sorted[k-1]; k-- {
+			sorted[k], sorted[k-1] = sorted[k-1], sorted[k]
+		}
+	}
+	var sum time.Duration
+	for _, v := range sorted {
+		sum += v
+	}
+	return sorted[len(sorted)/2], sorted[len(sorted)*99/100], sum / time.Duration(len(sorted))
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -3,9 +3,10 @@ package main
 import (
 	"expvar"
 	"fmt"
-	"net/http"
 	_ "net/http/pprof"
 	"os"
+
+	"github.com/reversible-eda/rcgp/internal/serve"
 )
 
 // Live progress of the evolution, exported on /debug/vars when the debug
@@ -17,12 +18,18 @@ var (
 )
 
 // startDebugServer serves expvar (/debug/vars) and pprof (/debug/pprof/)
-// on addr for the lifetime of the run. A bind failure is reported but does
-// not abort the synthesis.
+// on addr for the lifetime of the run. The listener is bound synchronously
+// so a bad address or occupied port is reported immediately (a mistyped
+// -debug-addr used to fail silently from the serving goroutine, after the
+// run was already minutes in); the failure still does not abort the
+// synthesis.
 func startDebugServer(addr string) {
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintln(os.Stderr, "rcgp: debug server:", err)
-		}
-	}()
+	l, err := serve.Listen(addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rcgp: debug server:", err)
+		return
+	}
+	serve.ServeBackground(l, nil, func(err error) {
+		fmt.Fprintln(os.Stderr, "rcgp: debug server:", err)
+	})
 }

@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+// Entry is one stored synthesis result: the netlist of the *canonical*
+// class representative in the rqfp textual format. Storing the canonical
+// form (rather than the submitter's polarity) means a single entry serves
+// every member of the NPN class — each request un-applies its own
+// transform on the way out.
+type Entry struct {
+	Key     string `json:"key"`
+	NumPI   int    `json:"num_pi"`
+	NumPO   int    `json:"num_po"`
+	Netlist string `json:"netlist"`
+}
+
+// Stats is a point-in-time view of cache activity.
+type Stats struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Stores       int64 `json:"stores"`
+	BadEntries   int64 `json:"bad_entries"` // disk entries that failed to decode or transform
+	MemEntries   int   `json:"mem_entries"`
+	DiskEntries  int   `json:"disk_entries"`
+	DiskPromotes int64 `json:"disk_promotes"` // disk hits promoted into the memory tier
+}
+
+// Cache is the two-tier NPN-canonical result cache: an in-memory LRU in
+// front of an optional append-only disk log. Safe for concurrent use.
+type Cache struct {
+	mu    sync.Mutex
+	mem   *lruTier
+	disk  *diskLog // nil for memory-only caches
+	stats Stats
+}
+
+// DefaultMemEntries is the memory-tier capacity when the caller passes 0.
+const DefaultMemEntries = 1024
+
+// Open returns a cache persisted under dir (created if missing), replaying
+// any existing log so restarts keep warm state. memEntries bounds the
+// in-memory tier (0 = DefaultMemEntries).
+func Open(dir string, memEntries int) (*Cache, error) {
+	if memEntries <= 0 {
+		memEntries = DefaultMemEntries
+	}
+	c := &Cache{mem: newLRU(memEntries)}
+	if dir != "" {
+		d, err := openDiskLog(dir)
+		if err != nil {
+			return nil, err
+		}
+		c.disk = d
+	}
+	return c, nil
+}
+
+// NewMemory returns a memory-only cache.
+func NewMemory(memEntries int) *Cache {
+	c, _ := Open("", memEntries)
+	return c
+}
+
+// Close flushes and closes the disk tier.
+func (c *Cache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.disk == nil {
+		return nil
+	}
+	err := c.disk.close()
+	c.disk = nil
+	return err
+}
+
+// Stats snapshots the activity counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.MemEntries = c.mem.len()
+	if c.disk != nil {
+		s.DiskEntries = c.disk.len()
+	}
+	return s
+}
+
+// Lookup returns a netlist implementing exactly the given specification
+// tables if the function's class is cached: the stored canonical netlist
+// with the request's NPN transform un-applied. The caller must re-verify
+// the returned netlist against its specification oracle before serving it
+// — the cache guarantees only best-effort recall, never correctness.
+func (c *Cache) Lookup(tables []tt.TT) (*rqfp.Netlist, string, bool) {
+	key, tr, err := Signature(tables)
+	if err != nil {
+		return nil, "", false
+	}
+	entry, ok := c.get(key)
+	if !ok {
+		c.bump(func(s *Stats) { s.Misses++ })
+		return nil, key, false
+	}
+	canon, err := rqfp.ReadText(strings.NewReader(entry.Netlist))
+	if err != nil {
+		c.bump(func(s *Stats) { s.BadEntries++; s.Misses++ })
+		return nil, key, false
+	}
+	net, err := tr.OriginalNetlist(canon)
+	if err != nil {
+		c.bump(func(s *Stats) { s.BadEntries++; s.Misses++ })
+		return nil, key, false
+	}
+	c.bump(func(s *Stats) { s.Hits++ })
+	return net, key, true
+}
+
+// Store records a synthesized netlist for the given specification tables,
+// converting it to the canonical class representative first. For
+// NPN-canonicalized designs the canonical netlist is sanity-checked by
+// exhaustive simulation before being persisted — a malfunctioning
+// transform must never poison the log.
+func (c *Cache) Store(tables []tt.TT, net *rqfp.Netlist) (string, error) {
+	key, tr, err := Signature(tables)
+	if err != nil {
+		return "", err
+	}
+	canonNet, err := tr.CanonicalNetlist(net)
+	if err != nil {
+		return "", err
+	}
+	if tr != nil {
+		canonTables := tr.Apply(tables)
+		if err := verifyExhaustive(canonNet, canonTables); err != nil {
+			return "", fmt.Errorf("cache: canonical netlist failed simulation: %w", err)
+		}
+	}
+	var sb strings.Builder
+	if err := canonNet.WriteText(&sb); err != nil {
+		return "", err
+	}
+	entry := Entry{Key: key, NumPI: canonNet.NumPI, NumPO: len(canonNet.POs), Netlist: sb.String()}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.Stores++
+	c.mem.put(key, entry)
+	if c.disk != nil {
+		if err := c.disk.put(entry); err != nil {
+			return key, err
+		}
+	}
+	return key, nil
+}
+
+// get consults the memory tier, then the disk tier (promoting a disk hit).
+func (c *Cache) get(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.mem.get(key); ok {
+		return e, true
+	}
+	if c.disk == nil {
+		return Entry{}, false
+	}
+	e, ok, err := c.disk.get(key)
+	if err != nil || !ok {
+		if err != nil {
+			c.stats.BadEntries++
+		}
+		return Entry{}, false
+	}
+	c.mem.put(key, e)
+	c.stats.DiskPromotes++
+	return e, true
+}
+
+func (c *Cache) bump(f func(*Stats)) {
+	c.mu.Lock()
+	f(&c.stats)
+	c.mu.Unlock()
+}
+
+// verifyExhaustive simulates the netlist on every assignment (callers
+// gate this to small input counts).
+func verifyExhaustive(net *rqfp.Netlist, tables []tt.TT) error {
+	if len(tables) != len(net.POs) {
+		return fmt.Errorf("output count %d != %d", len(net.POs), len(tables))
+	}
+	n := tables[0].N
+	if net.NumPI != n {
+		return fmt.Errorf("input count %d != %d", net.NumPI, n)
+	}
+	for x := uint(0); x < 1<<uint(n); x++ {
+		got := net.EvalBool(x)
+		for k, f := range tables {
+			if got[k] != f.Get(x) {
+				return fmt.Errorf("mismatch at assignment %d output %d", x, k)
+			}
+		}
+	}
+	return nil
+}

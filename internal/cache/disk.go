@@ -1,0 +1,109 @@
+package cache
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// diskLog is the persistent tier: an append-only file of JSON lines, one
+// Entry per line. Opening replays the log into an in-memory key → offset
+// index (last write wins), so restarts keep the warm state without loading
+// every netlist into memory; entries are read back on demand. A torn final
+// line — the signature of a crash mid-append — is detected on open and
+// truncated away, restoring the append-only invariant.
+type diskLog struct {
+	f     *os.File
+	index map[string]span
+	end   int64 // append offset
+}
+
+type span struct {
+	off  int64
+	size int64
+}
+
+const logName = "cache.log"
+
+func openDiskLog(dir string) (*diskLog, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, logName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	d := &diskLog{f: f, index: make(map[string]span)}
+	if err := d.replay(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cache: replaying %s: %w", path, err)
+	}
+	return d, nil
+}
+
+// replay scans the log, indexing the latest offset of every key. Lines
+// that fail to parse (torn tail or corruption) end the replay; everything
+// after the last good line is truncated.
+func (d *diskLog) replay() error {
+	if _, err := d.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	r := bufio.NewReaderSize(d.f, 1<<16)
+	var off int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A trailing fragment without '\n' is a torn append.
+			break
+		}
+		if err != nil {
+			return err
+		}
+		var e Entry
+		if jerr := json.Unmarshal(line, &e); jerr != nil || e.Key == "" {
+			break // corruption: keep the good prefix
+		}
+		d.index[e.Key] = span{off: off, size: int64(len(line))}
+		off += int64(len(line))
+	}
+	d.end = off
+	return d.f.Truncate(off)
+}
+
+func (d *diskLog) get(key string) (Entry, bool, error) {
+	sp, ok := d.index[key]
+	if !ok {
+		return Entry{}, false, nil
+	}
+	buf := make([]byte, sp.size)
+	if _, err := d.f.ReadAt(buf, sp.off); err != nil {
+		return Entry{}, false, err
+	}
+	var e Entry
+	if err := json.Unmarshal(buf, &e); err != nil {
+		return Entry{}, false, err
+	}
+	return e, true, nil
+}
+
+func (d *diskLog) put(e Entry) error {
+	line, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := d.f.WriteAt(line, d.end); err != nil {
+		return err
+	}
+	d.index[e.Key] = span{off: d.end, size: int64(len(line))}
+	d.end += int64(len(line))
+	return nil
+}
+
+func (d *diskLog) len() int { return len(d.index) }
+
+func (d *diskLog) close() error { return d.f.Close() }

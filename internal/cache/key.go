@@ -1,0 +1,327 @@
+// Package cache is the NPN-canonical synthesis result cache behind the
+// serving subsystem: synthesized RQFP netlists are stored under a signature
+// of the specification's function class, so a re-submitted function — or
+// any function in the same NPN class — is answered with a stored netlist
+// instead of minutes of CGP search (the paper's §3.2 runtime is dominated
+// by fitness evaluation, which a cache hit skips entirely).
+//
+// Designs with at most tt.NPNMaxVars inputs are canonicalized jointly over
+// all outputs: one input permutation and negation vector shared by every
+// output plus a per-output polarity, i.e. the multi-output generalization
+// of single-output NPN classes. Because RQFP majority gates absorb any
+// input/output inversion into their free inverter configurations
+// (rqfp.TransformIO), a stored netlist converts to any member of its class
+// without adding gates in the common case. Wider designs (up to MaxInputs)
+// fall back to an exact truth-table signature. Either way, a hit is
+// re-verified against the requesting specification by the caller before it
+// is served, so a cache corruption can cost a redundant search but never a
+// wrong circuit.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+// MaxInputs bounds cacheable designs: signatures are computed from full
+// truth tables, which stay cheap up to the same 14-input limit the
+// resubstitution pass uses for its exhaustive oracle.
+const MaxInputs = 14
+
+// MaxOutputs bounds cacheable designs on the output side.
+const MaxOutputs = 64
+
+// ErrUncacheable is returned for designs outside the cacheable range.
+var ErrUncacheable = errors.New("cache: design outside the cacheable range")
+
+// Transform records how a specification maps onto its canonical class
+// representative: canonical input i reads original input Perm[i],
+// complemented when bit i of InputNeg is set, and canonical output k is
+// original output k complemented when OutputNeg[k] — the multi-output
+// generalization of tt.NPNTransform. The zero-value/nil Transform is the
+// identity (exact-signature designs).
+type Transform struct {
+	N         int     `json:"n"`
+	Perm      []uint8 `json:"perm"`
+	InputNeg  uint32  `json:"input_neg"`
+	OutputNeg []bool  `json:"output_neg"`
+}
+
+// Signature returns the cache key of a specification, plus the transform
+// onto the canonical representative for NPN-canonicalized designs (nil for
+// exact-signature designs). Functions in the same class share the key.
+func Signature(tables []tt.TT) (string, *Transform, error) {
+	if len(tables) == 0 || len(tables) > MaxOutputs {
+		return "", nil, ErrUncacheable
+	}
+	n := tables[0].N
+	if n < 1 || n > MaxInputs {
+		return "", nil, ErrUncacheable
+	}
+	for _, f := range tables {
+		if f.N != n {
+			return "", nil, fmt.Errorf("cache: mixed input counts (%d vs %d)", f.N, n)
+		}
+	}
+	if n <= tt.NPNMaxVars {
+		canon, tr := canonicalize(tables)
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "npn:%d:%d", n, len(tables))
+		for _, w := range canon {
+			fmt.Fprintf(&sb, ":%x", w)
+		}
+		return sb.String(), &tr, nil
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%d:%d", n, len(tables))
+	for _, f := range tables {
+		h.Write([]byte{':'})
+		h.Write([]byte(f.Hex()))
+	}
+	return fmt.Sprintf("xct:%d:%d:%s", n, len(tables), hex.EncodeToString(h.Sum(nil))), nil, nil
+}
+
+// pack flattens a ≤5-input truth table into one uint64.
+func pack(f tt.TT) uint64 {
+	var w uint64
+	for s := uint(0); s < uint(f.Size()); s++ {
+		if f.Get(s) {
+			w |= 1 << s
+		}
+	}
+	return w
+}
+
+// transformSet is the precomputed enumeration of all input transforms of
+// one arity: for every (permutation, input-negation) pair, remaps holds
+// the original assignment each canonical assignment reads. Shared across
+// all canonicalizations of that arity — the per-call work is then a pure
+// table walk.
+type transformSet struct {
+	perms  [][]uint8
+	negs   uint32
+	remaps [][]uint8 // [perm*negs+neg][canonical s] = original assignment
+}
+
+var (
+	transformSets [tt.NPNMaxVars + 1]*transformSet
+	transformOnce [tt.NPNMaxVars + 1]sync.Once
+)
+
+func transformsFor(n int) *transformSet {
+	transformOnce[n].Do(func() {
+		size := uint(1) << uint(n)
+		negs := uint32(1) << uint(n)
+		ts := &transformSet{perms: permutations(n), negs: negs}
+		ts.remaps = make([][]uint8, 0, len(ts.perms)*int(negs))
+		for _, perm := range ts.perms {
+			for neg := uint32(0); neg < negs; neg++ {
+				remap := make([]uint8, size)
+				for s := uint(0); s < size; s++ {
+					var o uint8
+					for i := 0; i < n; i++ {
+						bit := s >> uint(i) & 1
+						if neg>>uint(i)&1 == 1 {
+							bit ^= 1
+						}
+						if bit == 1 {
+							o |= 1 << uint(perm[i])
+						}
+					}
+					remap[s] = o
+				}
+				ts.remaps = append(ts.remaps, remap)
+			}
+		}
+		transformSets[n] = ts
+	})
+	return transformSets[n]
+}
+
+// canonicalize finds the lexicographically smallest output-table vector
+// over all shared input permutations/negations with per-output polarity
+// freedom, and the transform producing it from the input.
+func canonicalize(tables []tt.TT) ([]uint64, Transform) {
+	n := tables[0].N
+	size := uint(1) << uint(n)
+	mask := uint64(1)<<size - 1
+	packed := make([]uint64, len(tables))
+	for k, f := range tables {
+		packed[k] = pack(f)
+	}
+
+	ts := transformsFor(n)
+	cand := make([]uint64, len(tables))
+	candNeg := make([]bool, len(tables))
+	best := make([]uint64, len(tables))
+	var bestTr Transform
+	first := true
+
+	for t, remap := range ts.remaps {
+		for k, w := range packed {
+			var b uint64
+			for s := uint(0); s < size; s++ {
+				b |= (w >> remap[s] & 1) << s
+			}
+			if nb := ^b & mask; nb < b {
+				cand[k], candNeg[k] = nb, true
+			} else {
+				cand[k], candNeg[k] = b, false
+			}
+		}
+		if first || lexLess(cand, best) {
+			first = false
+			copy(best, cand)
+			bestTr = Transform{
+				N:         n,
+				Perm:      append([]uint8(nil), ts.perms[t/int(ts.negs)]...),
+				InputNeg:  uint32(t) % ts.negs,
+				OutputNeg: append([]bool(nil), candNeg...),
+			}
+		}
+	}
+	return best, bestTr
+}
+
+func lexLess(a, b []uint64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// permutations enumerates all permutations of 0..n-1 in a deterministic
+// order.
+func permutations(n int) [][]uint8 {
+	base := make([]uint8, n)
+	for i := range base {
+		base[i] = uint8(i)
+	}
+	var out [][]uint8
+	var rec func(k int)
+	rec = func(k int) {
+		if k == n {
+			p := make([]uint8, n)
+			copy(p, base)
+			out = append(out, p)
+			return
+		}
+		for i := k; i < n; i++ {
+			base[k], base[i] = base[i], base[k]
+			rec(k + 1)
+			base[k], base[i] = base[i], base[k]
+		}
+	}
+	rec(0)
+	return out
+}
+
+// Apply transforms original truth tables into the canonical representative:
+// g_k(s) = f_k(x) ⊕ OutputNeg[k] with x[Perm[i]] = s_i ⊕ neg_i.
+func (tr *Transform) Apply(tables []tt.TT) []tt.TT {
+	if tr == nil {
+		return tables
+	}
+	out := make([]tt.TT, len(tables))
+	for k, f := range tables {
+		g := tt.New(f.N)
+		for s := uint(0); s < uint(f.Size()); s++ {
+			var o uint
+			for i := 0; i < f.N; i++ {
+				bit := s >> uint(i) & 1
+				if tr.InputNeg>>uint(i)&1 == 1 {
+					bit ^= 1
+				}
+				if bit == 1 {
+					o |= 1 << uint(tr.Perm[i])
+				}
+			}
+			v := f.Get(o)
+			if tr.OutputNeg[k] {
+				v = !v
+			}
+			g.Set(s, v)
+		}
+		out[k] = g
+	}
+	return out
+}
+
+// Unapply inverts Apply, recovering the original tables from canonical
+// ones: f_k(x) = g_k(s) ⊕ OutputNeg[k] with s_i = x[Perm[i]] ⊕ neg_i.
+func (tr *Transform) Unapply(canon []tt.TT) []tt.TT {
+	if tr == nil {
+		return canon
+	}
+	out := make([]tt.TT, len(canon))
+	for k, g := range canon {
+		f := tt.New(g.N)
+		for x := uint(0); x < uint(g.Size()); x++ {
+			var s uint
+			for i := 0; i < g.N; i++ {
+				bit := x >> uint(tr.Perm[i]) & 1
+				if tr.InputNeg>>uint(i)&1 == 1 {
+					bit ^= 1
+				}
+				if bit == 1 {
+					s |= 1 << uint(i)
+				}
+			}
+			v := g.Get(s)
+			if tr.OutputNeg[k] {
+				v = !v
+			}
+			f.Set(x, v)
+		}
+		out[k] = f
+	}
+	return out
+}
+
+// CanonicalNetlist rewrites a netlist implementing the original function
+// into one implementing the canonical representative (the store direction).
+func (tr *Transform) CanonicalNetlist(n *rqfp.Netlist) (*rqfp.Netlist, error) {
+	if tr == nil {
+		return n, nil
+	}
+	if n.NumPI != tr.N || len(n.POs) != len(tr.OutputNeg) {
+		return nil, fmt.Errorf("cache: netlist interface %d/%d does not match transform %d/%d",
+			n.NumPI, len(n.POs), tr.N, len(tr.OutputNeg))
+	}
+	piMap := make([]int, tr.N)
+	piNeg := make([]bool, tr.N)
+	for i := 0; i < tr.N; i++ {
+		piMap[tr.Perm[i]] = i
+		piNeg[tr.Perm[i]] = tr.InputNeg>>uint(i)&1 == 1
+	}
+	return n.TransformIO(piMap, piNeg, tr.OutputNeg)
+}
+
+// OriginalNetlist rewrites a netlist implementing the canonical
+// representative into one implementing the original function (the lookup
+// direction — "the NPN transform un-applied").
+func (tr *Transform) OriginalNetlist(n *rqfp.Netlist) (*rqfp.Netlist, error) {
+	if tr == nil {
+		return n, nil
+	}
+	if n.NumPI != tr.N || len(n.POs) != len(tr.OutputNeg) {
+		return nil, fmt.Errorf("cache: netlist interface %d/%d does not match transform %d/%d",
+			n.NumPI, len(n.POs), tr.N, len(tr.OutputNeg))
+	}
+	piMap := make([]int, tr.N)
+	piNeg := make([]bool, tr.N)
+	for i := 0; i < tr.N; i++ {
+		piMap[i] = int(tr.Perm[i])
+		piNeg[i] = tr.InputNeg>>uint(i)&1 == 1
+	}
+	return n.TransformIO(piMap, piNeg, tr.OutputNeg)
+}

@@ -1,0 +1,212 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+// ttFromBits builds an n-variable table from a packed bit vector.
+func ttFromBits(n int, w uint64) tt.TT {
+	f := tt.New(n)
+	for s := uint(0); s < 1<<uint(n); s++ {
+		if w>>s&1 == 1 {
+			f.Set(s, true)
+		}
+	}
+	return f
+}
+
+// The cache-key satellite: exhaustively canonicalize ALL 65536 4-input
+// functions and check that (a) the signatures partition them into exactly
+// the 222 known NPN equivalence classes, (b) the recorded transform
+// round-trips (Apply reaches the canonical table, Unapply recovers the
+// original), and (c) random NPN-equivalent variants of a function map to
+// the same signature. Runs under -race in CI like every other test.
+func TestSignatureExhaustive4Input(t *testing.T) {
+	classes := make(map[string][]uint64)
+	for w := uint64(0); w < 1<<16; w++ {
+		f := ttFromBits(4, w)
+		key, tr, err := Signature([]tt.TT{f})
+		if err != nil {
+			t.Fatalf("function %04x: %v", w, err)
+		}
+		if tr == nil {
+			t.Fatalf("function %04x: no transform for an NPN-range design", w)
+		}
+		classes[key] = append(classes[key], w)
+
+		// Transform round trip at the truth-table level.
+		canon := tr.Apply([]tt.TT{f})
+		if got := pack(canon[0]); got != packFromKeyCheck(t, key) {
+			t.Fatalf("function %04x: Apply produced %04x, key says %04x", w, got, packFromKeyCheck(t, key))
+		}
+		back := tr.Unapply(canon)
+		if !back[0].Equal(f) {
+			t.Fatalf("function %04x: Unapply(Apply(f)) != f", w)
+		}
+	}
+	if len(classes) != 222 {
+		t.Fatalf("4-input functions partition into %d signatures, want 222 NPN classes", len(classes))
+	}
+
+	// NPN-equivalent variants share the signature: spot-check with random
+	// transforms of a deterministic sample of functions.
+	rng := rand.New(rand.NewSource(4))
+	for w := uint64(0); w < 1<<16; w += 97 {
+		f := ttFromBits(4, w)
+		key, _, _ := Signature([]tt.TT{f})
+		for trial := 0; trial < 3; trial++ {
+			g := randomNPNVariant(rng, f)
+			gkey, _, err := Signature([]tt.TT{g})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gkey != key {
+				t.Fatalf("function %04x: NPN variant got signature %q, want %q", w, gkey, key)
+			}
+		}
+	}
+}
+
+// packFromKeyCheck parses the canonical table back out of an "npn:" key.
+func packFromKeyCheck(t *testing.T, key string) uint64 {
+	t.Helper()
+	var n, m int
+	var w uint64
+	if _, err := fmt.Sscanf(key, "npn:%d:%d:%x", &n, &m, &w); err != nil {
+		t.Fatalf("unparseable key %q: %v", key, err)
+	}
+	return w
+}
+
+// randomNPNVariant applies a uniformly random input permutation, input
+// negation, and output polarity to f.
+func randomNPNVariant(rng *rand.Rand, f tt.TT) tt.TT {
+	n := f.N
+	perm := rng.Perm(n)
+	neg := uint(rng.Intn(1 << uint(n)))
+	outNeg := rng.Intn(2) == 1
+	g := tt.New(n)
+	for x := uint(0); x < 1<<uint(n); x++ {
+		var y uint
+		for i := 0; i < n; i++ {
+			bit := x >> uint(i) & 1
+			if neg>>uint(i)&1 == 1 {
+				bit ^= 1
+			}
+			if bit == 1 {
+				y |= 1 << uint(perm[i])
+			}
+		}
+		v := f.Get(y)
+		if outNeg {
+			v = !v
+		}
+		g.Set(x, v)
+	}
+	return g
+}
+
+// Three-input functions fall into the 14 classical NPN classes.
+func TestSignatureExhaustive3Input(t *testing.T) {
+	classes := make(map[string]bool)
+	for w := uint64(0); w < 1<<8; w++ {
+		key, _, err := Signature([]tt.TT{ttFromBits(3, w)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		classes[key] = true
+	}
+	if len(classes) != 14 {
+		t.Fatalf("3-input functions partition into %d signatures, want 14 NPN classes", len(classes))
+	}
+}
+
+// Single-output canonicalization must agree with tt.NPNCanonical — the
+// cache key is the same canonical representative internal/mig's majority
+// matching uses.
+func TestSignatureMatchesTTNPNCanonical(t *testing.T) {
+	for w := uint64(0); w < 1<<16; w += 31 {
+		f := ttFromBits(4, w)
+		canonJoint, _ := canonicalize([]tt.TT{f})
+		canonTT, _ := tt.NPNCanonical(f)
+		if canonJoint[0] != pack(canonTT) {
+			t.Fatalf("function %04x: joint canonical %04x != tt.NPNCanonical %04x", w, canonJoint[0], pack(canonTT))
+		}
+	}
+}
+
+// Multi-output designs must canonicalize under one shared input transform:
+// swapping inputs or complementing outputs of a 2→4 decoder lands on the
+// same signature, while a genuinely different function pair does not.
+func TestSignatureMultiOutput(t *testing.T) {
+	decoder := func(swap bool, flip uint) []tt.TT {
+		tables := make([]tt.TT, 4)
+		for o := range tables {
+			o := o
+			tables[o] = tt.FromFunc(2, func(s uint) bool {
+				if swap {
+					s = s>>1&1 | s&1<<1
+				}
+				return (s ^ flip) == uint(o)
+			})
+		}
+		return tables
+	}
+	base, trBase, err := Signature(decoder(false, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trBase == nil {
+		t.Fatal("2-input design should be NPN-canonicalized")
+	}
+	if k, _, _ := Signature(decoder(true, 0)); k != base {
+		t.Fatalf("input-swapped decoder got a different signature")
+	}
+	if k, _, _ := Signature(decoder(false, 3)); k != base {
+		t.Fatalf("input-negated decoder got a different signature")
+	}
+	// Complement every output: per-output polarity freedom must absorb it.
+	inv := decoder(false, 0)
+	for i := range inv {
+		inv[i] = inv[i].Not()
+	}
+	if k, _, _ := Signature(inv); k != base {
+		t.Fatalf("output-complemented decoder got a different signature")
+	}
+	// A different function (constant outputs) must not collide.
+	other := []tt.TT{tt.Const(2, true), tt.Const(2, false), tt.Const(2, true), tt.Const(2, false)}
+	if k, _, _ := Signature(other); k == base {
+		t.Fatalf("distinct functions share a signature")
+	}
+}
+
+func TestSignatureRanges(t *testing.T) {
+	if _, _, err := Signature(nil); err == nil {
+		t.Fatal("empty table list accepted")
+	}
+	wide := []tt.TT{tt.New(MaxInputs + 1)}
+	if _, _, err := Signature(wide); err == nil {
+		t.Fatal("too-wide design accepted")
+	}
+	// A 6-input design is cacheable but exact-keyed (no transform).
+	key, tr, err := Signature([]tt.TT{tt.Var(6, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != nil {
+		t.Fatal("6-input design unexpectedly NPN-canonicalized")
+	}
+	if key == "" {
+		t.Fatal("empty exact key")
+	}
+	// Exact keys still distinguish functions and recognise identity.
+	key2, _, _ := Signature([]tt.TT{tt.Var(6, 0)})
+	key3, _, _ := Signature([]tt.TT{tt.Var(6, 1)})
+	if key != key2 || key == key3 {
+		t.Fatalf("exact keys broken: %q %q %q", key, key2, key3)
+	}
+}

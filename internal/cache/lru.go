@@ -1,0 +1,48 @@
+package cache
+
+import "container/list"
+
+// lruTier is a fixed-capacity least-recently-used map of key → Entry. Not
+// safe for concurrent use; the Cache serializes access.
+type lruTier struct {
+	cap   int
+	order *list.List // front = most recent; values are *lruItem
+	items map[string]*list.Element
+}
+
+type lruItem struct {
+	key   string
+	entry Entry
+}
+
+func newLRU(capacity int) *lruTier {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &lruTier{cap: capacity, order: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (l *lruTier) get(key string) (Entry, bool) {
+	el, ok := l.items[key]
+	if !ok {
+		return Entry{}, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*lruItem).entry, true
+}
+
+func (l *lruTier) put(key string, e Entry) {
+	if el, ok := l.items[key]; ok {
+		el.Value.(*lruItem).entry = e
+		l.order.MoveToFront(el)
+		return
+	}
+	l.items[key] = l.order.PushFront(&lruItem{key: key, entry: e})
+	for l.order.Len() > l.cap {
+		back := l.order.Back()
+		l.order.Remove(back)
+		delete(l.items, back.Value.(*lruItem).key)
+	}
+}
+
+func (l *lruTier) len() int { return l.order.Len() }

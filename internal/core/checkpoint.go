@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+// Checkpoint is a restartable snapshot of a single-population (1+λ) run:
+// the current parent chromosome (the unshrunk genotype, so the inactive
+// gates that feed neutral drift survive the round trip) plus enough
+// counter state to fast-forward the coordinator RNG. Because offspring RNG
+// streams are pre-drawn by the coordinator in a fixed order (PR-2's
+// determinism contract), the post-resume trajectory of adopted parents is
+// identical to the uninterrupted run: validity verdicts are deterministic,
+// and only stimulus-dependent Match values of never-adopted invalid
+// offspring can differ after the learned counterexamples are lost.
+type Checkpoint struct {
+	// Generation is the number of completed generations.
+	Generation int `json:"generation"`
+	// Evaluations mirrors the telemetry counter at snapshot time.
+	Evaluations int64 `json:"evaluations"`
+	// Seed and Lambda pin the options the snapshot was taken under; Resume
+	// rejects a mismatch rather than silently diverging.
+	Seed   int64 `json:"seed"`
+	Lambda int   `json:"lambda"`
+	// Chromosome is the parent genotype in the rqfp textual netlist format.
+	Chromosome string `json:"chromosome"`
+	// Gates/Garbage/Buffers mirror the parent fitness so monitors can
+	// report best-so-far without parsing the chromosome.
+	Gates   int `json:"gates"`
+	Garbage int `json:"garbage"`
+	Buffers int `json:"buffers"`
+}
+
+// ParseChromosome decodes and validates the checkpointed netlist.
+func (cp *Checkpoint) ParseChromosome() (*rqfp.Netlist, error) {
+	n, err := rqfp.ReadText(strings.NewReader(cp.Chromosome))
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint chromosome: %w", err)
+	}
+	return n, nil
+}
+
+// snapshot builds a Checkpoint from the engine's current parent. Only ever
+// called from the coordinator goroutine, between generations.
+func (e *engine) snapshot(completed int) Checkpoint {
+	var sb strings.Builder
+	// WriteText on a Builder cannot fail.
+	_ = e.parent.net.WriteText(&sb)
+	return Checkpoint{
+		Generation:  completed,
+		Evaluations: e.tel.Evaluations,
+		Seed:        e.opt.Seed,
+		Lambda:      e.opt.Lambda,
+		Chromosome:  sb.String(),
+		Gates:       e.parentFit.Gates,
+		Garbage:     e.parentFit.Garbage,
+		Buffers:     e.parentFit.Buffers,
+	}
+}
+
+// restore rewinds the engine to a checkpoint taken under the same Seed and
+// Lambda: the generation counter advances to the snapshot point and the
+// coordinator RNG is fast-forwarded past the seeds it had already drawn
+// (Generation·Lambda draws — a few nanoseconds each, so even multi-million
+// generation checkpoints restore in well under a second). The caller has
+// already installed the checkpoint chromosome as the initial parent.
+func (e *engine) restore(cp *Checkpoint) error {
+	if cp.Seed != e.opt.Seed {
+		return fmt.Errorf("core: checkpoint was taken with seed %d, resuming with %d", cp.Seed, e.opt.Seed)
+	}
+	if cp.Lambda != e.opt.Lambda {
+		return fmt.Errorf("core: checkpoint was taken with lambda %d, resuming with %d", cp.Lambda, e.opt.Lambda)
+	}
+	if cp.Generation < 0 {
+		return fmt.Errorf("core: checkpoint has negative generation %d", cp.Generation)
+	}
+	e.gen = cp.Generation
+	for i := int64(0); i < int64(cp.Generation)*int64(e.opt.Lambda); i++ {
+		e.r.Int63()
+	}
+	// Counter continuity: the resumed run keeps counting on top of the
+	// snapshot (plus the one re-evaluation of the restored parent).
+	e.tel.Evaluations += cp.Evaluations
+	return nil
+}
+
+// maybeCheckpoint emits a snapshot at the configured cadence. completed is
+// the number of finished generations.
+func (e *engine) maybeCheckpoint(completed int) {
+	if e.opt.CheckpointFn == nil || e.opt.CheckpointEvery <= 0 {
+		return
+	}
+	if completed > 0 && completed%e.opt.CheckpointEvery == 0 {
+		e.opt.CheckpointFn(e.snapshot(completed))
+	}
+}

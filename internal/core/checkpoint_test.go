@@ -1,0 +1,161 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The checkpoint contract: resuming from a snapshot taken at generation G
+// continues the exact search trajectory of the uninterrupted run — same
+// adopted parents, same final chromosome — because the coordinator RNG is
+// fast-forwarded and validity verdicts are deterministic. Only the learned
+// counterexamples (a pure acceleration) are lost across the restart.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	base := Options{Generations: 1200, Lambda: 4, MutationRate: 0.2, Seed: 7}
+
+	spec, n := buildCase(decoderTables())
+	full, err := Optimize(n, spec, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Run again on a fresh oracle, snapshotting at generation 400.
+	var cp *Checkpoint
+	optA := base
+	optA.CheckpointEvery = 400
+	optA.CheckpointFn = func(c Checkpoint) {
+		if c.Generation == 400 {
+			cc := c
+			cp = &cc
+		}
+	}
+	specA, nA := buildCase(decoderTables())
+	if _, err := Optimize(nA, specA, optA); err != nil {
+		t.Fatal(err)
+	}
+	if cp == nil {
+		t.Fatal("no checkpoint emitted at generation 400")
+	}
+	if cp.Seed != base.Seed || cp.Lambda != base.Lambda {
+		t.Fatalf("checkpoint records seed=%d lambda=%d, want %d/%d", cp.Seed, cp.Lambda, base.Seed, base.Lambda)
+	}
+	if !strings.HasPrefix(cp.Chromosome, ".rqfp") {
+		t.Fatalf("checkpoint chromosome is not a textual netlist: %q", cp.Chromosome[:20])
+	}
+
+	// Checkpoints must survive a JSON round trip — that is how the serving
+	// layer persists them.
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Checkpoint
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume on a fresh oracle (a restarted process has lost the learned
+	// counterexamples) and compare against the uninterrupted run.
+	optB := base
+	optB.Resume = &back
+	specB, nB := buildCase(decoderTables())
+	resumed, err := Optimize(nB, specB, optB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Fitness != full.Fitness {
+		t.Fatalf("resumed fitness %+v != uninterrupted %+v", resumed.Fitness, full.Fitness)
+	}
+	if resumed.Best.String() != full.Best.String() {
+		t.Fatalf("resumed run evolved a different circuit:\n%s\nvs\n%s", resumed.Best.String(), full.Best.String())
+	}
+	if resumed.Generations != full.Generations {
+		t.Fatalf("resumed Generations = %d, want %d", resumed.Generations, full.Generations)
+	}
+	// The resumed run pays one extra evaluation: re-validating the restored
+	// parent.
+	if resumed.Evaluations != full.Evaluations+1 {
+		t.Fatalf("resumed Evaluations = %d, want %d", resumed.Evaluations, full.Evaluations+1)
+	}
+	// Fitness must never regress below the snapshot ((1+λ) is monotone).
+	if resumed.Fitness.Gates > cp.Gates {
+		t.Fatalf("resumed best has %d gates, worse than the checkpoint's %d", resumed.Fitness.Gates, cp.Gates)
+	}
+}
+
+func TestCheckpointCadence(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	var gens []int
+	_, err := Optimize(n, spec, Options{
+		Generations: 1000, Lambda: 2, Seed: 3,
+		CheckpointEvery: 250,
+		CheckpointFn:    func(c Checkpoint) { gens = append(gens, c.Generation) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{250, 500, 750, 1000}
+	if len(gens) != len(want) {
+		t.Fatalf("checkpoints at %v, want %v", gens, want)
+	}
+	for i := range want {
+		if gens[i] != want[i] {
+			t.Fatalf("checkpoints at %v, want %v", gens, want)
+		}
+	}
+}
+
+func TestResumeBudgetAlreadySpent(t *testing.T) {
+	// A checkpoint at or past the generation budget runs zero further
+	// generations and just returns the restored individual.
+	spec, n := buildCase(decoderTables())
+	var cp Checkpoint
+	_, err := Optimize(n, spec, Options{
+		Generations: 300, Lambda: 2, Seed: 5,
+		CheckpointEvery: 300,
+		CheckpointFn:    func(c Checkpoint) { cp = c },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, n2 := buildCase(decoderTables())
+	res, err := Optimize(n2, spec2, Options{Generations: 300, Lambda: 2, Seed: 5, Resume: &cp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fitness.Gates != cp.Gates || res.Fitness.Garbage != cp.Garbage {
+		t.Fatalf("zero-budget resume returned %+v, checkpoint had gates=%d garbage=%d", res.Fitness, cp.Gates, cp.Garbage)
+	}
+}
+
+func TestResumeRejectsMismatchedOptions(t *testing.T) {
+	spec, n := buildCase(decoderTables())
+	var cp Checkpoint
+	if _, err := Optimize(n, spec, Options{
+		Generations: 200, Lambda: 2, Seed: 5,
+		CheckpointEvery: 100,
+		CheckpointFn:    func(c Checkpoint) { cp = c },
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []Options{
+		{Generations: 400, Lambda: 2, Seed: 6, Resume: &cp},             // wrong seed
+		{Generations: 400, Lambda: 4, Seed: 5, Resume: &cp},             // wrong lambda
+		{Generations: 400, Lambda: 2, Seed: 5, Islands: 2, Resume: &cp}, // islands
+	}
+	for i, opt := range cases {
+		spec2, n2 := buildCase(decoderTables())
+		if _, err := Optimize(n2, spec2, opt); err == nil {
+			t.Fatalf("case %d: resume with mismatched options succeeded", i)
+		}
+	}
+
+	bad := cp
+	bad.Chromosome = "not a netlist"
+	spec3, n3 := buildCase(decoderTables())
+	if _, err := Optimize(n3, spec3, Options{Generations: 400, Lambda: 2, Seed: 5, Resume: &bad}); err == nil {
+		t.Fatal("resume with a corrupt chromosome succeeded")
+	}
+}

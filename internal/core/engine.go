@@ -213,6 +213,8 @@ func (e *engine) run(ctx context.Context, gens int) StopReason {
 		}
 		e.adopt(bestIdx, bestFit)
 
+		e.maybeCheckpoint(e.gen + 1)
+
 		if e.gen%e.opt.ProgressEvery == 0 {
 			if e.opt.Progress != nil {
 				e.opt.Progress(e.gen, e.parentFit)

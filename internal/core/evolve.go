@@ -2,6 +2,8 @@ package core
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"github.com/reversible-eda/rcgp/internal/cec"
@@ -66,6 +68,22 @@ type Options struct {
 	// Metrics, when non-nil, receives per-worker evaluation-latency
 	// histograms (cgp.eval.worker_N) and island migration counters.
 	Metrics *obs.Registry
+	// CheckpointEvery, when positive, emits a restartable Checkpoint to
+	// CheckpointFn every that many generations. Like Progress, the callback
+	// runs on the coordinator goroutine only. Checkpointing is a
+	// single-population feature: with Islands > 1 the island engines have
+	// no common barrier at the checkpoint cadence, so the hooks are
+	// ignored.
+	CheckpointEvery int
+	CheckpointFn    func(Checkpoint)
+	// Resume restarts the evolution from a Checkpoint taken under the same
+	// Seed and Lambda: the checkpoint chromosome replaces the initial
+	// netlist, the generation counter continues from the snapshot, and the
+	// coordinator RNG is fast-forwarded, so the trajectory of adopted
+	// parents matches the uninterrupted run. Generations still bounds the
+	// total (resumed + new) generation count. Not supported with
+	// Islands > 1.
+	Resume *Checkpoint
 }
 
 func (o Options) withDefaults() Options {
@@ -161,14 +179,39 @@ func OptimizeWithEvaluator(ctx context.Context, initial *rqfp.Netlist, ev Evalua
 	}
 	start := time.Now()
 	if opt.Islands > 1 {
+		if opt.Resume != nil {
+			return nil, errors.New("core: checkpoint resume is not supported with Islands > 1")
+		}
 		return optimizeIslands(ctx, start, initial, ev, opt)
 	}
-	e, err := newEngine(newGenotype(initial.Clone()), ev, opt, -1)
+	gens := opt.Generations
+	parent := initial.Clone()
+	if cp := opt.Resume; cp != nil {
+		restored, err := cp.ParseChromosome()
+		if err != nil {
+			return nil, err
+		}
+		if restored.NumPI != initial.NumPI || len(restored.POs) != len(initial.POs) {
+			return nil, fmt.Errorf("core: checkpoint interface (%d PIs, %d POs) does not match the specification (%d PIs, %d POs)",
+				restored.NumPI, len(restored.POs), initial.NumPI, len(initial.POs))
+		}
+		parent = restored
+		gens -= cp.Generation
+		if gens < 0 {
+			gens = 0
+		}
+	}
+	e, err := newEngine(newGenotype(parent), ev, opt, -1)
 	if err != nil {
 		return nil, err
 	}
 	defer e.close()
-	reason := e.run(ctx, opt.Generations)
+	if opt.Resume != nil {
+		if err := e.restore(opt.Resume); err != nil {
+			return nil, err
+		}
+	}
+	reason := e.run(ctx, gens)
 	res := e.result(start, reason)
 	if opt.Trace != nil {
 		opt.Trace.Emit("cgp.done", map[string]any{

@@ -37,6 +37,8 @@ func optimizeIslands(ctx context.Context, start time.Time, initial *rqfp.Netlist
 		iopt.Workers = perWorkers
 		iopt.Seed = master.Int63()
 		iopt.Progress = nil // only the coordinator reports progress
+		iopt.CheckpointFn = nil
+		iopt.CheckpointEvery = 0 // checkpointing is single-population only
 		root := ev
 		if i > 0 {
 			root = ev.Fork()

@@ -1,0 +1,84 @@
+package rqfp
+
+import "fmt"
+
+// TransformIO rewrites a netlist under an input/output polarity-and-wiring
+// change without touching its internal structure — the operation that makes
+// NPN-class result caching viable for RQFP logic, where every inverter
+// configuration of a majority is free (paper Fig. 1a):
+//
+//   - piMap[p] is the new primary-input index whose value old input p now
+//     reads (piMap must be a permutation of 0..NumPI-1);
+//   - piNeg[p] complements the value old input p sees;
+//   - outNeg[k] complements primary output k.
+//
+// Input negations fold into the inverter configuration of the (single,
+// by the fanout rule) gate input the PI drives; output negations fold into
+// ComplementMaj of the driving gate output. The only cases that need new
+// gates are POs wired straight to a PI or to the constant, where there is
+// no majority to absorb the inverter — those grow the netlist by one
+// splitter-style gate each.
+func (n *Netlist) TransformIO(piMap []int, piNeg []bool, outNeg []bool) (*Netlist, error) {
+	if len(piMap) != n.NumPI || len(piNeg) != n.NumPI {
+		return nil, fmt.Errorf("rqfp: TransformIO wants %d PI entries, got %d/%d", n.NumPI, len(piMap), len(piNeg))
+	}
+	if len(outNeg) != len(n.POs) {
+		return nil, fmt.Errorf("rqfp: TransformIO wants %d PO entries, got %d", len(n.POs), len(outNeg))
+	}
+	seen := make([]bool, n.NumPI)
+	for p, q := range piMap {
+		if q < 0 || q >= n.NumPI || seen[q] {
+			return nil, fmt.Errorf("rqfp: TransformIO piMap is not a permutation (entry %d -> %d)", p, q)
+		}
+		seen[q] = true
+	}
+
+	out := n.Clone()
+	for g := range out.Gates {
+		gate := &out.Gates[g]
+		for j, in := range gate.In {
+			if !n.IsPI(in) {
+				continue
+			}
+			p := int(in) - 1
+			gate.In[j] = out.PIPort(piMap[p])
+			if piNeg[p] {
+				gate.Cfg = gate.Cfg.InvertInputAll(j)
+			}
+		}
+	}
+	for k, po := range out.POs {
+		switch {
+		case n.IsPI(po):
+			p := int(po) - 1
+			out.POs[k] = out.PIPort(piMap[p])
+			if piNeg[p] != outNeg[k] {
+				// No gate to absorb the inverter: route the PI through an
+				// inverting splitter, M(1, x̄, 0) on every output.
+				g := out.AddGate(Gate{
+					In:  [3]Signal{ConstPort, out.POs[k], ConstPort},
+					Cfg: ConfigSplitter.InvertInputAll(1),
+				})
+				out.POs[k] = out.Port(g, 0)
+			}
+		case po == ConstPort:
+			if outNeg[k] {
+				// Constant 0 = M(1, 0, 0): invert two constant-1 inputs.
+				g := out.AddGate(Gate{
+					In:  [3]Signal{ConstPort, ConstPort, ConstPort},
+					Cfg: Config(0).InvertInputAll(1).InvertInputAll(2),
+				})
+				out.POs[k] = out.Port(g, 0)
+			}
+		default:
+			if outNeg[k] {
+				gate, maj, _ := out.PortOwner(po)
+				out.Gates[gate].Cfg = out.Gates[gate].Cfg.ComplementMaj(maj)
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("rqfp: TransformIO broke invariants: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package rqfp
+
+import "testing"
+
+// transformFixture is a netlist exercising all three PO-driver kinds:
+// a majority gate, a direct primary input, and the constant.
+func transformFixture() *Netlist {
+	n := NewNetlist(4)
+	g := n.AddGate(Gate{In: [3]Signal{n.PIPort(0), n.PIPort(1), n.PIPort(2)}})
+	n.POs = []Signal{n.Port(g, 0), n.PIPort(3), ConstPort}
+	if err := n.Validate(); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// checkTransformIO verifies by exhaustive simulation that the transformed
+// netlist computes the permuted/negated function.
+func checkTransformIO(t *testing.T, orig *Netlist, piMap []int, piNeg []bool, outNeg []bool) *Netlist {
+	t.Helper()
+	got, err := orig.TransformIO(piMap, piNeg, outNeg)
+	if err != nil {
+		t.Fatalf("TransformIO(%v, %v, %v): %v", piMap, piNeg, outNeg, err)
+	}
+	for s := uint(0); s < 1<<uint(orig.NumPI); s++ {
+		var x uint
+		for p := 0; p < orig.NumPI; p++ {
+			bit := s >> uint(piMap[p]) & 1
+			if piNeg[p] {
+				bit ^= 1
+			}
+			x |= bit << uint(p)
+		}
+		want := orig.EvalBool(x)
+		have := got.EvalBool(s)
+		for k := range want {
+			if have[k] != (want[k] != outNeg[k]) {
+				t.Fatalf("TransformIO(%v, %v, %v): output %d wrong at assignment %d",
+					piMap, piNeg, outNeg, k, s)
+			}
+		}
+	}
+	return got
+}
+
+func TestTransformIOIdentity(t *testing.T) {
+	orig := transformFixture()
+	got := checkTransformIO(t, orig,
+		[]int{0, 1, 2, 3}, make([]bool, 4), make([]bool, 3))
+	if len(got.Gates) != len(orig.Gates) {
+		t.Fatalf("identity transform grew the netlist: %d -> %d gates", len(orig.Gates), len(got.Gates))
+	}
+}
+
+func TestTransformIOPermutesAndNegates(t *testing.T) {
+	orig := transformFixture()
+	// Gate-driven POs absorb inversions for free; only the PI-direct PO
+	// (polarity flip) and the complemented constant PO need a gate each.
+	got := checkTransformIO(t, orig,
+		[]int{2, 0, 3, 1}, []bool{true, false, true, false}, []bool{true, true, true})
+	if want := len(orig.Gates) + 2; len(got.Gates) != want {
+		t.Fatalf("transform added %d gates, want %d", len(got.Gates)-len(orig.Gates), 2)
+	}
+	// A PI-direct PO whose negation cancels against the input negation
+	// stays gate-free: only the complemented constant PO costs a gate.
+	got = checkTransformIO(t, orig,
+		[]int{1, 0, 2, 3}, []bool{false, false, false, true}, []bool{false, true, true})
+	if want := len(orig.Gates) + 1; len(got.Gates) != want {
+		t.Fatalf("transform added %d gates, want %d", len(got.Gates)-len(orig.Gates), 1)
+	}
+}
+
+func TestTransformIOExhaustiveSmall(t *testing.T) {
+	// Every permutation and polarity of a 2-input, 1-output netlist.
+	n := NewNetlist(2)
+	g := n.AddGate(Gate{
+		In:  [3]Signal{n.PIPort(0), n.PIPort(1), ConstPort},
+		Cfg: Config(0).InvertInputAll(2), // M(a, b, 0) = a AND b
+	})
+	n.POs = []Signal{n.Port(g, 0)}
+	for _, piMap := range [][]int{{0, 1}, {1, 0}} {
+		for neg := 0; neg < 4; neg++ {
+			for out := 0; out < 2; out++ {
+				checkTransformIO(t, n, piMap,
+					[]bool{neg&1 == 1, neg&2 == 2}, []bool{out == 1})
+			}
+		}
+	}
+}
+
+func TestTransformIORejectsBadArgs(t *testing.T) {
+	orig := transformFixture()
+	cases := []struct {
+		piMap  []int
+		piNeg  []bool
+		outNeg []bool
+	}{
+		{[]int{0, 1, 2}, make([]bool, 4), make([]bool, 3)},     // short piMap
+		{[]int{0, 1, 2, 3}, make([]bool, 3), make([]bool, 3)},  // short piNeg
+		{[]int{0, 1, 2, 3}, make([]bool, 4), make([]bool, 2)},  // short outNeg
+		{[]int{0, 1, 2, 2}, make([]bool, 4), make([]bool, 3)},  // duplicate entry
+		{[]int{0, 1, 2, 4}, make([]bool, 4), make([]bool, 3)},  // out of range
+		{[]int{0, 1, 2, -1}, make([]bool, 4), make([]bool, 3)}, // negative
+	}
+	for i, c := range cases {
+		if _, err := orig.TransformIO(c.piMap, c.piNeg, c.outNeg); err == nil {
+			t.Errorf("case %d: bad arguments accepted", i)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/client"
+)
+
+// checkpointFile is the on-disk snapshot of an in-flight job: enough to
+// re-queue it after a crash or eviction and resume the search from the
+// last checkpoint instead of from scratch.
+type checkpointFile struct {
+	ID          string          `json:"id"`
+	Request     client.Request  `json:"request"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	Checkpoint  rcgp.Checkpoint `json:"checkpoint"`
+}
+
+func checkpointPath(dir, id string) string {
+	return filepath.Join(dir, "job-"+id+".json")
+}
+
+// writeCheckpoint persists atomically (temp file + rename), so a crash
+// mid-write leaves the previous snapshot intact rather than a torn one.
+func writeCheckpoint(dir string, cf checkpointFile) error {
+	b, err := json.Marshal(cf)
+	if err != nil {
+		return err
+	}
+	path := checkpointPath(dir, cf.ID)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func removeCheckpoint(dir, id string) {
+	os.Remove(checkpointPath(dir, id))
+}
+
+// recoverCheckpoints loads every job snapshot under dir, oldest job ID
+// first. Unreadable files are skipped (and reported), never fatal: a
+// corrupt snapshot costs one job's progress, not the server's startup.
+func recoverCheckpoints(dir string, logf func(string, ...any)) []checkpointFile {
+	paths, err := filepath.Glob(filepath.Join(dir, "job-*.json"))
+	if err != nil {
+		return nil
+	}
+	sort.Strings(paths)
+	var out []checkpointFile
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			logf("serve: skipping checkpoint %s: %v", p, err)
+			continue
+		}
+		var cf checkpointFile
+		if err := json.Unmarshal(b, &cf); err != nil || cf.ID == "" {
+			logf("serve: skipping corrupt checkpoint %s: %v", p, err)
+			continue
+		}
+		if _, err := buildDesign(cf.Request); err != nil {
+			logf("serve: skipping checkpoint %s: unreplayable request: %v", p, err)
+			continue
+		}
+		out = append(out, cf)
+	}
+	return out
+}
+
+// jobSeq extracts the numeric sequence from a job ID ("j000017" → 17), so
+// a restarted server numbers new jobs past every recovered one.
+func jobSeq(id string) (int64, bool) {
+	s := strings.TrimPrefix(id, "j")
+	if s == id {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	return n, err == nil
+}
+
+func jobID(seq int64) string { return fmt.Sprintf("j%06d", seq) }

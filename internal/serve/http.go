@@ -1,0 +1,122 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"github.com/reversible-eda/rcgp/client"
+	"github.com/reversible-eda/rcgp/internal/obs"
+)
+
+// Handler returns the HTTP/JSON API:
+//
+//	POST   /synthesize  submit a job (202 + job state)
+//	GET    /jobs        list jobs, newest first
+//	GET    /jobs/{id}   one job's state (result once done)
+//	DELETE /jobs/{id}   cancel a queued or running job
+//	GET    /healthz     liveness + queue/cache summary
+//	GET    /metricsz    metrics registry snapshot (counters, gauges,
+//	                    latency histograms) plus cache stats
+//	GET    /benchmarks  built-in benchmark names, sorted
+//
+// Every request's latency is observed into the "serve.http_request"
+// histogram of the server's registry.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /synthesize", s.handleSubmit)
+	mux.HandleFunc("GET /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
+	return s.observe(mux)
+}
+
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		s.reg.Histogram("serve.http_request").Observe(time.Since(start))
+		s.reg.Counter("serve.http_requests").Inc()
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req client.Request
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrDraining):
+			httpError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrQueueFull):
+			httpError(w, http.StatusTooManyRequests, err.Error())
+		default:
+			httpError(w, http.StatusBadRequest, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	if err := s.Cancel(r.PathValue("id")); err != nil {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
+}
+
+// metricsPayload is the /metricsz body: the registry snapshot with the
+// cache counters alongside.
+type metricsPayload struct {
+	obs.Snapshot
+	Cache any `json:"cache,omitempty"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	p := metricsPayload{Snapshot: s.reg.Snapshot()}
+	if s.cfg.Cache != nil {
+		p.Cache = s.cfg.Cache.Stats()
+	}
+	writeJSON(w, http.StatusOK, p)
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Benchmarks())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	http.Error(w, msg, status)
+}

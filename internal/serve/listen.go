@@ -1,0 +1,28 @@
+package serve
+
+import (
+	"errors"
+	"net"
+	"net/http"
+)
+
+// Listen binds addr synchronously, so configuration mistakes — port in
+// use, malformed address, privileged port — surface to the caller as an
+// error instead of being logged from a goroutine after startup already
+// looked successful. Pair with ServeBackground (or http.Serve) once the
+// bind is known good.
+func Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// ServeBackground serves h (nil for http.DefaultServeMux) on l from a
+// background goroutine. A terminal serve error other than the listener
+// being closed is reported to onErr, if set.
+func ServeBackground(l net.Listener, h http.Handler, onErr func(error)) {
+	go func() {
+		err := http.Serve(l, h)
+		if err != nil && !errors.Is(err, net.ErrClosed) && onErr != nil {
+			onErr(err)
+		}
+	}()
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"github.com/reversible-eda/rcgp/internal/aig"
@@ -29,6 +30,7 @@ import (
 	"github.com/reversible-eda/rcgp/internal/aqfp"
 	"github.com/reversible-eda/rcgp/internal/bench"
 	"github.com/reversible-eda/rcgp/internal/blif"
+	"github.com/reversible-eda/rcgp/internal/cache"
 	"github.com/reversible-eda/rcgp/internal/cec"
 	"github.com/reversible-eda/rcgp/internal/core"
 	"github.com/reversible-eda/rcgp/internal/exact"
@@ -138,13 +140,13 @@ func Benchmark(name string) (*Design, error) {
 	return &Design{aig: aig.FromTruthTables(c.Tables), name: c.Name}, nil
 }
 
-// BenchmarkNames lists all built-in benchmark circuits (Table 1 then
-// Table 2 of the paper).
+// BenchmarkNames lists all built-in benchmark circuits in sorted order.
 func BenchmarkNames() []string {
 	var names []string
 	for _, c := range bench.All() {
 		names = append(names, c.Name)
 	}
+	sort.Strings(names)
 	return names
 }
 
@@ -199,12 +201,121 @@ type Options struct {
 	// Optimizer are ignored; the remaining options (Seed, Generations,
 	// Workers, …) become the baseline that script options override.
 	Script string
+	// Cache, when non-nil, is consulted before the search (a hit returns a
+	// stored, formally re-verified netlist for the function's NPN class
+	// without evolving anything) and updated with the result afterwards.
+	// Only designs within the cacheable range (≤14 inputs, ≤64 outputs)
+	// participate; others synthesize normally.
+	Cache *Cache
+	// CheckpointEvery, when positive, snapshots the search every that many
+	// generations and hands the snapshot to CheckpointSink. Requires
+	// Islands ≤ 1 (the single-population determinism contract).
+	CheckpointEvery int
+	// CheckpointSink receives periodic snapshots of the running search.
+	// It is called synchronously from the evolution coordinator: persist
+	// quickly or copy and hand off.
+	CheckpointSink func(Checkpoint)
+	// Resume restarts the search from a snapshot instead of the heuristic
+	// initialization. The snapshot's Seed and Lambda must match the
+	// options, and the remaining Generations budget counts from the
+	// snapshot's generation.
+	Resume *Checkpoint
 	// Progress, when non-nil, receives periodic generation updates.
 	Progress func(generation, gates, garbage int)
 	// Trace, when non-nil, receives a line-delimited JSON event stream of
 	// the run (spans, generation samples, SAT escalations). The writer is
 	// serialized internally, so an os.File is fine.
 	Trace io.Writer
+}
+
+// Checkpoint is a restartable snapshot of an in-flight search: the current
+// parent chromosome plus the counter state needed to fast-forward the
+// deterministic RNG streams. Resuming from a checkpoint reproduces the
+// uninterrupted run's trajectory of adopted parents exactly, so a crashed
+// or evicted job loses at most CheckpointEvery generations of progress and
+// none of its best-so-far fitness. The zero value is not a valid
+// checkpoint; obtain them from Options.CheckpointSink.
+type Checkpoint struct {
+	// Generation counts completed generations at snapshot time.
+	Generation int `json:"generation"`
+	// Evaluations mirrors the fitness-evaluation counter.
+	Evaluations int64 `json:"evaluations"`
+	// Seed and Lambda pin the options the snapshot was taken under; Resume
+	// rejects a mismatch rather than silently diverging.
+	Seed   int64 `json:"seed"`
+	Lambda int   `json:"lambda"`
+	// Chromosome is the parent genotype in the textual netlist format.
+	Chromosome string `json:"chromosome"`
+	// Gates, Garbage and Buffers mirror the parent fitness so monitors can
+	// report best-so-far without parsing the chromosome.
+	Gates   int `json:"gates"`
+	Garbage int `json:"garbage"`
+	Buffers int `json:"buffers"`
+}
+
+func checkpointFromCore(cp core.Checkpoint) Checkpoint {
+	return Checkpoint{
+		Generation: cp.Generation, Evaluations: cp.Evaluations,
+		Seed: cp.Seed, Lambda: cp.Lambda, Chromosome: cp.Chromosome,
+		Gates: cp.Gates, Garbage: cp.Garbage, Buffers: cp.Buffers,
+	}
+}
+
+func (cp Checkpoint) toCore() *core.Checkpoint {
+	return &core.Checkpoint{
+		Generation: cp.Generation, Evaluations: cp.Evaluations,
+		Seed: cp.Seed, Lambda: cp.Lambda, Chromosome: cp.Chromosome,
+		Gates: cp.Gates, Garbage: cp.Garbage, Buffers: cp.Buffers,
+	}
+}
+
+// Cache is the NPN-canonical synthesis result cache: results are stored
+// under a signature of the specification's NPN equivalence class, so a
+// re-submitted function — or any input-permuted/negated variant of one —
+// is answered from the cache. Safe for concurrent use across Synthesize
+// calls; share one Cache between all jobs of a server.
+type Cache struct {
+	c *cache.Cache
+}
+
+// OpenCache returns a cache persisted under dir (created if missing); any
+// existing entries are replayed so restarts keep warm state. memEntries
+// bounds the in-memory tier (0 for the default).
+func OpenCache(dir string, memEntries int) (*Cache, error) {
+	c, err := cache.Open(dir, memEntries)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{c: c}, nil
+}
+
+// NewMemoryCache returns a cache with no persistent tier.
+func NewMemoryCache(memEntries int) *Cache {
+	return &Cache{c: cache.NewMemory(memEntries)}
+}
+
+// Close flushes and closes the persistent tier, if any.
+func (c *Cache) Close() error { return c.c.Close() }
+
+// CacheStats is a point-in-time view of cache activity.
+type CacheStats struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Stores       int64 `json:"stores"`
+	BadEntries   int64 `json:"bad_entries"`
+	MemEntries   int   `json:"mem_entries"`
+	DiskEntries  int   `json:"disk_entries"`
+	DiskPromotes int64 `json:"disk_promotes"`
+}
+
+// Stats snapshots the cache activity counters.
+func (c *Cache) Stats() CacheStats {
+	s := c.c.Stats()
+	return CacheStats{
+		Hits: s.Hits, Misses: s.Misses, Stores: s.Stores,
+		BadEntries: s.BadEntries, MemEntries: s.MemEntries,
+		DiskEntries: s.DiskEntries, DiskPromotes: s.DiskPromotes,
+	}
 }
 
 // Stats are the paper's cost metrics for an RQFP circuit.
@@ -240,6 +351,12 @@ type Result struct {
 	Evaluations int64
 	// Runtime is the end-to-end pipeline time.
 	Runtime time.Duration
+	// FromCache marks results served from Options.Cache: the stored netlist
+	// of the function's NPN class, formally re-verified against this
+	// design's specification, with no search run. CacheKey is the class
+	// signature (also set on misses that stored a fresh result).
+	FromCache bool
+	CacheKey  string
 	// Telemetry is the run's observability snapshot: per-stage times and
 	// the evolution / equivalence-checking counters.
 	Telemetry Telemetry
@@ -266,6 +383,29 @@ func (d *Design) Synthesize(opt Options) (*Result, error) {
 // circuit (Telemetry.StopReason records why the search stopped);
 // cancelling before the pipeline is built returns the context error.
 func (d *Design) SynthesizeContext(ctx context.Context, opt Options) (*Result, error) {
+	var cacheTables []tt.TT
+	if opt.Cache != nil && d.aig.NumPIs() >= 1 && d.aig.NumPIs() <= cache.MaxInputs &&
+		d.aig.NumPOs() >= 1 && d.aig.NumPOs() <= cache.MaxOutputs {
+		start := time.Now()
+		cacheTables = d.aig.TruthTables()
+		if net, key, ok := opt.Cache.c.Lookup(cacheTables); ok {
+			c := &Circuit{net: net}
+			// The cache trades recall for speed, never correctness: a hit
+			// is served only after the SAT/simulation oracle proves it
+			// against this design. A refuted entry falls through to a
+			// normal search (and overwrites the bad entry on completion).
+			if ok, err := d.Verify(c); err == nil && ok {
+				return &Result{
+					circuit:   c,
+					initial:   c,
+					Runtime:   time.Since(start),
+					FromCache: true,
+					CacheKey:  key,
+					Telemetry: Telemetry{StopReason: "cache"},
+				}, nil
+			}
+		}
+	}
 	fopt := flow.Options{
 		SynthEffort:  aig.EffortStd,
 		SkipCGP:      opt.InitializationOnly,
@@ -282,6 +422,14 @@ func (d *Design) SynthesizeContext(ctx context.Context, opt Options) (*Result, e
 			Islands:      opt.Islands,
 			TimeBudget:   opt.TimeBudget,
 		},
+	}
+	if opt.CheckpointEvery > 0 && opt.CheckpointSink != nil {
+		fopt.CGP.CheckpointEvery = opt.CheckpointEvery
+		sink := opt.CheckpointSink
+		fopt.CGP.CheckpointFn = func(cp core.Checkpoint) { sink(checkpointFromCore(cp)) }
+	}
+	if opt.Resume != nil {
+		fopt.CGP.Resume = opt.Resume.toCore()
 	}
 	if opt.Progress != nil {
 		fopt.CGP.Progress = func(gen int, best core.Fitness) {
@@ -311,6 +459,13 @@ func (d *Design) SynthesizeContext(ctx context.Context, opt Options) (*Result, e
 	if res.CGP != nil {
 		out.Generations = res.CGP.Generations
 		out.Evaluations = res.CGP.Evaluations
+	}
+	if opt.Cache != nil && cacheTables != nil {
+		// Best-effort: a failed store (e.g. disk full) must not fail the
+		// synthesis that produced a perfectly good circuit.
+		if key, err := opt.Cache.c.Store(cacheTables, res.Final); err == nil {
+			out.CacheKey = key
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,167 @@
+package rcgp
+
+import (
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// BenchmarkNames is part of the serving API surface (GET /benchmarks), so
+// its order is contractual: sorted, stable across calls.
+func TestBenchmarkNamesSorted(t *testing.T) {
+	names := BenchmarkNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("BenchmarkNames not sorted: %v", names)
+	}
+	again := BenchmarkNames()
+	for i := range names {
+		if names[i] != again[i] {
+			t.Fatalf("BenchmarkNames unstable at %d: %q vs %q", i, names[i], again[i])
+		}
+	}
+}
+
+func TestSynthesizeWithCache(t *testing.T) {
+	c := NewMemoryCache(0)
+	d, err := Benchmark("decoder_2_4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := d.Synthesize(Options{Generations: 1500, Seed: 3, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.FromCache {
+		t.Fatal("first synthesis claimed a cache hit")
+	}
+	if cold.CacheKey == "" {
+		t.Fatal("no cache key recorded on the cold run")
+	}
+
+	// Identical resubmission: served from cache, no evolution.
+	warm, err := d.Synthesize(Options{Generations: 1500, Seed: 3, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.FromCache {
+		t.Fatal("identical resubmission missed the cache")
+	}
+	if warm.CacheKey != cold.CacheKey {
+		t.Fatalf("cache key changed: %q vs %q", warm.CacheKey, cold.CacheKey)
+	}
+	if warm.Evaluations != 0 || warm.Generations != 0 {
+		t.Fatalf("cache hit still searched: %d gens, %d evals", warm.Generations, warm.Evaluations)
+	}
+	if ok, err := d.Verify(warm.Circuit()); err != nil || !ok {
+		t.Fatalf("cached circuit fails verification: %v %v", ok, err)
+	}
+
+	// An NPN-equivalent function (decoder with its address bits swapped)
+	// hits the same entry; the served circuit implements the *variant*.
+	variant := FromFunc(2, 4, func(x uint) uint {
+		s := x>>1&1 | x&1<<1
+		return 1 << s
+	})
+	vres, err := variant.Synthesize(Options{Generations: 1500, Seed: 3, Cache: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vres.FromCache {
+		t.Fatal("NPN-equivalent function missed the cache")
+	}
+	if ok, err := variant.Verify(vres.Circuit()); err != nil || !ok {
+		t.Fatalf("cached variant circuit fails verification: %v %v", ok, err)
+	}
+	s := c.Stats()
+	if s.Hits != 2 || s.Stores != 1 {
+		t.Fatalf("cache stats %+v", s)
+	}
+}
+
+func TestSynthesizeWithDiskCacheWarmRestart(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	c, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := Benchmark("c17")
+	if _, err := d.Synthesize(Options{Generations: 800, Seed: 5, Cache: c}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := OpenCache(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	res, err := d.Synthesize(Options{Generations: 800, Seed: 5, Cache: c2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.FromCache {
+		t.Fatal("warm state lost across cache restart")
+	}
+	if ok, err := d.Verify(res.Circuit()); err != nil || !ok {
+		t.Fatalf("persisted circuit fails verification: %v %v", ok, err)
+	}
+}
+
+// Checkpoint/resume through the public facade: a run killed after its last
+// checkpoint and resumed on a fresh Design reproduces the uninterrupted
+// run's result exactly.
+func TestSynthesizeCheckpointResume(t *testing.T) {
+	opts := Options{Generations: 1200, Seed: 11, Lambda: 4}
+
+	d1, _ := Benchmark("decoder_2_4")
+	full, err := d1.Synthesize(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cps []Checkpoint
+	withCp := opts
+	withCp.CheckpointEvery = 400
+	withCp.CheckpointSink = func(cp Checkpoint) { cps = append(cps, cp) }
+	d2, _ := Benchmark("decoder_2_4")
+	if _, err := d2.Synthesize(withCp); err != nil {
+		t.Fatal(err)
+	}
+	if len(cps) != 3 {
+		t.Fatalf("got %d checkpoints, want 3", len(cps))
+	}
+	last := cps[len(cps)-1]
+	if last.Generation != 1200 || last.Seed != 11 || last.Lambda != 4 {
+		t.Fatalf("final checkpoint %+v", last)
+	}
+
+	// "Crash" and resume from the 800-generation snapshot in a new process
+	// image (fresh Design, fresh oracle).
+	resumed := opts
+	resumed.Resume = &cps[1]
+	d3, _ := Benchmark("decoder_2_4")
+	back, err := d3.Synthesize(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Stats() != full.Stats() {
+		t.Fatalf("resumed run diverged: %v vs %v", back.Stats(), full.Stats())
+	}
+	if back.Circuit().Chromosome() != full.Circuit().Chromosome() {
+		t.Fatal("resumed run produced a different circuit")
+	}
+	if ok, err := d3.Verify(back.Circuit()); err != nil || !ok {
+		t.Fatalf("resumed circuit fails verification: %v %v", ok, err)
+	}
+
+	// A mismatched snapshot is rejected, not silently accepted.
+	bad := opts
+	bad.Seed = 12
+	bad.Resume = &cps[1]
+	d4, _ := Benchmark("decoder_2_4")
+	if _, err := d4.Synthesize(bad); err == nil {
+		t.Fatal("seed-mismatched resume accepted")
+	}
+}

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Regenerates results/BENCH_serve.json: the synthesis-service benchmark.
+# Boots rcgp-serve in process, drives it over HTTP, and measures the
+# cold (full CGP search per job) vs. warm (NPN-canonical cache hit per
+# job) phases: requests/sec, cache hit rate, p50/p99 latency. Extra flags
+# are passed through, e.g.:
+#
+#   results/bench_serve.sh -functions 16 -warm-requests 64 -gens 5000
+set -e
+cd "$(dirname "$0")/.."
+exec go run ./cmd/rcgp-servebench -o results/BENCH_serve.json "$@"
