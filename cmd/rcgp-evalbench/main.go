@@ -1,0 +1,158 @@
+// Command rcgp-evalbench compares the full and incremental offspring
+// evaluation paths of the (1+λ) engine on one benchmark circuit and writes
+// the record the repository tracks as results/BENCH_eval.json: per mode the
+// evaluation throughput (from the run's own telemetry), the incremental
+// run's dedup hit rate and mean dirty-cone size, the speedup, and whether
+// the evolved circuit is bit-identical between modes — the correctness
+// witness for the incremental engine.
+//
+// Usage:
+//
+//	rcgp-evalbench -bench hwb8 -gens 3000 -o results/BENCH_eval.json
+//	rcgp-evalbench -bench hwb8 -gens 3000 -min-speedup 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/bench"
+	"github.com/reversible-eda/rcgp/internal/core"
+	"github.com/reversible-eda/rcgp/internal/flow"
+)
+
+type run struct {
+	Mode         string  `json:"mode"` // "full" | "incremental"
+	Evaluations  int64   `json:"evaluations"`
+	EvalsPerSec  float64 `json:"evals_per_sec"`
+	ElapsedSec   float64 `json:"elapsed_sec"`
+	Gates        int     `json:"gates"`
+	Garbage      int     `json:"garbage"`
+	DedupSkips   int64   `json:"dedup_skips,omitempty"`
+	DedupRate    float64 `json:"dedup_rate,omitempty"`
+	Incremental  int64   `json:"incremental_evals,omitempty"`
+	FullEvals    int64   `json:"full_evals,omitempty"`
+	MeanConeSize float64 `json:"mean_cone_gates,omitempty"`
+}
+
+type report struct {
+	Benchmark     string  `json:"benchmark"`
+	InitialGates  int     `json:"initial_gates"`
+	Generations   int     `json:"generations"`
+	Lambda        int     `json:"lambda"`
+	MutationRate  float64 `json:"mutation_rate"`
+	Seed          int64   `json:"seed"`
+	Workers       int     `json:"workers"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Runs          []run   `json:"runs"`
+	Speedup       float64 `json:"speedup"`
+	BestIdentical bool    `json:"best_identical"`
+}
+
+func main() {
+	if err := mainErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcgp-evalbench:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr() error {
+	var (
+		benchName  = flag.String("bench", "hwb8", "benchmark circuit (see rcgp -list)")
+		gens       = flag.Int("gens", 3000, "CGP generation budget per run")
+		lambda     = flag.Int("lambda", 8, "offspring per generation (λ)")
+		mu         = flag.Float64("mu", 0.15, "mutation rate (μ)")
+		seed       = flag.Int64("seed", 1, "random seed (shared by both runs)")
+		workers    = flag.Int("workers", 1, "evaluation goroutines for both runs")
+		outPath    = flag.String("o", "results/BENCH_eval.json", "output JSON path")
+		minSpeedup = flag.Float64("min-speedup", 0, "fail unless incremental/full throughput ratio reaches this (0 = report only)")
+	)
+	flag.Parse()
+
+	c, err := bench.ByName(*benchName)
+	if err != nil {
+		return err
+	}
+	rep := report{
+		Benchmark:    c.Name,
+		Generations:  *gens,
+		Lambda:       *lambda,
+		MutationRate: *mu,
+		Seed:         *seed,
+		Workers:      *workers,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+	}
+
+	var best [2]string
+	for i, incremental := range []bool{false, true} {
+		start := time.Now()
+		res, err := flow.RunTables(c.Tables, flow.Options{
+			CGP: core.Options{
+				Generations:  *gens,
+				Lambda:       *lambda,
+				MutationRate: *mu,
+				Seed:         *seed,
+				Workers:      *workers,
+				Incremental:  incremental,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		rep.InitialGates = res.InitialStats.Gates
+		tel := res.CGP.Telemetry
+		r := run{
+			Mode:        "full",
+			Evaluations: tel.Evaluations,
+			EvalsPerSec: tel.EvalsPerSec(),
+			ElapsedSec:  elapsed.Seconds(),
+			Gates:       res.FinalStats.Gates,
+			Garbage:     res.FinalStats.Garbage,
+		}
+		if incremental {
+			r.Mode = "incremental"
+			r.DedupSkips = tel.DedupSkips
+			if tel.Evaluations > 0 {
+				r.DedupRate = float64(tel.DedupSkips) / float64(tel.Evaluations)
+			}
+			r.Incremental = tel.IncrementalEvals
+			r.FullEvals = tel.FullEvals
+			if tel.IncrementalEvals > 0 {
+				r.MeanConeSize = float64(tel.ConeGates) / float64(tel.IncrementalEvals)
+			}
+		}
+		best[i] = res.Final.String()
+		rep.Runs = append(rep.Runs, r)
+		fmt.Printf("%-11s  %9.0f evals/sec  (%d evals in %.2fs)  gates=%d\n",
+			r.Mode, r.EvalsPerSec, r.Evaluations, r.ElapsedSec, r.Gates)
+	}
+
+	rep.Speedup = rep.Runs[1].EvalsPerSec / rep.Runs[0].EvalsPerSec
+	rep.BestIdentical = best[0] == best[1]
+	fmt.Printf("initial gates=%d  speedup %.2fx  dedup %.1f%%  mean cone %.1f gates  identical=%v\n",
+		rep.InitialGates, rep.Speedup, 100*rep.Runs[1].DedupRate, rep.Runs[1].MeanConeSize, rep.BestIdentical)
+	if !rep.BestIdentical {
+		return fmt.Errorf("incremental mode evolved a different circuit than the full path (determinism violated)")
+	}
+	if *minSpeedup > 0 && rep.Speedup < *minSpeedup {
+		return fmt.Errorf("speedup %.2fx below required %.2fx", rep.Speedup, *minSpeedup)
+	}
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *outPath)
+	return nil
+}

@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	rcgp "github.com/reversible-eda/rcgp"
@@ -48,6 +49,7 @@ func run() error {
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 1, "goroutines evaluating offspring concurrently (0 = NumCPU); deterministic per seed")
 		islands   = flag.Int("islands", 1, "independent (1+λ) populations with periodic ring migration")
+		increment = flag.Bool("incremental", false, "incremental offspring evaluation (dirty-cone re-simulation + phenotype dedup); same result per seed")
 		budget    = flag.Duration("time", 0, "wall-clock budget for the evolution (0 = none)")
 		initOnly  = flag.Bool("init-only", false, "stop after initialization (baseline)")
 		windows   = flag.Int("window-rounds", 0, "rounds of windowed resynthesis after the evolution")
@@ -58,6 +60,8 @@ func run() error {
 		tracePath = flag.String("trace", "", "write a JSONL trace of the run to this file")
 		metrics   = flag.Bool("metrics", false, "print the telemetry summary (stages, CGP, CEC/SAT) to stderr")
 		debugAddr = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile (taken after synthesis) to this file")
 	)
 	flag.Parse()
 
@@ -83,6 +87,17 @@ func run() error {
 	if *workers <= 0 {
 		*workers = runtime.NumCPU()
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
 	opt := rcgp.Options{
 		Generations:        *gens,
 		Lambda:             *lambda,
@@ -90,6 +105,7 @@ func run() error {
 		Seed:               *seed,
 		Workers:            *workers,
 		Islands:            *islands,
+		Incremental:        *increment,
 		TimeBudget:         *budget,
 		InitializationOnly: *initOnly,
 		WindowRounds:       *windows,
@@ -123,6 +139,17 @@ func run() error {
 	res, err := design.SynthesizeContext(ctx, opt)
 	if err != nil {
 		return err
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live allocations
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return err
+		}
 	}
 	if ctx.Err() != nil && !*quiet {
 		fmt.Fprintln(os.Stderr, "rcgp: interrupted — reporting best circuit found so far")

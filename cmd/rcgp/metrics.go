@@ -36,6 +36,16 @@ func writeMetrics(w io.Writer, res *rcgp.Result) {
 	if tel.Migrations > 0 {
 		fmt.Fprintf(w, "  migrations       %10d  (%d accepted)\n", tel.Migrations, tel.MigrationsAccepted)
 	}
+	if tel.IncrementalEvals > 0 || tel.DedupSkips > 0 {
+		fmt.Fprintf(w, "  dedup skips      %10d  (%.1f%% of evaluations)\n",
+			tel.DedupSkips, 100*float64(tel.DedupSkips)/float64(tel.Evaluations))
+		meanCone := 0.0
+		if tel.IncrementalEvals > 0 {
+			meanCone = float64(tel.ConeGates) / float64(tel.IncrementalEvals)
+		}
+		fmt.Fprintf(w, "  incremental      %10d  (%d full, mean cone %.1f gates)\n",
+			tel.IncrementalEvals, tel.FullEvals, meanCone)
+	}
 	if tel.StopReason != "" {
 		fmt.Fprintf(w, "  stop reason      %10s\n", tel.StopReason)
 	}

@@ -1,0 +1,142 @@
+package bits
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// referenceXorPopcount counts differing samples the slow way.
+func referenceXorPopcount(x, y Vec, n int) int {
+	c := 0
+	for i := 0; i < n; i++ {
+		if x.Get(i) != y.Get(i) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestXorPopcountMatchesHammingDistance(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		words := 1 + r.Intn(20)
+		x, y := NewWords(words), NewWords(words)
+		x.Randomize(r)
+		y.Randomize(r)
+		want := referenceXorPopcount(x, y, words*64)
+		if got := XorPopcount(x, y); got != want {
+			t.Fatalf("XorPopcount = %d, want %d", got, want)
+		}
+		if got := x.HammingDistance(y); got != want {
+			t.Fatalf("HammingDistance = %d, want %d", got, want)
+		}
+	}
+}
+
+func TestXorPopcountMasked(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		words := 1 + r.Intn(8)
+		samples := (words-1)*64 + 1 + r.Intn(64)
+		x, y := NewWords(words), NewWords(words)
+		x.Randomize(r)
+		y.Randomize(r)
+		want := referenceXorPopcount(x, y, samples)
+		tail := TailMask(samples, words)
+		if got := XorPopcountMasked(x, y, tail); got != want {
+			t.Fatalf("samples=%d words=%d: XorPopcountMasked = %d, want %d",
+				samples, words, got, want)
+		}
+	}
+	if XorPopcountMasked(nil, nil, ^uint64(0)) != 0 {
+		t.Fatal("empty vectors should count zero")
+	}
+}
+
+func TestEqualMasked(t *testing.T) {
+	x := Vec{0xDEADBEEF, 0xFF}
+	y := Vec{0xDEADBEEF, 0x7F}
+	if EqualMasked(x, y, ^uint64(0)) {
+		t.Fatal("vectors differ in bit 71, full mask must see it")
+	}
+	if !EqualMasked(x, y, TailMask(64+7, 2)) {
+		t.Fatal("the differing bit is masked out")
+	}
+	if EqualMasked(Vec{1, 0}, Vec{0, 0}, 0) {
+		t.Fatal("difference in a non-tail word must not be masked")
+	}
+	if !EqualMasked(nil, nil, 0) {
+		t.Fatal("empty vectors are equal")
+	}
+}
+
+func TestTailMask(t *testing.T) {
+	if m := TailMask(64, 1); m != ^uint64(0) {
+		t.Fatalf("full word: mask = %#x", m)
+	}
+	if m := TailMask(1, 1); m != 1 {
+		t.Fatalf("one sample: mask = %#x", m)
+	}
+	if m := TailMask(70, 2); m != (1<<6)-1 {
+		t.Fatalf("70 samples in 2 words: mask = %#x", m)
+	}
+	// More words than samples need: the last word is still fully counted
+	// only when the sample count covers it.
+	if m := TailMask(128, 2); m != ^uint64(0) {
+		t.Fatalf("exact fit: mask = %#x", m)
+	}
+}
+
+func TestMajInvMatchesMajWithExplicitInversion(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 64; trial++ {
+		words := 1 + r.Intn(6)
+		a, b, c := NewWords(words), NewWords(words), NewWords(words)
+		a.Randomize(r)
+		b.Randomize(r)
+		c.Randomize(r)
+		var masks [3]uint64
+		for j := range masks {
+			if r.Intn(2) == 1 {
+				masks[j] = ^uint64(0)
+			}
+		}
+		// Reference: invert explicitly, then plain majority.
+		ai, bi, ci := NewWords(words), NewWords(words), NewWords(words)
+		for w := 0; w < words; w++ {
+			ai[w] = a[w] ^ masks[0]
+			bi[w] = b[w] ^ masks[1]
+			ci[w] = c[w] ^ masks[2]
+		}
+		want := NewWords(words)
+		want.Maj(ai, bi, ci)
+		got := NewWords(words)
+		MajInv(got, a, b, c, masks[0], masks[1], masks[2])
+		if !got.Eq(want) {
+			t.Fatalf("MajInv mismatch with masks %v", masks)
+		}
+	}
+}
+
+func BenchmarkXorPopcount1024Words(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := NewWords(1024), NewWords(1024)
+	x.Randomize(r)
+	y.Randomize(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		XorPopcount(x, y)
+	}
+}
+
+func BenchmarkMajInv1024Words(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y, z, o := NewWords(1024), NewWords(1024), NewWords(1024), NewWords(1024)
+	x.Randomize(r)
+	y.Randomize(r)
+	z.Randomize(r)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MajInv(o, x, y, z, ^uint64(0), 0, ^uint64(0))
+	}
+}

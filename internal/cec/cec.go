@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/reversible-eda/rcgp/internal/aig"
@@ -39,11 +40,16 @@ type Spec struct {
 	NumPI, NumPO int
 	Exhaustive   bool
 
-	mu       sync.RWMutex // guards stimulus/golden/words/samples
+	mu       sync.RWMutex // guards stimulus/golden/words/samples/gen
 	stimulus []bits.Vec   // one vector per PI
 	golden   []bits.Vec   // one vector per PO
 	words    int
 	samples  int
+	// id is a process-unique nonzero spec identity and gen the stimulus
+	// revision (bumped by AddCounterexample); together they tag simulation
+	// contexts so an unchanged stimulus is not re-copied per evaluation.
+	id  uint64
+	gen uint64
 
 	// specAIG drives SAT confirmation and counterexample re-simulation in
 	// the non-exhaustive regime; nil when exhaustive.
@@ -142,8 +148,11 @@ type Verdict struct {
 // input counts the stimulus is exhaustive; otherwise `randomWords`×64
 // random patterns seeded deterministically from seed are used and SAT
 // confirms candidates.
+// specIDs hands out the process-unique stimulus identities.
+var specIDs atomic.Uint64
+
 func NewSpecFromAIG(a *aig.AIG, randomWords int, seed int64) *Spec {
-	s := &Spec{NumPI: a.NumPIs(), NumPO: a.NumPOs()}
+	s := &Spec{NumPI: a.NumPIs(), NumPO: a.NumPOs(), id: specIDs.Add(1), gen: 1}
 	if s.NumPI <= ExhaustiveMaxPIs {
 		s.Exhaustive = true
 		s.stimulus = bits.ExhaustiveInputs(s.NumPI)
@@ -171,7 +180,7 @@ func NewSpecFromAIG(a *aig.AIG, randomWords int, seed int64) *Spec {
 // the golden specification (used when the initial netlist itself is the
 // reference, e.g. for pure optimization runs).
 func NewSpecFromNetlist(n *rqfp.Netlist, randomWords int, seed int64) *Spec {
-	s := &Spec{NumPI: n.NumPI, NumPO: len(n.POs)}
+	s := &Spec{NumPI: n.NumPI, NumPO: len(n.POs), id: specIDs.Add(1), gen: 1}
 	if s.NumPI <= ExhaustiveMaxPIs {
 		s.Exhaustive = true
 		s.stimulus = bits.ExhaustiveInputs(s.NumPI)
@@ -207,6 +216,16 @@ func (s *Spec) Samples() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.samples
+}
+
+// StimulusGen returns the spec's unique identity and the current stimulus
+// generation. The generation advances on every AddCounterexample; holders
+// of resident simulation state (SimContext stimulus tags, the incremental
+// evaluator's parent vectors) compare it to decide whether to re-sync.
+func (s *Spec) StimulusGen() (id, gen uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.id, s.gen
 }
 
 // Check evaluates a candidate netlist, immediately folding any SAT
@@ -250,23 +269,14 @@ func (s *Spec) CheckContext(ctx context.Context, n *rqfp.Netlist, sim *rqfp.SimC
 	if sim == nil || sim.Words() != s.words {
 		sim = rqfp.NewSimContext(n.NumPorts(), s.words)
 	}
-	sim.Run(n, s.stimulus, active)
+	sim.RunTagged(n, s.stimulus, active, s.id, s.gen)
 	totalBits := s.samples * s.NumPO
+	tail := bits.TailMask(s.samples, s.words)
 	wrong := 0
 	for i, po := range n.POs {
-		got := sim.Port(po)
-		if s.Exhaustive {
-			// Compare only the valid samples.
-			for w := 0; w < s.words; w++ {
-				d := got[w] ^ s.golden[i][w]
-				if w == s.words-1 && s.samples%64 != 0 {
-					d &= 1<<(uint(s.samples)%64) - 1
-				}
-				wrong += onesCount(d)
-			}
-		} else {
-			wrong += got.HammingDistance(s.golden[i])
-		}
+		// Only the valid samples count; tail is all-ones when the last
+		// word is fully populated (always true for random stimulus).
+		wrong += bits.XorPopcountMasked(sim.Port(po), s.golden[i], tail)
 	}
 	s.mu.RUnlock()
 	match := 1 - float64(wrong)/float64(totalBits)
@@ -286,14 +296,6 @@ func (s *Spec) CheckContext(ctx context.Context, n *rqfp.Netlist, sim *rqfp.SimC
 	}
 	// match recomputed lazily once the counterexample is applied
 	return Verdict{Match: match, Counterexample: cex, Aborted: aborted}
-}
-
-func onesCount(w uint64) int {
-	n := 0
-	for ; w != 0; w &= w - 1 {
-		n++
-	}
-	return n
 }
 
 // satCheck builds a miter between the candidate netlist and the spec AIG.
@@ -400,6 +402,7 @@ func (s *Spec) AddCounterexample(cex []bool) {
 	}
 	s.words++
 	s.samples += 64
+	s.gen++ // invalidate resident stimulus tags and incremental parents
 	s.golden = s.specAIG.Simulate(s.stimulus)
 }
 

@@ -1,0 +1,161 @@
+package cec
+
+import (
+	"context"
+
+	"github.com/reversible-eda/rcgp/internal/bits"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+// Incremental checks mutated offspring against a Spec by dirty-cone
+// re-simulation: SetParent makes the parent's full port vectors resident
+// (all gates, so every base vector is valid), and CheckDelta re-simulates
+// only the fan-out cone of the changed genes, recounting wrong bits only
+// for primary outputs whose value (or gene) changed and inheriting the
+// parent's per-output counts everywhere else. The verdict semantics match
+// CheckContext exactly in exact mode; fast-refute mode may report an
+// approximate (per-output lower-bounded) Match for refuted candidates but
+// never changes a proved/refuted verdict.
+//
+// One Incremental is owned by one goroutine, like the SimContext inside
+// it. The Spec it wraps may be shared.
+type Incremental struct {
+	spec  *Spec
+	base  *rqfp.SimContext
+	delta *rqfp.DeltaSim
+
+	// gen is the stimulus generation the resident parent was simulated
+	// under; a mismatch with the spec means the base vectors are stale.
+	gen uint64
+
+	// parentWrong holds the parent's wrong-bit count per primary output
+	// (all zero when the parent satisfies the spec, as the (1+λ) engine
+	// guarantees); parentTotal is their sum.
+	parentWrong []int
+	parentTotal int
+
+	poDirty []bool // per-PO scratch for CheckDelta
+}
+
+// NewIncremental wraps spec. Call SetParent before CheckDelta.
+func NewIncremental(spec *Spec) *Incremental {
+	return &Incremental{spec: spec}
+}
+
+// Stale reports whether the stimulus has been widened (or the parent never
+// set) since the last SetParent, so the resident vectors no longer match
+// the oracle. The caller re-syncs with SetParent.
+func (inc *Incremental) Stale() bool {
+	if inc.base == nil {
+		return true
+	}
+	_, gen := inc.spec.StimulusGen()
+	return gen != inc.gen
+}
+
+// SetParent makes parent the resident base: a full simulation of ALL gates
+// (active and inactive, so any rewiring in an offspring finds valid source
+// vectors) plus the per-output wrong-bit counts against the golden
+// responses.
+func (inc *Incremental) SetParent(parent *rqfp.Netlist) {
+	s := inc.spec
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if inc.base == nil || inc.base.Words() != s.words {
+		inc.base = rqfp.NewSimContext(parent.NumPorts(), s.words)
+		inc.delta = rqfp.NewDeltaSim(inc.base)
+	}
+	inc.base.RunTagged(parent, s.stimulus, nil, s.id, s.gen)
+	inc.gen = s.gen
+	if cap(inc.parentWrong) < s.NumPO {
+		inc.parentWrong = make([]int, s.NumPO)
+		inc.poDirty = make([]bool, s.NumPO)
+	}
+	inc.parentWrong = inc.parentWrong[:s.NumPO]
+	inc.poDirty = inc.poDirty[:s.NumPO]
+	inc.parentTotal = 0
+	tail := bits.TailMask(s.samples, s.words)
+	for i, po := range parent.POs {
+		w := bits.XorPopcountMasked(inc.base.Port(po), s.golden[i], tail)
+		inc.parentWrong[i] = w
+		inc.parentTotal += w
+	}
+}
+
+// CheckDelta evaluates a mutated offspring of the resident parent. The
+// candidate must share the parent's shape (the CGP point mutations only
+// rewire and flip, never grow). dirtyGates lists gates whose genes changed,
+// dirtyPOs the primary outputs whose gene changed; duplicates are fine.
+// active is the candidate's active mask (nil recomputes it).
+//
+// fastRefute trades Match precision for speed on refuted candidates: each
+// changed output is first screened with a word-level early-exit comparison,
+// and the full wrong-bit count is only taken on outputs that differ. The
+// proved/refuted verdict and every Match value of non-refuted candidates
+// are unaffected.
+//
+// ok is false when the resident parent is stale (or absent) — the caller
+// falls back to the full path and re-syncs. coneGates is the number of
+// gates re-simulated.
+func (inc *Incremental) CheckDelta(ctx context.Context, n *rqfp.Netlist, dirtyGates, dirtyPOs []int32, active []bool, fastRefute bool) (v Verdict, coneGates int, ok bool) {
+	s := inc.spec
+	if n.NumPI != s.NumPI || len(n.POs) != s.NumPO {
+		return Verdict{}, 0, true
+	}
+	if active == nil {
+		active = n.ActiveGates()
+	}
+	s.mu.RLock()
+	if inc.base == nil || inc.gen != s.gen || inc.base.Words() != s.words {
+		s.mu.RUnlock()
+		return Verdict{}, 0, false
+	}
+	coneGates = inc.delta.RunDelta(n, dirtyGates, active)
+	tail := bits.TailMask(s.samples, s.words)
+	totalBits := s.samples * s.NumPO
+	for i := range inc.poDirty {
+		inc.poDirty[i] = false
+	}
+	for _, po := range dirtyPOs {
+		inc.poDirty[po] = true
+	}
+	wrong := inc.parentTotal
+	for i, po := range n.POs {
+		if !inc.poDirty[i] && !inc.delta.Dirty(po) {
+			continue // inherits the parent's count
+		}
+		got := inc.delta.Port(po)
+		var w int
+		if fastRefute && bits.EqualMasked(got, s.golden[i], tail) {
+			w = 0
+		} else {
+			w = bits.XorPopcountMasked(got, s.golden[i], tail)
+		}
+		wrong += w - inc.parentWrong[i]
+		if fastRefute && wrong > 0 && inc.parentTotal == 0 {
+			// Refutation established: with a satisfying parent every
+			// remaining output contributes a non-negative count, so the
+			// verdict cannot flip. The partial Match only ranks invalid
+			// candidates, which a valid parent never adopts.
+			break
+		}
+	}
+	s.mu.RUnlock()
+	match := 1 - float64(wrong)/float64(totalBits)
+	s.bump(func(st *Stats) { st.Checks++ })
+	if wrong > 0 {
+		s.bump(func(st *Stats) { st.SimRefuted++ })
+		return Verdict{Match: match}, coneGates, true
+	}
+	if s.Exhaustive {
+		s.bump(func(st *Stats) { st.ExhaustiveProved++ })
+		return Verdict{Match: 1, Proved: true}, coneGates, true
+	}
+	// The delta screen passed on random patterns: confirm formally, like
+	// the full path.
+	eq, cex, aborted := s.satCheck(ctx, n)
+	if eq {
+		return Verdict{Match: 1, Proved: true}, coneGates, true
+	}
+	return Verdict{Match: match, Counterexample: cex, Aborted: aborted}, coneGates, true
+}

@@ -44,6 +44,13 @@ type engine struct {
 
 	parent    *genotype
 	parentFit Fitness
+	// parentEpoch identifies the current parent individual; it is bumped on
+	// every adoption and accepted migration so worker-local DeltaEvaluators
+	// know when their resident parent simulation is out of date.
+	parentEpoch uint64
+	// incremental is true when Options.Incremental is set and the evaluator
+	// supports delta evaluation.
+	incremental bool
 
 	slots []*evalSlot
 	jobs  chan int
@@ -58,7 +65,8 @@ type engine struct {
 	deferLearn bool
 	pendingCex [][]bool
 
-	hists []*obs.Histogram // per-worker eval latency, nil entries when unmetered
+	hists    []*obs.Histogram // per-worker eval latency, nil entries when unmetered
+	coneHist *obs.Histogram   // dirty-cone size distribution (incremental mode)
 }
 
 // newEngine validates and scores the initial netlist and starts the worker
@@ -68,9 +76,14 @@ type engine struct {
 // error. close must be called when the engine is done.
 func newEngine(initial *genotype, ev Evaluator, opt Options, island int) (*engine, error) {
 	e := &engine{opt: opt, island: island, eval: ev, r: rand.New(rand.NewSource(opt.Seed))}
+	e.parentEpoch = 1
+	if _, ok := ev.(DeltaEvaluator); ok && opt.Incremental {
+		e.incremental = true
+	}
 	e.parent = initial
 	out := ev.Evaluate(context.Background(), e.parent.net)
 	e.tel.Evaluations++
+	e.tel.FullEvals++
 	if !out.Fitness.Valid {
 		return nil, errors.New("core: initial netlist does not satisfy the specification")
 	}
@@ -79,7 +92,7 @@ func newEngine(initial *genotype, ev Evaluator, opt Options, island int) (*engin
 	e.seeds = make([]int64, opt.Lambda)
 	e.slots = make([]*evalSlot, opt.Lambda)
 	for i := range e.slots {
-		s := &evalSlot{g: newGenotype(e.parent.net.Clone()), rng: rand.New(rand.NewSource(0))}
+		s := &evalSlot{g: newGenotype(e.parent.net.Clone()), rng: rand.New(new(mutSource))}
 		s.g.stats = &s.stat
 		e.slots[i] = s
 	}
@@ -87,6 +100,13 @@ func newEngine(initial *genotype, ev Evaluator, opt Options, island int) (*engin
 	if opt.Metrics != nil {
 		for w := range e.hists {
 			e.hists[w] = opt.Metrics.Histogram(e.histName(w))
+		}
+		if e.incremental {
+			name := "cgp.cone_gates"
+			if island >= 0 {
+				name = fmt.Sprintf("cgp.cone_gates.island_%d", island)
+			}
+			e.coneHist = opt.Metrics.Histogram(name)
 		}
 	}
 	if opt.Workers > 1 {
@@ -133,11 +153,24 @@ func (e *engine) runSlot(i int, ev Evaluator, hist *obs.Histogram) {
 	s.rng.Seed(e.seeds[i])
 	s.g.copyFrom(e.parent)
 	s.g.mutate(s.rng, e.opt.MutationRate)
+	var dev DeltaEvaluator
+	if e.incremental {
+		// Re-sync the worker-local resident parent if the epoch moved (or
+		// the oracle widened its stimulus) since this evaluator's last
+		// batch. The parent and its fitness were published by the
+		// coordinator before dispatch and stay frozen for the whole batch.
+		dev = ev.(DeltaEvaluator)
+		dev.SyncParent(e.parentEpoch, e.parent.net, e.parentFit)
+	}
 	var start time.Time
 	if hist != nil {
 		start = time.Now()
 	}
-	s.out = ev.Evaluate(e.ctx, s.g.net)
+	if dev != nil {
+		s.out = dev.EvaluateDelta(e.ctx, s.g.net, Delta{Gates: s.g.dirtyGates, POs: s.g.dirtyPOs})
+	} else {
+		s.out = ev.Evaluate(e.ctx, s.g.net)
+	}
 	if hist != nil {
 		hist.Observe(time.Since(start))
 	}
@@ -201,6 +234,20 @@ func (e *engine) run(ctx context.Context, gens int) StopReason {
 				continue
 			}
 			e.tel.Evaluations++
+			switch {
+			case s.out.Dedup:
+				e.tel.DedupSkips++
+			case s.out.Incremental:
+				e.tel.IncrementalEvals++
+				e.tel.ConeGates += int64(s.out.ConeGates)
+				if e.coneHist != nil {
+					// The histogram's unit is nanoseconds elsewhere; here a
+					// "duration" of n ns encodes a cone of n gates.
+					e.coneHist.Observe(time.Duration(s.out.ConeGates))
+				}
+			default:
+				e.tel.FullEvals++
+			}
 			if s.out.Counterexample != nil {
 				e.learn(s.out.Counterexample)
 			}
@@ -243,6 +290,7 @@ func (e *engine) adopt(bestIdx int, bestFit Fitness) {
 	e.parent, s.g = s.g, e.parent
 	e.parent.stats = nil
 	s.g.stats = &s.stat
+	e.parentEpoch++ // resident parent simulations are now stale
 	strictly := bestFit.Better(e.parentFit)
 	e.parentFit = bestFit
 	e.tel.Adoptions++

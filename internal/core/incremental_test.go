@@ -1,0 +1,210 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+// The incremental engine's contract: per seed, the trajectory of adopted
+// parents — and therefore the final netlist, fitness, and every
+// deterministic counter except the full/incremental/dedup split — is
+// bit-identical to the full reference path. These tests are the
+// differential gate for that contract.
+
+func fullAdderTables() []tt.TT {
+	sum := tt.FromFunc(3, func(s uint) bool { return (s&1+s>>1&1+s>>2&1)%2 == 1 })
+	cout := tt.FromFunc(3, func(s uint) bool { return s&1+s>>1&1+s>>2&1 >= 2 })
+	return []tt.TT{sum, cout}
+}
+
+func runMode(t *testing.T, tables []tt.TT, incremental bool, workers, islands int, seed int64) *Result {
+	t.Helper()
+	spec, n := buildCase(tables)
+	res, err := Optimize(n, spec, Options{
+		Generations:  1200,
+		Lambda:       8,
+		MutationRate: 0.15,
+		Seed:         seed,
+		Workers:      workers,
+		Islands:      islands,
+		MigrateEvery: 300,
+		Incremental:  incremental,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// assertSameTrajectory compares everything that must match between modes:
+// the evolved circuit, its fitness, and all deterministic counters except
+// the evaluation-path split.
+func assertSameTrajectory(t *testing.T, full, inc *Result, label string) {
+	t.Helper()
+	if full.Fitness != inc.Fitness {
+		t.Fatalf("%s: fitness diverged: full %+v, incremental %+v", label, full.Fitness, inc.Fitness)
+	}
+	if full.Best.String() != inc.Best.String() {
+		t.Fatalf("%s: final netlist diverged", label)
+	}
+	tf, ti := full.Telemetry, inc.Telemetry
+	tf.Elapsed, ti.Elapsed = 0, 0
+	tf.DedupSkips, ti.DedupSkips = 0, 0
+	tf.IncrementalEvals, ti.IncrementalEvals = 0, 0
+	tf.FullEvals, ti.FullEvals = 0, 0
+	tf.ConeGates, ti.ConeGates = 0, 0
+	if tf != ti {
+		t.Fatalf("%s: telemetry diverged:\nfull        %+v\nincremental %+v", label, tf, ti)
+	}
+}
+
+func TestIncrementalMatchesFullTrajectory(t *testing.T) {
+	for _, c := range []struct {
+		label            string
+		workers, islands int
+	}{
+		{"sequential", 1, 1},
+		{"workers4", 4, 1},
+		{"islands3", 4, 3},
+	} {
+		full := runMode(t, decoderTables(), false, c.workers, c.islands, 42)
+		inc := runMode(t, decoderTables(), true, c.workers, c.islands, 42)
+		assertSameTrajectory(t, full, inc, c.label)
+	}
+}
+
+func TestIncrementalMatchesFullAdder(t *testing.T) {
+	full := runMode(t, fullAdderTables(), false, 1, 1, 3)
+	inc := runMode(t, fullAdderTables(), true, 1, 1, 3)
+	assertSameTrajectory(t, full, inc, "full_adder")
+}
+
+func TestIncrementalTelemetrySplit(t *testing.T) {
+	inc := runMode(t, decoderTables(), true, 1, 1, 42)
+	tel := inc.Telemetry
+	if got := tel.DedupSkips + tel.IncrementalEvals + tel.FullEvals; got != tel.Evaluations {
+		t.Fatalf("split %d+%d+%d = %d != Evaluations %d",
+			tel.DedupSkips, tel.IncrementalEvals, tel.FullEvals, got, tel.Evaluations)
+	}
+	if tel.IncrementalEvals == 0 {
+		t.Fatal("incremental mode never took the delta path")
+	}
+	if tel.DedupSkips == 0 {
+		t.Fatal("no offspring was ever deduplicated against its parent (expected for no-op and inactive-gene mutations)")
+	}
+	t.Logf("evals=%d dedup=%d incremental=%d full=%d mean_cone=%.1f",
+		tel.Evaluations, tel.DedupSkips, tel.IncrementalEvals, tel.FullEvals,
+		float64(tel.ConeGates)/float64(tel.IncrementalEvals))
+
+	full := runMode(t, decoderTables(), false, 1, 1, 42)
+	tf := full.Telemetry
+	if tf.DedupSkips != 0 || tf.IncrementalEvals != 0 || tf.ConeGates != 0 {
+		t.Fatalf("full mode reported incremental counters: %+v", tf)
+	}
+	if tf.FullEvals != tf.Evaluations {
+		t.Fatalf("full mode: FullEvals %d != Evaluations %d", tf.FullEvals, tf.Evaluations)
+	}
+}
+
+// wideNetlist builds a topologically valid single-fanout chain circuit with
+// numPI primary inputs — wide enough (>14 PIs) to force the spec off the
+// exhaustive path, onto random stimulus plus SAT confirmation.
+func wideNetlist(numPI, numGates, numPO int) *rqfp.Netlist {
+	n := rqfp.NewNetlist(numPI)
+	free := make([]rqfp.Signal, 0, numPI+3*numGates)
+	for i := 0; i < numPI; i++ {
+		free = append(free, n.PIPort(i))
+	}
+	for g := 0; g < numGates; g++ {
+		var in [3]rqfp.Signal
+		for m := 0; m < 3; m++ {
+			in[m] = free[0]
+			free = free[1:]
+		}
+		n.AddGate(rqfp.Gate{In: in})
+		for m := 0; m < 3; m++ {
+			free = append(free, n.Port(g, m))
+		}
+	}
+	for i := 0; i < numPO; i++ {
+		n.POs = append(n.POs, free[len(free)-1-i])
+	}
+	return n
+}
+
+// TestIncrementalNonExhaustive drives the incremental engine through the
+// random-stimulus + SAT path: counterexamples widen the stimulus mid-run,
+// forcing resident-parent invalidation and re-sync.
+func TestIncrementalNonExhaustive(t *testing.T) {
+	build := func() (*cec.Spec, *rqfp.Netlist) {
+		n := wideNetlist(15, 12, 3)
+		if err := n.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return cec.NewSpecFromNetlist(n, 2, 1), n
+	}
+	run := func(incremental bool) *Result {
+		spec, n := build()
+		res, err := Optimize(n, spec, Options{
+			Generations:  400,
+			Lambda:       4,
+			MutationRate: 0.1,
+			Seed:         11,
+			Incremental:  incremental,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	full := run(false)
+	inc := run(true)
+	assertSameTrajectory(t, full, inc, "non_exhaustive")
+}
+
+// FuzzIncrementalEval is the evaluator-level differential fuzz: random
+// mutation chains, every offspring scored by both EvaluateDelta (exact
+// mode) and the full reference Evaluate, fitnesses compared bit-for-bit.
+func FuzzIncrementalEval(f *testing.F) {
+	for _, seed := range []int64{1, 7, 42, 1337} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		tables := decoderTables()
+		if seed%2 != 0 {
+			tables = fullAdderTables()
+		}
+		spec, n := buildCase(tables)
+		ev := NewSpecEvaluator(spec)
+		ev.Exact = true // fast-refute off: Match must be exact even on refuted offspring
+		ref := NewSpecEvaluator(spec)
+		ctx := context.Background()
+
+		r := rand.New(rand.NewSource(seed))
+		parent := newGenotype(n.Clone())
+		parentFit := ref.Evaluate(ctx, parent.net).Fitness
+		child := newGenotype(n.Clone())
+		epoch := uint64(1)
+		for step := 0; step < 150; step++ {
+			ev.SyncParent(epoch, parent.net, parentFit)
+			child.copyFrom(parent)
+			child.mutate(r, 0.25)
+			got := ev.EvaluateDelta(ctx, child.net, Delta{Gates: child.dirtyGates, POs: child.dirtyPOs})
+			want := ref.Evaluate(ctx, child.net)
+			if got.Fitness != want.Fitness {
+				t.Fatalf("step %d: incremental fitness %+v != full %+v (dedup=%v incr=%v cone=%d)",
+					step, got.Fitness, want.Fitness, got.Dedup, got.Incremental, got.ConeGates)
+			}
+			if got.Fitness.BetterOrEqual(parentFit) {
+				parent, child = child, parent
+				parentFit = got.Fitness
+				epoch++
+			}
+		}
+	})
+}

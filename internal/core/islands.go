@@ -113,6 +113,7 @@ func optimizeIslands(ctx context.Context, start time.Time, initial *rqfp.Netlist
 			}
 			e.parent = newGenotype(snap[from].net.Clone())
 			e.parentFit = snap[from].fit
+			e.parentEpoch++ // resident parent simulations are now stale
 			accepted++
 			if opt.Trace != nil {
 				opt.Trace.Emit("cgp.migrate", map[string]any{

@@ -18,6 +18,12 @@ type genotype struct {
 	// merges them in the single-goroutine reducer, so no increment is ever
 	// shared between goroutines.
 	stats *MutationStats
+	// dirtyGates/dirtyPOs record which gates and primary outputs had genes
+	// changed since the last copyFrom (duplicates allowed) — the mutation
+	// delta the incremental evaluator re-simulates. Appends reuse capacity,
+	// so recording costs nothing measurable even when unused.
+	dirtyGates []int32
+	dirtyPOs   []int32
 }
 
 func newGenotype(n *rqfp.Netlist) *genotype {
@@ -31,12 +37,15 @@ func (g *genotype) clone() *genotype {
 	}
 }
 
-// copyFrom overwrites g with p's state, reusing g's storage.
+// copyFrom overwrites g with p's state, reusing g's storage, and resets
+// the recorded mutation delta.
 func (g *genotype) copyFrom(p *genotype) {
 	g.net.NumPI = p.net.NumPI
 	g.net.Gates = append(g.net.Gates[:0], p.net.Gates...)
 	g.net.POs = append(g.net.POs[:0], p.net.POs...)
 	g.users = append(g.users[:0], p.users...)
+	g.dirtyGates = g.dirtyGates[:0]
+	g.dirtyPOs = g.dirtyPOs[:0]
 }
 
 // numGenes is the chromosome length n_L = 4·n_gates + n_po (three input
@@ -65,6 +74,7 @@ func (g *genotype) mutateOnce(r *rand.Rand) bool {
 			kind = MutConfig
 			beta := r.Intn(9)
 			n.Gates[gate].Cfg = n.Gates[gate].Cfg.FlipBit(beta)
+			g.dirtyGates = append(g.dirtyGates, int32(gate))
 			applied = true
 		} else {
 			kind = MutGateInput
@@ -168,12 +178,17 @@ func (g *genotype) rewire(old, v rqfp.Signal, self rqfp.PortUser) bool {
 	}
 }
 
+// setSource writes a new source gene for the given user — the single
+// choke point every rewire goes through, so it also records the mutation
+// delta for incremental evaluation.
 func (g *genotype) setSource(u rqfp.PortUser, s rqfp.Signal) {
 	switch u.Kind {
 	case rqfp.UserGateInput:
 		g.net.Gates[u.Gate].In[u.Input] = s
+		g.dirtyGates = append(g.dirtyGates, int32(u.Gate))
 	case rqfp.UserPO:
 		g.net.POs[u.PO] = s
+		g.dirtyPOs = append(g.dirtyPOs, int32(u.PO))
 	}
 }
 

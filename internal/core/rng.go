@@ -1,0 +1,22 @@
+package core
+
+// mutSource is the offspring-mutation RNG source: a splitmix64 generator
+// wrapped as a math/rand Source64. The engine re-seeds every offspring
+// slot once per generation from the coordinator's pre-drawn seed stream,
+// which puts Seed on the hot path — math/rand's default lagged-Fibonacci
+// source pays thousands of multiplications per Seed, splitmix64 pays one
+// assignment. Statistical quality is ample for mutation sampling, and
+// determinism per seed is unchanged: same seed, same stream.
+type mutSource struct{ state uint64 }
+
+func (s *mutSource) Seed(seed int64) { s.state = uint64(seed) }
+
+func (s *mutSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *mutSource) Int63() int64 { return int64(s.Uint64() >> 1) }

@@ -111,6 +111,20 @@ type Telemetry struct {
 	// receiving island's parent (Islands > 1 only).
 	Migrations         int64
 	MigrationsAccepted int64
+	// DedupSkips, IncrementalEvals, and FullEvals split Evaluations by how
+	// the incremental engine scored each offspring: inherited from the
+	// parent because the phenotype is identical, scored by dirty-cone
+	// re-simulation, or scored by the full reference path (always, when
+	// Options.Incremental is off). Evaluations counts all three, so the
+	// counter — and checkpoint/resume arithmetic — is mode-independent.
+	DedupSkips       int64
+	IncrementalEvals int64
+	FullEvals        int64
+	// ConeGates accumulates the number of gates re-simulated across all
+	// incremental evaluations; ConeGates/IncrementalEvals is the mean
+	// dirty-cone size (compare with the parent's gate count for the
+	// per-offspring simulation saving).
+	ConeGates int64
 	// StopReason records why the run terminated.
 	StopReason StopReason
 }
@@ -128,6 +142,10 @@ func (t *Telemetry) Add(o Telemetry) {
 	t.Shrinks += o.Shrinks
 	t.Migrations += o.Migrations
 	t.MigrationsAccepted += o.MigrationsAccepted
+	t.DedupSkips += o.DedupSkips
+	t.IncrementalEvals += o.IncrementalEvals
+	t.FullEvals += o.FullEvals
+	t.ConeGates += o.ConeGates
 	if t.StopReason == "" {
 		t.StopReason = o.StopReason
 	}

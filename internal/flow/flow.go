@@ -258,6 +258,10 @@ func recordRunMetrics(reg *obs.Registry, res *Result) {
 		reg.Counter("cgp.mutations_applied").Add(tel.Mutations.TotalApplied())
 		reg.Counter("cgp.migrations").Add(tel.Migrations)
 		reg.Counter("cgp.migrations_accepted").Add(tel.MigrationsAccepted)
+		reg.Counter("cgp.dedup_skips").Add(tel.DedupSkips)
+		reg.Counter("cgp.incremental_evals").Add(tel.IncrementalEvals)
+		reg.Counter("cgp.full_evals").Add(tel.FullEvals)
+		reg.Counter("cgp.cone_gates").Add(tel.ConeGates)
 		if tel.StopReason != "" {
 			reg.Counter("cgp.stop." + string(tel.StopReason)).Add(1)
 		}

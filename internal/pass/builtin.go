@@ -54,6 +54,7 @@ func init() {
 		OptionDoc{Name: "islands", Kind: "int", Default: "1", Help: "independent (1+λ) populations with ring migration"},
 		OptionDoc{Name: "migrate", Kind: "int", Default: "500", Help: "island epoch length in generations"},
 		OptionDoc{Name: "shrink", Kind: "bool", Default: "false", Help: "shrink the chromosome on every improvement"},
+		OptionDoc{Name: "incremental", Kind: "bool", Default: "false", Help: "dirty-cone incremental offspring evaluation (same trajectory per seed)"},
 	)
 	Register(Info{
 		Name: "cgp", Stage: "flow.cgp", Mutates: true,
@@ -251,6 +252,7 @@ type searchPass struct {
 	workers, islands *int
 	migrate          *int
 	shrink           *bool
+	incremental      *bool
 	steps            *int
 }
 
@@ -268,6 +270,7 @@ func buildSearch(args Args, engine string) (Pass, error) {
 		p.islands = r.IntOpt("islands")
 		p.migrate = r.IntOpt("migrate")
 		p.shrink = r.BoolOpt("shrink")
+		p.incremental = r.BoolOpt("incremental")
 	case "anneal":
 		p.steps = r.IntOpt("steps")
 	}
@@ -308,6 +311,9 @@ func (p *searchPass) options(st *State) core.Options {
 	}
 	if p.shrink != nil {
 		o.ShrinkOnImprove = *p.shrink
+	}
+	if p.incremental != nil {
+		o.Incremental = *p.incremental
 	}
 	return o
 }

@@ -29,37 +29,48 @@ const (
 	consumerPO   = -2
 )
 
-// Eval computes all metrics for the netlist.
-func (ce *CostEvaluator) Eval(n *Netlist) Costs {
+// ActiveOnly computes just the active-gate mask — the reachability prefix
+// of Eval — for callers that need reachability but not the cost metrics
+// (the incremental evaluator only extracts full costs from proved
+// candidates). Topological gate order turns the DFS into one cache-friendly
+// descending sweep: a gate's consumers all sit above it, so by the time the
+// sweep reaches a gate its activity is already settled. Shares Eval's
+// scratch: the returned mask is valid until the next ActiveOnly or Eval
+// call.
+func (ce *CostEvaluator) ActiveOnly(n *Netlist) []bool {
 	numGates := len(n.Gates)
-	numPorts := n.NumPorts()
+	firstGatePort := Signal(1 + n.NumPI)
 	ce.active = grow(ce.active, numGates)
-	ce.level = growInt(ce.level, numGates)
-	ce.used = grow(ce.used, numPorts)
-	ce.consumer = growInt32(ce.consumer, numPorts)
-	ce.stack = ce.stack[:0]
-
 	active := ce.active[:numGates]
 	for i := range active {
 		active[i] = false
 	}
-	// Mark active gates via DFS from the POs.
-	push := func(s Signal) {
-		if g, _, ok := n.PortOwner(s); ok && !active[g] {
-			active[g] = true
-			ce.stack = append(ce.stack, int32(g))
-		}
-	}
 	for _, po := range n.POs {
-		push(po)
-	}
-	for len(ce.stack) > 0 {
-		g := ce.stack[len(ce.stack)-1]
-		ce.stack = ce.stack[:len(ce.stack)-1]
-		for _, in := range n.Gates[g].In {
-			push(in)
+		if po >= firstGatePort {
+			active[int(po-firstGatePort)/3] = true
 		}
 	}
+	for g := numGates - 1; g >= 0; g-- {
+		if !active[g] {
+			continue
+		}
+		for _, in := range n.Gates[g].In {
+			if in >= firstGatePort {
+				active[int(in-firstGatePort)/3] = true
+			}
+		}
+	}
+	return active
+}
+
+// Eval computes all metrics for the netlist.
+func (ce *CostEvaluator) Eval(n *Netlist) Costs {
+	numGates := len(n.Gates)
+	numPorts := n.NumPorts()
+	active := ce.ActiveOnly(n)
+	ce.level = growInt(ce.level, numGates)
+	ce.used = grow(ce.used, numPorts)
+	ce.consumer = growInt32(ce.consumer, numPorts)
 
 	var c Costs
 	for g := range active {

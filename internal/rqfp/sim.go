@@ -10,6 +10,11 @@ import (
 type SimContext struct {
 	words int
 	ports []bits.Vec // indexed by Signal; ports[0] is all-ones (constant 1)
+
+	// stimID/stimGen identify the stimulus currently resident in the PI
+	// port vectors (see RunTagged). Zero means untagged: the next run
+	// copies the PI vectors unconditionally.
+	stimID, stimGen uint64
 }
 
 // NewSimContext allocates storage for a netlist with up to maxPorts ports
@@ -33,6 +38,17 @@ func (ctx *SimContext) Port(s Signal) bits.Vec { return ctx.ports[s] }
 // non-nil, inactive gates are skipped (their port vectors are stale). The
 // port vectors live in the context; output vectors can be read via Port.
 func (ctx *SimContext) Run(n *Netlist, inputs []bits.Vec, active []bool) {
+	ctx.RunTagged(n, inputs, active, 0, 0)
+}
+
+// RunTagged is Run with a stimulus identity: (stimID, stimGen) name the
+// stimulus revision held in inputs (e.g. a cec.Spec's unique id and its
+// counterexample-widening generation). When the context already holds that
+// exact revision in its PI port vectors, the per-PI copies — a fixed cost
+// paid on every offspring evaluation — are skipped. A zero stimID disables
+// the optimization and clears the tag, so plain Run never reuses vectors
+// left by a different caller.
+func (ctx *SimContext) RunTagged(n *Netlist, inputs []bits.Vec, active []bool, stimID, stimGen uint64) {
 	if len(inputs) != n.NumPI {
 		panic("rqfp: wrong number of input vectors")
 	}
@@ -42,8 +58,11 @@ func (ctx *SimContext) Run(n *Netlist, inputs []bits.Vec, active []bool) {
 			ctx.ports = append(ctx.ports, bits.NewWords(ctx.words))
 		}
 	}
-	for i, in := range inputs {
-		copy(ctx.ports[n.PIPort(i)], in)
+	if stimID == 0 || ctx.stimID != stimID || ctx.stimGen != stimGen {
+		for i, in := range inputs {
+			copy(ctx.ports[n.PIPort(i)], in)
+		}
+		ctx.stimID, ctx.stimGen = stimID, stimGen
 	}
 	for g := range n.Gates {
 		if active != nil && !active[g] {
@@ -56,13 +75,7 @@ func (ctx *SimContext) Run(n *Netlist, inputs []bits.Vec, active []bool) {
 		base := n.GateBase(g)
 		for m := 0; m < 3; m++ {
 			x0, x1, x2 := gate.Cfg.InvMasks(m)
-			out := ctx.ports[base+Signal(m)]
-			for w := 0; w < ctx.words; w++ {
-				a := v0[w] ^ x0
-				b := v1[w] ^ x1
-				c := v2[w] ^ x2
-				out[w] = a&b | a&c | b&c
-			}
+			bits.MajInv(ctx.ports[base+Signal(m)], v0, v1, v2, x0, x1, x2)
 		}
 	}
 }

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Regenerates results/BENCH_eval.json: the incremental-evaluation benchmark.
+# Runs the same seeded (1+λ) search twice on one benchmark circuit — once
+# with the full re-simulation path, once with dirty-cone incremental
+# evaluation — and records the throughput of each, the speedup, the dedup
+# hit rate and mean cone size, and whether both runs evolved the identical
+# circuit (the determinism witness). Extra flags are passed through, e.g.:
+#
+#   results/bench_eval.sh -bench intdiv10 -gens 5000 -mu 0.003
+set -e
+cd "$(dirname "$0")/.."
+exec go run ./cmd/rcgp-evalbench -bench hwb8 -gens 3000 -mu 0.001 -min-speedup 3 -o results/BENCH_eval.json "$@"

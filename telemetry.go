@@ -90,6 +90,16 @@ type Telemetry struct {
 	// the receiving island's parent.
 	Migrations         int64
 	MigrationsAccepted int64
+	// DedupSkips, IncrementalEvals, and FullEvals split Evaluations by
+	// evaluation path when Options.Incremental is on: fitness inherited
+	// from a phenotype-identical parent, dirty-cone re-simulation, or the
+	// full reference path. With Incremental off, FullEvals == Evaluations.
+	DedupSkips       int64
+	IncrementalEvals int64
+	FullEvals        int64
+	// ConeGates is the total number of gates re-simulated by incremental
+	// evaluations; ConeGates/IncrementalEvals is the mean dirty-cone size.
+	ConeGates int64
 	// StopReason records why the search stopped: "generations" (budget
 	// exhausted), "deadline" (TimeBudget expired), or "canceled" (the
 	// SynthesizeContext ctx was cancelled). Empty when the CGP stage was
@@ -142,6 +152,10 @@ func telemetryFromFlow(res *flow.Result) Telemetry {
 		t.Improvements = tel.Improvements
 		t.Migrations = tel.Migrations
 		t.MigrationsAccepted = tel.MigrationsAccepted
+		t.DedupSkips = tel.DedupSkips
+		t.IncrementalEvals = tel.IncrementalEvals
+		t.FullEvals = tel.FullEvals
+		t.ConeGates = tel.ConeGates
 		t.StopReason = string(tel.StopReason)
 		for k := 0; k < len(tel.Mutations.Attempts); k++ {
 			t.Mutations = append(t.Mutations, MutationStat{
