@@ -44,6 +44,14 @@ type Request struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoCache skips the result cache for this job (both lookup and store).
 	NoCache bool `json:"no_cache,omitempty"`
+	// FlightEvery overrides the server's flight-recorder cadence for this
+	// job (generations between samples); 0 takes the server default, a
+	// negative value disables recording.
+	FlightEvery int `json:"flight_every,omitempty"`
+	// Trace enables per-job execution-trace capture: the server keeps a
+	// bounded JSONL trace of the run (pipeline spans, generation
+	// checkpoints, SAT verdicts) and serves it on GET /jobs/{id}/trace.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Status is a job's lifecycle state.
@@ -95,6 +103,62 @@ type Result struct {
 	StopReason string `json:"stop_reason,omitempty"`
 }
 
+// FlightSample is one point of a job's search trajectory, streamed live on
+// GET /jobs/{id}/progress (NDJSON, one sample per line) and retained on the
+// job. The fields mirror rcgp.FlightSample; Seq is the server-assigned
+// 1-based sample index used as the stream resume cursor (?after=N).
+type FlightSample struct {
+	Seq              int64   `json:"seq,omitempty"`
+	Gen              int     `json:"gen"`
+	Evaluations      int64   `json:"evals"`
+	Gates            int     `json:"gates"`
+	Garbage          int     `json:"garbage"`
+	Buffers          int     `json:"buffers"`
+	Depth            int     `json:"depth"`
+	JJs              int     `json:"jjs"`
+	FullEvals        int64   `json:"full_evals"`
+	IncrementalEvals int64   `json:"incremental_evals"`
+	DedupSkips       int64   `json:"dedup_skips"`
+	Improvements     int64   `json:"improvements"`
+	ElapsedMS        int64   `json:"elapsed_ms"`
+	EvalsPerSec      float64 `json:"evals_per_sec"`
+}
+
+// HistogramSummary is the wire form of one duration histogram: counts plus
+// bucket-estimated quantiles, all in nanoseconds.
+type HistogramSummary struct {
+	Count  int64 `json:"count"`
+	SumNS  int64 `json:"sum_ns"`
+	MeanNS int64 `json:"mean_ns"`
+	MinNS  int64 `json:"min_ns"`
+	MaxNS  int64 `json:"max_ns"`
+	P50NS  int64 `json:"p50_ns"`
+	P90NS  int64 `json:"p90_ns"`
+	P99NS  int64 `json:"p99_ns"`
+}
+
+// JobStage is one entry of a job's pipeline stage-time breakdown.
+type JobStage struct {
+	Name       string `json:"name"`
+	DurationNS int64  `json:"dur_ns"`
+	Skipped    string `json:"skipped,omitempty"`
+}
+
+// JobTelemetry is the per-job observability view on GET /jobs/{id}: the
+// job's own counters, gauges, and histogram summaries (double-written by
+// the synthesis pipeline into a job-private registry, so they cover this
+// job only — GET /metrics aggregates across all jobs), plus the stage-time
+// breakdown once the job finished.
+type JobTelemetry struct {
+	Counters   map[string]int64            `json:"counters,omitempty"`
+	Gauges     map[string]int64            `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+	Stages     []JobStage                  `json:"stages,omitempty"`
+	// FlightSamples counts the trajectory samples recorded so far (the
+	// retained window is streamed by /jobs/{id}/progress).
+	FlightSamples int64 `json:"flight_samples,omitempty"`
+}
+
 // Job is the server's view of one synthesis job.
 type Job struct {
 	ID          string     `json:"id"`
@@ -114,6 +178,10 @@ type Job struct {
 	// Result is present once Status is "done" (and for canceled jobs that
 	// produced a best-so-far circuit before cancellation).
 	Result *Result `json:"result,omitempty"`
+	// Telemetry is the job's own observability view: counters, gauges, and
+	// histogram summaries from the job-private metric registry, live while
+	// the job runs and frozen when it finishes.
+	Telemetry *JobTelemetry `json:"telemetry,omitempty"`
 }
 
 // CacheStats mirrors the server cache counters.
@@ -135,6 +203,12 @@ type Health struct {
 	Running  int         `json:"running"`
 	Finished int         `json:"finished"`
 	Cache    *CacheStats `json:"cache,omitempty"`
+	// Build identity of the serving binary, from runtime/debug build info:
+	// module version, VCS revision (12-hex prefix, "+dirty" when the tree
+	// was modified), and the Go toolchain that built it.
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"revision,omitempty"`
+	GoVersion string `json:"go_version,omitempty"`
 }
 
 // APIError is a non-2xx response decoded from the server.

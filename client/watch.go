@@ -1,0 +1,98 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Watch follows a job's live progress stream (GET /jobs/{id}/progress):
+// every flight sample the search records is decoded and handed to fn, in
+// order, until the job reaches a terminal status; Watch then fetches and
+// returns the final job state. A dropped connection resumes from the last
+// seen sample (the ?after=seq cursor), so fn sees each sample at most
+// once. fn runs on Watch's goroutine; a nil fn just waits for completion.
+func (c *Client) Watch(ctx context.Context, id string, fn func(FlightSample)) (Job, error) {
+	var after int64
+	for {
+		done, err := c.watchOnce(ctx, id, &after, fn)
+		if err != nil {
+			return Job{}, err
+		}
+		if done {
+			return c.Job(ctx, id)
+		}
+		// Stream ended without the job being terminal (server restart,
+		// proxy timeout): back off briefly and resume from the cursor.
+		select {
+		case <-ctx.Done():
+			return Job{}, ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// watchOnce consumes one progress stream. It reports done=true when the
+// job is terminal (the server ends the stream with a status line).
+func (c *Client) watchOnce(ctx context.Context, id string, after *int64, fn func(FlightSample)) (bool, error) {
+	url := fmt.Sprintf("%s/jobs/%s/progress?after=%d", c.BaseURL, id, *after)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return false, err
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg := make([]byte, 4096)
+		n, _ := resp.Body.Read(msg)
+		return false, &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(msg[:n]))}
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		// The stream closes with {"status":"done",...} once terminal.
+		var probe struct {
+			Status Status `json:"status"`
+			Seq    int64  `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			return false, fmt.Errorf("progress stream: %w", err)
+		}
+		if probe.Status != "" {
+			return probe.Status.Terminal(), nil
+		}
+		var s FlightSample
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			return false, fmt.Errorf("progress stream: %w", err)
+		}
+		if s.Seq > *after {
+			*after = s.Seq
+		}
+		if fn != nil {
+			fn(s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return false, ctx.Err()
+		}
+		return false, err
+	}
+	return false, nil
+}

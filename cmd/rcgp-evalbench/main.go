@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/reversible-eda/rcgp/internal/bench"
+	"github.com/reversible-eda/rcgp/internal/buildinfo"
 	"github.com/reversible-eda/rcgp/internal/core"
 	"github.com/reversible-eda/rcgp/internal/flow"
 )
@@ -70,8 +71,14 @@ func mainErr() error {
 		workers    = flag.Int("workers", 1, "evaluation goroutines for both runs")
 		outPath    = flag.String("o", "results/BENCH_eval.json", "output JSON path")
 		minSpeedup = flag.Float64("min-speedup", 0, "fail unless incremental/full throughput ratio reaches this (0 = report only)")
+		version    = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("rcgp-evalbench"))
+		return nil
+	}
 
 	c, err := bench.ByName(*benchName)
 	if err != nil {

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"github.com/reversible-eda/rcgp/internal/bench"
+	"github.com/reversible-eda/rcgp/internal/buildinfo"
 	"github.com/reversible-eda/rcgp/internal/core"
 	"github.com/reversible-eda/rcgp/internal/flow"
 )
@@ -42,8 +43,16 @@ type report struct {
 	Generations int    `json:"generations"`
 	Lambda      int    `json:"lambda"`
 	Seed        int64  `json:"seed"`
-	GOMAXPROCS  int    `json:"gomaxprocs"`
-	Runs        []run  `json:"runs"`
+	// GOMAXPROCS and NumCPU witness the parallelism actually available to
+	// the sweep: a scaling record is only meaningful when the scheduler
+	// could run the workers concurrently, so both are recorded in every
+	// report and checked against the largest worker count before any run.
+	GOMAXPROCS int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
+	// Oversubscribed marks reports forced past that check with
+	// -allow-oversubscribed (e.g. a determinism-only sweep in CI).
+	Oversubscribed bool  `json:"oversubscribed,omitempty"`
+	Runs           []run `json:"runs"`
 }
 
 func main() {
@@ -62,8 +71,15 @@ func mainErr() error {
 		islands   = flag.Int("islands", 1, "island count for every run")
 		sweep     = flag.String("workers", "1,2,4,8", "comma-separated worker counts")
 		outPath   = flag.String("o", "results/BENCH_parallel.json", "output JSON path")
+		oversub   = flag.Bool("allow-oversubscribed", false, "run even when GOMAXPROCS is below the largest worker count (speedups will be meaningless; the report is marked)")
+		version   = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("rcgp-parbench"))
+		return nil
+	}
 
 	c, err := bench.ByName(*benchName)
 	if err != nil {
@@ -78,12 +94,26 @@ func mainErr() error {
 		counts = append(counts, w)
 	}
 
+	maxWorkers := 0
+	for _, w := range counts {
+		if w > maxWorkers {
+			maxWorkers = w
+		}
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if procs < maxWorkers && !*oversub {
+		return fmt.Errorf("GOMAXPROCS=%d (NumCPU=%d) cannot actually run %d workers in parallel, so the sweep's speedup numbers would be misleading; drop the larger counts or pass -allow-oversubscribed to record a marked report",
+			procs, runtime.NumCPU(), maxWorkers)
+	}
+
 	rep := report{
-		Benchmark:   c.Name,
-		Generations: *gens,
-		Lambda:      *lambda,
-		Seed:        *seed,
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Benchmark:      c.Name,
+		Generations:    *gens,
+		Lambda:         *lambda,
+		Seed:           *seed,
+		GOMAXPROCS:     procs,
+		NumCPU:         runtime.NumCPU(),
+		Oversubscribed: procs < maxWorkers,
 	}
 	var baseRate float64
 	var baseBest string

@@ -21,12 +21,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the -debug-addr mux
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/internal/buildinfo"
 	"github.com/reversible-eda/rcgp/internal/obs"
 	"github.com/reversible-eda/rcgp/internal/serve"
 )
@@ -44,8 +46,17 @@ func main() {
 		generations   = flag.Int("generations", 20000, "default generations per job")
 		jobTimeout    = flag.Duration("job-timeout", 0, "default per-job wall-clock bound (0: none)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+		flightEvery   = flag.Int("flight-every", 500, "default flight-recorder cadence in generations (negative: off unless a request asks)")
+		flightCap     = flag.Int("flight-cap", 2048, "flight samples retained per job for /jobs/{id}/progress")
+		debugAddr     = flag.String("debug-addr", "", "serve pprof and expvar on this extra address (e.g. localhost:6060); keep it private")
+		version       = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("rcgp-serve"))
+		return
+	}
 
 	var cache *rcgp.Cache
 	var err error
@@ -69,9 +80,24 @@ func main() {
 		Cache:              cache,
 		CheckpointDir:      *checkpointDir,
 		CheckpointEvery:    *checkpointGen,
+		FlightEvery:        *flightEvery,
+		FlightCap:          *flightCap,
 		Registry:           reg,
 		Logf:               log.Printf,
 	})
+
+	// The debug listener is separate from the API address on purpose:
+	// pprof exposes heap contents and must not ride on the public port.
+	if *debugAddr != "" {
+		dl, err := serve.Listen(*debugAddr)
+		if err != nil {
+			log.Fatalf("rcgp-serve: debug server: %v", err)
+		}
+		serve.ServeBackground(dl, nil, func(err error) {
+			log.Printf("rcgp-serve: debug server: %v", err)
+		})
+		log.Printf("rcgp-serve: debug (pprof) on %s", dl.Addr())
+	}
 
 	// Bind before serving, so a bad -addr is a startup error, not a log
 	// line racing the "listening" banner.

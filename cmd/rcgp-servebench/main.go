@@ -24,6 +24,7 @@ import (
 
 	"github.com/reversible-eda/rcgp"
 	"github.com/reversible-eda/rcgp/client"
+	"github.com/reversible-eda/rcgp/internal/buildinfo"
 	"github.com/reversible-eda/rcgp/internal/obs"
 	"github.com/reversible-eda/rcgp/internal/serve"
 )
@@ -62,8 +63,14 @@ func main() {
 		gens       = flag.Int("gens", 3000, "generations per cold search")
 		concurrent = flag.Int("concurrent", 2, "server MaxConcurrent")
 		seed       = flag.Int64("seed", 1, "function-set seed")
+		version    = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("rcgp-servebench"))
+		return
+	}
 
 	cache := rcgp.NewMemoryCache(0)
 	defer cache.Close()

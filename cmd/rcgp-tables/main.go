@@ -19,6 +19,7 @@ import (
 	"os"
 	"time"
 
+	"github.com/reversible-eda/rcgp/internal/buildinfo"
 	"github.com/reversible-eda/rcgp/internal/tables"
 )
 
@@ -34,8 +35,13 @@ func main() {
 		verbose   = flag.Bool("v", false, "per-circuit progress on stderr")
 		optimizer = flag.String("optimizer", "cgp", "search engine: cgp (paper), anneal, hybrid")
 		jsonOut   = flag.Bool("json", false, "emit JSON instead of the text tables")
+		version   = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rcgp-tables"))
+		return
+	}
 	cfg := tables.Config{
 		Generations:    *gens,
 		TimePerCircuit: *budget,

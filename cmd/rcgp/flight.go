@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	rcgp "github.com/reversible-eda/rcgp"
+)
+
+// flightWriter streams flight-recorder samples to a JSONL file as the
+// search takes them (-flight). Writing from the sink rather than dumping
+// Result.Flight afterwards means the file holds every sample of a long
+// run, not just the retained ring window, and survives a Ctrl-C. The sink
+// runs on the evolution coordinator goroutine, so writes are buffered and
+// the first error is kept to report after the run.
+type flightWriter struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	n   int
+	err error
+}
+
+func newFlightWriter(w io.Writer) *flightWriter {
+	bw := bufio.NewWriter(w)
+	return &flightWriter{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (fw *flightWriter) sample(s rcgp.FlightSample) {
+	if fw.err != nil {
+		return
+	}
+	if err := fw.enc.Encode(s); err != nil {
+		fw.err = err
+		return
+	}
+	fw.n++
+}
+
+func (fw *flightWriter) finish() error {
+	if fw.err != nil {
+		return fw.err
+	}
+	return fw.bw.Flush()
+}

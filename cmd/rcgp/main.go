@@ -26,6 +26,7 @@ import (
 	"strings"
 
 	rcgp "github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/internal/buildinfo"
 )
 
 func main() {
@@ -58,13 +59,20 @@ func run() error {
 		chrom     = flag.Bool("chromosome", false, "print the CGP chromosome string")
 		quiet     = flag.Bool("q", false, "suppress progress output")
 		tracePath = flag.String("trace", "", "write a JSONL trace of the run to this file")
+		flightOut = flag.String("flight", "", "write the flight-recorder trajectory (JSONL, one sample per line) to this file")
+		flightGen = flag.Int("flight-every", 500, "flight sampling cadence in generations (with -flight)")
 		metrics   = flag.Bool("metrics", false, "print the telemetry summary (stages, CGP, CEC/SAT) to stderr")
 		debugAddr = flag.String("debug-addr", "", "serve expvar and pprof on this address (e.g. localhost:6060)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile (taken after synthesis) to this file")
+		version   = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.String("rcgp"))
+		return nil
+	}
 	if *list {
 		for _, n := range rcgp.BenchmarkNames() {
 			fmt.Println(n)
@@ -131,6 +139,17 @@ func run() error {
 		defer f.Close()
 		opt.Trace = f
 	}
+	var flight *flightWriter
+	if *flightOut != "" {
+		f, err := os.Create(*flightOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		flight = newFlightWriter(f)
+		opt.FlightEvery = *flightGen
+		opt.FlightSink = flight.sample
+	}
 	// Ctrl-C cancels the synthesis context: the evolution (and any
 	// in-flight SAT proof) stops promptly and the validated best-so-far
 	// circuit is reported. A second Ctrl-C kills the process.
@@ -139,6 +158,14 @@ func run() error {
 	res, err := design.SynthesizeContext(ctx, opt)
 	if err != nil {
 		return err
+	}
+	if flight != nil {
+		if err := flight.finish(); err != nil {
+			return fmt.Errorf("writing -flight output: %w", err)
+		}
+		if !*quiet {
+			fmt.Printf("wrote %s (%d flight samples)\n", *flightOut, flight.n)
+		}
 	}
 	if *memProf != "" {
 		f, err := os.Create(*memProf)

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	rcgp "github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/internal/buildinfo"
 )
 
 func main() {
@@ -25,8 +26,13 @@ func main() {
 		maxGates  = flag.Int("max-gates", 6, "upper bound of the gate-count search")
 		budget    = flag.Duration("time", 0, "wall-clock budget (0 = none)")
 		outPath   = flag.String("o", "", "write the netlist to this file")
+		version   = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rqfp-exact"))
+		return
+	}
 	if err := run(*benchName, *maxGates, *budget, *outPath); err != nil {
 		fmt.Fprintln(os.Stderr, "rqfp-exact:", err)
 		os.Exit(1)

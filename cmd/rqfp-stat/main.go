@@ -6,11 +6,16 @@
 // a second netlist and reports the verdict together with the solver's
 // search counters.
 //
+// The watch subcommand follows a job on a running rcgp-serve instance,
+// rendering the live convergence trajectory from the search flight
+// recorder (GET /jobs/{id}/progress) until the job finishes.
+//
 // Usage:
 //
 //	rqfp-stat circuit.rqfp
 //	rqfp-stat -chromosome -tt circuit.rqfp
 //	rqfp-stat -equiv other.rqfp circuit.rqfp
+//	rqfp-stat watch -server http://localhost:8080 j000001
 package main
 
 import (
@@ -19,18 +24,34 @@ import (
 	"os"
 
 	rcgp "github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/internal/buildinfo"
 )
 
 func main() {
+	// `rqfp-stat watch <job>` follows a live synthesis job instead of
+	// reading a local netlist file.
+	if len(os.Args) > 1 && os.Args[1] == "watch" {
+		if err := runWatch(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "rqfp-stat:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var (
-		chrom = flag.Bool("chromosome", false, "print the CGP chromosome string")
-		tt    = flag.Bool("tt", false, "print output truth tables (small circuits only)")
-		cells = flag.Bool("aqfp", false, "print the AQFP cell-level inventory")
-		equiv = flag.String("equiv", "", "check SAT equivalence against this second netlist")
+		chrom   = flag.Bool("chromosome", false, "print the CGP chromosome string")
+		tt      = flag.Bool("tt", false, "print output truth tables (small circuits only)")
+		cells   = flag.Bool("aqfp", false, "print the AQFP cell-level inventory")
+		equiv   = flag.String("equiv", "", "check SAT equivalence against this second netlist")
+		version = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rqfp-stat"))
+		return
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rqfp-stat [-chromosome] [-tt] [-aqfp] [-equiv other.rqfp] <file.rqfp>")
+		fmt.Fprintln(os.Stderr, "       rqfp-stat watch [-server URL] <job-id>")
 		os.Exit(2)
 	}
 	if err := run(flag.Arg(0), *chrom, *tt, *cells, *equiv); err != nil {

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"github.com/reversible-eda/rcgp/client"
+)
+
+// runWatch implements `rqfp-stat watch [-server URL] <job-id>`: it follows
+// the job's flight-recorder stream and prints one convergence line per
+// sample, then the final verdict. Reconnects transparently if the stream
+// drops; Ctrl-C stops watching (the job keeps running server-side).
+func runWatch(args []string) error {
+	fs := flag.NewFlagSet("rqfp-stat watch", flag.ExitOnError)
+	server := fs.String("server", "http://127.0.0.1:8080", "rcgp-serve base URL")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: rqfp-stat watch [-server URL] <job-id>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	id := fs.Arg(0)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	c := client.New(*server)
+	job, err := c.Watch(ctx, id, func(s client.FlightSample) {
+		fmt.Printf("gen %-9d n_r=%-5d n_g=%-4d buf=%-5d depth=%-4d jj=%-6d evals=%-10d %8.0f eval/s\n",
+			s.Gen, s.Gates, s.Garbage, s.Buffers, s.Depth, s.JJs, s.Evaluations, s.EvalsPerSec)
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "rqfp-stat: interrupted — job keeps running; re-run watch to resume")
+			return nil
+		}
+		return err
+	}
+
+	fmt.Printf("job %s: %s", id, job.Status)
+	if job.Error != "" {
+		fmt.Printf(" (%s)", job.Error)
+	}
+	fmt.Println()
+	if r := job.Result; r != nil {
+		fmt.Printf("  gates n_r=%d  garbage n_g=%d  buffers=%d  jj=%d  depth=%d\n",
+			r.Stats.Gates, r.Stats.Garbage, r.Stats.Buffers, r.Stats.JJs, r.Stats.Depth)
+		fmt.Printf("  %d generations, %d evaluations, %.2fs", r.Generations, r.Evaluations, float64(r.RuntimeMS)/1000)
+		if r.FromCache {
+			fmt.Print(" (served from cache)")
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Package buildinfo derives the binary's build identity — module version,
+// VCS revision, Go toolchain — from runtime/debug.ReadBuildInfo, so every
+// command can answer -version and the service can stamp /healthz and the
+// rcgp_build_info metric without any build-time ldflags plumbing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+type info struct {
+	version  string
+	revision string
+	modified bool
+}
+
+var load = sync.OnceValue(func() info {
+	bi := info{version: "(devel)"}
+	b, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if b.Main.Version != "" {
+		bi.version = b.Main.Version
+	}
+	for _, s := range b.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.revision = s.Value
+		case "vcs.modified":
+			bi.modified = s.Value == "true"
+		}
+	}
+	return bi
+})
+
+// Version returns the main module version ("(devel)" for local builds).
+func Version() string { return load().version }
+
+// Revision returns the VCS revision the binary was built from, shortened
+// to 12 hex digits, with a "+dirty" suffix when the tree had local
+// modifications. Empty when the build carried no VCS stamp.
+func Revision() string {
+	bi := load()
+	rev := bi.revision
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if rev != "" && bi.modified {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// GoVersion returns the Go toolchain that built the binary.
+func GoVersion() string { return runtime.Version() }
+
+// String renders the identity for a -version flag: the program name plus
+// version, revision (when stamped), and toolchain.
+func String(program string) string {
+	s := fmt.Sprintf("%s %s", program, Version())
+	if rev := Revision(); rev != "" {
+		s += fmt.Sprintf(" (%s)", rev)
+	}
+	return s + " " + GoVersion()
+}

@@ -65,8 +65,19 @@ type engine struct {
 	deferLearn bool
 	pendingCex [][]bool
 
-	hists    []*obs.Histogram // per-worker eval latency, nil entries when unmetered
-	coneHist *obs.Histogram   // dirty-cone size distribution (incremental mode)
+	hists    []obs.HistogramSet // per-worker eval latency, nil entries when unmetered
+	coneHist obs.HistogramSet   // dirty-cone size distribution (incremental mode)
+
+	// Live search gauges, refreshed at the progress/flight cadence (no-op
+	// sets when no metrics scope is attached).
+	genGauge     obs.GaugeSet
+	gatesGauge   obs.GaugeSet
+	garbageGauge obs.GaugeSet
+
+	// flight is the search flight recorder; startTime anchors its elapsed
+	// and throughput fields.
+	flight    *flightRing
+	startTime time.Time
 }
 
 // newEngine validates and scores the initial netlist and starts the worker
@@ -77,6 +88,10 @@ type engine struct {
 func newEngine(initial *genotype, ev Evaluator, opt Options, island int) (*engine, error) {
 	e := &engine{opt: opt, island: island, eval: ev, r: rand.New(rand.NewSource(opt.Seed))}
 	e.parentEpoch = 1
+	e.startTime = time.Now()
+	if opt.FlightEvery > 0 {
+		e.flight = newFlightRing(opt.FlightCap)
+	}
 	if _, ok := ev.(DeltaEvaluator); ok && opt.Incremental {
 		e.incremental = true
 	}
@@ -96,8 +111,8 @@ func newEngine(initial *genotype, ev Evaluator, opt Options, island int) (*engin
 		s.g.stats = &s.stat
 		e.slots[i] = s
 	}
-	e.hists = make([]*obs.Histogram, opt.Workers)
-	if opt.Metrics != nil {
+	e.hists = make([]obs.HistogramSet, opt.Workers)
+	if !opt.Metrics.Empty() {
 		for w := range e.hists {
 			e.hists[w] = opt.Metrics.Histogram(e.histName(w))
 		}
@@ -107,6 +122,13 @@ func newEngine(initial *genotype, ev Evaluator, opt Options, island int) (*engin
 				name = fmt.Sprintf("cgp.cone_gates.island_%d", island)
 			}
 			e.coneHist = opt.Metrics.Histogram(name)
+		}
+		if island < 0 {
+			// Island engines share one scope; only a single-population run
+			// owns the live search gauges.
+			e.genGauge = opt.Metrics.Gauge("cgp.generation")
+			e.gatesGauge = opt.Metrics.Gauge("cgp.best_gates")
+			e.garbageGauge = opt.Metrics.Gauge("cgp.best_garbage")
 		}
 	}
 	if opt.Workers > 1 {
@@ -143,7 +165,7 @@ func (e *engine) worker(w int, ev Evaluator) {
 // runSlot mutates and evaluates offspring i into its slot. All inputs
 // (parent, seed) were published by the coordinator before dispatch; all
 // outputs stay inside the slot until the reducer reads them.
-func (e *engine) runSlot(i int, ev Evaluator, hist *obs.Histogram) {
+func (e *engine) runSlot(i int, ev Evaluator, hist obs.HistogramSet) {
 	s := e.slots[i]
 	s.done = false
 	if e.ctx.Err() != nil {
@@ -262,7 +284,11 @@ func (e *engine) run(ctx context.Context, gens int) StopReason {
 
 		e.maybeCheckpoint(e.gen + 1)
 
+		if e.opt.FlightEvery > 0 && e.gen%e.opt.FlightEvery == 0 {
+			e.recordFlight()
+		}
 		if e.gen%e.opt.ProgressEvery == 0 {
+			e.updateGauges()
 			if e.opt.Progress != nil {
 				e.opt.Progress(e.gen, e.parentFit)
 			}
@@ -335,6 +361,9 @@ func (e *engine) result(start time.Time, reason StopReason) *Result {
 	}
 	e.tel.StopReason = reason
 	e.tel.Elapsed = time.Since(start)
+	if e.opt.FlightEvery > 0 {
+		e.recordFlight() // close the trajectory with a final sample
+	}
 	return &Result{
 		Best:        e.parent.net.Shrink(),
 		Fitness:     e.parentFit,
@@ -343,5 +372,6 @@ func (e *engine) result(start time.Time, reason StopReason) *Result {
 		Improved:    int(e.tel.Improvements),
 		Elapsed:     e.tel.Elapsed,
 		Telemetry:   e.tel,
+		Flight:      e.flight.samples(),
 	}
 }

@@ -75,9 +75,31 @@ type Options struct {
 	// per-candidate evaluation path emits nothing, so an attached tracer
 	// does not slow the hot loop.
 	Trace *obs.Tracer
-	// Metrics, when non-nil, receives per-worker evaluation-latency
-	// histograms (cgp.eval.worker_N) and island migration counters.
-	Metrics *obs.Registry
+	// Metrics, when non-empty, receives per-worker evaluation-latency
+	// histograms (cgp.eval.worker_N), island migration counters, and the
+	// live search gauges (cgp.generation, cgp.best_gates,
+	// cgp.best_garbage). A Scope fans every write out to all of its
+	// registries, so the same run can feed a per-job registry and the
+	// process-global one at once.
+	Metrics *obs.Scope
+	// FlightEvery, when positive, samples the search flight recorder every
+	// that many generations: generation, best fitness, depth/buffer/JJ
+	// costs, the full/incremental/dedup evaluation split, and throughput.
+	// Sampling runs on the coordinator goroutine, reads only
+	// coordinator-owned state, and draws no randomness, so a recorded run
+	// is bit-identical per seed to an unrecorded one. Like checkpointing it
+	// is a single-population feature: with Islands > 1 the island engines
+	// have no common sampling barrier, so the recorder is disabled.
+	// Default off.
+	FlightEvery int
+	// FlightCap bounds the retained flight samples; older samples are
+	// overwritten ring-buffer style. Default 1024.
+	FlightCap int
+	// FlightSink, when non-nil, additionally receives every flight sample
+	// as it is taken — the live-streaming hook of the service layer. Called
+	// on the coordinator goroutine only, so implementations are serialized
+	// but must not block for long.
+	FlightSink func(FlightSample)
 	// CheckpointEvery, when positive, emits a restartable Checkpoint to
 	// CheckpointFn every that many generations. Like Progress, the callback
 	// runs on the coordinator goroutine only. Checkpointing is a
@@ -138,6 +160,9 @@ type Result struct {
 	// Telemetry carries the full per-run counter snapshot (Evaluations,
 	// Improved, and Elapsed above are retained as convenience mirrors).
 	Telemetry Telemetry
+	// Flight is the retained flight-recorder window in chronological order
+	// (empty unless Options.FlightEvery was set).
+	Flight []FlightSample
 }
 
 // Merge folds an earlier search phase's report into r: evaluation and
@@ -152,6 +177,9 @@ func (r *Result) Merge(prev *Result) {
 	r.Evaluations += prev.Evaluations
 	r.Improved += prev.Improved
 	r.Telemetry.Add(prev.Telemetry)
+	if len(prev.Flight) > 0 {
+		r.Flight = append(append([]FlightSample{}, prev.Flight...), r.Flight...)
+	}
 	if !r.Fitness.BetterOrEqual(prev.Fitness) {
 		r.Best = prev.Best
 		r.Fitness = prev.Fitness

@@ -39,6 +39,8 @@ func optimizeIslands(ctx context.Context, start time.Time, initial *rqfp.Netlist
 		iopt.Progress = nil // only the coordinator reports progress
 		iopt.CheckpointFn = nil
 		iopt.CheckpointEvery = 0 // checkpointing is single-population only
+		iopt.FlightEvery = 0     // so is the flight recorder
+		iopt.FlightSink = nil
 		root := ev
 		if i > 0 {
 			root = ev.Fork()

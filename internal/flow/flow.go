@@ -187,8 +187,14 @@ func RunContext(ctx context.Context, spec *aig.AIG, opt Options) (*Result, error
 		return nil, fmt.Errorf("flow: %w", err)
 	}
 
+	// The write scope spans the run registry plus whatever the context
+	// carries — the service layer threads a per-job + process-global scope
+	// through ctx, so one instrumented code path feeds /jobs/{id},
+	// /metrics, and Result.Obs at once.
+	scope := obs.ScopeFrom(ctx).With(reg)
+
 	cgpOpt := opt.CGP
-	cgpOpt.Metrics = reg
+	cgpOpt.Metrics = scope
 	if cgpOpt.Trace == nil {
 		cgpOpt.Trace = opt.Trace
 	}
@@ -198,6 +204,7 @@ func RunContext(ctx context.Context, spec *aig.AIG, opt Options) (*Result, error
 		CGP:         cgpOpt,
 		RandomWords: opt.RandomWords,
 		Reg:         reg,
+		Scope:       scope,
 		Tracer:      opt.Trace,
 	}
 	if err := mgr.Run(ctx, st); err != nil {
@@ -231,7 +238,7 @@ func RunContext(ctx context.Context, spec *aig.AIG, opt Options) (*Result, error
 	if st.Oracle != nil {
 		res.CEC = st.Oracle.Stats()
 	}
-	recordRunMetrics(reg, res)
+	recordRunMetrics(scope, res)
 	res.Obs = reg.Snapshot()
 	res.Runtime = time.Since(start)
 	if opt.Trace != nil {
@@ -244,10 +251,11 @@ func RunContext(ctx context.Context, spec *aig.AIG, opt Options) (*Result, error
 	return res, nil
 }
 
-// recordRunMetrics folds the run's counters into the metric registry so a
-// single snapshot (or the -debug-addr expvar endpoint) carries the whole
-// picture: CGP search effort, oracle verdict mix, and SAT work.
-func recordRunMetrics(reg *obs.Registry, res *Result) {
+// recordRunMetrics folds the run's counters into every registry of the
+// scope so a single snapshot (or the -debug-addr expvar endpoint, or a
+// job's /jobs/{id} view) carries the whole picture: CGP search effort,
+// oracle verdict mix, and SAT work.
+func recordRunMetrics(reg *obs.Scope, res *Result) {
 	if res.CGP != nil {
 		tel := res.CGP.Telemetry
 		reg.Counter("cgp.evaluations").Add(tel.Evaluations)

@@ -1,0 +1,66 @@
+package flow
+
+import (
+	"context"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/bench"
+	"github.com/reversible-eda/rcgp/internal/core"
+	"github.com/reversible-eda/rcgp/internal/obs"
+)
+
+// A scope carried on the context must receive the full run picture —
+// stage spans, search counters, CEC/SAT stats — in every member registry,
+// mirroring what Result.Obs reports.
+func TestContextScopeDoubleWrite(t *testing.T) {
+	c := bench.Table1()[0]
+	jobReg, globalReg := obs.NewRegistry(), obs.NewRegistry()
+	ctx := obs.WithScope(context.Background(), obs.NewScope(jobReg, globalReg))
+
+	res, err := RunContext(ctx, aig.FromTruthTables(c.Tables), Options{
+		CGP: core.Options{Generations: 800, Seed: 5, FlightEvery: 200},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs.Counters["cgp.evaluations"] == 0 {
+		t.Fatal("run snapshot has no evaluations")
+	}
+	for i, r := range []*obs.Registry{jobReg, globalReg} {
+		snap := r.Snapshot()
+		for _, counter := range []string{"cgp.evaluations", "cec.checks", "cgp.full_evals"} {
+			if snap.Counters[counter] != res.Obs.Counters[counter] {
+				t.Errorf("registry %d: counter %s = %d, run snapshot has %d",
+					i, counter, snap.Counters[counter], res.Obs.Counters[counter])
+			}
+		}
+		for _, hist := range []string{"flow.synth", "cgp.eval.worker_0"} {
+			if snap.Histograms[hist].Count != res.Obs.Histograms[hist].Count {
+				t.Errorf("registry %d: histogram %s count = %d, run snapshot has %d",
+					i, hist, snap.Histograms[hist].Count, res.Obs.Histograms[hist].Count)
+			}
+		}
+		if snap.Gauges["cgp.generation"] == 0 {
+			t.Errorf("registry %d: live generation gauge never set", i)
+		}
+	}
+	if res.CGP == nil || len(res.CGP.Flight) == 0 {
+		t.Fatal("flight recorder produced no samples through the flow")
+	}
+}
+
+// Without a scope on the context the flow must behave exactly as before:
+// all metrics land in the run registry only.
+func TestNoScopeStillRecords(t *testing.T) {
+	c := bench.Table1()[0]
+	res, err := RunContext(context.Background(), aig.FromTruthTables(c.Tables), Options{
+		CGP: core.Options{Generations: 300, Seed: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Obs.Counters["cgp.evaluations"] == 0 || res.Obs.Histograms["flow.synth"].Count != 1 {
+		t.Fatalf("run registry incomplete without a context scope: %+v", res.Obs.Counters)
+	}
+}

@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strconv"
+)
+
+// Prometheus text exposition (format 0.0.4), hand-rolled so the service
+// keeps its zero-dependency contract. Metric names are prefixed with
+// "rcgp_" and sanitized (dots become underscores); counters carry the
+// conventional "_total" suffix. Histograms are exported with their native
+// power-of-two buckets in the unit they were observed in — nanoseconds for
+// the duration histograms, raw counts for counting histograms such as
+// cgp.cone_gates — so no metric is silently rescaled into a wrong unit.
+
+// PromName renders a registry metric name as a Prometheus metric name:
+// "serve.http_request" → "rcgp_serve_http_request".
+func PromName(name string) string {
+	b := []byte("rcgp_" + name)
+	for i := 5; i < len(b); i++ {
+		c := b[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// WritePrometheus renders every metric of the registry in the Prometheus
+// text exposition format: counters (as <name>_total), gauges, and
+// histograms with cumulative power-of-two buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, n := range sortedKeys(counters) {
+		pn := PromName(n) + "_total"
+		fmt.Fprintf(bw, "# HELP %s Counter %q of the rcgp metric registry.\n", pn, n)
+		fmt.Fprintf(bw, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, counters[n].Load())
+	}
+	for _, n := range sortedKeys(gauges) {
+		pn := PromName(n)
+		fmt.Fprintf(bw, "# HELP %s Gauge %q of the rcgp metric registry.\n", pn, n)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(bw, "%s %d\n", pn, gauges[n].Load())
+	}
+	for _, n := range sortedKeys(hists) {
+		writePromHistogram(bw, n, hists[n])
+	}
+	return bw.Flush()
+}
+
+// writePromHistogram renders one histogram with cumulative buckets. Bucket
+// i of the internal layout holds observations v with bits.Len64(v) == i,
+// i.e. v ≤ 2^i − 1, so the upper bound of bucket i is 2^i − 1 in the
+// histogram's native unit (nanoseconds for durations). Trailing all-zero
+// buckets are elided; the +Inf bucket always closes the series.
+func writePromHistogram(w io.Writer, name string, h *Histogram) {
+	pn := PromName(name)
+	fmt.Fprintf(w, "# HELP %s Histogram %q of the rcgp metric registry (power-of-two buckets, native units: ns for durations).\n", pn, name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+	var counts [histBuckets]int64
+	last := -1
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] != 0 {
+			last = i
+		}
+	}
+	cum := int64(0)
+	for i := 0; i <= last; i++ {
+		cum += counts[i]
+		// Upper bound 2^i − 1; i = 0 is the exact-zero bucket.
+		le := uint64(1)<<uint(i) - 1
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", pn, le, cum)
+	}
+	count := h.count.Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, count)
+	fmt.Fprintf(w, "%s_sum %d\n", pn, h.sum.Load())
+	fmt.Fprintf(w, "%s_count %d\n", pn, count)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteGoMetrics renders process-level Go runtime gauges — goroutine
+// count, heap/sys bytes, GC cycle and pause totals — alongside the
+// registry metrics on a /metrics scrape.
+func WriteGoMetrics(w io.Writer) error {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	bw := bufio.NewWriter(w)
+	writeOne := func(name, typ string, help string, value string) {
+		fmt.Fprintf(bw, "# HELP %s %s\n", name, help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, typ)
+		fmt.Fprintf(bw, "%s %s\n", name, value)
+	}
+	writeOne("go_goroutines", "gauge", "Number of goroutines that currently exist.",
+		strconv.Itoa(runtime.NumGoroutine()))
+	writeOne("go_memstats_heap_alloc_bytes", "gauge", "Heap bytes allocated and still in use.",
+		strconv.FormatUint(ms.HeapAlloc, 10))
+	writeOne("go_memstats_sys_bytes", "gauge", "Bytes of memory obtained from the OS.",
+		strconv.FormatUint(ms.Sys, 10))
+	writeOne("go_gc_cycles_total", "counter", "Completed GC cycles.",
+		strconv.FormatUint(uint64(ms.NumGC), 10))
+	writeOne("go_gc_pause_seconds_total", "counter", "Cumulative GC stop-the-world pause time.",
+		strconv.FormatFloat(float64(ms.PauseTotalNs)/1e9, 'g', -1, 64))
+	return bw.Flush()
+}
+
+// WriteInfoMetric renders a constant info-style gauge (value 1) with the
+// given labels, e.g. rcgp_build_info{revision="...",version="..."} 1.
+// Label keys are emitted in sorted order for a stable scrape.
+func WriteInfoMetric(w io.Writer, name, help string, labels map[string]string) error {
+	keys := sortedKeys(labels)
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s{", name, help, name, name); err != nil {
+		return err
+	}
+	for i, k := range keys {
+		sep := ","
+		if i == 0 {
+			sep = ""
+		}
+		if _, err := fmt.Fprintf(w, "%s%s=\"%s\"", sep, k, escapeLabelValue(labels[k])); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, "} 1")
+	return err
+}

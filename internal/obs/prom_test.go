@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPromNameSanitizes(t *testing.T) {
+	cases := map[string]string{
+		"serve.http_request":       "rcgp_serve_http_request",
+		"cgp.eval.island_0.w":      "rcgp_cgp_eval_island_0_w",
+		"weird-name with spaces!?": "rcgp_weird_name_with_spaces__",
+	}
+	for in, want := range cases {
+		if got := PromName(in); got != want {
+			t.Errorf("PromName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestWritePrometheusCoversEveryMetric(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cec.checks").Add(7)
+	r.Gauge("serve.queue_depth").Set(3)
+	r.Histogram("serve.http_request").Observe(1500 * time.Nanosecond)
+	r.Histogram("flow.synth") // registered but never observed
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE rcgp_cec_checks_total counter",
+		"rcgp_cec_checks_total 7",
+		"# TYPE rcgp_serve_queue_depth gauge",
+		"rcgp_serve_queue_depth 3",
+		"# TYPE rcgp_serve_http_request histogram",
+		"rcgp_serve_http_request_count 1",
+		"rcgp_serve_http_request_sum 1500",
+		`rcgp_serve_http_request_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+	if err := LintPrometheusText(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-lint: %v", err)
+	}
+}
+
+// An empty histogram must still render a well-formed (zero) family: +Inf
+// bucket, sum, and count all present and zero.
+func TestWritePrometheusEmptyHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("empty.hist")
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`rcgp_empty_hist_bucket{le="+Inf"} 0`,
+		"rcgp_empty_hist_sum 0",
+		"rcgp_empty_hist_count 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in empty-histogram exposition:\n%s", want, out)
+		}
+	}
+	if err := LintPrometheusText(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-lint: %v", err)
+	}
+}
+
+// Observations exactly on power-of-two bucket boundaries must land in the
+// bucket whose le covers them, with cumulative counts intact.
+func TestWritePrometheusBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("edge")
+	// 0 → bucket 0 (le="0"); 1 → bucket 1 (le="1"); 2 → bucket 2 (le="3");
+	// 3 → bucket 2; 4 → bucket 3 (le="7").
+	for _, ns := range []int64{0, 1, 2, 3, 4} {
+		h.Observe(time.Duration(ns))
+	}
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`rcgp_edge_bucket{le="0"} 1`,
+		`rcgp_edge_bucket{le="1"} 2`,
+		`rcgp_edge_bucket{le="3"} 4`,
+		`rcgp_edge_bucket{le="7"} 5`,
+		`rcgp_edge_bucket{le="+Inf"} 5`,
+		"rcgp_edge_count 5",
+		"rcgp_edge_sum 10",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in boundary exposition:\n%s", want, out)
+		}
+	}
+	// Negative observations clamp to zero and join the le="0" bucket.
+	h2 := r.Histogram("edge.neg")
+	h2.Observe(-5)
+	buf.Reset()
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `rcgp_edge_neg_bucket{le="0"} 1`) {
+		t.Errorf("negative observation not clamped into the zero bucket:\n%s", buf.String())
+	}
+	if err := LintPrometheusText(strings.NewReader(buf.String())); err != nil {
+		t.Fatalf("self-lint: %v", err)
+	}
+}
+
+func TestLintPrometheusTextRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad type":            "# TYPE x widget\nx 1\n",
+		"type after sample":   "x 1\n# TYPE x counter\nx 2\n",
+		"duplicate type":      "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"bad value":           "x one\n",
+		"bad name":            "1x 1\n",
+		"bucket without le":   "# TYPE h histogram\nh_bucket 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"missing inf bucket":  "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"count mismatch":      "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 1\n",
+		"non-cumulative":      "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"out-of-order le":     "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\n",
+		"stray family member": "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 1\nh_count 1\nh 3\n",
+	}
+	for name, body := range cases {
+		if err := LintPrometheusText(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: lint accepted invalid body:\n%s", name, body)
+		}
+	}
+	if err := LintPrometheusText(strings.NewReader("# random comment\nok_metric{a=\"b\",c=\"d\\\"e\"} 1.5 1700000000\n")); err != nil {
+		t.Errorf("lint rejected valid body: %v", err)
+	}
+}
+
+func TestWriteGoMetricsAndInfoLint(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteGoMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteInfoMetric(&buf, "rcgp_build_info", "Build identity.", map[string]string{
+		"version": "v1.2.3", "revision": "abc\"def\\x",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "go_goroutines") {
+		t.Errorf("missing go_goroutines:\n%s", out)
+	}
+	if !strings.Contains(out, `revision="abc\"def\\x"`) {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+	if err := LintPrometheusText(strings.NewReader(out)); err != nil {
+		t.Fatalf("self-lint: %v\n%s", err, out)
+	}
+}
+
+func TestLintLiveRegistryWithManyWorkers(t *testing.T) {
+	r := NewRegistry()
+	for w := 0; w < 8; w++ {
+		h := r.Histogram(fmt.Sprintf("cgp.eval.worker_%d", w))
+		for i := 0; i < 100; i++ {
+			h.Observe(time.Duration(i*i) * time.Microsecond)
+		}
+	}
+	r.Counter("cgp.evaluations").Add(800)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := LintPrometheusText(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

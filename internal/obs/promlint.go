@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// LintPrometheusText validates a Prometheus text-exposition (0.0.4) body
+// the way `promtool check metrics` would, implemented as a small
+// zero-dependency helper so tests and the CI smoke job can lint the live
+// /metrics endpoint. It checks that:
+//
+//   - every sample line parses (valid metric name, optional label set,
+//     float-parseable value),
+//   - every TYPE declaration names a known type and precedes the samples
+//     of its family, with at most one declaration per family,
+//   - histogram families emit only _bucket/_sum/_count series, their
+//     _bucket series carry an "le" label with non-decreasing bounds
+//     ending in "+Inf", their bucket counts are non-decreasing
+//     (cumulative), and the +Inf bucket equals the _count sample,
+//   - no family mixes declared-type samples with other names.
+//
+// It returns the first violation found, tagged with its line number.
+func LintPrometheusText(r io.Reader) error {
+	type family struct {
+		typ     string
+		lastLe  float64
+		lastCum int64
+		sawInf  bool
+		infVal  int64
+		count   int64
+		sawCnt  bool
+	}
+	families := map[string]*family{}
+	sampled := map[string]bool{}
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+				if len(fields) < 3 {
+					return fmt.Errorf("line %d: %s without a metric name", lineNo, fields[1])
+				}
+				name := fields[2]
+				if !validMetricName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+				}
+				if fields[1] == "TYPE" {
+					if len(fields) != 4 {
+						return fmt.Errorf("line %d: TYPE wants exactly one type", lineNo)
+					}
+					switch fields[3] {
+					case "counter", "gauge", "histogram", "summary", "untyped":
+					default:
+						return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+					}
+					if f := families[name]; f != nil && f.typ != "" {
+						return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+					}
+					if sampled[name] {
+						return fmt.Errorf("line %d: TYPE for %q after its samples", lineNo, name)
+					}
+					families[name] = &family{typ: fields[3], lastLe: math.Inf(-1)}
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		base, suffix := name, ""
+		for _, s := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, s) {
+				if f := families[strings.TrimSuffix(name, s)]; f != nil && f.typ == "histogram" {
+					base, suffix = strings.TrimSuffix(name, s), s
+				}
+				break
+			}
+		}
+		sampled[base] = true
+		f := families[base]
+		if f == nil {
+			continue // untyped sample: legal, nothing more to check
+		}
+		if f.typ == "histogram" {
+			switch suffix {
+			case "_bucket":
+				le, ok := labels["le"]
+				if !ok {
+					return fmt.Errorf("line %d: histogram bucket %q without le label", lineNo, name)
+				}
+				bound := math.Inf(1)
+				if le != "+Inf" {
+					bound, err = strconv.ParseFloat(le, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+					}
+				}
+				if bound < f.lastLe {
+					return fmt.Errorf("line %d: %s buckets out of order (le %q after %g)", lineNo, base, le, f.lastLe)
+				}
+				cum := int64(value)
+				if cum < f.lastCum {
+					return fmt.Errorf("line %d: %s bucket counts not cumulative (%d after %d)", lineNo, base, cum, f.lastCum)
+				}
+				f.lastLe, f.lastCum = bound, cum
+				if le == "+Inf" {
+					f.sawInf, f.infVal = true, cum
+				}
+			case "_sum":
+			case "_count":
+				f.sawCnt, f.count = true, int64(value)
+			default:
+				return fmt.Errorf("line %d: sample %q in histogram family %q (want _bucket/_sum/_count)", lineNo, name, base)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for name, f := range families {
+		if f.typ != "histogram" || !sampled[name] {
+			continue
+		}
+		if !f.sawInf {
+			return fmt.Errorf("histogram %q has no +Inf bucket", name)
+		}
+		if f.sawCnt && f.count != f.infVal {
+			return fmt.Errorf("histogram %q: _count %d != +Inf bucket %d", name, f.count, f.infVal)
+		}
+	}
+	return nil
+}
+
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+func validMetricName(name string) bool { return metricNameRe.MatchString(name) }
+
+// parseSample splits one exposition sample line into name, labels, value.
+func parseSample(line string) (string, map[string]string, float64, error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name := rest[:i]
+	if !validMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	labels := map[string]string{}
+	if rest[i] == '{' {
+		end := strings.LastIndex(rest, "}")
+		if end < i {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parseLabels(rest[i+1:end], labels); err != nil {
+			return "", nil, 0, err
+		}
+		rest = rest[end+1:]
+	} else {
+		rest = rest[i:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional trailing timestamp
+		return "", nil, 0, fmt.Errorf("malformed sample value in %q", line)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	return name, labels, v, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func parseLabels(s string, into map[string]string) error {
+	for len(s) > 0 {
+		eq := strings.Index(s, "=")
+		if eq < 0 {
+			return fmt.Errorf("malformed label set %q", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		if !validMetricName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return fmt.Errorf("unquoted label value after %q", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				into[key] = val.String()
+				s = strings.TrimPrefix(strings.TrimSpace(s[i+1:]), ",")
+				s = strings.TrimSpace(s)
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return fmt.Errorf("unterminated label value for %q", key)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,23 @@
+// Command promlint validates a Prometheus text-exposition body read from
+// stdin — the `promtool check metrics` stand-in the CI serve-smoke job
+// pipes the live GET /metrics scrape through:
+//
+//	curl -s localhost:8080/metrics | go run ./internal/obs/promlint
+//
+// It exits non-zero on the first format violation.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/reversible-eda/rcgp/internal/obs"
+)
+
+func main() {
+	if err := obs.LintPrometheusText(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "promlint:", err)
+		os.Exit(1)
+	}
+	fmt.Println("promlint: metrics OK")
+}

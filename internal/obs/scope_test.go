@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestScopeConstruction(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	s := NewScope(a, nil, b, a) // nils dropped, duplicates kept once
+	if got := len(s.Registries()); got != 2 {
+		t.Fatalf("got %d registries, want 2", got)
+	}
+	if s.Empty() {
+		t.Fatal("scope over two registries reports Empty")
+	}
+
+	var nilScope *Scope
+	if !nilScope.Empty() {
+		t.Fatal("nil scope should be Empty")
+	}
+	if nilScope.Counter("x") != nil || nilScope.Gauge("x") != nil || nilScope.Histogram("x") != nil {
+		t.Fatal("nil scope must hand out nil (no-op) metric sets")
+	}
+	// No-op sets must be safe to use.
+	nilScope.Counter("x").Inc()
+	nilScope.Gauge("x").Set(1)
+	nilScope.Histogram("x").Observe(time.Millisecond)
+	nilScope.Span("x").Child("y").End()
+
+	// Extending a nil scope works and starts fresh.
+	ext := nilScope.With(a)
+	if got := len(ext.Registries()); got != 1 {
+		t.Fatalf("nil.With(a): got %d registries, want 1", got)
+	}
+	// With is immutable: extending s must not mutate s.
+	s2 := s.With(NewRegistry())
+	if len(s.Registries()) != 2 || len(s2.Registries()) != 3 {
+		t.Fatal("With mutated its receiver")
+	}
+}
+
+// Every write through a Scope must land identically in all member
+// registries, including under heavy concurrency. Run with -race.
+func TestScopeDoubleWriteConcurrent(t *testing.T) {
+	jobReg, globalReg := NewRegistry(), NewRegistry()
+	s := NewScope(jobReg, globalReg)
+
+	const goroutines = 16
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := s.Counter("cgp.evaluations")
+			h := s.Histogram("cgp.eval")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				h.Observe(time.Duration(i) * time.Microsecond)
+				s.Gauge("cgp.generation").Set(int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const want = goroutines * perG
+	for _, r := range []*Registry{jobReg, globalReg} {
+		if got := r.Counter("cgp.evaluations").Load(); got != want {
+			t.Errorf("counter: got %d, want %d", got, want)
+		}
+		if got := r.Histogram("cgp.eval").Snapshot().Count; got != want {
+			t.Errorf("histogram count: got %d, want %d", got, want)
+		}
+	}
+	if jobReg.Histogram("cgp.eval").Snapshot().Sum != globalReg.Histogram("cgp.eval").Snapshot().Sum {
+		t.Error("histogram sums diverged between scope members")
+	}
+}
+
+func TestMultiTimerRecordsEverywhere(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	var traceBuf bytes.Buffer
+	tr := NewTracer(&traceBuf)
+	a.AttachTracer(tr)
+
+	s := NewScope(a, b)
+	root := s.Span("flow.synth")
+	child := root.Child("pass.search")
+	time.Sleep(time.Millisecond)
+	child.End()
+	d := root.End()
+	if d <= 0 {
+		t.Fatalf("root duration %v, want > 0", d)
+	}
+	for _, r := range []*Registry{a, b} {
+		if got := r.Histogram("flow.synth").Snapshot().Count; got != 1 {
+			t.Errorf("flow.synth count = %d, want 1", got)
+		}
+		if got := r.Histogram("pass.search").Snapshot().Count; got != 1 {
+			t.Errorf("pass.search count = %d, want 1", got)
+		}
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	dec := json.NewDecoder(bytes.NewReader(traceBuf.Bytes()))
+	for dec.More() {
+		var ev map[string]any
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) != 4 { // two begin/end pairs per the tracer-attached registry
+		t.Fatalf("got %d trace events, want 4", len(events))
+	}
+	if err := ValidateSpanNesting(events); err != nil {
+		t.Fatalf("span nesting: %v", err)
+	}
+}
+
+func TestScopeContextCarry(t *testing.T) {
+	if got := ScopeFrom(context.Background()); got != nil {
+		t.Fatalf("ScopeFrom(background) = %v, want nil", got)
+	}
+	r := NewRegistry()
+	s := NewScope(r)
+	ctx := WithScope(context.Background(), s)
+	if got := ScopeFrom(ctx); got != s {
+		t.Fatal("scope did not round-trip through context")
+	}
+	// The common call pattern at the flow boundary: extend whatever the
+	// context carries (possibly nothing) with the run-local registry.
+	run := NewRegistry()
+	ext := ScopeFrom(ctx).With(run)
+	if got := len(ext.Registries()); got != 2 {
+		t.Fatalf("extended scope has %d registries, want 2", got)
+	}
+	ext2 := ScopeFrom(context.Background()).With(run)
+	if got := len(ext2.Registries()); got != 1 {
+		t.Fatalf("extended nil scope has %d registries, want 1", got)
+	}
+}

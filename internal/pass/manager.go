@@ -45,7 +45,11 @@ func (m *Manager) Run(ctx context.Context, st *State) error {
 	if st.Reg == nil {
 		st.Reg = obs.NewRegistry()
 	}
-	root := st.Reg.Span("flow.synth")
+	// Normalize the write scope: it always spans the run registry, plus any
+	// caller-supplied registries (per-job, process-global). Spans recorded
+	// through it land in every member, so per-job stage times come for free.
+	st.Scope = st.Scope.With(st.Reg)
+	root := st.Scope.Span("flow.synth")
 	defer root.End()
 	for i, p := range m.Passes {
 		if ctx.Err() != nil {

@@ -55,9 +55,14 @@ type State struct {
 	// RandomWords sizes the random stimulus for wide circuits.
 	RandomWords int
 
-	// Reg is the metric registry of the run (never nil inside Manager.Run)
-	// and Tracer the optional JSONL sink.
+	// Reg is the run-local metric registry (never nil inside Manager.Run;
+	// its snapshot becomes Result.Obs) and Tracer the optional JSONL sink.
+	// Scope is the write fan-out every pass records through — it always
+	// includes Reg, plus any caller-supplied registries (the service layer
+	// adds the per-job and process-global ones via the context). Manager.Run
+	// normalizes both fields before the first pass executes.
 	Reg    *obs.Registry
+	Scope  *obs.Scope
 	Tracer *obs.Tracer
 
 	// StageTimes is the wall-clock breakdown of the executed passes, in
@@ -91,7 +96,9 @@ func (st *State) netFingerprint() uint64 {
 // reason, a pass.skipped counter tick, and a pass.skip trace event.
 func (st *State) recordSkip(name, reason string) {
 	st.Skipped = append(st.Skipped, obs.StageTime{Name: name, Skipped: reason})
-	if st.Reg != nil {
+	if !st.Scope.Empty() {
+		st.Scope.Counter("pass.skipped").Inc()
+	} else if st.Reg != nil {
 		st.Reg.Counter("pass.skipped").Inc()
 	}
 	if st.Tracer != nil {

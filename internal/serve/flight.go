@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"sync"
+
+	"github.com/reversible-eda/rcgp/client"
+)
+
+// flightLog is the server-side store of one job's flight-recorder samples,
+// feeding the GET /jobs/{id}/progress long-poll. The search's FlightSink
+// appends samples (coordinator goroutine); any number of HTTP streams read
+// them concurrently. Each sample gets a monotonically increasing sequence
+// number so a dropped stream resumes exactly where it left off via the
+// ?after cursor. The log keeps the most recent max samples; a reader whose
+// cursor has fallen off the window continues from the oldest retained
+// sample (convergence plots lose early points, never recent ones).
+//
+// Every job gets a flightLog even when sampling is disabled: the closed
+// empty log is what lets a progress stream of a cache-served or failed job
+// terminate immediately with the status line instead of hanging.
+type flightLog struct {
+	mu     sync.Mutex
+	max    int
+	buf    []client.FlightSample
+	total  int64         // samples ever appended; the last sample's seq
+	notify chan struct{} // closed and replaced on every append / close
+	done   bool          // the owning job reached a terminal status
+}
+
+func newFlightLog(max int) *flightLog {
+	if max <= 0 {
+		max = 2048
+	}
+	return &flightLog{max: max, notify: make(chan struct{})}
+}
+
+// append stamps the sample's sequence number, stores it (evicting the
+// oldest beyond the cap), and wakes every waiting stream.
+func (l *flightLog) append(s client.FlightSample) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.total++
+	s.Seq = l.total
+	if len(l.buf) == l.max {
+		copy(l.buf, l.buf[1:])
+		l.buf = l.buf[:l.max-1]
+	}
+	l.buf = append(l.buf, s)
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// close marks the job terminal and wakes every waiting stream so it can
+// emit the closing status line. Idempotent.
+func (l *flightLog) close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.done = true
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// since returns the retained samples with Seq > after, a channel that is
+// closed on the next append or terminal transition, and whether the job is
+// already terminal. The returned slice is a copy.
+func (l *flightLog) since(after int64) ([]client.FlightSample, <-chan struct{}, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	first := l.total - int64(len(l.buf)) // seq of buf[0] minus one
+	skip := after - first
+	if skip < 0 {
+		skip = 0 // cursor fell off the retained window: resume from oldest
+	}
+	var out []client.FlightSample
+	if int(skip) < len(l.buf) {
+		out = append(out, l.buf[skip:]...)
+	}
+	return out, l.notify, l.done
+}
+
+// count reports how many samples were ever recorded.
+func (l *flightLog) count() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// traceBuf captures a job's execution-trace event stream (line-delimited
+// JSON from obs.Tracer) up to a byte budget. Writes past the budget are
+// dropped whole — never split mid-line, so the retained prefix stays valid
+// NDJSON — and Write never returns an error: a truncated trace must not
+// fail the synthesis run it is observing.
+type traceBuf struct {
+	mu        sync.Mutex
+	max       int
+	buf       []byte
+	truncated bool
+}
+
+func newTraceBuf(max int) *traceBuf {
+	if max <= 0 {
+		max = 4 << 20
+	}
+	return &traceBuf{max: max}
+}
+
+func (b *traceBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.buf)+len(p) <= b.max {
+		b.buf = append(b.buf, p...)
+	} else if len(p) > 0 {
+		b.truncated = true
+	}
+	return len(p), nil
+}
+
+// bytes returns a copy of the captured trace and whether events were
+// dropped at the tail.
+func (b *traceBuf) bytes() ([]byte, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf...), b.truncated
+}

@@ -1,25 +1,39 @@
 package serve
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"github.com/reversible-eda/rcgp"
 	"github.com/reversible-eda/rcgp/client"
+	"github.com/reversible-eda/rcgp/internal/buildinfo"
 	"github.com/reversible-eda/rcgp/internal/obs"
 )
 
 // Handler returns the HTTP/JSON API:
 //
-//	POST   /synthesize  submit a job (202 + job state)
-//	GET    /jobs        list jobs, newest first
-//	GET    /jobs/{id}   one job's state (result once done)
-//	DELETE /jobs/{id}   cancel a queued or running job
-//	GET    /healthz     liveness + queue/cache summary
-//	GET    /metricsz    metrics registry snapshot (counters, gauges,
-//	                    latency histograms) plus cache stats
-//	GET    /benchmarks  built-in benchmark names, sorted
+//	POST   /synthesize          submit a job (202 + job state)
+//	GET    /jobs                list jobs, newest first
+//	GET    /jobs/{id}           one job's state: per-job telemetry while it
+//	                            runs, result once done
+//	GET    /jobs/{id}/progress  live flight-recorder stream (NDJSON
+//	                            long-poll; ?after=seq resumes a dropped
+//	                            stream; ends with a {"status":...} line)
+//	GET    /jobs/{id}/trace     execution-trace event stream, for jobs
+//	                            submitted with "trace": true
+//	DELETE /jobs/{id}           cancel a queued or running job
+//	GET    /healthz             liveness + build identity + queue/cache summary
+//	GET    /metricsz            metrics registry snapshot as JSON (counters,
+//	                            gauges, latency histograms) plus cache stats
+//	GET    /metrics             the same registry in Prometheus text
+//	                            exposition format 0.0.4, plus Go runtime
+//	                            and build-info metrics
+//	GET    /benchmarks          built-in benchmark names, sorted
 //
 // Every request's latency is observed into the "serve.http_request"
 // histogram of the server's registry.
@@ -28,9 +42,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /synthesize", s.handleSubmit)
 	mux.HandleFunc("GET /jobs", s.handleJobs)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/progress", s.handleProgress)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
 	return s.observe(mux)
 }
@@ -103,6 +120,130 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Cache = s.cfg.Cache.Stats()
 	}
 	writeJSON(w, http.StatusOK, p)
+}
+
+// handlePrometheus is GET /metrics: the server registry in Prometheus text
+// exposition format 0.0.4, followed by Go runtime gauges, the build-info
+// metric, and (when a cache is attached) the cache counters. Rendered into
+// a buffer first so a slow scraper never holds the registry lock.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	s.reg.WritePrometheus(&buf)
+	obs.WriteGoMetrics(&buf)
+	obs.WriteInfoMetric(&buf, "rcgp_build_info", "Build identity of the serving binary.", map[string]string{
+		"version":  buildinfo.Version(),
+		"revision": buildinfo.Revision(),
+		"go":       buildinfo.GoVersion(),
+	})
+	if s.cfg.Cache != nil {
+		writeCacheMetrics(&buf, s.cfg.Cache.Stats())
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(buf.Bytes())
+}
+
+// writeCacheMetrics renders the result-cache statistics as Prometheus
+// counters and gauges.
+func writeCacheMetrics(w *bytes.Buffer, cs rcgp.CacheStats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("rcgp_cache_hits_total", "Result-cache lookups answered without a search.", cs.Hits)
+	counter("rcgp_cache_misses_total", "Result-cache lookups that fell through to a search.", cs.Misses)
+	counter("rcgp_cache_stores_total", "Results stored into the cache.", cs.Stores)
+	counter("rcgp_cache_bad_entries_total", "Cache entries rejected by re-verification.", cs.BadEntries)
+	counter("rcgp_cache_disk_promotes_total", "Disk-tier entries promoted into memory.", cs.DiskPromotes)
+	gauge("rcgp_cache_mem_entries", "Entries resident in the in-memory cache tier.", int64(cs.MemEntries))
+	gauge("rcgp_cache_disk_entries", "Entries resident in the on-disk cache tier.", int64(cs.DiskEntries))
+}
+
+// progressEnd is the closing line of a /jobs/{id}/progress stream: the
+// job's terminal status and the last sequence number the stream delivered.
+type progressEnd struct {
+	Status client.Status `json:"status"`
+	Seq    int64         `json:"seq"`
+}
+
+// handleProgress is GET /jobs/{id}/progress: an NDJSON long-poll that
+// streams the job's flight-recorder samples as the search takes them. Each
+// sample carries a seq number; ?after=N resumes past samples the client
+// already saw. When the job reaches a terminal status and the stream has
+// caught up, one {"status":...} line is written and the stream ends. For a
+// job that records no samples (cache hit, sampling disabled, early
+// failure) the stream is just that status line.
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, ErrNotFound.Error())
+		return
+	}
+	after, err := strconv.ParseInt(r.URL.Query().Get("after"), 10, 64)
+	if err != nil && r.URL.Query().Get("after") != "" {
+		httpError(w, http.StatusBadRequest, "bad after cursor: "+err.Error())
+		return
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		samples, notify, done := j.flight.since(after)
+		for _, smp := range samples {
+			if err := enc.Encode(smp); err != nil {
+				return // client went away
+			}
+			after = smp.Seq
+		}
+		if done {
+			s.mu.Lock()
+			st := j.status
+			s.mu.Unlock()
+			enc.Encode(progressEnd{Status: st, Seq: after})
+			if fl != nil {
+				fl.Flush()
+			}
+			return
+		}
+		if fl != nil {
+			fl.Flush() // deliver samples (or just headers) before blocking
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleTrace is GET /jobs/{id}/trace: the captured execution-trace event
+// stream of a job submitted with "trace": true. 404 for jobs that did not
+// opt in. Readable while the job is still running; an oversized trace is
+// truncated at a whole-event boundary and flagged via the
+// X-Rcgp-Trace-Truncated header.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, ErrNotFound.Error())
+		return
+	}
+	if j.trace == nil {
+		httpError(w, http.StatusNotFound, "job was not submitted with trace capture")
+		return
+	}
+	data, truncated := j.trace.bytes()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	if truncated {
+		w.Header().Set("X-Rcgp-Trace-Truncated", "true")
+	}
+	w.Write(data)
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {

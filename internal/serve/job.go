@@ -10,6 +10,7 @@ import (
 
 	"github.com/reversible-eda/rcgp"
 	"github.com/reversible-eda/rcgp/client"
+	"github.com/reversible-eda/rcgp/internal/obs"
 )
 
 // job is the server-side state of one synthesis job. All fields are
@@ -43,6 +44,18 @@ type job struct {
 	bestGates   int
 	bestGarbage int
 
+	// Per-job observability: reg receives this job's private copy of every
+	// metric the search double-writes (the scope fans out to reg and the
+	// server registry), flight feeds the progress stream, trace captures
+	// the execution-trace event stream when the request asked for it, and
+	// stages is the pipeline wall-clock breakdown once the job finishes.
+	// reg, flight, and trace are written once before the job is published;
+	// stages is guarded by the server mutex.
+	reg    *obs.Registry
+	flight *flightLog
+	trace  *traceBuf
+	stages []client.JobStage
+
 	result    *client.Result
 	heapIndex int // -1 when not queued
 }
@@ -69,7 +82,73 @@ func (j *job) wire() client.Job {
 		t := j.finished
 		w.FinishedAt = &t
 	}
+	if !j.started.IsZero() {
+		w.Telemetry = j.telemetry()
+	}
 	return w
+}
+
+// telemetry renders the job-private registry (plus stage times and the
+// flight-sample count) for the API. Safe while the job is running: the
+// registry snapshot is internally synchronized, so GET /jobs/{id} shows
+// live counters mid-search.
+func (j *job) telemetry() *client.JobTelemetry {
+	snap := j.reg.Snapshot()
+	tel := &client.JobTelemetry{
+		Counters:      snap.Counters,
+		Gauges:        snap.Gauges,
+		Stages:        j.stages,
+		FlightSamples: j.flight.count(),
+	}
+	if len(snap.Histograms) > 0 {
+		tel.Histograms = make(map[string]client.HistogramSummary, len(snap.Histograms))
+		for name, h := range snap.Histograms {
+			tel.Histograms[name] = client.HistogramSummary{
+				Count:  h.Count,
+				SumNS:  int64(h.Sum),
+				MeanNS: int64(h.Mean),
+				MinNS:  int64(h.Min),
+				MaxNS:  int64(h.Max),
+				P50NS:  int64(h.P50),
+				P90NS:  int64(h.P90),
+				P99NS:  int64(h.P99),
+			}
+		}
+	}
+	return tel
+}
+
+// wireStages flattens the library telemetry's stage breakdown (run and
+// skipped passes) into the wire form.
+func wireStages(t rcgp.Telemetry) []client.JobStage {
+	out := make([]client.JobStage, 0, len(t.Stages)+len(t.Skipped))
+	for _, st := range t.Stages {
+		out = append(out, client.JobStage{Name: st.Name, DurationNS: int64(st.Duration)})
+	}
+	for _, sk := range t.Skipped {
+		out = append(out, client.JobStage{Name: sk.Name, Skipped: sk.Reason})
+	}
+	return out
+}
+
+// wireFlight converts a library flight sample to the wire form (the Seq is
+// stamped by the flightLog on append).
+func wireFlight(s rcgp.FlightSample) client.FlightSample {
+	return client.FlightSample{
+		Gen:              s.Gen,
+		Evaluations:      s.Evaluations,
+		Gates:            s.Gates,
+		Garbage:          s.Garbage,
+		Buffers:          s.Buffers,
+		Depth:            s.Depth,
+		JJs:              s.JJs,
+		FullEvals:        s.FullEvals,
+		IncrementalEvals: s.IncrementalEvals,
+		DedupSkips:       s.DedupSkips,
+		Improvements:     s.Improvements,
+		ElapsedMS:        s.ElapsedMS,
+		EvalsPerSec:      s.EvalsPerSec,
+	}
 }
 
 // buildDesign constructs the specification from a request. Exactly one of

@@ -20,6 +20,7 @@ import (
 
 	"github.com/reversible-eda/rcgp"
 	"github.com/reversible-eda/rcgp/client"
+	"github.com/reversible-eda/rcgp/internal/buildinfo"
 	"github.com/reversible-eda/rcgp/internal/obs"
 )
 
@@ -47,6 +48,15 @@ type Config struct {
 	CheckpointDir string
 	// CheckpointEvery is the snapshot cadence in generations (default 1000).
 	CheckpointEvery int
+	// FlightEvery is the default flight-recorder sampling cadence in
+	// generations for jobs that leave Request.FlightEvery zero (default
+	// 500; a request can override it or disable sampling with a negative
+	// value). Sampling draws no randomness, so results stay bit-identical
+	// per seed.
+	FlightEvery int
+	// FlightCap bounds the flight samples retained per job for the
+	// /jobs/{id}/progress stream (default 2048; oldest evicted first).
+	FlightCap int
 	// Registry receives the server metrics (default obs.Default).
 	Registry *obs.Registry
 	// Logf, when set, receives operational log lines.
@@ -101,6 +111,12 @@ func New(cfg Config) *Server {
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 1000
 	}
+	if cfg.FlightEvery == 0 {
+		cfg.FlightEvery = 500
+	}
+	if cfg.FlightCap <= 0 {
+		cfg.FlightCap = 2048
+	}
 	s := &Server{
 		cfg:       cfg,
 		reg:       cfg.Registry,
@@ -146,6 +162,7 @@ func (s *Server) recover() {
 			bestGarbage: cp.Garbage,
 			heapIndex:   -1,
 		}
+		s.initJobObs(j)
 		if n, ok := jobSeq(cf.ID); ok {
 			j.seq = n // recovered jobs keep their original FIFO order
 			if n > s.seq {
@@ -159,6 +176,18 @@ func (s *Server) recover() {
 		s.logf("serve: recovered job %s at generation %d (gates=%d)", j.id, cp.Generation, cp.Gates)
 	}
 	s.reg.Gauge("serve.queue_depth").Set(int64(s.queue.Len()))
+}
+
+// initJobObs attaches the per-job observability state: a private metric
+// registry (the search double-writes into it and the server registry), the
+// flight log behind /jobs/{id}/progress, and — when the request opted in —
+// the execution-trace capture buffer.
+func (s *Server) initJobObs(j *job) {
+	j.reg = obs.NewRegistry()
+	j.flight = newFlightLog(s.cfg.FlightCap)
+	if j.req.Trace {
+		j.trace = newTraceBuf(0)
+	}
 }
 
 // Submit validates and enqueues a request.
@@ -186,6 +215,7 @@ func (s *Server) Submit(req client.Request) (client.Job, error) {
 		submitted: time.Now(),
 		heapIndex: -1,
 	}
+	s.initJobObs(j)
 	s.jobs[j.id] = j
 	s.order = append(s.order, j)
 	s.queue.push(j)
@@ -236,6 +266,7 @@ func (s *Server) Cancel(id string) error {
 		s.reg.Counter("serve.jobs_canceled").Inc()
 		s.reg.Gauge("serve.queue_depth").Set(int64(s.queue.Len()))
 		s.mu.Unlock()
+		j.flight.close()
 		if s.cfg.CheckpointDir != "" {
 			removeCheckpoint(s.cfg.CheckpointDir, id)
 		}
@@ -258,10 +289,13 @@ func (s *Server) Cancel(id string) error {
 func (s *Server) Health() client.Health {
 	s.mu.Lock()
 	h := client.Health{
-		Status:   "ok",
-		Queued:   s.queue.Len(),
-		Running:  s.running,
-		Finished: s.finished,
+		Status:    "ok",
+		Queued:    s.queue.Len(),
+		Running:   s.running,
+		Finished:  s.finished,
+		Version:   buildinfo.Version(),
+		Revision:  buildinfo.Revision(),
+		GoVersion: buildinfo.GoVersion(),
 	}
 	if s.draining {
 		h.Status = "draining"
@@ -296,6 +330,7 @@ func (s *Server) Drain(ctx context.Context) error {
 			j.errMsg = "server draining"
 			j.finished = time.Now()
 			s.finished++
+			j.flight.close()
 		}
 		s.reg.Gauge("serve.queue_depth").Set(0)
 		for _, j := range s.jobs {
@@ -389,6 +424,20 @@ func (s *Server) options(j *job, workers int) rcgp.Options {
 	if j.resume != nil {
 		opt.Resume = j.resume
 	}
+	// Flight recorder: the request overrides the server default; negative
+	// disables sampling for this job.
+	every := s.cfg.FlightEvery
+	if req.FlightEvery != 0 {
+		every = req.FlightEvery
+	}
+	if every > 0 {
+		opt.FlightEvery = every
+		opt.FlightCap = s.cfg.FlightCap
+		opt.FlightSink = func(fs rcgp.FlightSample) { j.flight.append(wireFlight(fs)) }
+	}
+	if j.trace != nil {
+		opt.Trace = j.trace
+	}
 	return opt
 }
 
@@ -423,6 +472,10 @@ func (s *Server) runJob(j *job, workers int) {
 	j.cancel = cancel
 	s.mu.Unlock()
 
+	// Every metric the pipeline records fans out to the job's private
+	// registry (served on GET /jobs/{id}) and the server registry (the
+	// cross-job aggregate behind /metrics and /metricsz).
+	ctx = obs.WithScope(ctx, obs.NewScope(j.reg, s.reg))
 	res, err := j.design.SynthesizeContext(ctx, s.options(j, workers))
 	var result *client.Result
 	if err == nil {
@@ -432,6 +485,9 @@ func (s *Server) runJob(j *job, workers int) {
 	s.mu.Lock()
 	j.cancel = nil
 	j.finished = time.Now()
+	if err == nil {
+		j.stages = wireStages(res.Telemetry)
+	}
 	// A job counts as drain-interrupted only if the drain actually cut its
 	// context short — one that completed before the drain is simply done.
 	drained := s.draining && !j.canceled && ctx.Err() != nil
@@ -468,6 +524,7 @@ func (s *Server) runJob(j *job, workers int) {
 	s.reg.Histogram("serve.job_runtime").Observe(j.finished.Sub(j.started))
 	keepSnapshot := drained && j.status == client.StatusCanceled
 	s.mu.Unlock()
+	j.flight.close() // after the terminal status is published: wakes progress streams
 
 	// A drain wind-down keeps its snapshot so the next process resumes the
 	// search; every other outcome is final and cleans up.

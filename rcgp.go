@@ -230,6 +230,21 @@ type Options struct {
 	Resume *Checkpoint
 	// Progress, when non-nil, receives periodic generation updates.
 	Progress func(generation, gates, garbage int)
+	// FlightEvery, when positive, enables the search flight recorder: the
+	// evolution samples its trajectory (generation, best costs, evaluation
+	// split, throughput) every that many generations, keeps the most recent
+	// FlightCap samples on Result.Flight, and forwards each sample to
+	// FlightSink as it is taken. Sampling draws no randomness, so results
+	// stay bit-identical per seed. Like checkpointing it requires
+	// Islands ≤ 1 (with more islands the recorder is disabled).
+	FlightEvery int
+	// FlightCap bounds the samples retained on Result.Flight (ring-buffer
+	// semantics; default 1024). FlightSink sees every sample regardless.
+	FlightCap int
+	// FlightSink, when non-nil, receives every flight sample live. It is
+	// called synchronously from the evolution coordinator, so it must not
+	// block for long.
+	FlightSink func(FlightSample)
 	// Trace, when non-nil, receives a line-delimited JSON event stream of
 	// the run (spans, generation samples, SAT escalations). The writer is
 	// serialized internally, so an os.File is fine.
@@ -368,6 +383,9 @@ type Result struct {
 	// Telemetry is the run's observability snapshot: per-stage times and
 	// the evolution / equivalence-checking counters.
 	Telemetry Telemetry
+	// Flight is the retained flight-recorder window in chronological order
+	// (empty unless Options.FlightEvery was set; see FlightSample).
+	Flight []FlightSample
 }
 
 // Circuit returns the final optimized RQFP circuit.
@@ -432,6 +450,13 @@ func (d *Design) SynthesizeContext(ctx context.Context, opt Options) (*Result, e
 			TimeBudget:   opt.TimeBudget,
 		},
 	}
+	if opt.FlightEvery > 0 {
+		fopt.CGP.FlightEvery = opt.FlightEvery
+		fopt.CGP.FlightCap = opt.FlightCap
+		if sink := opt.FlightSink; sink != nil {
+			fopt.CGP.FlightSink = func(s core.FlightSample) { sink(flightFromCore(s)) }
+		}
+	}
 	if opt.CheckpointEvery > 0 && opt.CheckpointSink != nil {
 		fopt.CGP.CheckpointEvery = opt.CheckpointEvery
 		sink := opt.CheckpointSink
@@ -468,6 +493,7 @@ func (d *Design) SynthesizeContext(ctx context.Context, opt Options) (*Result, e
 	if res.CGP != nil {
 		out.Generations = res.CGP.Generations
 		out.Evaluations = res.CGP.Evaluations
+		out.Flight = flightFromCoreSlice(res.CGP.Flight)
 	}
 	if opt.Cache != nil && cacheTables != nil {
 		// Best-effort: a failed store (e.g. disk full) must not fail the

@@ -2,6 +2,13 @@
 # Regenerates results/BENCH_parallel.json: the worker-scaling sweep of the
 # parallel (1+λ) evaluation engine on an 8-input benchmark, including the
 # determinism check (every worker count must evolve the identical circuit).
+#
+# The report records GOMAXPROCS and NumCPU, and rcgp-parbench refuses to
+# run when GOMAXPROCS is below the largest worker count: a "speedup" sweep
+# on a single core measures scheduler overhead, not scaling, and must not
+# be published. Override (for a determinism-only run on a small machine)
+# with -allow-oversubscribed; the report is then marked as such.
+#
 # Extra flags are passed through, e.g.:
 #
 #   results/bench_parallel.sh -bench hwb8 -gens 20000 -workers 1,2,4,8
