@@ -38,6 +38,21 @@ type run struct {
 	Incremental  int64   `json:"incremental_evals,omitempty"`
 	FullEvals    int64   `json:"full_evals,omitempty"`
 	MeanConeSize float64 `json:"mean_cone_gates,omitempty"`
+	// AllocsPerEval and AllocBytesPerEval are the process-wide heap
+	// allocation deltas (runtime.MemStats Mallocs / TotalAlloc) across the
+	// run, divided by its evaluation count — the steady-state
+	// allocation-freeness witness of the evaluation hot path. They include
+	// the pipeline's fixed setup cost, so long runs asymptote to the
+	// per-eval truth.
+	AllocsPerEval     float64 `json:"allocs_per_eval"`
+	AllocBytesPerEval float64 `json:"alloc_bytes_per_eval"`
+}
+
+// memCounters snapshots the monotonic process-wide allocation counters.
+func memCounters() (mallocs, bytes uint64) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.Mallocs, m.TotalAlloc
 }
 
 type report struct {
@@ -97,6 +112,7 @@ func mainErr() error {
 	var best [2]string
 	for i, incremental := range []bool{false, true} {
 		start := time.Now()
+		mallocs0, bytes0 := memCounters()
 		res, err := flow.RunTables(c.Tables, flow.Options{
 			CGP: core.Options{
 				Generations:  *gens,
@@ -111,6 +127,7 @@ func mainErr() error {
 			return err
 		}
 		elapsed := time.Since(start)
+		mallocs1, bytes1 := memCounters()
 		rep.InitialGates = res.InitialStats.Gates
 		tel := res.CGP.Telemetry
 		r := run{
@@ -120,6 +137,10 @@ func mainErr() error {
 			ElapsedSec:  elapsed.Seconds(),
 			Gates:       res.FinalStats.Gates,
 			Garbage:     res.FinalStats.Garbage,
+		}
+		if tel.Evaluations > 0 {
+			r.AllocsPerEval = float64(mallocs1-mallocs0) / float64(tel.Evaluations)
+			r.AllocBytesPerEval = float64(bytes1-bytes0) / float64(tel.Evaluations)
 		}
 		if incremental {
 			r.Mode = "incremental"
@@ -135,8 +156,8 @@ func mainErr() error {
 		}
 		best[i] = res.Final.String()
 		rep.Runs = append(rep.Runs, r)
-		fmt.Printf("%-11s  %9.0f evals/sec  (%d evals in %.2fs)  gates=%d\n",
-			r.Mode, r.EvalsPerSec, r.Evaluations, r.ElapsedSec, r.Gates)
+		fmt.Printf("%-11s  %9.0f evals/sec  (%d evals in %.2fs)  %.1f allocs/eval  gates=%d\n",
+			r.Mode, r.EvalsPerSec, r.Evaluations, r.ElapsedSec, r.AllocsPerEval, r.Gates)
 	}
 
 	rep.Speedup = rep.Runs[1].EvalsPerSec / rep.Runs[0].EvalsPerSec

@@ -27,15 +27,30 @@ import (
 )
 
 type run struct {
-	Workers       int     `json:"workers"`
-	Islands       int     `json:"islands,omitempty"`
-	Evaluations   int64   `json:"evaluations"`
-	EvalsPerSec   float64 `json:"evals_per_sec"`
-	ElapsedSec    float64 `json:"elapsed_sec"`
-	Gates         int     `json:"gates"`
-	Garbage       int     `json:"garbage"`
-	Speedup       float64 `json:"speedup"`
-	BestIdentical bool    `json:"best_identical"`
+	Workers     int     `json:"workers"`
+	Islands     int     `json:"islands,omitempty"`
+	Evaluations int64   `json:"evaluations"`
+	EvalsPerSec float64 `json:"evals_per_sec"`
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	Gates       int     `json:"gates"`
+	Garbage     int     `json:"garbage"`
+	// AllocsPerEval and AllocBytesPerEval are the process-wide heap
+	// allocation deltas (runtime.MemStats Mallocs / TotalAlloc) across the
+	// run, divided by its evaluation count — the steady-state
+	// allocation-freeness witness of the evaluation hot path. They include
+	// the pipeline's fixed setup cost, so long runs asymptote to the
+	// per-eval truth.
+	AllocsPerEval     float64 `json:"allocs_per_eval"`
+	AllocBytesPerEval float64 `json:"alloc_bytes_per_eval"`
+	Speedup           float64 `json:"speedup"`
+	BestIdentical     bool    `json:"best_identical"`
+}
+
+// memCounters snapshots the monotonic process-wide allocation counters.
+func memCounters() (mallocs, bytes uint64) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.Mallocs, m.TotalAlloc
 }
 
 type report struct {
@@ -119,6 +134,7 @@ func mainErr() error {
 	var baseBest string
 	for _, w := range counts {
 		start := time.Now()
+		mallocs0, bytes0 := memCounters()
 		res, err := flow.RunTables(c.Tables, flow.Options{
 			CGP: core.Options{
 				Generations:  *gens,
@@ -133,6 +149,7 @@ func mainErr() error {
 			return err
 		}
 		elapsed := time.Since(start)
+		mallocs1, bytes1 := memCounters()
 		tel := res.CGP.Telemetry
 		r := run{
 			Workers:     w,
@@ -141,6 +158,10 @@ func mainErr() error {
 			ElapsedSec:  elapsed.Seconds(),
 			Gates:       res.FinalStats.Gates,
 			Garbage:     res.FinalStats.Garbage,
+		}
+		if tel.Evaluations > 0 {
+			r.AllocsPerEval = float64(mallocs1-mallocs0) / float64(tel.Evaluations)
+			r.AllocBytesPerEval = float64(bytes1-bytes0) / float64(tel.Evaluations)
 		}
 		if *islands > 1 {
 			r.Islands = *islands
@@ -152,8 +173,8 @@ func mainErr() error {
 		r.Speedup = r.EvalsPerSec / baseRate
 		r.BestIdentical = best == baseBest
 		rep.Runs = append(rep.Runs, r)
-		fmt.Printf("workers=%d  %9.0f evals/sec  speedup %.2fx  gates=%d  identical=%v\n",
-			w, r.EvalsPerSec, r.Speedup, r.Gates, r.BestIdentical)
+		fmt.Printf("workers=%d  %9.0f evals/sec  speedup %.2fx  %.1f allocs/eval  gates=%d  identical=%v\n",
+			w, r.EvalsPerSec, r.Speedup, r.AllocsPerEval, r.Gates, r.BestIdentical)
 		if !r.BestIdentical {
 			return fmt.Errorf("workers=%d evolved a different circuit than workers=%d (determinism violated)", w, counts[0])
 		}

@@ -142,48 +142,6 @@ func (v Vec) PopCount() int {
 // HammingDistance returns the number of samples on which v and x differ.
 func (v Vec) HammingDistance(x Vec) int { return XorPopcount(v, x) }
 
-// XorPopcount returns popcount(x XOR y) without materializing the XOR: the
-// fused form of the match-counting inner loop of the equivalence oracle.
-func XorPopcount(x, y Vec) int {
-	n := 0
-	for i := range x {
-		n += mathbits.OnesCount64(x[i] ^ y[i])
-	}
-	return n
-}
-
-// XorPopcountMasked is XorPopcount with the last word ANDed against tail,
-// so vectors whose logical sample count is not a multiple of 64 compare
-// only their valid samples. Pass TailMask to build the mask.
-func XorPopcountMasked(x, y Vec, tail uint64) int {
-	last := len(x) - 1
-	if last < 0 {
-		return 0
-	}
-	n := 0
-	for i := 0; i < last; i++ {
-		n += mathbits.OnesCount64(x[i] ^ y[i])
-	}
-	return n + mathbits.OnesCount64((x[last]^y[last])&tail)
-}
-
-// EqualMasked reports whether x and y agree on every word, with the last
-// word compared under tail. It exits on the first differing word, which is
-// the cheap refutation screen of the incremental evaluator: a wrong
-// offspring is rejected after touching only a prefix of the stimulus.
-func EqualMasked(x, y Vec, tail uint64) bool {
-	last := len(x) - 1
-	if last < 0 {
-		return true
-	}
-	for i := 0; i < last; i++ {
-		if x[i] != y[i] {
-			return false
-		}
-	}
-	return (x[last]^y[last])&tail == 0
-}
-
 // TailMask returns the mask selecting the valid bits of the last of w words
 // holding n samples: all ones when the last word is fully populated.
 func TailMask(n, w int) uint64 {
@@ -191,19 +149,6 @@ func TailMask(n, w int) uint64 {
 		return 1<<r - 1
 	}
 	return ^uint64(0)
-}
-
-// MajInv stores the three-input majority of a, b, c into dst, XORing each
-// operand word against its inverter mask first: the fused inner kernel of
-// RQFP gate simulation, MAJ(a^ma, b^mb, c^mc) per word, with the mask
-// application hoisted out of the per-word configuration decode.
-func MajInv(dst, a, b, c Vec, ma, mb, mc uint64) {
-	for i := range dst {
-		x := a[i] ^ ma
-		y := b[i] ^ mb
-		z := c[i] ^ mc
-		dst[i] = x&y | x&z | y&z
-	}
 }
 
 // Randomize fills v with pseudo-random bits from r.

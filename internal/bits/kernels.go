@@ -1,0 +1,175 @@
+package bits
+
+import mathbits "math/bits"
+
+// This file holds the hot simulation kernels in 8-word unrolled form. The
+// RQFP evaluation inner loop spends almost all of its time in MajInv (gate
+// re-simulation) and XorPopcountMasked / EqualMasked (mismatch counting
+// against the golden vectors), so these run over *[8]uint64 blocks: one
+// bounds check per block instead of one per word, and straight-line bodies
+// the compiler can schedule without loop-carried control flow. The scalar
+// forms are kept (unexported) as the reference implementations the fuzz
+// targets compare against; the exported kernels must be bit-identical to
+// them on every input.
+
+// XorPopcount returns popcount(x XOR y) without materializing the XOR: the
+// fused form of the match-counting inner loop of the equivalence oracle.
+// x and y must have the same word length.
+func XorPopcount(x, y Vec) int {
+	n := 0
+	i := 0
+	for ; i+8 <= len(x); i += 8 {
+		a := (*[8]uint64)(x[i:])
+		b := (*[8]uint64)(y[i:])
+		n += mathbits.OnesCount64(a[0]^b[0]) +
+			mathbits.OnesCount64(a[1]^b[1]) +
+			mathbits.OnesCount64(a[2]^b[2]) +
+			mathbits.OnesCount64(a[3]^b[3]) +
+			mathbits.OnesCount64(a[4]^b[4]) +
+			mathbits.OnesCount64(a[5]^b[5]) +
+			mathbits.OnesCount64(a[6]^b[6]) +
+			mathbits.OnesCount64(a[7]^b[7])
+	}
+	for ; i < len(x); i++ {
+		n += mathbits.OnesCount64(x[i] ^ y[i])
+	}
+	return n
+}
+
+// xorPopcountGeneric is the one-word-at-a-time reference for XorPopcount.
+func xorPopcountGeneric(x, y Vec) int {
+	n := 0
+	for i := range x {
+		n += mathbits.OnesCount64(x[i] ^ y[i])
+	}
+	return n
+}
+
+// XorPopcountMasked is XorPopcount with the last word ANDed against tail,
+// so vectors whose logical sample count is not a multiple of 64 compare
+// only their valid samples. Pass TailMask to build the mask.
+func XorPopcountMasked(x, y Vec, tail uint64) int {
+	last := len(x) - 1
+	if last < 0 {
+		return 0
+	}
+	n := 0
+	i := 0
+	for ; i+8 <= last; i += 8 {
+		a := (*[8]uint64)(x[i:])
+		b := (*[8]uint64)(y[i:])
+		n += mathbits.OnesCount64(a[0]^b[0]) +
+			mathbits.OnesCount64(a[1]^b[1]) +
+			mathbits.OnesCount64(a[2]^b[2]) +
+			mathbits.OnesCount64(a[3]^b[3]) +
+			mathbits.OnesCount64(a[4]^b[4]) +
+			mathbits.OnesCount64(a[5]^b[5]) +
+			mathbits.OnesCount64(a[6]^b[6]) +
+			mathbits.OnesCount64(a[7]^b[7])
+	}
+	for ; i < last; i++ {
+		n += mathbits.OnesCount64(x[i] ^ y[i])
+	}
+	return n + mathbits.OnesCount64((x[last]^y[last])&tail)
+}
+
+// xorPopcountMaskedGeneric is the reference for XorPopcountMasked.
+func xorPopcountMaskedGeneric(x, y Vec, tail uint64) int {
+	last := len(x) - 1
+	if last < 0 {
+		return 0
+	}
+	n := 0
+	for i := 0; i < last; i++ {
+		n += mathbits.OnesCount64(x[i] ^ y[i])
+	}
+	return n + mathbits.OnesCount64((x[last]^y[last])&tail)
+}
+
+// EqualMasked reports whether x and y agree on every word, with the last
+// word compared under tail. It exits on the first differing block, which is
+// the cheap refutation screen of the incremental evaluator: a wrong
+// offspring is rejected after touching only a prefix of the stimulus.
+func EqualMasked(x, y Vec, tail uint64) bool {
+	last := len(x) - 1
+	if last < 0 {
+		return true
+	}
+	i := 0
+	for ; i+8 <= last; i += 8 {
+		a := (*[8]uint64)(x[i:])
+		b := (*[8]uint64)(y[i:])
+		if (a[0]^b[0])|(a[1]^b[1])|(a[2]^b[2])|(a[3]^b[3])|
+			(a[4]^b[4])|(a[5]^b[5])|(a[6]^b[6])|(a[7]^b[7]) != 0 {
+			return false
+		}
+	}
+	for ; i < last; i++ {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return (x[last]^y[last])&tail == 0
+}
+
+// equalMaskedGeneric is the reference for EqualMasked.
+func equalMaskedGeneric(x, y Vec, tail uint64) bool {
+	last := len(x) - 1
+	if last < 0 {
+		return true
+	}
+	for i := 0; i < last; i++ {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return (x[last]^y[last])&tail == 0
+}
+
+// MajInv stores the three-input majority of a, b, c into dst, XORing each
+// operand word against its inverter mask first: the fused inner kernel of
+// RQFP gate simulation, MAJ(a^ma, b^mb, c^mc) per word, with the mask
+// application hoisted out of the per-word configuration decode. dst must
+// not alias a, b, or c (gate outputs never feed the same gate's inputs in
+// a topologically ordered netlist).
+func MajInv(dst, a, b, c Vec, ma, mb, mc uint64) {
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		d := (*[8]uint64)(dst[i:])
+		p := (*[8]uint64)(a[i:])
+		q := (*[8]uint64)(b[i:])
+		r := (*[8]uint64)(c[i:])
+		x0, y0, z0 := p[0]^ma, q[0]^mb, r[0]^mc
+		x1, y1, z1 := p[1]^ma, q[1]^mb, r[1]^mc
+		x2, y2, z2 := p[2]^ma, q[2]^mb, r[2]^mc
+		x3, y3, z3 := p[3]^ma, q[3]^mb, r[3]^mc
+		d[0] = x0&y0 | x0&z0 | y0&z0
+		d[1] = x1&y1 | x1&z1 | y1&z1
+		d[2] = x2&y2 | x2&z2 | y2&z2
+		d[3] = x3&y3 | x3&z3 | y3&z3
+		x4, y4, z4 := p[4]^ma, q[4]^mb, r[4]^mc
+		x5, y5, z5 := p[5]^ma, q[5]^mb, r[5]^mc
+		x6, y6, z6 := p[6]^ma, q[6]^mb, r[6]^mc
+		x7, y7, z7 := p[7]^ma, q[7]^mb, r[7]^mc
+		d[4] = x4&y4 | x4&z4 | y4&z4
+		d[5] = x5&y5 | x5&z5 | y5&z5
+		d[6] = x6&y6 | x6&z6 | y6&z6
+		d[7] = x7&y7 | x7&z7 | y7&z7
+	}
+	for ; i < len(dst); i++ {
+		x := a[i] ^ ma
+		y := b[i] ^ mb
+		z := c[i] ^ mc
+		dst[i] = x&y | x&z | y&z
+	}
+}
+
+// majInvGeneric is the reference for MajInv.
+func majInvGeneric(dst, a, b, c Vec, ma, mb, mc uint64) {
+	for i := range dst {
+		x := a[i] ^ ma
+		y := b[i] ^ mb
+		z := c[i] ^ mc
+		dst[i] = x&y | x&z | y&z
+	}
+}

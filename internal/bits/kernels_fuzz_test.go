@@ -1,0 +1,136 @@
+package bits
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// Fuzz targets for the 8-word unrolled kernels in kernels.go: each one
+// decodes equally-sized vectors from the raw fuzz bytes and requires the
+// unrolled kernel to agree bit-for-bit with its scalar reference. Vector
+// lengths sweep through the interesting sizes (0 words, a bare tail,
+// exactly 8, 8k+remainder) because the corpus length drives the word count
+// directly.
+
+// fuzzVecs decodes n equally-long vectors from raw, using one leading byte
+// to skew the word count so the unrolled/tail split gets exercised at every
+// remainder. Returns nil vectors when raw is too short for a single word.
+func fuzzVecs(raw []byte, n int) []Vec {
+	if len(raw) == 0 {
+		return make([]Vec, n)
+	}
+	skew := int(raw[0]) % 8
+	raw = raw[1:]
+	words := len(raw) / (8 * n)
+	if words > 64 {
+		words = 64
+	}
+	if words > skew {
+		words -= skew
+	}
+	vecs := make([]Vec, n)
+	for i := range vecs {
+		vecs[i] = NewWords(words)
+		for w := 0; w < words; w++ {
+			off := (i*words + w) * 8
+			vecs[i][w] = binary.LittleEndian.Uint64(raw[off:])
+		}
+	}
+	return vecs
+}
+
+// fuzzTail derives a valid tail mask for vectors of the given word count
+// from one fuzz byte, covering both the all-ones and the partial case.
+func fuzzTail(b byte, words int) uint64 {
+	if words == 0 {
+		return ^uint64(0)
+	}
+	samples := (words-1)*64 + 1 + int(b)%64
+	return TailMask(samples, words)
+}
+
+func fuzzSeed(f *testing.F) {
+	f.Helper()
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add(make([]byte, 1+16))    // 1 word each for two vectors
+	f.Add(make([]byte, 1+16*8))  // exactly 8 words each
+	f.Add(make([]byte, 1+16*11)) // 8 unrolled + 3 tail words
+	long := make([]byte, 1+16*19)
+	for i := range long {
+		long[i] = byte(i * 37)
+	}
+	f.Add(long)
+}
+
+func FuzzXorPopcount8(f *testing.F) {
+	fuzzSeed(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		v := fuzzVecs(raw, 2)
+		want := xorPopcountGeneric(v[0], v[1])
+		if got := XorPopcount(v[0], v[1]); got != want {
+			t.Fatalf("XorPopcount(%d words) = %d, want %d", len(v[0]), got, want)
+		}
+	})
+}
+
+func FuzzXorPopcountMasked8(f *testing.F) {
+	fuzzSeed(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		v := fuzzVecs(raw, 2)
+		var tb byte
+		if len(raw) > 0 {
+			tb = raw[len(raw)-1]
+		}
+		tail := fuzzTail(tb, len(v[0]))
+		want := xorPopcountMaskedGeneric(v[0], v[1], tail)
+		if got := XorPopcountMasked(v[0], v[1], tail); got != want {
+			t.Fatalf("XorPopcountMasked(%d words, tail %#x) = %d, want %d",
+				len(v[0]), tail, got, want)
+		}
+	})
+}
+
+func FuzzEqualMasked8(f *testing.F) {
+	fuzzSeed(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		v := fuzzVecs(raw, 2)
+		var tb byte
+		if len(raw) > 0 {
+			tb = raw[len(raw)-1]
+		}
+		tail := fuzzTail(tb, len(v[0]))
+		want := equalMaskedGeneric(v[0], v[1], tail)
+		if got := EqualMasked(v[0], v[1], tail); got != want {
+			t.Fatalf("EqualMasked(%d words, tail %#x) = %v, want %v",
+				len(v[0]), tail, got, want)
+		}
+		// Equal prefixes are the hot path (fast refute scans until the first
+		// difference): force agreement and re-check.
+		copy(v[1], v[0])
+		if !EqualMasked(v[0], v[1], tail) {
+			t.Fatalf("EqualMasked on identical %d-word vectors = false", len(v[0]))
+		}
+	})
+}
+
+func FuzzMajInv8(f *testing.F) {
+	fuzzSeed(f)
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		v := fuzzVecs(raw, 3)
+		var masks [3]uint64
+		for j := range masks {
+			if len(raw) > j && raw[len(raw)-1-j]&1 == 1 {
+				masks[j] = ^uint64(0)
+			}
+		}
+		words := len(v[0])
+		want := NewWords(words)
+		majInvGeneric(want, v[0], v[1], v[2], masks[0], masks[1], masks[2])
+		got := NewWords(words)
+		MajInv(got, v[0], v[1], v[2], masks[0], masks[1], masks[2])
+		if !got.Eq(want) {
+			t.Fatalf("MajInv(%d words, masks %v) diverged from scalar reference", words, masks)
+		}
+	})
+}

@@ -50,6 +50,10 @@ type Spec struct {
 	// contexts so an unchanged stimulus is not re-copied per evaluation.
 	id  uint64
 	gen uint64
+	// genLive mirrors gen outside the lock so View snapshots can probe
+	// staleness with one atomic load instead of taking mu on every
+	// evaluation of the search hot loop.
+	genLive atomic.Uint64
 
 	// specAIG drives SAT confirmation and counterexample re-simulation in
 	// the non-exhaustive regime; nil when exhaustive.
@@ -119,6 +123,18 @@ func (s *Spec) bump(f func(*Stats)) {
 	s.statsMu.Unlock()
 }
 
+// mergeStats folds a locally accumulated shard into the shared counters —
+// one lock per merge instead of one per counter touch. The zero shard is
+// skipped without locking.
+func (s *Spec) mergeStats(st Stats) {
+	if st == (Stats{}) {
+		return
+	}
+	s.statsMu.Lock()
+	s.stats.Add(st)
+	s.statsMu.Unlock()
+}
+
 // AttachTracer routes SAT verdicts and counterexample events to t (nil
 // detaches). Per-simulation events are deliberately not emitted: the
 // simulation screen runs once per candidate evaluation and must stay
@@ -153,6 +169,7 @@ var specIDs atomic.Uint64
 
 func NewSpecFromAIG(a *aig.AIG, randomWords int, seed int64) *Spec {
 	s := &Spec{NumPI: a.NumPIs(), NumPO: a.NumPOs(), id: specIDs.Add(1), gen: 1}
+	s.genLive.Store(1)
 	if s.NumPI <= ExhaustiveMaxPIs {
 		s.Exhaustive = true
 		s.stimulus = bits.ExhaustiveInputs(s.NumPI)
@@ -181,6 +198,7 @@ func NewSpecFromAIG(a *aig.AIG, randomWords int, seed int64) *Spec {
 // reference, e.g. for pure optimization runs).
 func NewSpecFromNetlist(n *rqfp.Netlist, randomWords int, seed int64) *Spec {
 	s := &Spec{NumPI: n.NumPI, NumPO: len(n.POs), id: specIDs.Add(1), gen: 1}
+	s.genLive.Store(1)
 	if s.NumPI <= ExhaustiveMaxPIs {
 		s.Exhaustive = true
 		s.stimulus = bits.ExhaustiveInputs(s.NumPI)
@@ -265,32 +283,50 @@ func (s *Spec) CheckContext(ctx context.Context, n *rqfp.Netlist, sim *rqfp.SimC
 	if active == nil {
 		active = n.ActiveGates()
 	}
+	var st Stats
 	s.mu.RLock()
 	if sim == nil || sim.Words() != s.words {
 		sim = rqfp.NewSimContext(n.NumPorts(), s.words)
 	}
 	sim.RunTagged(n, s.stimulus, active, s.id, s.gen)
+	wrong := countWrong(n, sim, s.golden, s.samples, s.words)
 	totalBits := s.samples * s.NumPO
-	tail := bits.TailMask(s.samples, s.words)
+	s.mu.RUnlock()
+	v := s.finishCheck(ctx, n, wrong, totalBits, &st)
+	s.mergeStats(st)
+	return v
+}
+
+// countWrong counts the candidate's output bits disagreeing with the golden
+// responses over the first `samples` patterns of a `words`-wide stimulus.
+// The caller must hold a consistent stimulus snapshot (the lock or a View).
+func countWrong(n *rqfp.Netlist, sim *rqfp.SimContext, golden []bits.Vec, samples, words int) int {
+	// Only the valid samples count; tail is all-ones when the last word is
+	// fully populated (always true for random stimulus).
+	tail := bits.TailMask(samples, words)
 	wrong := 0
 	for i, po := range n.POs {
-		// Only the valid samples count; tail is all-ones when the last
-		// word is fully populated (always true for random stimulus).
-		wrong += bits.XorPopcountMasked(sim.Port(po), s.golden[i], tail)
+		wrong += bits.XorPopcountMasked(sim.Port(po), golden[i], tail)
 	}
-	s.mu.RUnlock()
+	return wrong
+}
+
+// finishCheck turns a simulation screen's wrong-bit count into a Verdict,
+// running the SAT confirmation when the screen passed in the non-exhaustive
+// regime. Counters accumulate into st; the caller merges them.
+func (s *Spec) finishCheck(ctx context.Context, n *rqfp.Netlist, wrong, totalBits int, st *Stats) Verdict {
 	match := 1 - float64(wrong)/float64(totalBits)
-	s.bump(func(st *Stats) { st.Checks++ })
+	st.Checks++
 	if wrong > 0 {
-		s.bump(func(st *Stats) { st.SimRefuted++ })
+		st.SimRefuted++
 		return Verdict{Match: match}
 	}
 	if s.Exhaustive {
-		s.bump(func(st *Stats) { st.ExhaustiveProved++ })
+		st.ExhaustiveProved++
 		return Verdict{Match: 1, Proved: true}
 	}
 	// Simulation passed on random patterns: confirm formally.
-	eq, cex, aborted := s.satCheck(ctx, n)
+	eq, cex, aborted := s.satCheck(ctx, n, st)
 	if eq {
 		return Verdict{Match: 1, Proved: true}
 	}
@@ -301,8 +337,9 @@ func (s *Spec) CheckContext(ctx context.Context, n *rqfp.Netlist, sim *rqfp.SimC
 // satCheck builds a miter between the candidate netlist and the spec AIG.
 // Returns (true, nil, false) on proven equivalence, (false, assignment,
 // false) with a distinguishing input assignment, or (false, nil, aborted)
-// when the solver gave up — aborted marks a context cancellation.
-func (s *Spec) satCheck(ctx context.Context, n *rqfp.Netlist) (bool, []bool, bool) {
+// when the solver gave up — aborted marks a context cancellation. Counters
+// accumulate into st without locking.
+func (s *Spec) satCheck(ctx context.Context, n *rqfp.Netlist, st *Stats) (bool, []bool, bool) {
 	b := cnf.NewBuilder()
 	b.S.SetContext(ctx)
 	pis := make([]sat.Lit, s.NumPI)
@@ -317,33 +354,31 @@ func (s *Spec) satCheck(ctx context.Context, n *rqfp.Netlist) (bool, []bool, boo
 	bad := b.MiterOutputs(candOut, specOut)
 	b.AddClause(bad)
 	start := time.Now()
-	st, err := b.S.Solve()
+	status, err := b.S.Solve()
 	elapsed := time.Since(start)
 	aborted := err != nil && ctx.Err() != nil
 	verdict := "unknown"
 	switch {
-	case err == nil && st == sat.Unsat:
+	case err == nil && status == sat.Unsat:
 		verdict = "proved"
-	case err == nil && st == sat.Sat:
+	case err == nil && status == sat.Sat:
 		verdict = "refuted"
 	case aborted:
 		verdict = "aborted"
 	}
-	s.bump(func(stats *Stats) {
-		stats.SATTime += elapsed
-		stats.SAT.Add(b.S.Counters())
-		switch verdict {
-		case "proved":
-			stats.SATProved++
-		case "refuted":
-			stats.SATRefuted++
-		default:
-			stats.SATUnknown++
-			if aborted {
-				stats.SATAborted++
-			}
+	st.SATTime += elapsed
+	st.SAT.Add(b.S.Counters())
+	switch verdict {
+	case "proved":
+		st.SATProved++
+	case "refuted":
+		st.SATRefuted++
+	default:
+		st.SATUnknown++
+		if aborted {
+			st.SATAborted++
 		}
-	})
+	}
 	if s.trace != nil {
 		c := b.S.Counters()
 		s.trace.Emit("cec.sat", map[string]any{
@@ -353,12 +388,12 @@ func (s *Spec) satCheck(ctx context.Context, n *rqfp.Netlist) (bool, []bool, boo
 			"decisions": c.Decisions,
 		})
 	}
-	if err != nil || st == sat.Unknown {
+	if err != nil || status == sat.Unknown {
 		// Budget exhausted or cancelled: be conservative, treat as not
 		// equivalent.
 		return false, nil, aborted
 	}
-	if st == sat.Unsat {
+	if status == sat.Unsat {
 		return true, nil, false
 	}
 	cex := make([]bool, s.NumPI)
@@ -403,6 +438,7 @@ func (s *Spec) AddCounterexample(cex []bool) {
 	s.words++
 	s.samples += 64
 	s.gen++ // invalidate resident stimulus tags and incremental parents
+	s.genLive.Store(s.gen)
 	s.golden = s.specAIG.Simulate(s.stimulus)
 }
 

@@ -17,10 +17,12 @@ import (
 // approximate (per-output lower-bounded) Match for refuted candidates but
 // never changes a proved/refuted verdict.
 //
+// The oracle is read through a View, so the whole delta path — simulation,
+// mismatch counting, statistics — runs without touching the Spec's locks.
 // One Incremental is owned by one goroutine, like the SimContext inside
 // it. The Spec it wraps may be shared.
 type Incremental struct {
-	spec  *Spec
+	view  *View
 	base  *rqfp.SimContext
 	delta *rqfp.DeltaSim
 
@@ -37,36 +39,42 @@ type Incremental struct {
 	poDirty []bool // per-PO scratch for CheckDelta
 }
 
-// NewIncremental wraps spec. Call SetParent before CheckDelta.
+// NewIncremental wraps spec with a private View. Call SetParent before
+// CheckDelta.
 func NewIncremental(spec *Spec) *Incremental {
-	return &Incremental{spec: spec}
+	return NewIncrementalView(spec.NewView())
+}
+
+// NewIncrementalView wraps an existing View — the sharing hook for an
+// evaluator that already owns a view for its full-evaluation path, so both
+// paths feed one statistics shard and re-sync one snapshot.
+func NewIncrementalView(v *View) *Incremental {
+	return &Incremental{view: v}
 }
 
 // Stale reports whether the stimulus has been widened (or the parent never
 // set) since the last SetParent, so the resident vectors no longer match
-// the oracle. The caller re-syncs with SetParent.
+// the oracle. The caller re-syncs with SetParent. Lock-free.
 func (inc *Incremental) Stale() bool {
-	if inc.base == nil {
-		return true
-	}
-	_, gen := inc.spec.StimulusGen()
-	return gen != inc.gen
+	return inc.base == nil || inc.gen != inc.view.spec.genLive.Load()
 }
 
 // SetParent makes parent the resident base: a full simulation of ALL gates
 // (active and inactive, so any rewiring in an offspring finds valid source
 // vectors) plus the per-output wrong-bit counts against the golden
-// responses.
+// responses. The view is re-synced first when stale.
 func (inc *Incremental) SetParent(parent *rqfp.Netlist) {
-	s := inc.spec
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if inc.base == nil || inc.base.Words() != s.words {
-		inc.base = rqfp.NewSimContext(parent.NumPorts(), s.words)
+	v := inc.view
+	if !v.Fresh() {
+		v.Sync()
+	}
+	s := v.spec
+	if inc.base == nil || inc.base.Words() != v.words {
+		inc.base = rqfp.NewSimContext(parent.NumPorts(), v.words)
 		inc.delta = rqfp.NewDeltaSim(inc.base)
 	}
-	inc.base.RunTagged(parent, s.stimulus, nil, s.id, s.gen)
-	inc.gen = s.gen
+	inc.base.RunTagged(parent, v.stimulus, nil, v.id, v.gen)
+	inc.gen = v.gen
 	if cap(inc.parentWrong) < s.NumPO {
 		inc.parentWrong = make([]int, s.NumPO)
 		inc.poDirty = make([]bool, s.NumPO)
@@ -74,9 +82,9 @@ func (inc *Incremental) SetParent(parent *rqfp.Netlist) {
 	inc.parentWrong = inc.parentWrong[:s.NumPO]
 	inc.poDirty = inc.poDirty[:s.NumPO]
 	inc.parentTotal = 0
-	tail := bits.TailMask(s.samples, s.words)
+	tail := bits.TailMask(v.samples, v.words)
 	for i, po := range parent.POs {
-		w := bits.XorPopcountMasked(inc.base.Port(po), s.golden[i], tail)
+		w := bits.XorPopcountMasked(inc.base.Port(po), v.golden[i], tail)
 		inc.parentWrong[i] = w
 		inc.parentTotal += w
 	}
@@ -98,21 +106,20 @@ func (inc *Incremental) SetParent(parent *rqfp.Netlist) {
 // falls back to the full path and re-syncs. coneGates is the number of
 // gates re-simulated.
 func (inc *Incremental) CheckDelta(ctx context.Context, n *rqfp.Netlist, dirtyGates, dirtyPOs []int32, active []bool, fastRefute bool) (v Verdict, coneGates int, ok bool) {
-	s := inc.spec
+	view := inc.view
+	s := view.spec
 	if n.NumPI != s.NumPI || len(n.POs) != s.NumPO {
 		return Verdict{}, 0, true
+	}
+	if inc.Stale() || inc.gen != view.gen {
+		return Verdict{}, 0, false
 	}
 	if active == nil {
 		active = n.ActiveGates()
 	}
-	s.mu.RLock()
-	if inc.base == nil || inc.gen != s.gen || inc.base.Words() != s.words {
-		s.mu.RUnlock()
-		return Verdict{}, 0, false
-	}
 	coneGates = inc.delta.RunDelta(n, dirtyGates, active)
-	tail := bits.TailMask(s.samples, s.words)
-	totalBits := s.samples * s.NumPO
+	tail := bits.TailMask(view.samples, view.words)
+	totalBits := view.samples * s.NumPO
 	for i := range inc.poDirty {
 		inc.poDirty[i] = false
 	}
@@ -126,10 +133,10 @@ func (inc *Incremental) CheckDelta(ctx context.Context, n *rqfp.Netlist, dirtyGa
 		}
 		got := inc.delta.Port(po)
 		var w int
-		if fastRefute && bits.EqualMasked(got, s.golden[i], tail) {
+		if fastRefute && bits.EqualMasked(got, view.golden[i], tail) {
 			w = 0
 		} else {
-			w = bits.XorPopcountMasked(got, s.golden[i], tail)
+			w = bits.XorPopcountMasked(got, view.golden[i], tail)
 		}
 		wrong += w - inc.parentWrong[i]
 		if fastRefute && wrong > 0 && inc.parentTotal == 0 {
@@ -140,22 +147,5 @@ func (inc *Incremental) CheckDelta(ctx context.Context, n *rqfp.Netlist, dirtyGa
 			break
 		}
 	}
-	s.mu.RUnlock()
-	match := 1 - float64(wrong)/float64(totalBits)
-	s.bump(func(st *Stats) { st.Checks++ })
-	if wrong > 0 {
-		s.bump(func(st *Stats) { st.SimRefuted++ })
-		return Verdict{Match: match}, coneGates, true
-	}
-	if s.Exhaustive {
-		s.bump(func(st *Stats) { st.ExhaustiveProved++ })
-		return Verdict{Match: 1, Proved: true}, coneGates, true
-	}
-	// The delta screen passed on random patterns: confirm formally, like
-	// the full path.
-	eq, cex, aborted := s.satCheck(ctx, n)
-	if eq {
-		return Verdict{Match: 1, Proved: true}, coneGates, true
-	}
-	return Verdict{Match: match, Counterexample: cex, Aborted: aborted}, coneGates, true
+	return s.finishCheck(ctx, n, wrong, totalBits, &view.stats), coneGates, true
 }

@@ -151,6 +151,9 @@ func AnnealContext(ctx context.Context, initial *rqfp.Netlist, spec *cec.Spec, o
 		}
 	}
 
+	// Publish the oracle counters the evaluator buffered in its view shard.
+	ev.FlushStats()
+
 	res.Best = best.net.Shrink()
 	res.Fitness = bestFit
 	res.Generations = step

@@ -31,6 +31,18 @@ type evalSlot struct {
 // counterexample learning), the search trajectory is bit-identical for any
 // worker count on the same Options.Seed.
 //
+// Dispatch is batched: the λ slots are statically partitioned into one
+// contiguous range per worker, and a generation costs exactly one channel
+// send and one wg.Done per WORKER — not per offspring — so the coordinator
+// handoff stays off the profile even at microsecond evaluation costs.
+// Workers write results into their own slots (no result channel, no shared
+// mutable state), re-sync their oracle snapshot at the top of each batch,
+// and drain their local metric/statistics shards at the bottom, which makes
+// the per-candidate hot path lock-free end to end. The static partition
+// also means a given slot index is always evaluated by the same worker, so
+// worker-local caches (resident parent simulations, SAT solver scratch) see
+// a deterministic request sequence.
+//
 // Progress and Trace callbacks are only ever invoked from the goroutine
 // that calls run — never from a worker — so user callbacks need no
 // synchronization even with Workers > 1.
@@ -53,9 +65,17 @@ type engine struct {
 	incremental bool
 
 	slots []*evalSlot
-	jobs  chan int
-	wg    sync.WaitGroup
-	ctx   context.Context // batch context, published to workers via jobs
+	// starts carries one wakeup per worker per generation; worker w then
+	// runs the static slot range batches[w] = [lo, hi). Both are nil when
+	// Workers == 1 (the coordinator runs the whole batch inline).
+	starts  []chan struct{}
+	batches [][2]int
+	// shards are the per-worker local eval-latency accumulators, drained
+	// into hists at batch boundaries; nil entries when unmetered. Index 0
+	// doubles as the sequential engine's shard.
+	shards []*obs.HistShard
+	wg     sync.WaitGroup
+	ctx    context.Context // batch context, published before the starts send
 
 	gen int
 	tel Telemetry
@@ -112,9 +132,11 @@ func newEngine(initial *genotype, ev Evaluator, opt Options, island int) (*engin
 		e.slots[i] = s
 	}
 	e.hists = make([]obs.HistogramSet, opt.Workers)
+	e.shards = make([]*obs.HistShard, opt.Workers)
 	if !opt.Metrics.Empty() {
 		for w := range e.hists {
 			e.hists[w] = opt.Metrics.Histogram(e.histName(w))
+			e.shards[w] = new(obs.HistShard)
 		}
 		if e.incremental {
 			name := "cgp.cone_gates"
@@ -132,12 +154,27 @@ func newEngine(initial *genotype, ev Evaluator, opt Options, island int) (*engin
 		}
 	}
 	if opt.Workers > 1 {
-		e.jobs = make(chan int)
+		e.starts = make([]chan struct{}, opt.Workers)
+		e.batches = make([][2]int, opt.Workers)
 		for w := 0; w < opt.Workers; w++ {
+			// Contiguous near-even split; Workers <= Lambda (clamped by
+			// withDefaults), so every worker owns at least one slot.
+			e.batches[w] = [2]int{w * opt.Lambda / opt.Workers, (w + 1) * opt.Lambda / opt.Workers}
+			e.starts[w] = make(chan struct{}, 1)
 			go e.worker(w, ev.Fork())
 		}
 	}
+	e.flushRoot()
 	return e, nil
+}
+
+// flushRoot publishes the root evaluator's buffered oracle statistics, so
+// Spec.Stats reads taken after a run (or after the initial evaluation) see
+// complete totals.
+func (e *engine) flushRoot() {
+	if f, ok := e.eval.(StatsFlusher); ok {
+		f.FlushStats()
+	}
 }
 
 func (e *engine) histName(w int) string {
@@ -149,43 +186,72 @@ func (e *engine) histName(w int) string {
 
 // close stops the worker pool. Safe to call more than once.
 func (e *engine) close() {
-	if e.jobs != nil {
-		close(e.jobs)
-		e.jobs = nil
+	if e.starts != nil {
+		for _, ch := range e.starts {
+			close(ch)
+		}
+		e.starts = nil
 	}
+	e.flushRoot()
 }
 
+// worker evaluates its static slot range once per wakeup. Everything the
+// batch reads (parent, fitness, epoch, seeds, ctx) was published by the
+// coordinator before the starts send; everything it writes lands in its own
+// slots and its own shards, which it drains before signalling completion.
 func (e *engine) worker(w int, ev Evaluator) {
-	for i := range e.jobs {
-		e.runSlot(i, ev, e.hists[w])
+	lo, hi := e.batches[w][0], e.batches[w][1]
+	flusher, _ := ev.(StatsFlusher)
+	for range e.starts[w] {
+		e.runBatch(lo, hi, ev, e.shards[w])
+		if e.shards[w] != nil {
+			e.hists[w].Drain(e.shards[w])
+		}
+		if flusher != nil {
+			flusher.FlushStats()
+		}
 		e.wg.Done()
 	}
 }
 
-// runSlot mutates and evaluates offspring i into its slot. All inputs
-// (parent, seed) were published by the coordinator before dispatch; all
-// outputs stay inside the slot until the reducer reads them.
-func (e *engine) runSlot(i int, ev Evaluator, hist obs.HistogramSet) {
+// runBatch mutates and evaluates slots [lo, hi) on ev. The incremental
+// parent re-sync is hoisted to the top of the batch — the parent is frozen
+// for the whole generation, so once per batch is exactly as often as it can
+// change. A cancellation mid-batch marks the remaining slots aborted
+// without evaluating them; the reducer abandons the generation either way.
+func (e *engine) runBatch(lo, hi int, ev Evaluator, shard *obs.HistShard) {
+	var dev DeltaEvaluator
+	if e.incremental {
+		dev = ev.(DeltaEvaluator)
+		dev.SyncParent(e.parentEpoch, e.parent.net, e.parentFit)
+	}
+	for i := lo; i < hi; i++ {
+		if !e.runSlot(i, ev, dev, shard) {
+			for j := i + 1; j < hi; j++ {
+				e.slots[j].out = Outcome{Aborted: true}
+				e.slots[j].done = false
+			}
+			return
+		}
+	}
+}
+
+// runSlot mutates and evaluates offspring i into its slot, reporting false
+// when the evaluation was aborted by cancellation. All inputs (parent,
+// seed) were published by the coordinator before dispatch; all outputs stay
+// inside the slot until the reducer reads them.
+func (e *engine) runSlot(i int, ev Evaluator, dev DeltaEvaluator, shard *obs.HistShard) bool {
 	s := e.slots[i]
 	s.done = false
 	if e.ctx.Err() != nil {
 		s.out = Outcome{Aborted: true}
-		return
+		return false
 	}
 	s.rng.Seed(e.seeds[i])
 	s.g.copyFrom(e.parent)
 	s.g.mutate(s.rng, e.opt.MutationRate)
-	var dev DeltaEvaluator
-	if e.incremental {
-		// Re-sync the worker-local resident parent if the epoch moved (or
-		// the oracle widened its stimulus) since this evaluator's last
-		// batch. The parent and its fitness were published by the
-		// coordinator before dispatch and stay frozen for the whole batch.
-		dev = ev.(DeltaEvaluator)
-		dev.SyncParent(e.parentEpoch, e.parent.net, e.parentFit)
-	}
 	var start time.Time
-	if hist != nil {
+	if shard != nil {
 		start = time.Now()
 	}
 	if dev != nil {
@@ -193,10 +259,11 @@ func (e *engine) runSlot(i int, ev Evaluator, hist obs.HistogramSet) {
 	} else {
 		s.out = ev.Evaluate(e.ctx, s.g.net)
 	}
-	if hist != nil {
-		hist.Observe(time.Since(start))
+	if shard != nil {
+		shard.Observe(time.Since(start))
 	}
 	s.done = !s.out.Aborted
+	return s.done
 }
 
 // learn applies (or defers) a counterexample from the reducer.
@@ -221,23 +288,20 @@ func (e *engine) run(ctx context.Context, gens int) StopReason {
 		for i := range e.seeds {
 			e.seeds[i] = e.r.Int63()
 		}
-		if e.jobs != nil {
-			e.wg.Add(len(e.slots))
-			for i := range e.slots {
-				e.jobs <- i
+		if e.starts != nil {
+			// One buffered send per worker wakes the whole pool; the shared
+			// WaitGroup is the only synchronization until the batch barrier.
+			e.wg.Add(len(e.starts))
+			for _, ch := range e.starts {
+				ch <- struct{}{}
 			}
 			e.wg.Wait()
 		} else {
-			for i := range e.slots {
-				e.runSlot(i, e.eval, e.hists[0])
-				if e.slots[i].out.Aborted {
-					for j := i + 1; j < len(e.slots); j++ {
-						e.slots[j].out = Outcome{Aborted: true}
-						e.slots[j].done = false
-					}
-					break
-				}
+			e.runBatch(0, len(e.slots), e.eval, e.shards[0])
+			if e.shards[0] != nil {
+				e.hists[0].Drain(e.shards[0])
 			}
+			e.flushRoot()
 		}
 
 		// Reduce in offspring-index order: this fixes the order of

@@ -63,12 +63,29 @@ type DeltaEvaluator interface {
 	EvaluateDelta(ctx context.Context, n *rqfp.Netlist, delta Delta) Outcome
 }
 
+// StatsFlusher is implemented by evaluators that buffer shared-oracle
+// statistics in per-goroutine shards. The engine calls FlushStats at batch
+// boundaries (and once when a run finishes) so the oracle's totals are
+// complete whenever the coordinator — or anything downstream of it — reads
+// them, while the per-candidate hot path never takes the oracle's stats
+// lock.
+type StatsFlusher interface {
+	FlushStats()
+}
+
 // SpecEvaluator evaluates candidates against a cec.Spec: cost extraction on
 // the active cone, then the oracle's simulation screen plus proof. The
 // scratch simulation context and cost evaluator are reused across calls so
 // the hot loop stays allocation-free.
+//
+// The oracle is read through a private cec.View — a per-goroutine snapshot
+// of the stimulus tables plus a local statistics shard — so concurrent
+// forked evaluators share no locks on the evaluation path. The view
+// re-syncs itself when the oracle widens its stimulus, and its buffered
+// counters reach the Spec on FlushStats.
 type SpecEvaluator struct {
 	spec  *cec.Spec
+	view  *cec.View
 	sim   *rqfp.SimContext
 	costs rqfp.CostEvaluator
 
@@ -102,20 +119,40 @@ func (e *SpecEvaluator) Fork() Evaluator {
 // Learn folds a counterexample into the oracle's stimulus.
 func (e *SpecEvaluator) Learn(cex []bool) { e.spec.AddCounterexample(cex) }
 
+// FlushStats merges the view's locally buffered oracle counters into the
+// shared Spec. Called by the engine at batch boundaries; cheap (one mutex
+// acquisition, a no-op on an empty shard).
+func (e *SpecEvaluator) FlushStats() {
+	if e.view != nil {
+		e.view.Flush()
+	}
+}
+
+// ensureView lazily snapshots the oracle and re-syncs a stale snapshot.
+func (e *SpecEvaluator) ensureView() *cec.View {
+	if e.view == nil {
+		e.view = e.spec.NewView()
+	} else if !e.view.Fresh() {
+		e.view.Sync()
+	}
+	return e.view
+}
+
 // Evaluate scores one candidate. Safe to call concurrently on distinct
 // (forked) evaluators.
 func (e *SpecEvaluator) Evaluate(ctx context.Context, n *rqfp.Netlist) Outcome {
 	if ctx.Err() != nil {
 		return Outcome{Aborted: true}
 	}
-	if words := e.spec.Words(); e.sim == nil || e.sim.Words() != words {
+	v := e.ensureView()
+	if words := v.Words(); e.sim == nil || e.sim.Words() != words {
 		// The oracle widened its stimulus with a counterexample.
 		e.sim = rqfp.NewSimContext(n.NumPorts(), words)
 	}
 	c := e.costs.Eval(n)
-	v := e.spec.CheckContext(ctx, n, e.sim, e.costs.Active())
-	out := Outcome{Counterexample: v.Counterexample, Aborted: v.Aborted}
-	if v.Proved {
+	verdict := v.Check(ctx, n, e.sim, e.costs.Active())
+	out := Outcome{Counterexample: verdict.Counterexample, Aborted: verdict.Aborted}
+	if verdict.Proved {
 		out.Fitness = Fitness{
 			Valid:   true,
 			Match:   1,
@@ -124,7 +161,7 @@ func (e *SpecEvaluator) Evaluate(ctx context.Context, n *rqfp.Netlist) Outcome {
 			Buffers: c.Buffers,
 		}
 	} else {
-		out.Fitness = Fitness{Match: v.Match}
+		out.Fitness = Fitness{Match: verdict.Match}
 	}
 	return out
 }
@@ -135,7 +172,9 @@ func (e *SpecEvaluator) Evaluate(ctx context.Context, n *rqfp.Netlist) Outcome {
 // migration) or the oracle widened its stimulus since the last sync.
 func (e *SpecEvaluator) SyncParent(epoch uint64, parent *rqfp.Netlist, fit Fitness) {
 	if e.inc == nil {
-		e.inc = cec.NewIncremental(e.spec)
+		// Share the full-path view, so both evaluation paths feed one
+		// statistics shard and re-sync one snapshot.
+		e.inc = cec.NewIncrementalView(e.ensureView())
 	}
 	if epoch == e.parentEpoch && e.parent == parent && !e.inc.Stale() {
 		return

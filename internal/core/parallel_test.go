@@ -12,7 +12,7 @@ import (
 // in offspring order. These tests are the -race regression suite for that
 // contract.
 
-func optimizeWithWorkers(t *testing.T, workers, islands int) *Result {
+func optimizeCombined(t *testing.T, workers, islands int, incremental bool) *Result {
 	t.Helper()
 	spec, n := buildCase(decoderTables())
 	res, err := Optimize(n, spec, Options{
@@ -23,11 +23,17 @@ func optimizeWithWorkers(t *testing.T, workers, islands int) *Result {
 		Workers:      workers,
 		Islands:      islands,
 		MigrateEvery: 250,
+		Incremental:  incremental,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	return res
+}
+
+func optimizeWithWorkers(t *testing.T, workers, islands int) *Result {
+	t.Helper()
+	return optimizeCombined(t, workers, islands, false)
 }
 
 func TestParallelDeterministicAcrossWorkers(t *testing.T) {
@@ -61,6 +67,43 @@ func TestIslandDeterministicPerSeed(t *testing.T) {
 	c := optimizeWithWorkers(t, 1, 3)
 	if c.Fitness != a.Fitness || c.Best.String() != a.Best.String() {
 		t.Fatalf("island run with different worker split diverged: %+v vs %+v", c.Fitness, a.Fitness)
+	}
+}
+
+// TestCombinedModesDeterminism exercises every parallel feature at once —
+// a worker pool, an island ring, and incremental (dirty-cone) evaluation —
+// and demands the exact trajectory of the plain sequential full-evaluation
+// run of the same island topology. This is the strongest form of the
+// determinism contract: batch dispatch, per-worker oracle views, resident
+// parent re-syncs, and migration barriers may not leak into the result.
+// Run under -race it also stresses the lock-free snapshot protocol.
+func TestCombinedModesDeterminism(t *testing.T) {
+	base := optimizeCombined(t, 1, 3, false)
+	combined := optimizeCombined(t, 8, 3, true)
+	if combined.Fitness != base.Fitness {
+		t.Fatalf("combined-mode fitness %+v != sequential full-eval fitness %+v", combined.Fitness, base.Fitness)
+	}
+	if combined.Best.String() != base.Best.String() {
+		t.Fatalf("combined mode evolved a different circuit than the sequential full-eval run")
+	}
+	if combined.Evaluations != base.Evaluations {
+		t.Fatalf("combined-mode evaluations %d != %d", combined.Evaluations, base.Evaluations)
+	}
+	// The incremental path must actually have carried the run, not fallen
+	// back to full evaluation.
+	if tel := combined.Telemetry; tel.IncrementalEvals+tel.DedupSkips == 0 {
+		t.Fatal("combined run never took the incremental path")
+	}
+	// And the whole thing must be repeatable bit-for-bit, telemetry splits
+	// included.
+	again := optimizeCombined(t, 8, 3, true)
+	ta, tb := combined.Telemetry, again.Telemetry
+	ta.Elapsed, tb.Elapsed = 0, 0 // only the wall clock may differ
+	if ta != tb {
+		t.Fatalf("combined-mode telemetry diverged between identical runs:\n%+v\n%+v", ta, tb)
+	}
+	if again.Best.String() != combined.Best.String() {
+		t.Fatal("combined-mode circuit diverged between identical runs")
 	}
 }
 

@@ -133,6 +133,19 @@ func (hs HistogramSet) Observe(d time.Duration) {
 	}
 }
 
+// Drain folds a locally accumulated shard into every underlying histogram
+// and resets the shard. One batched merge per histogram instead of per-call
+// atomic fan-out; a no-op on an empty shard or a nil set.
+func (hs HistogramSet) Drain(s *HistShard) {
+	if s == nil || s.count == 0 {
+		return
+	}
+	for _, h := range hs {
+		h.merge(s)
+	}
+	s.Reset()
+}
+
 // Histogram returns the named histogram in every registry of the scope.
 func (s *Scope) Histogram(name string) HistogramSet {
 	if s.Empty() {

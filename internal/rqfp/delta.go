@@ -12,7 +12,12 @@ import "github.com/reversible-eda/rcgp/internal/bits"
 //
 // A DeltaSim is owned by one goroutine, like the SimContext it wraps.
 type DeltaSim struct {
-	base     *SimContext
+	base *SimContext
+	// Overlay vectors share one flat arena (port p owns
+	// arena[p*words:(p+1)*words]), mirroring the SimContext layout: the
+	// whole overlay is a single allocation and dirty-cone sweeps touch
+	// adjacent memory for adjacent ports.
+	arena    []uint64
 	overlay  []bits.Vec // per port; valid where mark[s] == epoch
 	mark     []uint32   // per port: dirty in the current epoch
 	gateMark []uint32   // per gate: seed-dirty in the current epoch
@@ -60,9 +65,19 @@ func (d *DeltaSim) bump() {
 }
 
 func (d *DeltaSim) grow(numPorts, numGates int) {
-	for len(d.overlay) < numPorts {
-		d.overlay = append(d.overlay, bits.NewWords(d.base.Words()))
-		d.mark = append(d.mark, 0)
+	if len(d.overlay) < numPorts {
+		words := d.base.Words()
+		arena := make([]uint64, numPorts*words)
+		copy(arena, d.arena)
+		overlay := make([]bits.Vec, numPorts)
+		for i := range overlay {
+			overlay[i] = bits.Vec(arena[i*words : (i+1)*words : (i+1)*words])
+		}
+		d.arena = arena
+		d.overlay = overlay
+		for len(d.mark) < numPorts {
+			d.mark = append(d.mark, 0)
+		}
 	}
 	for len(d.gateMark) < numGates {
 		d.gateMark = append(d.gateMark, 0)

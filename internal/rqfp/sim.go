@@ -6,9 +6,14 @@ import (
 )
 
 // SimContext holds reusable simulation storage so the CGP inner loop can
-// evaluate thousands of offspring without allocating.
+// evaluate thousands of offspring without allocating. Port vectors live in
+// one flat structure-of-arrays arena — port p owns arena[p*words:(p+1)*words]
+// — so a whole context is a single allocation, ascending-port simulation
+// sweeps walk memory linearly, and growing to a larger netlist re-arenas
+// once instead of allocating per port.
 type SimContext struct {
 	words int
+	arena []uint64
 	ports []bits.Vec // indexed by Signal; ports[0] is all-ones (constant 1)
 
 	// stimID/stimGen identify the stimulus currently resident in the PI
@@ -20,12 +25,30 @@ type SimContext struct {
 // NewSimContext allocates storage for a netlist with up to maxPorts ports
 // and the given stimulus width in words.
 func NewSimContext(maxPorts, words int) *SimContext {
-	ctx := &SimContext{words: words, ports: make([]bits.Vec, maxPorts)}
-	for i := range ctx.ports {
-		ctx.ports[i] = bits.NewWords(words)
-	}
+	ctx := &SimContext{words: words}
+	ctx.grow(maxPorts)
 	ctx.ports[0].Fill(^uint64(0))
 	return ctx
+}
+
+// grow re-arenas the port storage for at least numPorts ports, preserving
+// existing vector contents. Existing bits.Vec handles into the old arena
+// stay readable but are detached; callers must re-fetch via Port.
+func (ctx *SimContext) grow(numPorts int) {
+	if numPorts <= len(ctx.ports) {
+		return
+	}
+	if numPorts < 1 {
+		numPorts = 1
+	}
+	arena := make([]uint64, numPorts*ctx.words)
+	copy(arena, ctx.arena)
+	ports := make([]bits.Vec, numPorts)
+	for i := range ports {
+		ports[i] = bits.Vec(arena[i*ctx.words : (i+1)*ctx.words : (i+1)*ctx.words])
+	}
+	ctx.arena = arena
+	ctx.ports = ports
 }
 
 // Words returns the stimulus width.
@@ -52,12 +75,7 @@ func (ctx *SimContext) RunTagged(n *Netlist, inputs []bits.Vec, active []bool, s
 	if len(inputs) != n.NumPI {
 		panic("rqfp: wrong number of input vectors")
 	}
-	if n.NumPorts() > len(ctx.ports) {
-		old := len(ctx.ports)
-		for i := old; i < n.NumPorts(); i++ {
-			ctx.ports = append(ctx.ports, bits.NewWords(ctx.words))
-		}
-	}
+	ctx.grow(n.NumPorts())
 	if stimID == 0 || ctx.stimID != stimID || ctx.stimGen != stimGen {
 		for i, in := range inputs {
 			copy(ctx.ports[n.PIPort(i)], in)
