@@ -47,6 +47,8 @@ func main() {
 		jobTimeout    = flag.Duration("job-timeout", 0, "default per-job wall-clock bound (0: none)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
 		flightEvery   = flag.Int("flight-every", 500, "default flight-recorder cadence in generations (negative: off unless a request asks)")
+		cecProv       = flag.Int("cec-portfolio", 1, "equivalence provers raced per slow-path check (1 = authority CDCL only)")
+		cecBDD        = flag.Int("cec-bdd-budget", 0, "node budget of the portfolio's BDD prover (0 = default)")
 		flightCap     = flag.Int("flight-cap", 2048, "flight samples retained per job for /jobs/{id}/progress")
 		debugAddr     = flag.String("debug-addr", "", "serve pprof and expvar on this extra address (e.g. localhost:6060); keep it private")
 		version       = flag.Bool("version", false, "print the build identity and exit")
@@ -69,6 +71,7 @@ func main() {
 		cache = rcgp.NewMemoryCache(*cacheEntries)
 	}
 	defer cache.Close()
+	cache.SetProver(*cecProv, *cecBDD)
 
 	reg := obs.NewRegistry()
 	srv := serve.New(serve.Config{
@@ -82,6 +85,8 @@ func main() {
 		CheckpointEvery:    *checkpointGen,
 		FlightEvery:        *flightEvery,
 		FlightCap:          *flightCap,
+		CECPortfolio:       *cecProv,
+		CECBDDBudget:       *cecBDD,
 		Registry:           reg,
 		Logf:               log.Printf,
 	})

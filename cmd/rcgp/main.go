@@ -52,6 +52,8 @@ func run() error {
 		islands   = flag.Int("islands", 1, "independent (1+λ) populations with periodic ring migration")
 		increment = flag.Bool("incremental", false, "incremental offspring evaluation (dirty-cone re-simulation + phenotype dedup); same result per seed")
 		budget    = flag.Duration("time", 0, "wall-clock budget for the evolution (0 = none)")
+		cecProv   = flag.Int("cec-portfolio", 1, "equivalence provers raced per slow-path check (1 = authority CDCL only; verdicts and circuits are identical either way)")
+		cecBDD    = flag.Int("cec-bdd-budget", 0, "node budget of the portfolio's BDD prover (0 = default)")
 		initOnly  = flag.Bool("init-only", false, "stop after initialization (baseline)")
 		windows   = flag.Int("window-rounds", 0, "rounds of windowed resynthesis after the evolution")
 		script    = flag.String("script", "", "explicit pass script replacing the default pipeline, e.g. 'aig.resyn2;convert;cgp(gens=500);resub;buffer'")
@@ -118,6 +120,8 @@ func run() error {
 		InitializationOnly: *initOnly,
 		WindowRounds:       *windows,
 		Script:             *script,
+		CECPortfolio:       *cecProv,
+		CECBDDBudget:       *cecBDD,
 	}
 	verbose := !*quiet
 	opt.Progress = func(gen, gates, garbage int) {

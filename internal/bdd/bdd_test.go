@@ -44,7 +44,10 @@ func TestCanonicity(t *testing.T) {
 		t.Fatal("AND tree not canonical")
 	}
 	g1 := m.Or(m.And(a, b), m.And(m.Not(a), c))
-	g2 := m.Ite(a, b, c)
+	g2, err := m.Ite(a, b, c)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if g1 != g2 {
 		t.Fatal("mux not canonical")
 	}

@@ -1,0 +1,158 @@
+package bdd
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/mig"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+// equivalentPair returns a random AIG and an equivalent-by-construction
+// RQFP netlist (the MIG conversion path).
+func equivalentPair(t *testing.T) (*aig.AIG, *rqfp.Netlist) {
+	t.Helper()
+	a := randomAIG(8, 40, 3, rand.New(rand.NewSource(19)))
+	n, err := rqfp.FromMIG(mig.FromAIG(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, n
+}
+
+// TestBudgetExhaustion drives a budgeted manager past its node limit and
+// checks the whole ErrBudget contract: Ite reports the error, Err makes it
+// visible behind the single-return operators, and the condition is sticky.
+func TestBudgetExhaustion(t *testing.T) {
+	// An XOR chain over 6 variables needs ~2 nodes per level; 8 nodes
+	// total (terminals included) cannot hold it.
+	m := NewBudget(6, 8)
+	f := m.Var(0)
+	for i := 1; i < 6; i++ {
+		f = m.Xor(f, m.Var(i))
+	}
+	if !errors.Is(m.Err(), ErrBudget) {
+		t.Fatalf("Err() = %v, want ErrBudget", m.Err())
+	}
+	if _, err := m.Ite(m.Var(0), True, False); !errors.Is(err, ErrBudget) {
+		t.Fatalf("Ite after exhaustion returned err %v, want ErrBudget", err)
+	}
+	// Sticky: a second call must still report it.
+	if _, err := m.Ite(True, True, False); !errors.Is(err, ErrBudget) {
+		t.Fatalf("budget error is not sticky: %v", err)
+	}
+
+	// The same function fits comfortably in an unbudgeted manager and in
+	// one with a sufficient budget.
+	for _, budget := range []int{0, 64} {
+		m2 := NewBudget(6, budget)
+		g := m2.Var(0)
+		for i := 1; i < 6; i++ {
+			g = m2.Xor(g, m2.Var(i))
+		}
+		if m2.Err() != nil {
+			t.Fatalf("budget %d: unexpected error %v", budget, m2.Err())
+		}
+		// Parity of the assignment decides the value.
+		for x := uint(0); x < 64; x++ {
+			want := popcount6(x)%2 == 1
+			if got := m2.Eval(g, x); got != want {
+				t.Fatalf("budget %d: xor chain wrong at %06b: got %v want %v", budget, x, got, want)
+			}
+		}
+	}
+}
+
+// TestBudgetEquivalenceUnknown checks the prover-facing wrapper: a budget
+// too small for the miter yields ErrBudget (an "unknown", never a bogus
+// inequivalence verdict), while an adequate budget proves equivalence.
+func TestBudgetEquivalenceUnknown(t *testing.T) {
+	a, n := equivalentPair(t)
+	if _, err := EquivalentAIGNetlistBudget(a, n, 4); !errors.Is(err, ErrBudget) {
+		t.Fatalf("tiny budget: err = %v, want ErrBudget", err)
+	}
+	eq, err := EquivalentAIGNetlistBudget(a, n, 0)
+	if err != nil || !eq {
+		t.Fatalf("unbudgeted: eq=%v err=%v, want equivalent", eq, err)
+	}
+}
+
+func popcount6(x uint) int {
+	c := 0
+	for i := 0; i < 6; i++ {
+		c += int(x >> i & 1)
+	}
+	return c
+}
+
+// TestXorExhaustive5 and TestMajExhaustive5 pin the derived operators
+// against exhaustive enumeration of all 2^5 assignments over nested
+// operand structures, not just single variables.
+func TestXorExhaustive5(t *testing.T) {
+	m := New(5)
+	v := make([]Ref, 5)
+	val := make([]func(uint) bool, 5)
+	for i := range v {
+		v[i] = m.Var(i)
+		i := i
+		val[i] = func(x uint) bool { return x>>uint(i)&1 == 1 }
+	}
+	cases := []struct {
+		f    Ref
+		want func(uint) bool
+	}{
+		{m.Xor(v[0], v[1]), func(x uint) bool { return val[0](x) != val[1](x) }},
+		{m.Xor(m.Xor(v[0], v[1]), m.Xor(v[2], m.Xor(v[3], v[4]))),
+			func(x uint) bool { return (val[0](x) != val[1](x)) != (val[2](x) != (val[3](x) != val[4](x))) }},
+		{m.Xor(m.And(v[0], v[1]), m.Or(v[2], m.Not(v[3]))),
+			func(x uint) bool { return (val[0](x) && val[1](x)) != (val[2](x) || !val[3](x)) }},
+		{m.Xor(v[4], v[4]), func(uint) bool { return false }},
+	}
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	for ci, c := range cases {
+		for x := uint(0); x < 32; x++ {
+			if got := m.Eval(c.f, x); got != c.want(x) {
+				t.Fatalf("xor case %d wrong at %05b: got %v want %v", ci, x, got, c.want(x))
+			}
+		}
+	}
+}
+
+func TestMajExhaustive5(t *testing.T) {
+	m := New(5)
+	v := make([]Ref, 5)
+	val := make([]func(uint) bool, 5)
+	for i := range v {
+		v[i] = m.Var(i)
+		i := i
+		val[i] = func(x uint) bool { return x>>uint(i)&1 == 1 }
+	}
+	maj := func(a, b, c bool) bool { return (a && b) || (a && c) || (b && c) }
+	cases := []struct {
+		f    Ref
+		want func(uint) bool
+	}{
+		{m.Maj(v[0], v[1], v[2]), func(x uint) bool { return maj(val[0](x), val[1](x), val[2](x)) }},
+		{m.Maj(v[2], v[3], v[4]), func(x uint) bool { return maj(val[2](x), val[3](x), val[4](x)) }},
+		// Nested majority-of-majorities — the RQFP gate composition shape.
+		{m.Maj(m.Maj(v[0], v[1], v[2]), v[3], m.Not(v[4])),
+			func(x uint) bool { return maj(maj(val[0](x), val[1](x), val[2](x)), val[3](x), !val[4](x)) }},
+		// Degenerate operands: constants reduce MAJ to AND/OR.
+		{m.Maj(v[0], v[1], False), func(x uint) bool { return val[0](x) && val[1](x) }},
+		{m.Maj(v[0], v[1], True), func(x uint) bool { return val[0](x) || val[1](x) }},
+	}
+	if m.Err() != nil {
+		t.Fatal(m.Err())
+	}
+	for ci, c := range cases {
+		for x := uint(0); x < 32; x++ {
+			if got := m.Eval(c.f, x); got != c.want(x) {
+				t.Fatalf("maj case %d wrong at %05b: got %v want %v", ci, x, got, c.want(x))
+			}
+		}
+	}
+}

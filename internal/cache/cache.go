@@ -1,10 +1,13 @@
 package cache
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
 
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/cec"
 	"github.com/reversible-eda/rcgp/internal/rqfp"
 	"github.com/reversible-eda/rcgp/internal/tt"
 )
@@ -35,10 +38,27 @@ type Stats struct {
 // Cache is the two-tier NPN-canonical result cache: an in-memory LRU in
 // front of an optional append-only disk log. Safe for concurrent use.
 type Cache struct {
-	mu    sync.Mutex
-	mem   *lruTier
-	disk  *diskLog // nil for memory-only caches
-	stats Stats
+	mu     sync.Mutex
+	mem    *lruTier
+	disk   *diskLog // nil for memory-only caches
+	stats  Stats
+	verify cec.PortfolioConfig // prover roster for wide-key Store checks
+}
+
+// VerifyExhaustiveMaxPIs is the input count up to which Store verifies a
+// canonical netlist by full 2^n enumeration; wider keys are proven by the
+// equivalence prover portfolio instead (symbolically — no exponential
+// sweep).
+const VerifyExhaustiveMaxPIs = 10
+
+// SetProver configures the prover portfolio Store uses to verify
+// canonical netlists of keys wider than VerifyExhaustiveMaxPIs inputs
+// (zero values = a single authority CDCL engine). Call before concurrent
+// use.
+func (c *Cache) SetProver(provers, bddBudget int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.verify = cec.PortfolioConfig{Provers: provers, BDDBudget: bddBudget}
 }
 
 // DefaultMemEntries is the memory-tier capacity when the caller passes 0.
@@ -122,10 +142,13 @@ func (c *Cache) Lookup(tables []tt.TT) (*rqfp.Netlist, string, bool) {
 }
 
 // Store records a synthesized netlist for the given specification tables,
-// converting it to the canonical class representative first. For
-// NPN-canonicalized designs the canonical netlist is sanity-checked by
-// exhaustive simulation before being persisted — a malfunctioning
-// transform must never poison the log.
+// converting it to the canonical class representative first. The netlist
+// that will actually be persisted is always verified against the canonical
+// tables — a malfunctioning transform (or a caller storing a wrong result)
+// must never poison the log. Keys up to VerifyExhaustiveMaxPIs inputs are
+// checked by exhaustive simulation; wider keys by the equivalence prover
+// portfolio (SetProver), which proves symbolically instead of sweeping 2^n
+// assignments.
 func (c *Cache) Store(tables []tt.TT, net *rqfp.Netlist) (string, error) {
 	key, tr, err := Signature(tables)
 	if err != nil {
@@ -135,11 +158,13 @@ func (c *Cache) Store(tables []tt.TT, net *rqfp.Netlist) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if tr != nil {
-		canonTables := tr.Apply(tables)
+	canonTables := tr.Apply(tables)
+	if canonTables[0].N <= VerifyExhaustiveMaxPIs {
 		if err := verifyExhaustive(canonNet, canonTables); err != nil {
 			return "", fmt.Errorf("cache: canonical netlist failed simulation: %w", err)
 		}
+	} else if err := c.verifyPortfolio(canonNet, canonTables); err != nil {
+		return "", fmt.Errorf("cache: canonical netlist failed verification: %w", err)
 	}
 	var sb strings.Builder
 	if err := canonNet.WriteText(&sb); err != nil {
@@ -185,6 +210,28 @@ func (c *Cache) bump(f func(*Stats)) {
 	c.mu.Lock()
 	f(&c.stats)
 	c.mu.Unlock()
+}
+
+// verifyPortfolio proves the canonical netlist against an AIG of the
+// canonical tables with the configured prover portfolio — the symbolic
+// replacement for verifyExhaustive above VerifyExhaustiveMaxPIs inputs.
+func (c *Cache) verifyPortfolio(net *rqfp.Netlist, tables []tt.TT) error {
+	c.mu.Lock()
+	cfg := c.verify
+	c.mu.Unlock()
+	spec := aig.FromTruthTables(tables)
+	if spec.NumPIs() != net.NumPI || spec.NumPOs() != len(net.POs) {
+		return fmt.Errorf("shape mismatch: %d/%d inputs, %d/%d outputs",
+			net.NumPI, spec.NumPIs(), len(net.POs), spec.NumPOs())
+	}
+	res := cec.NewPortfolio(spec, cfg).Prove(context.Background(), net)
+	switch res.Outcome {
+	case cec.OutcomeEquivalent:
+		return nil
+	case cec.OutcomeNotEquivalent:
+		return fmt.Errorf("prover portfolio refuted the canonical netlist")
+	}
+	return fmt.Errorf("prover portfolio reached no verdict: %w", res.Err)
 }
 
 // verifyExhaustive simulates the netlist on every assignment (callers

@@ -1,0 +1,58 @@
+package cache
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+// wideNetlist builds an 11-input MAJ cascade — wide enough that Store
+// verification must go through the prover portfolio, not the 2^n sweep.
+func wideNetlist() *rqfp.Netlist {
+	n := rqfp.NewNetlist(11)
+	acc := n.PIPort(0)
+	for i := 1; i+1 < 11; i += 2 {
+		g := n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{acc, n.PIPort(i), n.PIPort(i + 1)}})
+		acc = n.Port(g, 0)
+	}
+	n.POs = []rqfp.Signal{acc}
+	return n
+}
+
+// TestCacheWideKeyPortfolioVerify covers the >VerifyExhaustiveMaxPIs
+// Store path: a correct 11-input netlist is proven and persisted by the
+// portfolio (racing roster included), while a wrong netlist for the same
+// tables is refuted and never stored.
+func TestCacheWideKeyPortfolioVerify(t *testing.T) {
+	net := wideNetlist()
+	tables := tablesOf(net)
+	for _, provers := range []int{0, 4} {
+		c := NewMemory(8)
+		c.SetProver(provers, 0)
+		key, err := c.Store(tables, net)
+		if err != nil {
+			t.Fatalf("provers=%d: store of a correct wide netlist failed: %v", provers, err)
+		}
+		if !strings.HasPrefix(key, "xct:11:") {
+			t.Fatalf("unexpected wide key %q", key)
+		}
+		got, _, ok := c.Lookup(tables)
+		if !ok {
+			t.Fatalf("provers=%d: stored wide entry not found", provers)
+		}
+		for x := uint(0); x < 64; x++ {
+			if got.EvalBool(x)[0] != net.EvalBool(x)[0] {
+				t.Fatalf("provers=%d: round-tripped netlist diverges at %d", provers, x)
+			}
+		}
+
+		// A netlist computing a different function must be refuted by the
+		// portfolio and kept out of the log.
+		wrong := net.Clone()
+		wrong.POs[0] = rqfp.ConstPort
+		if _, err := c.Store(tables, wrong); err == nil {
+			t.Fatalf("provers=%d: wrong wide netlist was stored", provers)
+		}
+	}
+}

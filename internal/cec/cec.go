@@ -58,6 +58,10 @@ type Spec struct {
 	// specAIG drives SAT confirmation and counterexample re-simulation in
 	// the non-exhaustive regime; nil when exhaustive.
 	specAIG *aig.AIG
+	// portfolio supplies every slow-path verdict; nil when exhaustive.
+	// Written at construction or by ConfigurePortfolio (before the first
+	// check), read concurrently afterwards.
+	portfolio *Portfolio
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -182,6 +186,7 @@ func NewSpecFromAIG(a *aig.AIG, randomWords int, seed int64) *Spec {
 		s.stimulus = bits.RandomInputs(s.NumPI, randomWords, r)
 		s.samples = randomWords * 64
 		s.specAIG = a.Cleanup()
+		s.portfolio = NewPortfolio(s.specAIG, PortfolioConfig{})
 	}
 	s.words = len(s.stimulus[0])
 	s.golden = a.Simulate(s.stimulus)
@@ -211,6 +216,7 @@ func NewSpecFromNetlist(n *rqfp.Netlist, randomWords int, seed int64) *Spec {
 		s.stimulus = bits.RandomInputs(s.NumPI, randomWords, r)
 		s.samples = randomWords * 64
 		s.specAIG = netlistToAIG(n)
+		s.portfolio = NewPortfolio(s.specAIG, PortfolioConfig{})
 	}
 	s.words = len(s.stimulus[0])
 	s.golden = n.Simulate(s.stimulus)
@@ -334,40 +340,45 @@ func (s *Spec) finishCheck(ctx context.Context, n *rqfp.Netlist, wrong, totalBit
 	return Verdict{Match: match, Counterexample: cex, Aborted: aborted}
 }
 
-// satCheck builds a miter between the candidate netlist and the spec AIG.
-// Returns (true, nil, false) on proven equivalence, (false, assignment,
-// false) with a distinguishing input assignment, or (false, nil, aborted)
-// when the solver gave up — aborted marks a context cancellation. Counters
-// accumulate into st without locking.
+// ConfigurePortfolio replaces the spec's prover portfolio (a single
+// authority CDCL instance by default). It must be called before the first
+// check that can reach the slow path — the portfolio pointer is read
+// without locking afterwards. No-op on exhaustive specs, where simulation
+// is already the proof.
+func (s *Spec) ConfigurePortfolio(cfg PortfolioConfig) {
+	if s.specAIG == nil {
+		return
+	}
+	s.portfolio = NewPortfolio(s.specAIG, cfg)
+}
+
+// Portfolio exposes the spec's prover portfolio for engine-level
+// statistics; nil on exhaustive specs.
+func (s *Spec) Portfolio() *Portfolio { return s.portfolio }
+
+// satCheck submits the candidate to the prover portfolio. Returns
+// (true, nil, false) on proven equivalence, (false, assignment, false)
+// with a distinguishing input assignment, or (false, nil, aborted) when no
+// engine reached a verdict — aborted marks a context cancellation.
+// Counters accumulate into st without locking; the classification is
+// derived from the adopted verdict, so it stays deterministic under
+// racing (the raw CDCL counters in st.SAT are the authority instance's).
 func (s *Spec) satCheck(ctx context.Context, n *rqfp.Netlist, st *Stats) (bool, []bool, bool) {
-	b := cnf.NewBuilder()
-	b.S.SetContext(ctx)
-	pis := make([]sat.Lit, s.NumPI)
-	for i := range pis {
-		pis[i] = b.Lit()
-	}
-	candOut := EncodeNetlist(b, n, pis)
-	specPIs, specOut := s.specAIG.ToCNF(b)
-	for i := range pis {
-		b.Equal(pis[i], specPIs[i])
-	}
-	bad := b.MiterOutputs(candOut, specOut)
-	b.AddClause(bad)
 	start := time.Now()
-	status, err := b.S.Solve()
+	res := s.portfolio.Prove(ctx, n)
 	elapsed := time.Since(start)
-	aborted := err != nil && ctx.Err() != nil
+	aborted := res.Outcome == OutcomeUnknown && res.Err != nil && ctx.Err() != nil
 	verdict := "unknown"
 	switch {
-	case err == nil && status == sat.Unsat:
+	case res.Outcome == OutcomeEquivalent:
 		verdict = "proved"
-	case err == nil && status == sat.Sat:
+	case res.Outcome == OutcomeNotEquivalent:
 		verdict = "refuted"
 	case aborted:
 		verdict = "aborted"
 	}
 	st.SATTime += elapsed
-	st.SAT.Add(b.S.Counters())
+	st.SAT.Add(res.SAT)
 	switch verdict {
 	case "proved":
 		st.SATProved++
@@ -380,27 +391,21 @@ func (s *Spec) satCheck(ctx context.Context, n *rqfp.Netlist, st *Stats) (bool, 
 		}
 	}
 	if s.trace != nil {
-		c := b.S.Counters()
 		s.trace.Emit("cec.sat", map[string]any{
 			"verdict":   verdict,
 			"dur_us":    elapsed.Microseconds(),
-			"conflicts": c.Conflicts,
-			"decisions": c.Decisions,
+			"conflicts": res.SAT.Conflicts,
+			"decisions": res.SAT.Decisions,
 		})
 	}
-	if err != nil || status == sat.Unknown {
-		// Budget exhausted or cancelled: be conservative, treat as not
-		// equivalent.
-		return false, nil, aborted
-	}
-	if status == sat.Unsat {
+	switch res.Outcome {
+	case OutcomeEquivalent:
 		return true, nil, false
+	case OutcomeNotEquivalent:
+		return false, res.Counterexample, false
 	}
-	cex := make([]bool, s.NumPI)
-	for i, p := range pis {
-		cex[i] = b.S.ValueLit(p)
-	}
-	return false, cex, false
+	// No verdict: be conservative, treat as not equivalent.
+	return false, nil, aborted
 }
 
 // AddCounterexample widens the stimulus by one word whose bit 0 carries the
@@ -478,7 +483,7 @@ func EncodeNetlist(b *cnf.Builder, n *rqfp.Netlist, pis []sat.Lit) []sat.Lit {
 	return outs
 }
 
-// NetlistsEquivalent decides full equivalence of two RQFP netlists by SAT,
+// NetlistsEquivalent decides full equivalence of two RQFP netlists,
 // regardless of input count. Used by tests and the exact-synthesis harness.
 func NetlistsEquivalent(x, y *rqfp.Netlist) (bool, error) {
 	eq, _, err := NetlistsEquivalentStats(x, y)
@@ -487,25 +492,29 @@ func NetlistsEquivalent(x, y *rqfp.Netlist) (bool, error) {
 
 // NetlistsEquivalentStats is NetlistsEquivalent plus the SAT solver's
 // search counters for the miter, so callers (e.g. rqfp-stat) can report
-// how hard the proof was.
+// how hard the proof was. Both functions dispatch through a single-
+// authority prover portfolio over x's extracted AIG — the same layer the
+// search oracle uses.
 func NetlistsEquivalentStats(x, y *rqfp.Netlist) (bool, sat.Stats, error) {
+	res := NetlistsEquivalentPortfolio(context.Background(), x, y, PortfolioConfig{})
+	switch res.Outcome {
+	case OutcomeEquivalent:
+		return true, res.SAT, nil
+	case OutcomeNotEquivalent:
+		return false, res.SAT, nil
+	}
+	return false, res.SAT, res.Err
+}
+
+// NetlistsEquivalentPortfolio races a full prover portfolio on the
+// equivalence of two RQFP netlists: x is extracted to an AIG
+// specification, y is the candidate. A shape mismatch is an immediate
+// refutation.
+func NetlistsEquivalentPortfolio(ctx context.Context, x, y *rqfp.Netlist, cfg PortfolioConfig) ProveResult {
 	if x.NumPI != y.NumPI || len(x.POs) != len(y.POs) {
-		return false, sat.Stats{}, nil
+		return ProveResult{Outcome: OutcomeNotEquivalent}
 	}
-	b := cnf.NewBuilder()
-	pis := make([]sat.Lit, x.NumPI)
-	for i := range pis {
-		pis[i] = b.Lit()
-	}
-	ox := EncodeNetlist(b, x, pis)
-	oy := EncodeNetlist(b, y, pis)
-	bad := b.MiterOutputs(ox, oy)
-	b.AddClause(bad)
-	st, err := b.S.Solve()
-	if err != nil {
-		return false, b.S.Counters(), err
-	}
-	return st == sat.Unsat, b.S.Counters(), nil
+	return NewPortfolio(netlistToAIG(x), cfg).Prove(ctx, y)
 }
 
 func netlistToAIG(n *rqfp.Netlist) *aig.AIG {

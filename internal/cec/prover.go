@@ -1,0 +1,409 @@
+// The pluggable prover layer: every slow-path equivalence verdict in the
+// system — Spec/View/Incremental SAT confirmations, cache re-verification,
+// netlist-vs-netlist checks — flows through a Portfolio of Prover engines
+// racing on the same query. The design follows sat_revsynth's solver-racer
+// pattern: first definitive verdict cancels the rest, while a fixed
+// authority keeps results bit-deterministic (see Portfolio.Prove).
+
+package cec
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/bdd"
+	"github.com/reversible-eda/rcgp/internal/cnf"
+	"github.com/reversible-eda/rcgp/internal/obs"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/sat"
+)
+
+// Outcome classifies one prover's answer to a single equivalence query.
+type Outcome int8
+
+// Prover outcomes.
+const (
+	// OutcomeUnknown means the engine gave up: cancelled, out of budget, or
+	// out of its domain. Never definitive.
+	OutcomeUnknown Outcome = iota
+	// OutcomeEquivalent is a completed proof of functional equivalence.
+	OutcomeEquivalent
+	// OutcomeNotEquivalent is a completed refutation.
+	OutcomeNotEquivalent
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeEquivalent:
+		return "equivalent"
+	case OutcomeNotEquivalent:
+		return "not_equivalent"
+	}
+	return "unknown"
+}
+
+// ProveResult is one prover's (or the portfolio's adjudicated) answer.
+type ProveResult struct {
+	Outcome Outcome
+	// Counterexample is a distinguishing PI assignment; non-nil only for
+	// OutcomeNotEquivalent from a model-producing engine.
+	Counterexample []bool
+	// SAT carries the CDCL search counters of SAT-backed engines (zero for
+	// the BDD prover). On a portfolio verdict these are always the
+	// authority instance's counters.
+	SAT sat.Stats
+	// Err explains OutcomeUnknown: a context error, sat.ErrLimit, or
+	// bdd.ErrBudget.
+	Err error
+}
+
+// Prover decides functional equivalence of a candidate RQFP netlist
+// against the fixed specification it was constructed for. Implementations
+// must be safe for concurrent Prove calls and must honor ctx: on
+// cancellation they return OutcomeUnknown promptly (the BDD prover is
+// exempt mid-build — its node budget bounds the overrun).
+type Prover interface {
+	Name() string
+	Prove(ctx context.Context, n *rqfp.Netlist) ProveResult
+}
+
+// satProver proves by CDCL on a Tseitin miter of the candidate against the
+// spec AIG — the legacy satCheck body behind the Prover interface, now
+// parameterized by solver options so seeded replicas can race.
+type satProver struct {
+	name string
+	spec *aig.AIG
+	opts sat.Options
+}
+
+func (p *satProver) Name() string { return p.name }
+
+func (p *satProver) Prove(ctx context.Context, n *rqfp.Netlist) ProveResult {
+	b := cnf.NewBuilderOpts(p.opts)
+	b.S.SetContext(ctx)
+	pis := make([]sat.Lit, p.spec.NumPIs())
+	for i := range pis {
+		pis[i] = b.Lit()
+	}
+	candOut := EncodeNetlist(b, n, pis)
+	specPIs, specOut := p.spec.ToCNF(b)
+	for i := range pis {
+		b.Equal(pis[i], specPIs[i])
+	}
+	b.AddClause(b.MiterOutputs(candOut, specOut))
+	status, err := b.S.Solve()
+	res := ProveResult{SAT: b.S.Counters(), Err: err}
+	switch {
+	case err == nil && status == sat.Unsat:
+		res.Outcome = OutcomeEquivalent
+	case err == nil && status == sat.Sat:
+		res.Outcome = OutcomeNotEquivalent
+		cex := make([]bool, len(pis))
+		for i, l := range pis {
+			cex[i] = b.S.ValueLit(l)
+		}
+		res.Counterexample = cex
+	}
+	return res
+}
+
+// DefaultBDDBudget is the BDD prover's node budget when the configuration
+// leaves it zero: large enough to finish typical ≤20-input miters, small
+// enough that a blowup resolves to unknown in milliseconds.
+const DefaultBDDBudget = 1 << 18
+
+// bddProver proves by canonical ROBDD comparison under a node budget. It
+// answers instantly on functions with compact diagrams (where CDCL may
+// grind through a deep UNSAT proof) and returns unknown on blowup. It
+// never produces a counterexample — under the deterministic-cex rule only
+// the authority's model is ever adopted anyway.
+type bddProver struct {
+	spec   *aig.AIG
+	budget int
+}
+
+func (p *bddProver) Name() string { return "bdd" }
+
+func (p *bddProver) Prove(ctx context.Context, n *rqfp.Netlist) ProveResult {
+	if err := ctx.Err(); err != nil {
+		return ProveResult{Err: err}
+	}
+	eq, err := bdd.EquivalentAIGNetlistBudget(p.spec, n, p.budget)
+	if err != nil {
+		return ProveResult{Err: err}
+	}
+	if eq {
+		return ProveResult{Outcome: OutcomeEquivalent}
+	}
+	return ProveResult{Outcome: OutcomeNotEquivalent}
+}
+
+// AuthorityEngine is the name of the default-options CDCL instance every
+// portfolio runs. It is the fixed head of the priority order and the sole
+// source of adopted counterexamples.
+const AuthorityEngine = "sat"
+
+// AuxEngineNames lists the optional racing engines in default priority
+// order: the budgeted BDD comparator, then seeded CDCL replicas with
+// diverse restart intervals, branching jitter, and phase policies.
+func AuxEngineNames() []string {
+	return []string{"bdd", "sat_r1", "sat_r2", "sat_r3"}
+}
+
+// auxOptions returns the solver options of the seeded CDCL replicas, keyed
+// by engine name. The constants are arbitrary but frozen: changing them
+// changes every seeded trajectory.
+func auxOptions() map[string]sat.Options {
+	return map[string]sat.Options{
+		"sat_r1": {RestartInterval: 50, BranchSeed: 0xA5F1, PhaseInit: sat.PhaseRandom},
+		"sat_r2": {RestartInterval: 200, BranchSeed: 0xC3D7, PhaseInit: sat.PhaseTrue},
+		"sat_r3": {RestartInterval: 400, BranchSeed: 0x9E37, PhaseInit: sat.PhaseRandom},
+	}
+}
+
+// PortfolioConfig selects the racing roster for a Portfolio.
+type PortfolioConfig struct {
+	// Provers is the total number of engines raced per query. 0 or 1 runs
+	// only the authority CDCL instance — the legacy single-prover path
+	// with no extra goroutines. Values above 1+len(AuxEngineNames()) are
+	// clamped.
+	Provers int
+	// BDDBudget bounds the BDD prover's node count (0 = DefaultBDDBudget).
+	BDDBudget int
+	// Order overrides the auxiliary priority: names from AuxEngineNames in
+	// preference order. Unknown names are ignored; omitted engines are
+	// appended in default order. The authority is always first regardless.
+	Order []string
+	// Scope, when non-empty, receives per-engine latency histograms
+	// (cec.engine_<name>_latency) and the per-query verdict histogram
+	// (cec.verdict_latency).
+	Scope *obs.Scope
+}
+
+// EngineNames returns the roster this configuration selects, authority
+// first — which is also the deterministic priority order. Useful for
+// pre-registering metrics before any query runs.
+func (cfg PortfolioConfig) EngineNames() []string {
+	names := []string{AuthorityEngine}
+	want := cfg.Provers - 1
+	for _, name := range selectAux(cfg.Order) {
+		if want <= 0 {
+			break
+		}
+		names = append(names, name)
+		want--
+	}
+	return names
+}
+
+// selectAux resolves a user preference list against the known engines:
+// recognized names first (deduplicated, in given order), then the
+// remaining defaults.
+func selectAux(order []string) []string {
+	known := map[string]bool{}
+	for _, name := range AuxEngineNames() {
+		known[name] = true
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, name := range append(append([]string{}, order...), AuxEngineNames()...) {
+		if !known[name] || seen[name] {
+			continue
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	return out
+}
+
+// EngineStat is one engine's cumulative record across a portfolio's
+// queries.
+type EngineStat struct {
+	Name string `json:"name"`
+	// Wins counts queries whose adopted verdict this engine supplied.
+	Wins int64 `json:"wins"`
+	// Proved/Refuted/Unknown classify the engine's own answers, adopted or
+	// not (a cancelled engine records Unknown).
+	Proved  int64 `json:"proved"`
+	Refuted int64 `json:"refuted"`
+	Unknown int64 `json:"unknown"`
+	// Time is the wall clock spent inside the engine's Prove calls.
+	Time time.Duration `json:"time_ns"`
+}
+
+type engineCounters struct {
+	wins, proved, refuted, unknown atomic.Int64
+	timeNS                         atomic.Int64
+}
+
+// Portfolio races a fixed roster of provers per equivalence query.
+//
+// Determinism contract: the adopted verdict and counterexample are always
+// the authority engine's whenever it completes, regardless of which racer
+// finished first. Auxiliary engines may only (a) supply an *equivalence*
+// verdict when the authority was cancelled out from under the query —
+// sound engines agree on verdicts, and a proof carries no model to adopt —
+// and (b) cancel each other on refutation while the authority runs to its
+// own model. Per-seed search trajectories therefore stay bit-identical
+// under AddCounterexample widening for any roster size.
+type Portfolio struct {
+	authority Prover
+	aux       []Prover
+	names     []string // authority first, then aux in priority order
+	counters  map[string]*engineCounters
+	scope     *obs.Scope
+}
+
+// NewPortfolio builds a portfolio proving candidates against the given
+// specification AIG.
+func NewPortfolio(spec *aig.AIG, cfg PortfolioConfig) *Portfolio {
+	budget := cfg.BDDBudget
+	if budget <= 0 {
+		budget = DefaultBDDBudget
+	}
+	pf := &Portfolio{
+		authority: &satProver{name: AuthorityEngine, spec: spec},
+		counters:  map[string]*engineCounters{},
+		scope:     cfg.Scope,
+	}
+	opts := auxOptions()
+	for _, name := range cfg.EngineNames()[1:] {
+		var p Prover
+		if name == "bdd" {
+			p = &bddProver{spec: spec, budget: budget}
+		} else {
+			p = &satProver{name: name, spec: spec, opts: opts[name]}
+		}
+		pf.aux = append(pf.aux, p)
+	}
+	pf.names = append([]string{AuthorityEngine}, namesOf(pf.aux)...)
+	for _, name := range pf.names {
+		pf.counters[name] = &engineCounters{}
+	}
+	return pf
+}
+
+func namesOf(ps []Prover) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name()
+	}
+	return out
+}
+
+// NumProvers returns the roster size (authority included).
+func (pf *Portfolio) NumProvers() int { return 1 + len(pf.aux) }
+
+// Engines returns the cumulative per-engine records in priority order.
+func (pf *Portfolio) Engines() []EngineStat {
+	out := make([]EngineStat, 0, len(pf.names))
+	for _, name := range pf.names {
+		c := pf.counters[name]
+		out = append(out, EngineStat{
+			Name:    name,
+			Wins:    c.wins.Load(),
+			Proved:  c.proved.Load(),
+			Refuted: c.refuted.Load(),
+			Unknown: c.unknown.Load(),
+			Time:    time.Duration(c.timeNS.Load()),
+		})
+	}
+	return out
+}
+
+// record accumulates one engine's answer to one query.
+func (pf *Portfolio) record(name string, res ProveResult, d time.Duration, won bool) {
+	c := pf.counters[name]
+	switch res.Outcome {
+	case OutcomeEquivalent:
+		c.proved.Add(1)
+	case OutcomeNotEquivalent:
+		c.refuted.Add(1)
+	default:
+		c.unknown.Add(1)
+	}
+	if won {
+		c.wins.Add(1)
+	}
+	c.timeNS.Add(int64(d))
+	if !pf.scope.Empty() {
+		pf.scope.Histogram("cec.engine_" + name + "_latency").Observe(d)
+	}
+}
+
+// Prove races the roster over one candidate and returns the adjudicated
+// result. Safe for concurrent use.
+func (pf *Portfolio) Prove(ctx context.Context, n *rqfp.Netlist) ProveResult {
+	start := time.Now()
+	res := pf.prove(ctx, n)
+	if !pf.scope.Empty() {
+		pf.scope.Histogram("cec.verdict_latency").Observe(time.Since(start))
+	}
+	return res
+}
+
+func (pf *Portfolio) prove(ctx context.Context, n *rqfp.Netlist) ProveResult {
+	if len(pf.aux) == 0 {
+		start := time.Now()
+		res := pf.authority.Prove(ctx, n)
+		pf.record(AuthorityEngine, res, time.Since(start), res.Outcome != OutcomeUnknown)
+		return res
+	}
+
+	// Two cancellation rings: proving equivalence stops everyone (any
+	// sound engine's proof settles the verdict), refuting only stops the
+	// other auxiliaries — the authority must run to its own model so the
+	// adopted counterexample never depends on racing order.
+	raceCtx, cancelAll := context.WithCancel(ctx)
+	auxCtx, cancelAux := context.WithCancel(raceCtx)
+	defer cancelAll()
+
+	var auxWin atomic.Int32 // 1+index of the first aux engine proving equivalence
+	results := make([]ProveResult, len(pf.aux))
+	times := make([]time.Duration, len(pf.aux))
+	var wg sync.WaitGroup
+	for i, p := range pf.aux {
+		wg.Add(1)
+		go func(i int, p Prover) {
+			defer wg.Done()
+			t0 := time.Now()
+			res := p.Prove(auxCtx, n)
+			times[i] = time.Since(t0)
+			results[i] = res
+			switch res.Outcome {
+			case OutcomeEquivalent:
+				auxWin.CompareAndSwap(0, int32(i+1))
+				cancelAll()
+			case OutcomeNotEquivalent:
+				cancelAux()
+			}
+		}(i, p)
+	}
+	t0 := time.Now()
+	authRes := pf.authority.Prove(raceCtx, n)
+	authTime := time.Since(t0)
+	cancelAux()
+	wg.Wait()
+
+	final := authRes
+	winner := AuthorityEngine
+	if authRes.Outcome == OutcomeUnknown {
+		if w := auxWin.Load(); w != 0 {
+			// The authority was cancelled by an auxiliary equivalence
+			// proof. Adopt it; keep the authority's partial CDCL counters
+			// for the effort accounting.
+			winner = pf.aux[w-1].Name()
+			final = ProveResult{Outcome: OutcomeEquivalent, SAT: authRes.SAT}
+		} else {
+			winner = ""
+		}
+	}
+	pf.record(AuthorityEngine, authRes, authTime, winner == AuthorityEngine)
+	for i, p := range pf.aux {
+		pf.record(p.Name(), results[i], times[i], p.Name() == winner)
+	}
+	return final
+}

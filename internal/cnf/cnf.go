@@ -16,7 +16,13 @@ type Builder struct {
 
 // NewBuilder wraps a fresh solver and allocates the constant-true literal.
 func NewBuilder() *Builder {
-	s := sat.New()
+	return NewBuilderOpts(sat.Options{})
+}
+
+// NewBuilderOpts is NewBuilder over a solver with the given heuristic
+// options — the entry point for seeded portfolio instances.
+func NewBuilderOpts(opt sat.Options) *Builder {
+	s := sat.NewSolver(opt)
 	ct := sat.MkLit(s.NewVar(), false)
 	s.AddClause(ct)
 	return &Builder{S: s, ConstTrue: ct}

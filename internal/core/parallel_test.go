@@ -2,8 +2,14 @@ package core
 
 import (
 	"bytes"
+	"math/rand"
 	"runtime"
 	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/aig"
+	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/mig"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
 )
 
 // Determinism contract of the parallel engine: for any Workers value the
@@ -104,6 +110,78 @@ func TestCombinedModesDeterminism(t *testing.T) {
 	}
 	if again.Best.String() != combined.Best.String() {
 		t.Fatal("combined-mode circuit diverged between identical runs")
+	}
+}
+
+// buildWideCase builds a 16-input spec — above the exhaustive limit, so
+// every surviving candidate goes through the prover portfolio — plus its
+// equivalent-by-construction initial netlist.
+func buildWideCase() (*cec.Spec, *rqfp.Netlist) {
+	r := rand.New(rand.NewSource(31))
+	a := aig.New(16)
+	edges := []aig.Lit{aig.Const0}
+	for i := 0; i < 16; i++ {
+		edges = append(edges, a.PI(i))
+	}
+	for i := 0; i < 60; i++ {
+		x := edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1)
+		y := edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1)
+		edges = append(edges, a.And(x, y))
+	}
+	for i := 0; i < 3; i++ {
+		a.AddPO(edges[r.Intn(len(edges))].NotIf(r.Intn(2) == 1))
+	}
+	n, err := rqfp.FromMIG(mig.FromAIG(a))
+	if err != nil {
+		panic(err)
+	}
+	return cec.NewSpecFromAIG(a, 4, 7), n
+}
+
+func optimizePortfolio(t *testing.T, workers, provers int) *Result {
+	t.Helper()
+	spec, n := buildWideCase()
+	spec.ConfigurePortfolio(cec.PortfolioConfig{Provers: provers})
+	res, err := Optimize(n, spec, Options{
+		Generations:  400,
+		Lambda:       8,
+		MutationRate: 0.1,
+		Seed:         42,
+		Workers:      workers,
+		Incremental:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := spec.Stats(); st.SATProved+st.SATRefuted == 0 {
+		t.Fatal("run never reached the prover portfolio (no SAT verdicts)")
+	}
+	return res
+}
+
+// TestCombinedModesDeterminismPortfolio extends the combined-modes
+// determinism contract to the racing prover portfolio on a SAT-regime
+// spec: the same seed with 1 vs 4 racing provers (and 1 vs 4 workers)
+// must evolve the bit-identical final netlist with identical telemetry
+// eval splits — racing may change latency, never a trajectory. Under
+// -race it also stresses the cancellation rings against the search's own
+// goroutines.
+func TestCombinedModesDeterminismPortfolio(t *testing.T) {
+	base := optimizePortfolio(t, 1, 1)
+	raced := optimizePortfolio(t, 4, 4)
+	if raced.Fitness != base.Fitness {
+		t.Fatalf("racing portfolio changed the fitness: %+v != %+v", raced.Fitness, base.Fitness)
+	}
+	if raced.Best.String() != base.Best.String() {
+		t.Fatal("racing portfolio evolved a different circuit than the single-prover run")
+	}
+	if raced.Evaluations != base.Evaluations {
+		t.Fatalf("racing portfolio changed the evaluation count: %d != %d", raced.Evaluations, base.Evaluations)
+	}
+	ta, tb := base.Telemetry, raced.Telemetry
+	ta.Elapsed, tb.Elapsed = 0, 0 // only the wall clock may differ
+	if ta != tb {
+		t.Fatalf("telemetry eval splits diverged:\n%+v\n%+v", ta, tb)
 	}
 }
 

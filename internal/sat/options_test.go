@@ -1,0 +1,99 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// random3CNF loads a deterministic random 3-CNF over nVars variables into
+// the solver. Same seed → same formula, independent of solver options.
+func random3CNF(s *Solver, r *rand.Rand, nVars, nClauses int) {
+	vars := make([]int, nVars)
+	for i := range vars {
+		vars[i] = s.NewVar()
+	}
+	for c := 0; c < nClauses; c++ {
+		a, b, d := r.Intn(nVars), r.Intn(nVars), r.Intn(nVars)
+		s.AddClause(
+			MkLit(vars[a], r.Intn(2) == 1),
+			MkLit(vars[b], r.Intn(2) == 1),
+			MkLit(vars[d], r.Intn(2) == 1),
+		)
+	}
+}
+
+// TestOptionsSeedsDivergeButAgree is the portfolio soundness/diversity
+// contract: two solvers with different BranchSeed/PhaseInit explore the
+// same formula along different trajectories (different conflict counts on
+// at least one instance) while always returning the same verdict.
+func TestOptionsSeedsDivergeButAgree(t *testing.T) {
+	optA := Options{}
+	optB := Options{RestartInterval: 50, BranchSeed: 0xA5F1, PhaseInit: PhaseRandom}
+	diverged := false
+	for inst := int64(0); inst < 12; inst++ {
+		// Near the 3-SAT phase transition (ratio ~4.26) so the search has
+		// to work for its verdict in either direction.
+		solve := func(opt Options) (Status, Stats) {
+			s := NewSolver(opt)
+			random3CNF(s, rand.New(rand.NewSource(900+inst)), 60, 256)
+			st, err := s.Solve()
+			if err != nil {
+				t.Fatalf("instance %d: %v", inst, err)
+			}
+			return st, s.Counters()
+		}
+		stA, cA := solve(optA)
+		stB, cB := solve(optB)
+		if stA != stB {
+			t.Fatalf("instance %d: seeded solvers disagree on the verdict: %v vs %v", inst, stA, stB)
+		}
+		if stA == Unknown {
+			t.Fatalf("instance %d: no verdict", inst)
+		}
+		if cA.Conflicts != cB.Conflicts {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds never diverged: every instance had identical conflict counts")
+	}
+}
+
+// TestOptionsDeterministicPerSeed pins down that a seeded solver is still
+// fully deterministic: identical options on the identical formula must
+// reproduce the exact search (conflicts, decisions, propagations).
+func TestOptionsDeterministicPerSeed(t *testing.T) {
+	opt := Options{RestartInterval: 200, BranchSeed: 0xC3D7, PhaseInit: PhaseRandom}
+	run := func() (Status, Stats) {
+		s := NewSolver(opt)
+		random3CNF(s, rand.New(rand.NewSource(31)), 60, 250)
+		st, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, s.Counters()
+	}
+	stA, cA := run()
+	stB, cB := run()
+	if stA != stB || cA != cB {
+		t.Fatalf("identical options diverged: %v %+v vs %v %+v", stA, cA, stB, cB)
+	}
+}
+
+// TestOptionsZeroValueMatchesNew ensures NewSolver(Options{}) is the
+// classic solver bit-for-bit, so existing callers of New() are unaffected.
+func TestOptionsZeroValueMatchesNew(t *testing.T) {
+	run := func(s *Solver) (Status, Stats) {
+		random3CNF(s, rand.New(rand.NewSource(77)), 50, 210)
+		st, err := s.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, s.Counters()
+	}
+	stA, cA := run(New())
+	stB, cB := run(NewSolver(Options{}))
+	if stA != stB || cA != cB {
+		t.Fatalf("NewSolver(Options{}) diverged from New(): %v %+v vs %v %+v", stA, cA, stB, cB)
+	}
+}

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/obs"
+)
+
+// TestServerEngineMetricsRoster: a portfolio-configured server must expose
+// the full rcgp_cec_engine_* counter roster on its registry after a job —
+// even one that stayed in the exhaustive oracle regime and never raced —
+// so dashboards see stable metric families from the first scrape.
+func TestServerEngineMetricsRoster(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, c := newTestServer(t, Config{Registry: reg, CECPortfolio: 4})
+	ctx := context.Background()
+	j, err := c.Submit(ctx, fullAdder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, j.ID, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	cfg := cec.PortfolioConfig{Provers: 4}
+	for _, name := range cfg.EngineNames() {
+		for _, suffix := range []string{"_wins", "_proved", "_refuted", "_unknown"} {
+			if _, ok := snap.Counters["cec.engine_"+name+suffix]; !ok {
+				t.Errorf("counter cec.engine_%s%s not registered", name, suffix)
+			}
+		}
+	}
+	if len(s.cecOrder()) != 0 {
+		t.Errorf("an exhaustive-regime job must contribute no wins, got order %v", s.cecOrder())
+	}
+}
+
+// TestServerCECOrderFromWins: accumulated auxiliary wins must reorder the
+// roster handed to subsequent jobs (descending wins, names break ties),
+// and the authority engine must never appear in the order.
+func TestServerCECOrderFromWins(t *testing.T) {
+	s, _ := newTestServer(t, Config{CECPortfolio: 4})
+	s.mu.Lock()
+	s.noteEngineWinsLocked([]rcgp.EngineStat{
+		{Name: cec.AuthorityEngine, Wins: 100},
+		{Name: "bdd", Wins: 2},
+		{Name: "sat_r2", Wins: 7},
+		{Name: "sat_r1", Wins: 2},
+	})
+	s.mu.Unlock()
+	got := s.cecOrder()
+	want := []string{"sat_r2", "bdd", "sat_r1"}
+	if len(got) != len(want) {
+		t.Fatalf("order %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"github.com/reversible-eda/rcgp"
 	"github.com/reversible-eda/rcgp/client"
 	"github.com/reversible-eda/rcgp/internal/buildinfo"
+	"github.com/reversible-eda/rcgp/internal/cec"
 	"github.com/reversible-eda/rcgp/internal/obs"
 )
 
@@ -57,6 +58,13 @@ type Config struct {
 	// FlightCap bounds the flight samples retained per job for the
 	// /jobs/{id}/progress stream (default 2048; oldest evicted first).
 	FlightCap int
+	// CECPortfolio is the number of equivalence provers raced per
+	// slow-path check on wide jobs (0 or 1 = single authority engine).
+	// Racing never changes a verdict or an evolved circuit, only latency.
+	CECPortfolio int
+	// CECBDDBudget bounds the portfolio's BDD prover node count
+	// (0 = the library default).
+	CECBDDBudget int
 	// Registry receives the server metrics (default obs.Default).
 	Registry *obs.Registry
 	// Logf, when set, receives operational log lines.
@@ -88,6 +96,12 @@ type Server struct {
 	finished int
 	seq      int64
 	draining bool
+	// cecWins accumulates, across finished jobs, how often each auxiliary
+	// equivalence-prover engine's verdict was adopted. New jobs get their
+	// aux roster ordered by these win rates, so the engines that pay off on
+	// this server's workload are raced first. The authority engine is not
+	// tracked — it always runs and pins the counterexample policy.
+	cecWins map[string]int64
 
 	kick      chan struct{}
 	wg        sync.WaitGroup // running jobs
@@ -122,6 +136,7 @@ func New(cfg Config) *Server {
 		reg:       cfg.Registry,
 		logf:      cfg.Logf,
 		jobs:      make(map[string]*job),
+		cecWins:   make(map[string]int64),
 		kick:      make(chan struct{}, 1),
 		schedDone: make(chan struct{}),
 	}
@@ -419,6 +434,9 @@ func (s *Server) options(j *job, workers int) rcgp.Options {
 	if !req.NoCache {
 		opt.Cache = s.cfg.Cache
 	}
+	opt.CECPortfolio = s.cfg.CECPortfolio
+	opt.CECBDDBudget = s.cfg.CECBDDBudget
+	opt.CECOrder = s.cecOrder()
 	opt.CheckpointEvery = s.cfg.CheckpointEvery
 	opt.CheckpointSink = func(cp rcgp.Checkpoint) { s.noteCheckpoint(j, cp) }
 	if j.resume != nil {
@@ -439,6 +457,40 @@ func (s *Server) options(j *job, workers int) rcgp.Options {
 		opt.Trace = j.trace
 	}
 	return opt
+}
+
+// cecOrder snapshots the auxiliary prover roster ordered by accumulated
+// adoption wins (descending, ties by name so the order is reproducible).
+// Returns nil until some job has produced engine telemetry — the library
+// default order applies then.
+func (s *Server) cecOrder() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.cecWins) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(s.cecWins))
+	for name := range s.cecWins {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, k int) bool {
+		if s.cecWins[names[i]] != s.cecWins[names[k]] {
+			return s.cecWins[names[i]] > s.cecWins[names[k]]
+		}
+		return names[i] < names[k]
+	})
+	return names
+}
+
+// noteEngineWinsLocked folds one finished job's per-engine racing record
+// into the cross-job win tally feeding cecOrder. Callers hold s.mu.
+func (s *Server) noteEngineWinsLocked(engines []rcgp.EngineStat) {
+	for _, e := range engines {
+		if e.Name == cec.AuthorityEngine {
+			continue // always raced; ordering never applies to it
+		}
+		s.cecWins[e.Name] += e.Wins
+	}
 }
 
 // noteCheckpoint records best-so-far progress and persists the snapshot.
@@ -487,6 +539,7 @@ func (s *Server) runJob(j *job, workers int) {
 	j.finished = time.Now()
 	if err == nil {
 		j.stages = wireStages(res.Telemetry)
+		s.noteEngineWinsLocked(res.Telemetry.CEC.Engines)
 	}
 	// A job counts as drain-interrupted only if the drain actually cut its
 	// context short — one that completed before the drain is simply done.

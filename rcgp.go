@@ -209,6 +209,21 @@ type Options struct {
 	// Optimizer are ignored; the remaining options (Seed, Generations,
 	// Workers, …) become the baseline that script options override.
 	Script string
+	// CECPortfolio is the number of equivalence provers raced per
+	// slow-path check on wide (>14-input) designs: the authority CDCL
+	// miter plus, above 1, a budgeted BDD comparator and seeded CDCL
+	// replicas (first definitive verdict wins). 0 or 1 keeps the classic
+	// single-prover path. Racing changes latency only: the adopted
+	// verdicts and counterexamples — and therefore the evolved circuit
+	// per seed — are identical for every roster size.
+	CECPortfolio int
+	// CECBDDBudget bounds the portfolio's BDD prover node count; the BDD
+	// engine answers "unknown" beyond it (0 = a generous default).
+	CECBDDBudget int
+	// CECOrder overrides the portfolio's auxiliary prover priority
+	// ("bdd", "sat_r1", "sat_r2", "sat_r3"). The service layer uses it to
+	// bias future racing toward engines that have been winning.
+	CECOrder []string
 	// Cache, when non-nil, is consulted before the search (a hit returns a
 	// stored, formally re-verified netlist for the function's NPN class
 	// without evolving anything) and updated with the result afterwards.
@@ -319,6 +334,13 @@ func NewMemoryCache(memEntries int) *Cache {
 
 // Close flushes and closes the persistent tier, if any.
 func (c *Cache) Close() error { return c.c.Close() }
+
+// SetProver configures the equivalence-prover portfolio the cache uses to
+// verify entries too wide for exhaustive simulation before storing them:
+// provers is the racing roster size (0 or 1 = single authority engine),
+// bddBudget bounds the BDD prover's node count (0 = library default).
+// Call before sharing the cache between jobs.
+func (c *Cache) SetProver(provers, bddBudget int) { c.c.SetProver(provers, bddBudget) }
 
 // CacheStats is a point-in-time view of cache activity.
 type CacheStats struct {
@@ -439,6 +461,9 @@ func (d *Design) SynthesizeContext(ctx context.Context, opt Options) (*Result, e
 		Resub:        opt.Resubstitution,
 		Optimizer:    opt.Optimizer,
 		Script:       opt.Script,
+		CECPortfolio: opt.CECPortfolio,
+		CECBDDBudget: opt.CECBDDBudget,
+		CECOrder:     opt.CECOrder,
 		CGP: core.Options{
 			Lambda:       opt.Lambda,
 			Generations:  opt.Generations,
