@@ -9,9 +9,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -193,6 +196,11 @@ type CacheStats struct {
 	MemEntries   int   `json:"mem_entries"`
 	DiskEntries  int   `json:"disk_entries"`
 	DiskPromotes int64 `json:"disk_promotes"`
+	// Replication counters (fleet runners): remote entries adopted,
+	// skipped as already present, and refused by re-verification.
+	Merges       int64 `json:"merges,omitempty"`
+	MergeSkips   int64 `json:"merge_skips,omitempty"`
+	MergeRejects int64 `json:"merge_rejects,omitempty"`
 }
 
 // Health is the GET /healthz payload.
@@ -209,24 +217,44 @@ type Health struct {
 	Version   string `json:"version,omitempty"`
 	Revision  string `json:"revision,omitempty"`
 	GoVersion string `json:"go_version,omitempty"`
+	// Fleet topology summary, present when the responder is a coordinator:
+	// registered runner count and how many are currently healthy.
+	Runners        int `json:"runners,omitempty"`
+	RunnersHealthy int `json:"runners_healthy,omitempty"`
 }
 
 // APIError is a non-2xx response decoded from the server.
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's backpressure hint, parsed from the
+	// Retry-After header of a 429 (queue full) response; zero when the
+	// server sent none.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("rcgp-serve: %d: %s", e.StatusCode, e.Message)
 }
 
-// Client talks to one rcgp-serve instance.
+// Client talks to one rcgp-serve instance (or a fleet coordinator — the
+// two speak the same API, so a client pointed at a coordinator works
+// unchanged).
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// MaxRetries bounds how many times an idempotent request (GET, DELETE)
+	// is retried after a connection failure or 5xx response, with
+	// exponential backoff and jitter between attempts — enough for Wait and
+	// Watch to ride out a server or coordinator restart. 0 means the
+	// default (4); negative disables retries. Non-idempotent requests
+	// (POST) are never retried.
+	MaxRetries int
+	// RetryBase is the first backoff delay (default 100ms); each further
+	// attempt doubles it, capped at 2s, with ±50% jitter.
+	RetryBase time.Duration
 }
 
 // New returns a client for the server at baseURL.
@@ -299,19 +327,43 @@ func (c *Client) Benchmarks(ctx context.Context) ([]string, error) {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var payload []byte
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return err
 		}
-		body = bytes.NewReader(b)
+		payload = b
+	}
+	// Only idempotent methods retry: a resubmitted POST could enqueue the
+	// same search twice. GET and DELETE (cancel) are safe to repeat.
+	retries := 0
+	if method == http.MethodGet || method == http.MethodDelete {
+		retries = c.maxRetries()
+	}
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, method, path, payload, in != nil, out)
+		if err == nil || attempt >= retries || !retryable(err) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(retryDelay(attempt, c.retryBase())):
+		}
+	}
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, payload []byte, hasBody bool, out any) error {
+	var body io.Reader
+	if hasBody {
+		body = bytes.NewReader(payload)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
 	if err != nil {
 		return err
 	}
-	if in != nil {
+	if hasBody {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	hc := c.HTTPClient
@@ -325,10 +377,63 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
+		return apiError(resp, strings.TrimSpace(string(msg)))
 	}
 	if out == nil {
 		return nil
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiError builds the typed error for a non-2xx response, carrying the
+// Retry-After backpressure hint when the server set one.
+func apiError(resp *http.Response, msg string) *APIError {
+	e := &APIError{StatusCode: resp.StatusCode, Message: msg}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// retryable reports whether an error is worth repeating an idempotent
+// request for: transport failures (connection refused mid-restart, reset
+// connections) and 5xx responses. 4xx responses are the caller's problem.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode >= 500
+	}
+	return !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)
+}
+
+func (c *Client) maxRetries() int {
+	switch {
+	case c.MaxRetries < 0:
+		return 0
+	case c.MaxRetries == 0:
+		return 4
+	default:
+		return c.MaxRetries
+	}
+}
+
+func (c *Client) retryBase() time.Duration {
+	if c.RetryBase > 0 {
+		return c.RetryBase
+	}
+	return 100 * time.Millisecond
+}
+
+// retryDelay is the backoff before retry attempt+1: base·2^attempt capped
+// at 2s, jittered to 50–150% so a fleet of clients hammered by the same
+// outage doesn't reconnect in lockstep.
+func retryDelay(attempt int, base time.Duration) time.Duration {
+	d := base << uint(attempt)
+	if max := 2 * time.Second; d > max || d <= 0 {
+		d = 2 * time.Second
+	}
+	half := d / 2
+	return half + time.Duration(rand.Int63n(int64(d)+1))
 }

@@ -1,0 +1,69 @@
+package client
+
+import "context"
+
+// Fleet wire types. A fleet coordinator (cmd/rcgp-fleet) serves the same
+// job API as a single rcgp-serve process, so the rest of this package works
+// against either; the types here cover what is fleet-specific — the
+// runner-to-runner hand-off and replication payloads (carried by the
+// /fleet/* endpoints on runners) and the coordinator's topology view.
+
+// Checkpoint is the wire form of a restartable search snapshot
+// (rcgp.Checkpoint): the parent chromosome plus the counter state that
+// fast-forwards the deterministic RNG streams, so a job resumed on another
+// node reproduces the uninterrupted run's trajectory exactly.
+type Checkpoint struct {
+	Generation  int    `json:"generation"`
+	Evaluations int64  `json:"evaluations"`
+	Seed        int64  `json:"seed"`
+	Lambda      int    `json:"lambda"`
+	Chromosome  string `json:"chromosome"`
+	Gates       int    `json:"gates"`
+	Garbage     int    `json:"garbage"`
+	Buffers     int    `json:"buffers"`
+}
+
+// HandoffRequest is POST /fleet/resume on a runner: re-enqueue a job that
+// was running elsewhere, resuming from its last checkpoint (nil Checkpoint
+// restarts the search from generation zero — correct for jobs that died
+// before their first snapshot, and bit-identical per seed either way).
+type HandoffRequest struct {
+	Request    Request     `json:"request"`
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
+}
+
+// CacheEntry is one replicated canonical-result record (rcgp.CacheEntry on
+// the wire): POST /fleet/cache on a runner merges it into the local cache
+// after re-verification.
+type CacheEntry struct {
+	Key     string `json:"key"`
+	NumPI   int    `json:"num_pi"`
+	NumPO   int    `json:"num_po"`
+	Netlist string `json:"netlist"`
+}
+
+// RunnerInfo is one row of GET /fleet/runners on a coordinator: a runner's
+// registration, health, and the load/cache counters from its last
+// heartbeat.
+type RunnerInfo struct {
+	ID      string `json:"id"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// LastSeenMS is the time since the runner's last heartbeat.
+	LastSeenMS int64 `json:"last_seen_ms"`
+	// Jobs counts the coordinator's in-flight jobs assigned to this runner.
+	Jobs int `json:"jobs"`
+	// Queue/cache state reported by the runner's last heartbeat.
+	Queued   int         `json:"queued"`
+	Running  int         `json:"running"`
+	Finished int         `json:"finished"`
+	Cache    *CacheStats `json:"cache,omitempty"`
+}
+
+// Runners lists a fleet coordinator's registered runners. Against a plain
+// rcgp-serve instance this returns a 404 APIError.
+func (c *Client) Runners(ctx context.Context) ([]RunnerInfo, error) {
+	var rs []RunnerInfo
+	err := c.do(ctx, "GET", "/fleet/runners", nil, &rs)
+	return rs, err
+}

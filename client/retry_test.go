@@ -1,0 +1,163 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// listenAt rebinds a specific address, retrying briefly in case the OS has
+// not released the port yet.
+func listenAt(addr string) (net.Listener, error) {
+	var l net.Listener
+	var err error
+	for i := 0; i < 50; i++ {
+		if l, err = net.Listen("tcp", addr); err == nil {
+			return l, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil, err
+}
+
+// A GET must ride out transient 5xx responses: the client retries with
+// backoff until the server recovers.
+func TestRetryIdempotentOn5xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "restarting", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.RetryBase = time.Millisecond
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || calls.Load() != 3 {
+		t.Fatalf("status %q after %d calls", h.Status, calls.Load())
+	}
+}
+
+// A GET must survive a connection-refused window — the shape of a
+// coordinator restart — by retrying until the listener is back.
+func TestRetryConnectionRefused(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	addr := ts.Listener.Addr().String()
+	ts.Close() // refuse connections for the first attempts
+
+	c := New("http://" + addr)
+	c.RetryBase = 20 * time.Millisecond
+	c.MaxRetries = 6
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		l, err := listenAt(addr)
+		if err != nil {
+			return // port raced away; the test will fail with a clear error
+		}
+		go http.Serve(l, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Write([]byte(`{"status":"ok"}`))
+		}))
+	}()
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("retries did not survive the restart window: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("status %q", h.Status)
+	}
+}
+
+// POST is not idempotent: a failing submit must not be retried, and the
+// 429 backpressure response must surface as a typed APIError carrying the
+// Retry-After hint.
+func TestNoRetryOnPostAnd429RetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "7")
+		http.Error(w, "queue is full", http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.RetryBase = time.Millisecond
+	_, err := c.Submit(context.Background(), Request{Benchmark: "decoder_2_4"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error %v is not an APIError", err)
+	}
+	if apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d", apiErr.StatusCode)
+	}
+	if apiErr.RetryAfter != 7*time.Second {
+		t.Fatalf("RetryAfter %v, want 7s", apiErr.RetryAfter)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("POST was sent %d times", calls.Load())
+	}
+}
+
+// 4xx responses are not retried even on idempotent methods.
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no such job", http.StatusNotFound)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.RetryBase = time.Millisecond
+	if _, err := c.Job(context.Background(), "j000001"); err == nil {
+		t.Fatal("expected an error")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("GET was sent %d times", calls.Load())
+	}
+}
+
+// The retry budget is bounded: a persistently failing server yields the
+// last error, not an infinite loop.
+func TestRetryBudgetBounded(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusBadGateway)
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.RetryBase = time.Millisecond
+	c.MaxRetries = 2
+	_, err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadGateway {
+		t.Fatalf("err %v", err)
+	}
+	if calls.Load() != 3 { // 1 attempt + 2 retries
+		t.Fatalf("GET was sent %d times, want 3", calls.Load())
+	}
+}
+
+func TestRetryDelayBounds(t *testing.T) {
+	base := 100 * time.Millisecond
+	for attempt := 0; attempt < 12; attempt++ {
+		d := retryDelay(attempt, base)
+		if d < base/2 || d > 3*time.Second {
+			t.Fatalf("attempt %d: delay %v out of bounds", attempt, d)
+		}
+	}
+}

@@ -18,11 +18,30 @@ import (
 // once. fn runs on Watch's goroutine; a nil fn just waits for completion.
 func (c *Client) Watch(ctx context.Context, id string, fn func(FlightSample)) (Job, error) {
 	var after int64
+	failures := 0
 	for {
+		before := after
 		done, err := c.watchOnce(ctx, id, &after, fn)
 		if err != nil {
-			return Job{}, err
+			// A transport failure or 5xx mid-stream is what a coordinator
+			// restart or runner hand-off looks like from here: back off and
+			// reconnect from the cursor, bounded like Client.do retries.
+			// Progress on the stream resets the budget.
+			if after > before {
+				failures = 0
+			}
+			failures++
+			if failures > c.maxRetries() || !retryable(err) {
+				return Job{}, err
+			}
+			select {
+			case <-ctx.Done():
+				return Job{}, ctx.Err()
+			case <-time.After(retryDelay(failures-1, c.retryBase())):
+			}
+			continue
 		}
+		failures = 0
 		if done {
 			return c.Job(ctx, id)
 		}

@@ -1,0 +1,86 @@
+// Command rcgp-fleet runs the synthesis fleet coordinator: the front door
+// of a multi-node deployment. It serves the same HTTP/JSON API as
+// rcgp-serve — clients do not change — and routes each job to the runner
+// that owns its NPN-canonical shard on a consistent-hash ring.
+//
+//	rcgp-fleet -addr :9090
+//	rcgp-serve -addr :8081 -join http://localhost:9090   # runner 1
+//	rcgp-serve -addr :8082 -join http://localhost:9090   # runner 2
+//
+// Runners register themselves and heartbeat; when one goes quiet the
+// coordinator declares it dead, removes it from the ring, and resumes its
+// in-flight jobs from their last checkpoints on the surviving nodes.
+// Canonical results replicate to every runner, so a resubmission is a
+// cache hit no matter which shard answers it.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/buildinfo"
+	"github.com/reversible-eda/rcgp/internal/fleet"
+	"github.com/reversible-eda/rcgp/internal/obs"
+	"github.com/reversible-eda/rcgp/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:9090", "listen address")
+		heartbeat    = flag.Duration("heartbeat", time.Second, "runner heartbeat cadence")
+		miss         = flag.Int("heartbeat-miss", 3, "missed heartbeats before a runner is declared dead")
+		replicas     = flag.Int("ring-replicas", 64, "virtual points per runner on the consistent-hash ring")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+		version      = flag.Bool("version", false, "print the build identity and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("rcgp-fleet"))
+		return
+	}
+
+	reg := obs.NewRegistry()
+	co := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		HeartbeatEvery: *heartbeat,
+		HeartbeatMiss:  *miss,
+		Replicas:       *replicas,
+		Registry:       reg,
+		Logf:           log.Printf,
+	})
+
+	// Bind before serving, so a bad -addr is a startup error, not a log
+	// line racing the "listening" banner.
+	l, err := serve.Listen(*addr)
+	if err != nil {
+		log.Fatalf("rcgp-fleet: %v", err)
+	}
+	hs := &http.Server{Handler: co.Handler()}
+	go func() {
+		if err := hs.Serve(l); err != nil && err != http.ErrServerClosed {
+			log.Fatalf("rcgp-fleet: %v", err)
+		}
+	}()
+	log.Printf("rcgp-fleet: coordinating on %s", l.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	log.Printf("rcgp-fleet: %s: shutting down", got)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Printf("rcgp-fleet: http shutdown: %v", err)
+	}
+	co.Close()
+	h := co.Health()
+	fmt.Printf("rcgp-fleet: stopped (runners=%d finished=%d)\n", h.Runners, h.Finished)
+}

@@ -1,0 +1,608 @@
+// Command rcgp-fleetbench measures the distributed synthesis fleet
+// end-to-end and records results/BENCH_fleet.json. It re-executes itself
+// as runner subprocesses (hidden -run-runner mode) so the SIGKILL drill
+// kills a real OS process, not a goroutine:
+//
+//	Phase A  cold-submit throughput at 1, 2, and 3 runners (fresh fleet
+//	         and fresh caches per scale point, same job set)
+//	Phase B  warm resubmission of the same set — hit rate must be 1.0 —
+//	         then again after SIGKILLing a runner, proving every shard's
+//	         results were replicated to the survivors
+//	Phase C  hand-off drill: SIGKILL the runner that owns a long search
+//	         after its first checkpoint and compare the relocated result
+//	         against an uninterrupted single-server reference run —
+//	         bit-identical netlist per seed
+//
+//	go run ./cmd/rcgp-fleetbench -out results/BENCH_fleet.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/client"
+	"github.com/reversible-eda/rcgp/internal/fleet"
+	"github.com/reversible-eda/rcgp/internal/obs"
+	"github.com/reversible-eda/rcgp/internal/serve"
+)
+
+var (
+	out       = flag.String("out", "results/BENCH_fleet.json", "output JSON path")
+	coldJobs  = flag.Int("cold-jobs", 6, "distinct functions submitted per scale point")
+	coldGens  = flag.Int("cold-generations", 4000, "generations per cold job")
+	maxScale  = flag.Int("max-runners", 3, "largest fleet size in the scaling sweep")
+	ckptEvery = flag.Int("checkpoint-every", 200, "runner checkpoint cadence in generations")
+	hbEvery   = flag.Duration("heartbeat", 100*time.Millisecond, "fleet heartbeat cadence")
+	hbMiss    = flag.Int("heartbeat-miss", 15, "missed heartbeats before a runner is dead")
+
+	// Hidden runner mode: the parent re-executes this binary per runner.
+	runRunner = flag.Bool("run-runner", false, "internal: run as a fleet runner subprocess")
+	joinURL   = flag.String("join", "", "internal: coordinator URL for -run-runner")
+	runnerID  = flag.String("runner-id", "", "internal: runner identity for -run-runner")
+)
+
+func main() {
+	flag.Parse()
+	if *runRunner {
+		runnerMain()
+		return
+	}
+	if err := benchMain(); err != nil {
+		log.Fatalf("rcgp-fleetbench: %v", err)
+	}
+}
+
+// runnerMain is the subprocess body: one rcgp-serve-shaped node joined to
+// the parent's coordinator. It never exits on its own — the parent kills
+// it, with SIGKILL when the phase calls for an unclean death.
+func runnerMain() {
+	cache := rcgp.NewMemoryCache(0)
+	defer cache.Close()
+	reg := obs.NewRegistry()
+	agent := fleet.NewRunner(fleet.RunnerConfig{
+		ID:          *runnerID,
+		Coordinator: *joinURL,
+		Cache:       cache,
+		Registry:    reg,
+		Logf:        log.Printf,
+	})
+	srv := serve.New(serve.Config{
+		MaxConcurrent:   1,
+		CheckpointEvery: *ckptEvery,
+		Cache:           cache,
+		Registry:        reg,
+		OnCheckpoint:    agent.OnCheckpoint,
+		Logf:            log.Printf,
+	})
+	l, err := serve.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("runner %s: %v", *runnerID, err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(l)
+	if err := agent.Start(srv, "http://"+l.Addr().String()); err != nil {
+		log.Fatalf("runner %s: join: %v", *runnerID, err)
+	}
+	select {} // killed by the parent
+}
+
+// testFleet is one coordinator plus its runner subprocesses.
+type testFleet struct {
+	co      *fleet.Coordinator
+	reg     *obs.Registry
+	hs      *http.Server
+	c       *client.Client
+	procs   map[string]*exec.Cmd // runner ID → subprocess
+	urls    map[string]string    // runner ID → direct base URL
+	killed  map[string]bool
+	baseURL string
+}
+
+func startFleet(n int) (*testFleet, error) {
+	reg := obs.NewRegistry()
+	co := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		HeartbeatEvery: *hbEvery,
+		HeartbeatMiss:  *hbMiss,
+		Registry:       reg,
+		Logf:           log.Printf,
+	})
+	l, err := serve.Listen("127.0.0.1:0")
+	if err != nil {
+		co.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: co.Handler()}
+	go hs.Serve(l)
+	f := &testFleet{
+		co:      co,
+		reg:     reg,
+		hs:      hs,
+		c:       client.New("http://" + l.Addr().String()),
+		procs:   make(map[string]*exec.Cmd),
+		urls:    make(map[string]string),
+		killed:  make(map[string]bool),
+		baseURL: "http://" + l.Addr().String(),
+	}
+	self, err := os.Executable()
+	if err != nil {
+		self = os.Args[0]
+	}
+	for i := 1; i <= n; i++ {
+		id := fmt.Sprintf("bench-r%d", i)
+		cmd := exec.Command(self,
+			"-run-runner",
+			"-join", f.baseURL,
+			"-runner-id", id,
+			"-checkpoint-every", fmt.Sprint(*ckptEvery),
+		)
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			f.stop()
+			return nil, fmt.Errorf("spawning %s: %w", id, err)
+		}
+		f.procs[id] = cmd
+	}
+	// Registration is the runners' job; wait for all of them to show up
+	// healthy and learn their direct URLs for owner discovery.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		rs, err := f.c.Runners(context.Background())
+		if err == nil {
+			healthy := 0
+			for _, r := range rs {
+				if r.Healthy {
+					healthy++
+					f.urls[r.ID] = r.URL
+				}
+			}
+			if healthy == n {
+				return f, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			f.stop()
+			return nil, fmt.Errorf("only %d of %d runners registered", len(f.urls), n)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs one runner subprocess — the unclean death the hand-off
+// machinery exists for.
+func (f *testFleet) kill(id string) error {
+	cmd, ok := f.procs[id]
+	if !ok || f.killed[id] {
+		return fmt.Errorf("no live runner %s", id)
+	}
+	f.killed[id] = true
+	if err := cmd.Process.Kill(); err != nil {
+		return err
+	}
+	cmd.Wait()
+	return nil
+}
+
+func (f *testFleet) stop() {
+	for id, cmd := range f.procs {
+		if !f.killed[id] {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	f.hs.Shutdown(ctx)
+	f.co.Close()
+}
+
+// coldRequests builds the scaling sweep's job set: distinct two-output
+// 3-input functions (pairing outputs keeps accidental NPN-class collisions
+// between jobs rare, so the cold pass mostly misses the cache).
+func coldRequests() []client.Request {
+	tables := [][]string{
+		{"96", "e8"}, {"1e", "78"}, {"6a", "b2"},
+		{"d4", "8e"}, {"2b", "c9"}, {"71", "a6"},
+		{"35", "4d"}, {"9c", "57"},
+	}
+	reqs := make([]client.Request, 0, *coldJobs)
+	for i := 0; i < *coldJobs; i++ {
+		reqs = append(reqs, client.Request{
+			NumInputs:   3,
+			TruthTables: tables[i%len(tables)],
+			Generations: *coldGens,
+			Seed:        11,
+		})
+	}
+	return reqs
+}
+
+type batchResult struct {
+	Jobs       int     `json:"jobs"`
+	WallMS     int64   `json:"wall_ms"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	FromCache  int     `json:"from_cache"`
+	Verified   int     `json:"verified"`
+}
+
+// submitAll pushes the whole set, then waits for every job; wall time
+// covers submit-to-last-done.
+func submitAll(c *client.Client, reqs []client.Request) (batchResult, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	start := time.Now()
+	ids := make([]string, 0, len(reqs))
+	for _, req := range reqs {
+		j, err := c.Submit(ctx, req)
+		if err != nil {
+			return batchResult{}, fmt.Errorf("submit: %w", err)
+		}
+		ids = append(ids, j.ID)
+	}
+	var br batchResult
+	br.Jobs = len(ids)
+	for _, id := range ids {
+		j, err := c.Wait(ctx, id, 50*time.Millisecond)
+		if err != nil {
+			return br, fmt.Errorf("wait %s: %w", id, err)
+		}
+		if j.Status != client.StatusDone || j.Result == nil {
+			return br, fmt.Errorf("job %s finished %s (%s)", id, j.Status, j.Error)
+		}
+		if j.Result.FromCache {
+			br.FromCache++
+		}
+		if j.Result.Verified {
+			br.Verified++
+		}
+	}
+	br.WallMS = time.Since(start).Milliseconds()
+	br.JobsPerSec = float64(br.Jobs) / time.Since(start).Seconds()
+	return br, nil
+}
+
+type scalePoint struct {
+	Runners int `json:"runners"`
+	batchResult
+}
+
+type warmResult struct {
+	Jobs         int     `json:"jobs"`
+	Hits         int     `json:"hits"`
+	HitRate      float64 `json:"hit_rate"`
+	KilledRunner string  `json:"killed_runner,omitempty"`
+}
+
+type drillResult struct {
+	Generations          int    `json:"generations"`
+	CheckpointGeneration int    `json:"checkpoint_generation"`
+	KilledRunner         string `json:"killed_runner"`
+	Handoffs             int64  `json:"handoffs"`
+	Resumed              bool   `json:"resumed"`
+	Verified             bool   `json:"verified"`
+	BitIdentical         bool   `json:"bit_identical"`
+	RefEvaluations       int64  `json:"ref_evaluations"`
+	FleetEvaluations     int64  `json:"fleet_evaluations"`
+	RefWallMS            int64  `json:"ref_wall_ms"`
+	FleetWallMS          int64  `json:"fleet_wall_ms"`
+}
+
+type report struct {
+	Bench          string `json:"bench"`
+	Generated      string `json:"generated"`
+	Go             string `json:"go"`
+	CPUs           int    `json:"cpus"`
+	Oversubscribed bool   `json:"oversubscribed"`
+	Config         struct {
+		ColdJobs        int   `json:"cold_jobs"`
+		ColdGenerations int   `json:"cold_generations"`
+		HeartbeatMS     int64 `json:"heartbeat_ms"`
+		HeartbeatMiss   int   `json:"heartbeat_miss"`
+		CheckpointEvery int   `json:"checkpoint_every"`
+	} `json:"config"`
+	ColdScaling   []scalePoint `json:"cold_scaling"`
+	Warm          warmResult   `json:"warm"`
+	WarmAfterKill warmResult   `json:"warm_after_kill"`
+	HandoffDrill  drillResult  `json:"handoff_drill"`
+}
+
+func benchMain() error {
+	var rep report
+	rep.Bench = "fleet"
+	rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	rep.Go = runtime.Version()
+	rep.CPUs = runtime.NumCPU()
+	// The scaling sweep is honest only when each runner has a core; on a
+	// smaller host the numbers measure scheduling overhead, not scaling.
+	rep.Oversubscribed = rep.CPUs < *maxScale
+	rep.Config.ColdJobs = *coldJobs
+	rep.Config.ColdGenerations = *coldGens
+	rep.Config.HeartbeatMS = hbEvery.Milliseconds()
+	rep.Config.HeartbeatMiss = *hbMiss
+	rep.Config.CheckpointEvery = *ckptEvery
+
+	reqs := coldRequests()
+
+	// Phase A + B: the sweep's largest fleet stays up for the warm phases.
+	for n := 1; n <= *maxScale; n++ {
+		log.Printf("phase A: cold submit, %d runner(s)", n)
+		f, err := startFleet(n)
+		if err != nil {
+			return err
+		}
+		br, err := submitAll(f.c, reqs)
+		if err != nil {
+			f.stop()
+			return fmt.Errorf("cold %d runners: %w", n, err)
+		}
+		rep.ColdScaling = append(rep.ColdScaling, scalePoint{Runners: n, batchResult: br})
+
+		if n < *maxScale {
+			f.stop()
+			continue
+		}
+
+		log.Printf("phase B: warm resubmission, %d runners", n)
+		warm, err := submitAll(f.c, reqs)
+		if err != nil {
+			f.stop()
+			return fmt.Errorf("warm: %w", err)
+		}
+		rep.Warm = warmResult{Jobs: warm.Jobs, Hits: warm.FromCache,
+			HitRate: float64(warm.FromCache) / float64(warm.Jobs)}
+
+		victim := "bench-r1"
+		log.Printf("phase B: SIGKILL %s, resubmit across rerouted shards", victim)
+		if err := f.kill(victim); err != nil {
+			f.stop()
+			return err
+		}
+		if err := waitHealthy(f.c, n-1, 60*time.Second); err != nil {
+			f.stop()
+			return err
+		}
+		again, err := submitAll(f.c, reqs)
+		if err != nil {
+			f.stop()
+			return fmt.Errorf("warm after kill: %w", err)
+		}
+		rep.WarmAfterKill = warmResult{Jobs: again.Jobs, Hits: again.FromCache,
+			HitRate: float64(again.FromCache) / float64(again.Jobs), KilledRunner: victim}
+		f.stop()
+	}
+
+	drill, err := handoffDrill()
+	if err != nil {
+		return err
+	}
+	rep.HandoffDrill = drill
+
+	if dir := filepath.Dir(*out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	blob, _ := json.MarshalIndent(rep, "", "  ")
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", *out)
+	os.Stdout.Write(blob)
+	return nil
+}
+
+func waitHealthy(c *client.Client, want int, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		h, err := c.Health(context.Background())
+		if err == nil && h.RunnersHealthy == want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet never settled at %d healthy runners", want)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// referenceRun executes the drill request on a plain in-process server —
+// the uninterrupted baseline the relocated fleet job must match bit for
+// bit.
+func referenceRun(req client.Request) (client.Job, time.Duration, error) {
+	cache := rcgp.NewMemoryCache(0)
+	defer cache.Close()
+	srv := serve.New(serve.Config{
+		MaxConcurrent:   1,
+		CheckpointEvery: *ckptEvery,
+		Cache:           cache,
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	defer srv.Close(ctx)
+	start := time.Now()
+	j, err := srv.Submit(req)
+	if err != nil {
+		return client.Job{}, 0, err
+	}
+	for {
+		got, err := srv.Job(j.ID)
+		if err != nil {
+			return client.Job{}, 0, err
+		}
+		if got.Status.Terminal() {
+			return got, time.Since(start), nil
+		}
+		select {
+		case <-ctx.Done():
+			return client.Job{}, 0, fmt.Errorf("reference run timed out")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+// handoffDrill runs Phase C. The search must outlive death detection
+// (heartbeat × miss) by a wide margin or the job finishes before anyone
+// notices the corpse, so the generation budget is calibrated from a probe
+// run; if the job still finishes unrelocated the drill retries with 4×
+// the budget.
+func handoffDrill() (drillResult, error) {
+	probeReq := client.Request{
+		NumInputs: 3, TruthTables: []string{"e8", "96"},
+		Generations: 20000, Seed: 7, NoCache: true,
+	}
+	log.Printf("phase C: calibration probe (%d generations)", probeReq.Generations)
+	probe, probeWall, err := referenceRun(probeReq)
+	if err != nil {
+		return drillResult{}, fmt.Errorf("probe: %w", err)
+	}
+	if probe.Status != client.StatusDone {
+		return drillResult{}, fmt.Errorf("probe finished %s", probe.Status)
+	}
+	gensPerSec := float64(probeReq.Generations) / probeWall.Seconds()
+	deathBudget := time.Duration(*hbMiss) * *hbEvery
+	target := 6*deathBudget + 2*time.Second
+	gens := int(gensPerSec * target.Seconds())
+	if gens < 50000 {
+		gens = 50000
+	}
+
+	for attempt := 0; ; attempt++ {
+		res, retry, err := handoffAttempt(gens)
+		if err != nil {
+			return res, err
+		}
+		if !retry {
+			return res, nil
+		}
+		if attempt == 2 {
+			return res, fmt.Errorf("drill job kept finishing before relocation (last budget %d generations)", gens)
+		}
+		gens *= 4
+		log.Printf("phase C: job finished before hand-off; retrying with %d generations", gens)
+	}
+}
+
+func handoffAttempt(gens int) (drillResult, bool, error) {
+	req := client.Request{
+		NumInputs: 3, TruthTables: []string{"e8", "96"},
+		Generations: gens, Seed: 7, NoCache: true,
+	}
+	log.Printf("phase C: reference run (%d generations)", gens)
+	ref, refWall, err := referenceRun(req)
+	if err != nil {
+		return drillResult{}, false, fmt.Errorf("reference: %w", err)
+	}
+
+	log.Printf("phase C: fleet drill, 2 runners")
+	f, err := startFleet(2)
+	if err != nil {
+		return drillResult{}, false, err
+	}
+	defer f.stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+	defer cancel()
+	start := time.Now()
+	j, err := f.c.Submit(ctx, req)
+	if err != nil {
+		return drillResult{}, false, fmt.Errorf("drill submit: %w", err)
+	}
+
+	// Wait for the first checkpoint so the hand-off has a snapshot to
+	// resume from, then find and kill the owning subprocess.
+	var cpGen int
+	for {
+		got, err := f.c.Job(ctx, j.ID)
+		if err != nil {
+			return drillResult{}, false, err
+		}
+		if got.Status.Terminal() {
+			// Finished before we could kill anyone: budget too small.
+			return drillResult{}, true, nil
+		}
+		if got.CheckpointGeneration > 0 {
+			cpGen = got.CheckpointGeneration
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	owner, err := findOwner(f)
+	if err != nil {
+		return drillResult{}, false, err
+	}
+	log.Printf("phase C: SIGKILL %s at checkpoint generation %d", owner, cpGen)
+	if err := f.kill(owner); err != nil {
+		return drillResult{}, false, err
+	}
+
+	got, err := f.c.Wait(ctx, j.ID, 50*time.Millisecond)
+	if err != nil {
+		return drillResult{}, false, fmt.Errorf("drill wait: %w", err)
+	}
+	if got.Status != client.StatusDone || got.Result == nil {
+		return drillResult{}, false, fmt.Errorf("drill job finished %s (%s)", got.Status, got.Error)
+	}
+	if !got.Resumed {
+		return drillResult{}, true, nil
+	}
+
+	res := drillResult{
+		Generations:          gens,
+		CheckpointGeneration: cpGen,
+		KilledRunner:         owner,
+		Handoffs:             f.reg.Counter("fleet.handoffs").Load(),
+		Resumed:              got.Resumed,
+		Verified:             got.Result.Verified,
+		BitIdentical: got.Result.Netlist == ref.Result.Netlist &&
+			got.Result.Stats == ref.Result.Stats &&
+			got.Result.Generations == ref.Result.Generations,
+		RefEvaluations:   ref.Result.Evaluations,
+		FleetEvaluations: got.Result.Evaluations,
+		RefWallMS:        refWall.Milliseconds(),
+		FleetWallMS:      time.Since(start).Milliseconds(),
+	}
+	if !res.Verified || !res.BitIdentical {
+		return res, false, fmt.Errorf("relocated result diverged from the reference (verified=%v bit_identical=%v)",
+			res.Verified, res.BitIdentical)
+	}
+	return res, false, nil
+}
+
+// findOwner locates the runner actually executing the drill job by asking
+// each subprocess directly — runner-local job IDs differ from fleet IDs,
+// but only one job is in flight during the drill.
+func findOwner(f *testFleet) (string, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for {
+		for id, url := range f.urls {
+			if f.killed[id] {
+				continue
+			}
+			jobs, err := client.New(url).Jobs(ctx)
+			if err != nil {
+				continue
+			}
+			for _, j := range jobs {
+				if !j.Status.Terminal() {
+					return id, nil
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return "", fmt.Errorf("no runner admits to owning the drill job")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}

@@ -24,11 +24,14 @@ import (
 	_ "net/http/pprof" // registers /debug/pprof/ on the -debug-addr mux
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/client"
 	"github.com/reversible-eda/rcgp/internal/buildinfo"
+	"github.com/reversible-eda/rcgp/internal/fleet"
 	"github.com/reversible-eda/rcgp/internal/obs"
 	"github.com/reversible-eda/rcgp/internal/serve"
 )
@@ -51,6 +54,9 @@ func main() {
 		cecBDD        = flag.Int("cec-bdd-budget", 0, "node budget of the portfolio's BDD prover (0 = default)")
 		flightCap     = flag.Int("flight-cap", 2048, "flight samples retained per job for /jobs/{id}/progress")
 		debugAddr     = flag.String("debug-addr", "", "serve pprof and expvar on this extra address (e.g. localhost:6060); keep it private")
+		join          = flag.String("join", "", "fleet coordinator URL to register with (runner mode)")
+		advertise     = flag.String("advertise", "", "URL the coordinator reaches this runner at (default: http://<listen addr>)")
+		runnerID      = flag.String("runner-id", "", "stable fleet runner identity (default: derived from the advertise URL)")
 		version       = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
@@ -74,6 +80,21 @@ func main() {
 	cache.SetProver(*cecProv, *cecBDD)
 
 	reg := obs.NewRegistry()
+	// Runner mode: the agent must exist before the server so the
+	// checkpoint hook can point at it; it starts once the listener (and
+	// with it the advertise URL) is known.
+	var agent *fleet.Runner
+	var onCheckpoint func(string, client.Request, client.Checkpoint)
+	if *join != "" {
+		agent = fleet.NewRunner(fleet.RunnerConfig{
+			ID:          *runnerID,
+			Coordinator: strings.TrimRight(*join, "/"),
+			Cache:       cache,
+			Registry:    reg,
+			Logf:        log.Printf,
+		})
+		onCheckpoint = agent.OnCheckpoint
+	}
 	srv := serve.New(serve.Config{
 		MaxConcurrent:      *maxConcurrent,
 		TotalWorkers:       *totalWorkers,
@@ -89,6 +110,7 @@ func main() {
 		CECBDDBudget:       *cecBDD,
 		Registry:           reg,
 		Logf:               log.Printf,
+		OnCheckpoint:       onCheckpoint,
 	})
 
 	// The debug listener is separate from the API address on purpose:
@@ -118,6 +140,17 @@ func main() {
 	}()
 	log.Printf("rcgp-serve: listening on %s", l.Addr())
 
+	if agent != nil {
+		adv := *advertise
+		if adv == "" {
+			adv = "http://" + l.Addr().String()
+		}
+		if err := agent.Start(srv, adv); err != nil {
+			log.Fatalf("rcgp-serve: joining fleet at %s: %v", *join, err)
+		}
+		log.Printf("rcgp-serve: joined fleet %s as %s", *join, adv)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	got := <-sig
@@ -125,6 +158,9 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if agent != nil {
+		agent.Close()
+	}
 	if err := srv.Close(ctx); err != nil {
 		log.Printf("rcgp-serve: %v", err)
 	}

@@ -33,16 +33,20 @@ type Stats struct {
 	MemEntries   int   `json:"mem_entries"`
 	DiskEntries  int   `json:"disk_entries"`
 	DiskPromotes int64 `json:"disk_promotes"` // disk hits promoted into the memory tier
+	Merges       int64 `json:"merges"`        // remote entries adopted after re-verification
+	MergeSkips   int64 `json:"merge_skips"`   // remote entries skipped (key already present)
+	MergeRejects int64 `json:"merge_rejects"` // remote entries refused by re-verification
 }
 
 // Cache is the two-tier NPN-canonical result cache: an in-memory LRU in
 // front of an optional append-only disk log. Safe for concurrent use.
 type Cache struct {
-	mu     sync.Mutex
-	mem    *lruTier
-	disk   *diskLog // nil for memory-only caches
-	stats  Stats
-	verify cec.PortfolioConfig // prover roster for wide-key Store checks
+	mu        sync.Mutex
+	mem       *lruTier
+	disk      *diskLog // nil for memory-only caches
+	stats     Stats
+	verify    cec.PortfolioConfig // prover roster for wide-key Store checks
+	replicate func(Entry)         // publication hook for locally stored entries
 }
 
 // VerifyExhaustiveMaxPIs is the input count up to which Store verifies a
@@ -150,6 +154,13 @@ func (c *Cache) Lookup(tables []tt.TT) (*rqfp.Netlist, string, bool) {
 // portfolio (SetProver), which proves symbolically instead of sweeping 2^n
 // assignments.
 func (c *Cache) Store(tables []tt.TT, net *rqfp.Netlist) (string, error) {
+	return c.store(tables, net, true)
+}
+
+// store is Store with the replication hook made explicit: local stores
+// publish to the replicator, merged remote entries (Merge) do not — the
+// asymmetry is what keeps replication fan-out from looping.
+func (c *Cache) store(tables []tt.TT, net *rqfp.Netlist, publish bool) (string, error) {
 	key, tr, err := Signature(tables)
 	if err != nil {
 		return "", err
@@ -173,13 +184,19 @@ func (c *Cache) Store(tables []tt.TT, net *rqfp.Netlist) (string, error) {
 	entry := Entry{Key: key, NumPI: canonNet.NumPI, NumPO: len(canonNet.POs), Netlist: sb.String()}
 
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.stats.Stores++
 	c.mem.put(key, entry)
+	var derr error
 	if c.disk != nil {
-		if err := c.disk.put(entry); err != nil {
-			return key, err
-		}
+		derr = c.disk.put(entry)
+	}
+	fn := c.replicate
+	c.mu.Unlock()
+	if derr != nil {
+		return key, derr
+	}
+	if publish && fn != nil {
+		fn(entry)
 	}
 	return key, nil
 }

@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("npn:4:2:%04x", i*7919)
+	}
+	return keys
+}
+
+// Removing one node must only remap the keys it owned; every other key
+// keeps its shard (the property that keeps sibling caches hot across
+// topology changes).
+func TestRingMinimalRemapOnRemove(t *testing.T) {
+	r := newRing(64)
+	for _, n := range []string{"r1", "r2", "r3"} {
+		r.add(n)
+	}
+	keys := ringKeys(2000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.owner(k)
+	}
+	r.remove("r2")
+	for _, k := range keys {
+		after := r.owner(k)
+		if before[k] != "r2" && after != before[k] {
+			t.Fatalf("key %s moved %s → %s though its owner survived", k, before[k], after)
+		}
+		if after == "r2" {
+			t.Fatalf("key %s still maps to the removed node", k)
+		}
+	}
+}
+
+// Re-adding a node restores its ownership exactly: placement is a pure
+// function of the membership set.
+func TestRingDeterministicOwnership(t *testing.T) {
+	r := newRing(64)
+	for _, n := range []string{"r1", "r2", "r3"} {
+		r.add(n)
+	}
+	keys := ringKeys(500)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.owner(k)
+	}
+	r.remove("r2")
+	r.add("r2")
+	for _, k := range keys {
+		if got := r.owner(k); got != before[k] {
+			t.Fatalf("key %s: owner %s after rejoin, was %s", k, got, before[k])
+		}
+	}
+}
+
+// ownerAvoiding must skip rejected nodes and fall through to the next
+// shard clockwise — and report nothing only when every node is rejected.
+func TestRingOwnerAvoiding(t *testing.T) {
+	r := newRing(64)
+	for _, n := range []string{"r1", "r2", "r3"} {
+		r.add(n)
+	}
+	for _, k := range ringKeys(200) {
+		primary := r.owner(k)
+		alt := r.ownerAvoiding(k, func(n string) bool { return n == primary })
+		if alt == primary || alt == "" {
+			t.Fatalf("key %s: avoiding %s yielded %q", k, primary, alt)
+		}
+	}
+	if got := r.ownerAvoiding("k", func(string) bool { return true }); got != "" {
+		t.Fatalf("avoiding everyone yielded %q", got)
+	}
+	if got := newRing(8).owner("k"); got != "" {
+		t.Fatalf("empty ring yielded %q", got)
+	}
+}
+
+// Virtual nodes must spread keys roughly evenly: no node of three may own
+// more than twice its fair share of a large key set.
+func TestRingBalance(t *testing.T) {
+	r := newRing(128)
+	nodes := []string{"r1", "r2", "r3"}
+	for _, n := range nodes {
+		r.add(n)
+	}
+	counts := make(map[string]int)
+	keys := ringKeys(6000)
+	for _, k := range keys {
+		counts[r.owner(k)]++
+	}
+	fair := len(keys) / len(nodes)
+	for _, n := range nodes {
+		if counts[n] > 2*fair || counts[n] < fair/2 {
+			t.Fatalf("node %s owns %d of %d keys (fair share %d)", n, counts[n], len(keys), fair)
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/client"
+	"github.com/reversible-eda/rcgp/internal/obs"
+	"github.com/reversible-eda/rcgp/internal/serve"
+)
+
+// RunnerConfig tunes a Runner agent.
+type RunnerConfig struct {
+	// ID names the runner in the fleet; it must be stable across restarts
+	// of the same node (default: derived from the advertise URL).
+	ID string
+	// Coordinator is the coordinator's base URL.
+	Coordinator string
+	// Cache is the runner's result cache; when set, stored entries are
+	// published for replication and remote entries are merged in (after
+	// local re-verification).
+	Cache *rcgp.Cache
+	// HeartbeatEvery is the fallback heartbeat cadence; the coordinator's
+	// register response overrides it (default 1s).
+	HeartbeatEvery time.Duration
+	// Registry receives the runner-agent metrics (default obs.Default).
+	Registry *obs.Registry
+	// Logf, when set, receives operational log lines.
+	Logf func(format string, args ...any)
+	// HTTPClient talks to the coordinator (default http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// outbound is one queued push to the coordinator.
+type outbound struct {
+	path    string // "/fleet/publish" or "/fleet/checkpoint"
+	payload any
+}
+
+// Runner is the fleet agent inside one rcgp-serve process: it registers
+// with the coordinator, heartbeats health and load, forwards every job
+// checkpoint (so the coordinator can relocate the job if this node dies),
+// and publishes verified cache entries for replication. Create it before
+// the serve.Server so Config.OnCheckpoint can point at OnCheckpoint, then
+// Start it once the listener address is known.
+type Runner struct {
+	cfg  RunnerConfig
+	reg  *obs.Registry
+	logf func(string, ...any)
+	hc   *http.Client
+	id   string
+
+	mu        sync.Mutex
+	srv       *serve.Server
+	advertise string
+	started   bool
+
+	out  chan outbound
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewRunner builds the agent. It does nothing until Start.
+func NewRunner(cfg RunnerConfig) *Runner {
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	r := &Runner{
+		cfg:  cfg,
+		reg:  cfg.Registry,
+		logf: cfg.Logf,
+		hc:   cfg.HTTPClient,
+		id:   cfg.ID,
+		out:  make(chan outbound, 256),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if r.reg == nil {
+		r.reg = obs.Default
+	}
+	if r.logf == nil {
+		r.logf = func(string, ...any) {}
+	}
+	if r.hc == nil {
+		r.hc = http.DefaultClient
+	}
+	return r
+}
+
+// OnCheckpoint is the serve.Config.OnCheckpoint hook: it forwards every
+// snapshot to the coordinator. Called synchronously from the evolution
+// coordinator, so it only enqueues; a full queue drops the snapshot
+// (checkpoints are latest-wins — the next one supersedes it anyway).
+func (r *Runner) OnCheckpoint(id string, req client.Request, cp client.Checkpoint) {
+	r.enqueue(outbound{path: "/fleet/checkpoint", payload: checkpointRequest{
+		Runner: r.id, JobID: id, Request: req, Checkpoint: cp,
+	}})
+}
+
+func (r *Runner) enqueue(o outbound) {
+	select {
+	case r.out <- o:
+	default:
+		r.reg.Counter("fleet.runner_queue_drops").Inc()
+	}
+}
+
+// Start registers with the coordinator (retrying briefly in case it is
+// still coming up), seeds the local cache from the fleet's replication
+// log, wires the cache replicator, and starts the heartbeat and publisher
+// loops. advertise is the URL the coordinator reaches this runner at.
+func (r *Runner) Start(srv *serve.Server, advertise string) error {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return fmt.Errorf("fleet: runner already started")
+	}
+	r.started = true
+	r.srv = srv
+	r.advertise = advertise
+	if r.id == "" {
+		r.id = fmt.Sprintf("runner-%016x", ringHash(advertise))
+	}
+	r.mu.Unlock()
+
+	resp, err := r.register()
+	if err != nil {
+		return err
+	}
+	if r.cfg.Cache != nil {
+		// Outbound: publish every locally stored canonical result.
+		r.cfg.Cache.SetReplicator(func(e rcgp.CacheEntry) {
+			r.enqueue(outbound{path: "/fleet/publish", payload: publishRequest{
+				Runner: r.id,
+				Entry:  client.CacheEntry{Key: e.Key, NumPI: e.NumPI, NumPO: e.NumPO, Netlist: e.Netlist},
+			}})
+		})
+		// Inbound: adopt the fleet's existing results (re-verified locally).
+		for _, e := range resp.Entries {
+			err := r.cfg.Cache.Merge(rcgp.CacheEntry{Key: e.Key, NumPI: e.NumPI, NumPO: e.NumPO, Netlist: e.Netlist})
+			if err != nil {
+				r.reg.Counter("fleet.runner_seed_rejects").Inc()
+				continue
+			}
+			r.reg.Counter("fleet.runner_seed_merges").Inc()
+		}
+	}
+	every := r.cfg.HeartbeatEvery
+	if resp.HeartbeatMS > 0 {
+		every = time.Duration(resp.HeartbeatMS) * time.Millisecond
+	}
+	go r.loop(every)
+	r.logf("fleet: runner %s joined %s (heartbeat %v)", r.id, r.cfg.Coordinator, every)
+	return nil
+}
+
+// register announces the runner, retrying for a short window so a runner
+// racing its coordinator's startup still joins.
+func (r *Runner) register() (registerResponse, error) {
+	var resp registerResponse
+	var err error
+	for attempt := 0; attempt < 20; attempt++ {
+		err = r.postJSON("/fleet/register", registerRequest{ID: r.id, URL: r.advertise}, &resp)
+		if err == nil {
+			r.reg.Counter("fleet.runner_registers").Inc()
+			return resp, nil
+		}
+		select {
+		case <-r.stop:
+			return resp, err
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	return resp, fmt.Errorf("fleet: registering with %s: %w", r.cfg.Coordinator, err)
+}
+
+// Close stops the agent's loops. The serve.Server keeps running; the
+// coordinator will declare this runner dead when heartbeats stop.
+func (r *Runner) Close() {
+	close(r.stop)
+	<-r.done
+}
+
+// loop drains the outbound queue and heartbeats on the cadence the
+// coordinator asked for. A 404 on heartbeat means the coordinator lost us
+// (it restarted): re-register, which also re-seeds its replication log
+// from whatever the other runners publish next.
+func (r *Runner) loop(every time.Duration) {
+	defer close(r.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case o := <-r.out:
+			if err := r.postJSON(o.path, o.payload, nil); err != nil {
+				r.reg.Counter("fleet.runner_publish_errors").Inc()
+				r.logf("fleet: %s: %v", o.path, err)
+				continue
+			}
+			r.reg.Counter("fleet.runner_publishes").Inc()
+		case <-t.C:
+			r.heartbeat()
+		}
+	}
+}
+
+func (r *Runner) heartbeat() {
+	h := r.srv.Health()
+	err := r.postJSON("/fleet/heartbeat", heartbeatRequest{ID: r.id, Health: h}, nil)
+	switch {
+	case err == nil:
+		r.reg.Counter("fleet.runner_heartbeats").Inc()
+	case isNotFound(err):
+		r.reg.Counter("fleet.runner_reregisters").Inc()
+		r.logf("fleet: coordinator lost us, re-registering")
+		if _, rerr := r.registerOnce(); rerr != nil {
+			r.logf("fleet: re-register: %v", rerr)
+		}
+	default:
+		r.reg.Counter("fleet.runner_heartbeat_errors").Inc()
+	}
+}
+
+func (r *Runner) registerOnce() (registerResponse, error) {
+	var resp registerResponse
+	err := r.postJSON("/fleet/register", registerRequest{ID: r.id, URL: r.advertise}, &resp)
+	if err == nil {
+		r.reg.Counter("fleet.runner_registers").Inc()
+	}
+	return resp, err
+}
+
+// notFoundError marks a 404 from the coordinator.
+type notFoundError struct{ msg string }
+
+func (e *notFoundError) Error() string { return e.msg }
+
+func isNotFound(err error) bool {
+	_, ok := err.(*notFoundError)
+	return ok
+}
+
+func (r *Runner) postJSON(path string, v, out any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	resp, err := r.hc.Post(r.cfg.Coordinator+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return &notFoundError{msg: string(bytes.TrimSpace(msg))}
+	}
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("fleet: %s: %d: %s", path, resp.StatusCode, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,58 @@
+// Package fleet scales rcgp-serve from one process to N nodes. A
+// Coordinator fronts the same HTTP/JSON job API as a single server (the
+// client package works unchanged against it) and shards incoming jobs
+// across registered runner nodes by consistent hashing on the NPN cache
+// key, so repeat submissions of a function — or any NPN-equivalent
+// variant — land on the shard whose cache already holds the answer. A
+// Runner agent rides inside each rcgp-serve process: it registers with
+// the coordinator, heartbeats its health, forwards every job checkpoint,
+// and publishes verified cache entries for replication to the other
+// shards. When a runner stops heartbeating mid-job, the coordinator hands
+// the job's last checkpoint to another node, where the search resumes and
+// finishes bit-identical per seed; idle runners steal queued jobs from
+// loaded ones the same way.
+package fleet
+
+import "github.com/reversible-eda/rcgp/client"
+
+// registerRequest is POST /fleet/register on the coordinator: a runner
+// announcing itself (or re-announcing after a coordinator restart).
+type registerRequest struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// registerResponse seeds the joining runner: the heartbeat cadence the
+// coordinator expects and the replication log of every canonical result
+// the fleet has published so far, so a fresh node starts warm.
+type registerResponse struct {
+	HeartbeatMS int64               `json:"heartbeat_ms"`
+	Entries     []client.CacheEntry `json:"entries,omitempty"`
+}
+
+// heartbeatRequest is POST /fleet/heartbeat: liveness plus the runner's
+// load and cache counters, which drive health-based routing, work
+// stealing, and the per-runner gauges on the coordinator's /metrics.
+type heartbeatRequest struct {
+	ID     string        `json:"id"`
+	Health client.Health `json:"health"`
+}
+
+// publishRequest is POST /fleet/publish: a runner announcing a canonical
+// result its cache just stored. The coordinator appends it to the
+// replication log and fans it out to every other shard.
+type publishRequest struct {
+	Runner string            `json:"runner"`
+	Entry  client.CacheEntry `json:"entry"`
+}
+
+// checkpointRequest is POST /fleet/checkpoint: a runner forwarding the
+// latest snapshot of one of its running jobs. The request rides along so
+// the coordinator can hand the job to another node even if the origin
+// dies right after.
+type checkpointRequest struct {
+	Runner     string            `json:"runner"`
+	JobID      string            `json:"job_id"`
+	Request    client.Request    `json:"request"`
+	Checkpoint client.Checkpoint `json:"checkpoint"`
+}

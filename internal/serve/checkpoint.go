@@ -68,7 +68,7 @@ func recoverCheckpoints(dir string, logf func(string, ...any)) []checkpointFile 
 			logf("serve: skipping corrupt checkpoint %s: %v", p, err)
 			continue
 		}
-		if _, err := buildDesign(cf.Request); err != nil {
+		if _, err := BuildDesign(cf.Request); err != nil {
 			logf("serve: skipping checkpoint %s: unreplayable request: %v", p, err)
 			continue
 		}

@@ -49,6 +49,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metricsz", s.handleMetrics)
 	mux.HandleFunc("GET /metrics", s.handlePrometheus)
 	mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("POST /fleet/resume", s.handleResume)
+	mux.HandleFunc("POST /fleet/cache", s.handleCacheMerge)
 	return s.observe(mux)
 }
 
@@ -69,17 +71,64 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.Submit(req)
 	if err != nil {
-		switch {
-		case errors.Is(err, ErrDraining):
-			httpError(w, http.StatusServiceUnavailable, err.Error())
-		case errors.Is(err, ErrQueueFull):
-			httpError(w, http.StatusTooManyRequests, err.Error())
-		default:
-			httpError(w, http.StatusBadRequest, err.Error())
-		}
+		s.submitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j)
+}
+
+// submitError maps a Submit/SubmitHandoff failure onto the wire: a full
+// queue is backpressure (429 + Retry-After so well-behaved clients pace
+// themselves), draining is 503, anything else is the caller's request.
+func (s *Server) submitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrDraining):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)))
+		httpError(w, http.StatusTooManyRequests, err.Error())
+	default:
+		httpError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// handleResume is POST /fleet/resume: accept a job relocated from another
+// fleet node, resuming from the checkpoint in the body (if any). The resumed
+// search is bit-identical per seed to the uninterrupted one.
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	var req client.HandoffRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, err := s.SubmitHandoff(req.Request, req.Checkpoint)
+	if err != nil {
+		s.submitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j)
+}
+
+// handleCacheMerge is POST /fleet/cache: adopt a canonical-result entry
+// replicated from another fleet node. The entry is re-verified locally
+// before it is stored, so a bad payload costs CPU, never correctness. 404
+// when the server runs without a cache.
+func (s *Server) handleCacheMerge(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Cache == nil {
+		httpError(w, http.StatusNotFound, "server has no result cache")
+		return
+	}
+	var e client.CacheEntry
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&e); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := s.cfg.Cache.Merge(rcgp.CacheEntry{Key: e.Key, NumPI: e.NumPI, NumPO: e.NumPO, Netlist: e.Netlist}); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.reg.Counter("serve.cache_merges").Inc()
+	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {

@@ -151,9 +151,9 @@ func wireFlight(s rcgp.FlightSample) client.FlightSample {
 	}
 }
 
-// buildDesign constructs the specification from a request. Exactly one of
+// BuildDesign constructs the specification from a request. Exactly one of
 // the three specification sources must be present.
-func buildDesign(req client.Request) (*rcgp.Design, error) {
+func BuildDesign(req client.Request) (*rcgp.Design, error) {
 	sources := 0
 	if req.Benchmark != "" {
 		sources++

@@ -69,6 +69,15 @@ type Config struct {
 	Registry *obs.Registry
 	// Logf, when set, receives operational log lines.
 	Logf func(format string, args ...any)
+	// OnCheckpoint, when set, receives every job checkpoint as it is taken
+	// (fleet runner mode: the agent forwards snapshots to the coordinator,
+	// which can then hand the job to another node if this one dies). Called
+	// synchronously from the evolution coordinator, so it must not block —
+	// hand the snapshot to a goroutine.
+	OnCheckpoint func(id string, req client.Request, cp client.Checkpoint)
+	// RetryAfter is the backpressure hint sent in the Retry-After header of
+	// queue-full 429 responses (default 2s).
+	RetryAfter time.Duration
 }
 
 // Errors mapped to HTTP statuses by the handler layer.
@@ -131,6 +140,9 @@ func New(cfg Config) *Server {
 	if cfg.FlightCap <= 0 {
 		cfg.FlightCap = 2048
 	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = 2 * time.Second
+	}
 	s := &Server{
 		cfg:       cfg,
 		reg:       cfg.Registry,
@@ -158,7 +170,7 @@ func New(cfg Config) *Server {
 // recover re-queues jobs whose snapshots survived the previous process.
 func (s *Server) recover() {
 	for _, cf := range recoverCheckpoints(s.cfg.CheckpointDir, s.logf) {
-		design, err := buildDesign(cf.Request)
+		design, err := BuildDesign(cf.Request)
 		if err != nil {
 			continue // already filtered by recoverCheckpoints
 		}
@@ -207,7 +219,32 @@ func (s *Server) initJobObs(j *job) {
 
 // Submit validates and enqueues a request.
 func (s *Server) Submit(req client.Request) (client.Job, error) {
-	design, err := buildDesign(req)
+	return s.submit(req, nil)
+}
+
+// SubmitHandoff enqueues a job relocated from another node, resuming from
+// its last checkpoint (nil restarts the search — correct for jobs that died
+// before their first snapshot). The resumed search reproduces the
+// uninterrupted run's trajectory exactly, so the hand-off is invisible in
+// the final netlist.
+func (s *Server) SubmitHandoff(req client.Request, cp *client.Checkpoint) (client.Job, error) {
+	var resume *rcgp.Checkpoint
+	if cp != nil {
+		if cp.Chromosome == "" {
+			return client.Job{}, errors.New("serve: handoff checkpoint has no chromosome")
+		}
+		r := checkpointFromWire(*cp)
+		resume = &r
+	}
+	j, err := s.submit(req, resume)
+	if err == nil {
+		s.reg.Counter("serve.handoffs_received").Inc()
+	}
+	return j, err
+}
+
+func (s *Server) submit(req client.Request, resume *rcgp.Checkpoint) (client.Job, error) {
+	design, err := BuildDesign(req)
 	if err != nil {
 		return client.Job{}, err
 	}
@@ -229,6 +266,13 @@ func (s *Server) Submit(req client.Request) (client.Job, error) {
 		status:    client.StatusQueued,
 		submitted: time.Now(),
 		heapIndex: -1,
+	}
+	if resume != nil {
+		j.resume = resume
+		j.resumed = true
+		j.cpGen = resume.Generation
+		j.bestGates = resume.Gates
+		j.bestGarbage = resume.Garbage
 	}
 	s.initJobObs(j)
 	s.jobs[j.id] = j
@@ -322,6 +366,7 @@ func (s *Server) Health() client.Health {
 			Hits: cs.Hits, Misses: cs.Misses, Stores: cs.Stores,
 			BadEntries: cs.BadEntries, MemEntries: cs.MemEntries,
 			DiskEntries: cs.DiskEntries, DiskPromotes: cs.DiskPromotes,
+			Merges: cs.Merges, MergeSkips: cs.MergeSkips, MergeRejects: cs.MergeRejects,
 		}
 	}
 	return h
@@ -503,12 +548,34 @@ func (s *Server) noteCheckpoint(j *job, cp rcgp.Checkpoint) {
 	j.bestGarbage = cp.Garbage
 	s.mu.Unlock()
 	s.reg.Counter("serve.checkpoints").Inc()
+	if s.cfg.OnCheckpoint != nil {
+		s.cfg.OnCheckpoint(j.id, j.req, checkpointToWire(cp))
+	}
 	if s.cfg.CheckpointDir == "" {
 		return
 	}
 	cf := checkpointFile{ID: j.id, Request: j.req, SubmittedAt: j.submitted, Checkpoint: cp}
 	if err := writeCheckpoint(s.cfg.CheckpointDir, cf); err != nil {
 		s.logf("serve: checkpoint %s: %v", j.id, err)
+	}
+}
+
+// checkpointToWire / checkpointFromWire translate between the library's
+// checkpoint and the fleet wire form — field-for-field, so a snapshot taken
+// on one node resumes losslessly on another.
+func checkpointToWire(cp rcgp.Checkpoint) client.Checkpoint {
+	return client.Checkpoint{
+		Generation: cp.Generation, Evaluations: cp.Evaluations,
+		Seed: cp.Seed, Lambda: cp.Lambda, Chromosome: cp.Chromosome,
+		Gates: cp.Gates, Garbage: cp.Garbage, Buffers: cp.Buffers,
+	}
+}
+
+func checkpointFromWire(cp client.Checkpoint) rcgp.Checkpoint {
+	return rcgp.Checkpoint{
+		Generation: cp.Generation, Evaluations: cp.Evaluations,
+		Seed: cp.Seed, Lambda: cp.Lambda, Chromosome: cp.Chromosome,
+		Gates: cp.Gates, Garbage: cp.Garbage, Buffers: cp.Buffers,
 	}
 }
 

@@ -159,6 +159,21 @@ func (d *Design) NumOutputs() int { return d.aig.NumPOs() }
 // Name returns the benchmark name, if the design came from Benchmark.
 func (d *Design) Name() string { return d.name }
 
+// CacheKey returns the design's NPN-canonical result-cache key — the same
+// signature Synthesize uses for cache lookups, and the key a fleet
+// coordinator shards jobs by (identical functions always hash to the same
+// shard, keeping each shard's cache hot). Designs outside the cacheable
+// range (more than 14 inputs or 64 outputs) return an error; callers
+// shard those by a request digest instead.
+func (d *Design) CacheKey() (string, error) {
+	if d.aig.NumPIs() < 1 || d.aig.NumPIs() > cache.MaxInputs ||
+		d.aig.NumPOs() < 1 || d.aig.NumPOs() > cache.MaxOutputs {
+		return "", cache.ErrUncacheable
+	}
+	key, _, err := cache.Signature(d.aig.TruthTables())
+	return key, err
+}
+
 // Options tunes Synthesize. The zero value uses laptop-scale defaults
 // (the paper runs 5·10⁷ generations on a cluster; see EXPERIMENTS.md).
 type Options struct {
@@ -342,6 +357,49 @@ func (c *Cache) Close() error { return c.c.Close() }
 // Call before sharing the cache between jobs.
 func (c *Cache) SetProver(provers, bddBudget int) { c.c.SetProver(provers, bddBudget) }
 
+// CacheEntry is one replicable canonical-result record: the netlist of an
+// NPN class representative under its class key. Entries are the unit of
+// cache replication between fleet nodes.
+type CacheEntry struct {
+	Key     string `json:"key"`
+	NumPI   int    `json:"num_pi"`
+	NumPO   int    `json:"num_po"`
+	Netlist string `json:"netlist"`
+}
+
+// SetReplicator registers fn to receive every entry a local synthesis
+// stores into the cache (after store-side verification). Entries adopted
+// via Merge do not re-trigger fn, so replication cannot loop. Call before
+// sharing the cache between jobs.
+func (c *Cache) SetReplicator(fn func(CacheEntry)) {
+	if fn == nil {
+		c.c.SetReplicator(nil)
+		return
+	}
+	c.c.SetReplicator(func(e cache.Entry) {
+		fn(CacheEntry{Key: e.Key, NumPI: e.NumPI, NumPO: e.NumPO, Netlist: e.Netlist})
+	})
+}
+
+// Merge adopts a cache entry replicated from another node. The netlist is
+// re-simulated and re-verified locally before it is stored — a corrupt
+// replication payload can never poison this cache. Entries whose key is
+// already present are skipped (local results win).
+func (c *Cache) Merge(e CacheEntry) error {
+	return c.c.Merge(cache.Entry{Key: e.Key, NumPI: e.NumPI, NumPO: e.NumPO, Netlist: e.Netlist})
+}
+
+// Entries snapshots every entry the cache holds (memory and disk tiers),
+// sorted by key, for seeding a replication peer.
+func (c *Cache) Entries() []CacheEntry {
+	dump := c.c.Dump()
+	out := make([]CacheEntry, len(dump))
+	for i, e := range dump {
+		out[i] = CacheEntry{Key: e.Key, NumPI: e.NumPI, NumPO: e.NumPO, Netlist: e.Netlist}
+	}
+	return out
+}
+
 // CacheStats is a point-in-time view of cache activity.
 type CacheStats struct {
 	Hits         int64 `json:"hits"`
@@ -351,6 +409,11 @@ type CacheStats struct {
 	MemEntries   int   `json:"mem_entries"`
 	DiskEntries  int   `json:"disk_entries"`
 	DiskPromotes int64 `json:"disk_promotes"`
+	// Replication counters: remote entries adopted, skipped (key already
+	// present), and refused by store-side re-verification.
+	Merges       int64 `json:"merges"`
+	MergeSkips   int64 `json:"merge_skips"`
+	MergeRejects int64 `json:"merge_rejects"`
 }
 
 // Stats snapshots the cache activity counters.
@@ -360,6 +423,7 @@ func (c *Cache) Stats() CacheStats {
 		Hits: s.Hits, Misses: s.Misses, Stores: s.Stores,
 		BadEntries: s.BadEntries, MemEntries: s.MemEntries,
 		DiskEntries: s.DiskEntries, DiskPromotes: s.DiskPromotes,
+		Merges: s.Merges, MergeSkips: s.MergeSkips, MergeRejects: s.MergeRejects,
 	}
 }
 

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates results/BENCH_fleet.json: the distributed-fleet benchmark.
+# Starts an in-process coordinator with real runner subprocesses and
+# measures cold-submit throughput at 1-3 runners, the warm resubmission
+# hit rate (must be 1.0, before and after SIGKILLing a runner), and the
+# hand-off drill: a SIGKILLed runner's search finishing on another node
+# bit-identical to an uninterrupted reference run. Extra flags pass
+# through, e.g.:
+#
+#   results/bench_fleet.sh -cold-jobs 8 -max-runners 3
+set -e
+cd "$(dirname "$0")/.."
+go build -o /tmp/rcgp-fleetbench ./cmd/rcgp-fleetbench
+exec /tmp/rcgp-fleetbench -out results/BENCH_fleet.json "$@"
