@@ -47,6 +47,9 @@ type Request struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// NoCache skips the result cache for this job (both lookup and store).
 	NoCache bool `json:"no_cache,omitempty"`
+	// NoTemplates skips the template-rewrite pass for this job (no library
+	// matching, no learning).
+	NoTemplates bool `json:"no_templates,omitempty"`
 	// FlightEvery overrides the server's flight-recorder cadence for this
 	// job (generations between samples); 0 takes the server default, a
 	// negative value disables recording.
@@ -160,6 +163,20 @@ type JobTelemetry struct {
 	// FlightSamples counts the trajectory samples recorded so far (the
 	// retained window is streamed by /jobs/{id}/progress).
 	FlightSamples int64 `json:"flight_samples,omitempty"`
+	// Template is the identity-template rewrite report (nil when the pass
+	// did not run — no library configured, or the request opted out).
+	Template *TemplateReport `json:"template,omitempty"`
+}
+
+// TemplateReport summarizes the job's identity-template rewrite pass.
+type TemplateReport struct {
+	Rounds     int   `json:"rounds"`
+	Windows    int   `json:"windows"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Rewrites   int   `json:"rewrites"`
+	GatesSaved int   `json:"gates_saved"`
+	Learned    int   `json:"learned"`
 }
 
 // Job is the server's view of one synthesis job.
@@ -203,14 +220,29 @@ type CacheStats struct {
 	MergeRejects int64 `json:"merge_rejects,omitempty"`
 }
 
+// TemplateStats mirrors the server template-library counters.
+type TemplateStats struct {
+	Entries int   `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Learned int64 `json:"learned"`
+	Rejects int64 `json:"rejects"`
+	// Replication counters (fleet runners): remote templates adopted,
+	// skipped as not improving, and refused by re-verification.
+	Merges       int64 `json:"merges,omitempty"`
+	MergeSkips   int64 `json:"merge_skips,omitempty"`
+	MergeRejects int64 `json:"merge_rejects,omitempty"`
+}
+
 // Health is the GET /healthz payload.
 type Health struct {
 	// Status is "ok" while accepting jobs, "draining" during shutdown.
-	Status   string      `json:"status"`
-	Queued   int         `json:"queued"`
-	Running  int         `json:"running"`
-	Finished int         `json:"finished"`
-	Cache    *CacheStats `json:"cache,omitempty"`
+	Status    string         `json:"status"`
+	Queued    int            `json:"queued"`
+	Running   int            `json:"running"`
+	Finished  int            `json:"finished"`
+	Cache     *CacheStats    `json:"cache,omitempty"`
+	Templates *TemplateStats `json:"templates,omitempty"`
 	// Build identity of the serving binary, from runtime/debug build info:
 	// module version, VCS revision (12-hex prefix, "+dirty" when the tree
 	// was modified), and the Go toolchain that built it.

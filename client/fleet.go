@@ -42,6 +42,17 @@ type CacheEntry struct {
 	Netlist string `json:"netlist"`
 }
 
+// TemplateEntry is one replicated identity-template record
+// (rcgp.TemplateEntry on the wire): POST /fleet/template on a runner
+// merges it into the local template library after re-verification.
+type TemplateEntry struct {
+	Key     string `json:"key"`
+	NumPI   int    `json:"num_pi"`
+	NumPO   int    `json:"num_po"`
+	Gates   int    `json:"gates"`
+	Netlist string `json:"netlist"`
+}
+
 // RunnerInfo is one row of GET /fleet/runners on a coordinator: a runner's
 // registration, health, and the load/cache counters from its last
 // heartbeat.
@@ -54,10 +65,11 @@ type RunnerInfo struct {
 	// Jobs counts the coordinator's in-flight jobs assigned to this runner.
 	Jobs int `json:"jobs"`
 	// Queue/cache state reported by the runner's last heartbeat.
-	Queued   int         `json:"queued"`
-	Running  int         `json:"running"`
-	Finished int         `json:"finished"`
-	Cache    *CacheStats `json:"cache,omitempty"`
+	Queued    int            `json:"queued"`
+	Running   int            `json:"running"`
+	Finished  int            `json:"finished"`
+	Cache     *CacheStats    `json:"cache,omitempty"`
+	Templates *TemplateStats `json:"templates,omitempty"`
 }
 
 // Runners lists a fleet coordinator's registered runners. Against a plain

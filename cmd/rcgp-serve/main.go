@@ -50,6 +50,8 @@ func main() {
 		jobTimeout    = flag.Duration("job-timeout", 0, "default per-job wall-clock bound (0: none)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
 		flightEvery   = flag.Int("flight-every", 500, "default flight-recorder cadence in generations (negative: off unless a request asks)")
+		templates     = flag.String("templates", "starter", "template library: 'starter' (shipped), a JSONL path, or 'off'")
+		templatesOut  = flag.String("templates-out", "", "persist the (possibly grown) template library here on shutdown")
 		cecProv       = flag.Int("cec-portfolio", 1, "equivalence provers raced per slow-path check (1 = authority CDCL only)")
 		cecBDD        = flag.Int("cec-bdd-budget", 0, "node budget of the portfolio's BDD prover (0 = default)")
 		flightCap     = flag.Int("flight-cap", 2048, "flight samples retained per job for /jobs/{id}/progress")
@@ -79,6 +81,14 @@ func main() {
 	defer cache.Close()
 	cache.SetProver(*cecProv, *cecBDD)
 
+	lib, err := openTemplates(*templates)
+	if err != nil {
+		log.Fatalf("rcgp-serve: opening template library: %v", err)
+	}
+	if lib != nil {
+		log.Printf("rcgp-serve: template library loaded (%d classes)", lib.Len())
+	}
+
 	reg := obs.NewRegistry()
 	// Runner mode: the agent must exist before the server so the
 	// checkpoint hook can point at it; it starts once the listener (and
@@ -90,6 +100,7 @@ func main() {
 			ID:          *runnerID,
 			Coordinator: strings.TrimRight(*join, "/"),
 			Cache:       cache,
+			Templates:   lib,
 			Registry:    reg,
 			Logf:        log.Printf,
 		})
@@ -102,6 +113,7 @@ func main() {
 		DefaultGenerations: *generations,
 		DefaultTimeout:     *jobTimeout,
 		Cache:              cache,
+		Templates:          lib,
 		CheckpointDir:      *checkpointDir,
 		CheckpointEvery:    *checkpointGen,
 		FlightEvery:        *flightEvery,
@@ -167,6 +179,33 @@ func main() {
 	if err := hs.Shutdown(ctx); err != nil {
 		log.Printf("rcgp-serve: http shutdown: %v", err)
 	}
+	if lib != nil && *templatesOut != "" {
+		if err := lib.SaveFile(*templatesOut); err != nil {
+			log.Printf("rcgp-serve: saving template library: %v", err)
+		} else {
+			log.Printf("rcgp-serve: template library saved to %s (%d classes)", *templatesOut, lib.Len())
+		}
+	}
 	h := srv.Health()
 	fmt.Printf("rcgp-serve: drained (finished=%d)\n", h.Finished)
+}
+
+// openTemplates resolves the -templates flag: the shipped starter library,
+// a JSONL file (every entry re-verified on load), or nothing.
+func openTemplates(spec string) (*rcgp.TemplateLibrary, error) {
+	switch spec {
+	case "off", "":
+		return nil, nil
+	case "starter":
+		return rcgp.StarterTemplates()
+	default:
+		lib, rejected, err := rcgp.OpenTemplateLibrary(spec)
+		if err != nil {
+			return nil, err
+		}
+		if rejected > 0 {
+			log.Printf("rcgp-serve: template library %s: %d entries rejected by re-verification", spec, rejected)
+		}
+		return lib, nil
+	}
 }

@@ -1,0 +1,260 @@
+// Command rcgp-templatebench measures the identity-template rewriting pass
+// and writes the record the repository tracks as results/BENCH_template.json.
+// For every built-in benchmark it runs the flow twice with the same seed —
+// pure CGP, and CGP followed by the search-free template sweep over the
+// shipped starter library (learning enabled, shared across the suite) — and
+// records the JJ/depth/buffer deltas plus the wall-clock of each leg. Where
+// the template pass improved the circuit, it then asks the converse
+// question: how long does pure CGP need (doubling the generation budget) to
+// reach the same JJ count without templates? That matched-quality cost is
+// the paper-style justification for precomputing rewrites instead of
+// searching for them.
+//
+// Usage:
+//
+//	rcgp-templatebench -gens 300 -seed 1 -o results/BENCH_template.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/reversible-eda/rcgp/internal/bench"
+	"github.com/reversible-eda/rcgp/internal/buildinfo"
+	"github.com/reversible-eda/rcgp/internal/core"
+	"github.com/reversible-eda/rcgp/internal/flow"
+	"github.com/reversible-eda/rcgp/internal/template"
+	"github.com/reversible-eda/rcgp/internal/tt"
+)
+
+// legStats is one run's cost record.
+type legStats struct {
+	Gates   int     `json:"gates"`
+	Buffers int     `json:"buffers"`
+	JJs     int     `json:"jjs"`
+	Depth   int     `json:"depth"`
+	MS      float64 `json:"ms"`
+}
+
+// templateStats is the template leg's pass-level record.
+type templateStats struct {
+	Windows    int `json:"windows"`
+	Hits       int `json:"hits"`
+	Rewrites   int `json:"rewrites"`
+	GatesSaved int `json:"gates_saved"`
+	Learned    int `json:"learned"`
+}
+
+// matchedStats records the pure-CGP cost of reaching the template leg's
+// quality: the generation budget that first got there and the cumulative
+// wall-clock of the escalation. Matched=false means even the largest budget
+// tried could not reach it.
+type matchedStats struct {
+	Matched     bool    `json:"matched"`
+	Generations int     `json:"generations"`
+	JJs         int     `json:"jjs"`
+	MS          float64 `json:"ms"`
+}
+
+type row struct {
+	Benchmark string        `json:"benchmark"`
+	Inputs    int           `json:"inputs"`
+	Base      legStats      `json:"base"`
+	Template  legStats      `json:"template"`
+	Pass      templateStats `json:"pass"`
+	JJDelta   int           `json:"jj_delta"` // template − base; ≤ 0 is the acceptance bar
+	Matched   *matchedStats `json:"matched_pure_cgp,omitempty"`
+}
+
+type report struct {
+	Generations  int     `json:"generations"`
+	Seed         int64   `json:"seed"`
+	Library      string  `json:"library"`
+	LibraryStart int     `json:"library_entries_start"`
+	LibraryEnd   int     `json:"library_entries_end"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"numcpu"`
+	Rows         []row   `json:"rows"`
+	JJBase       int     `json:"jj_total_base"`
+	JJTemplate   int     `json:"jj_total_template"`
+	Regressions  int     `json:"regressions"` // benchmarks where templates cost JJs (must be 0)
+	MSBase       float64 `json:"ms_total_base"`
+	MSTemplate   float64 `json:"ms_total_template"`
+	// The matched-quality escalation, over the improved benchmarks only:
+	// the template legs' wall-clock there, the pure-CGP escalation's
+	// wall-clock, and how many benchmarks pure CGP never matched at the
+	// largest budget tried.
+	MSTemplateImproved float64 `json:"ms_template_improved"`
+	MSMatched          float64 `json:"ms_total_matched_pure_cgp"`
+	Unmatched          int     `json:"unmatched_pure_cgp"`
+}
+
+func main() {
+	if err := mainErr(); err != nil {
+		fmt.Fprintln(os.Stderr, "rcgp-templatebench:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr() error {
+	var (
+		gens     = flag.Int("gens", 300, "CGP generation budget per leg")
+		seed     = flag.Int64("seed", 1, "random seed (same for both legs)")
+		maxScale = flag.Int("max-scale", 8, "largest generation multiplier tried in the matched-quality escalation")
+		outPath  = flag.String("o", "results/BENCH_template.json", "output JSON path")
+		version  = flag.Bool("version", false, "print the build identity and exit")
+	)
+	flag.Parse()
+	if *version {
+		fmt.Println(buildinfo.String("rcgp-templatebench"))
+		return nil
+	}
+
+	lib, err := template.Starter()
+	if err != nil {
+		return err
+	}
+	rep := report{
+		Generations:  *gens,
+		Seed:         *seed,
+		Library:      "starter",
+		LibraryStart: lib.Len(),
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		NumCPU:       runtime.NumCPU(),
+	}
+
+	for _, c := range bench.All() {
+		base, baseMS, err := runLeg(c.Tables, *gens, *seed, nil)
+		if err != nil {
+			return fmt.Errorf("%s (base): %w", c.Name, err)
+		}
+		tmpl, tmplMS, err := runLeg(c.Tables, *gens, *seed, lib)
+		if err != nil {
+			return fmt.Errorf("%s (template): %w", c.Name, err)
+		}
+		r := row{
+			Benchmark: c.Name,
+			Inputs:    c.NumPI,
+			Base:      leg(base, baseMS),
+			Template:  leg(tmpl, tmplMS),
+			JJDelta:   tmpl.FinalStats.JJs - base.FinalStats.JJs,
+		}
+		if t := tmpl.Template; t != nil {
+			r.Pass = templateStats{
+				Windows:    t.Windows,
+				Hits:       t.Hits,
+				Rewrites:   t.Rewrites,
+				GatesSaved: t.GatesSaved,
+				Learned:    t.Learned,
+			}
+		}
+		if r.JJDelta < 0 {
+			m, err := matchQuality(c.Tables, *gens, *seed, *maxScale, tmpl.FinalStats.JJs)
+			if err != nil {
+				return fmt.Errorf("%s (matched): %w", c.Name, err)
+			}
+			r.Matched = m
+			rep.MSMatched += m.MS
+			rep.MSTemplateImproved += tmplMS
+			if !m.Matched {
+				rep.Unmatched++
+			}
+		}
+		rep.Rows = append(rep.Rows, r)
+		rep.JJBase += r.Base.JJs
+		rep.JJTemplate += r.Template.JJs
+		rep.MSBase += r.Base.MS
+		rep.MSTemplate += r.Template.MS
+		if r.JJDelta > 0 {
+			rep.Regressions++
+		}
+		fmt.Printf("%-20s base %5d JJ %7.1fms   template %5d JJ %7.1fms   Δ%+d (%d rewrites, %d hits)\n",
+			c.Name, r.Base.JJs, r.Base.MS, r.Template.JJs, r.Template.MS, r.JJDelta, r.Pass.Rewrites, r.Pass.Hits)
+	}
+	rep.LibraryEnd = lib.Len()
+
+	fmt.Printf("total: base %d JJ / %.1fms   template %d JJ / %.1fms   library %d → %d classes\n",
+		rep.JJBase, rep.MSBase, rep.JJTemplate, rep.MSTemplate, rep.LibraryStart, rep.LibraryEnd)
+	if rep.MSMatched > 0 {
+		fmt.Printf("on the improved benchmarks, the template legs spent %.1fms; the pure-CGP escalation spent %.1fms and still missed the quality on %d of them\n",
+			rep.MSTemplateImproved, rep.MSMatched, rep.Unmatched)
+	}
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *outPath)
+	if rep.Regressions > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed in JJ count with templates on", rep.Regressions)
+	}
+	return nil
+}
+
+// runLeg runs the flow once. lib == nil is the pure-CGP leg; otherwise the
+// template pass runs after the search with learning into lib.
+func runLeg(tables []tt.TT, gens int, seed int64, lib *template.Library) (*flow.Result, float64, error) {
+	start := time.Now()
+	res, err := flow.RunTables(tables, flow.Options{
+		CGP: core.Options{
+			Generations:  gens,
+			Lambda:       8,
+			MutationRate: 0.1,
+			Seed:         seed,
+			Workers:      1,
+		},
+		Templates: lib,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, ms(time.Since(start)), nil
+}
+
+// matchQuality escalates the pure-CGP generation budget (2×, 4×, …) until a
+// run reaches targetJJ or the multiplier cap, accumulating wall-clock.
+func matchQuality(tables []tt.TT, gens int, seed int64, maxScale, targetJJ int) (*matchedStats, error) {
+	m := &matchedStats{}
+	var spent time.Duration
+	for scale := 2; scale <= maxScale; scale *= 2 {
+		start := time.Now()
+		res, err := flow.RunTables(tables, flow.Options{
+			CGP: core.Options{
+				Generations:  gens * scale,
+				Lambda:       8,
+				MutationRate: 0.1,
+				Seed:         seed,
+				Workers:      1,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		spent += time.Since(start)
+		m.Generations = gens * scale
+		m.JJs = res.FinalStats.JJs
+		if res.FinalStats.JJs <= targetJJ {
+			m.Matched = true
+			break
+		}
+	}
+	m.MS = ms(spent)
+	return m, nil
+}
+
+func leg(res *flow.Result, legMS float64) legStats {
+	s := res.FinalStats
+	return legStats{Gates: s.Gates, Buffers: s.Buffers, JJs: s.JJs, Depth: s.Depth, MS: legMS}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1e3 }

@@ -54,6 +54,7 @@ func run() error {
 		budget    = flag.Duration("time", 0, "wall-clock budget for the evolution (0 = none)")
 		cecProv   = flag.Int("cec-portfolio", 1, "equivalence provers raced per slow-path check (1 = authority CDCL only; verdicts and circuits are identical either way)")
 		cecBDD    = flag.Int("cec-bdd-budget", 0, "node budget of the portfolio's BDD prover (0 = default)")
+		templates = flag.String("templates", "", "template library for search-free rewriting: 'starter' (shipped), a JSONL path, or empty for none")
 		initOnly  = flag.Bool("init-only", false, "stop after initialization (baseline)")
 		windows   = flag.Int("window-rounds", 0, "rounds of windowed resynthesis after the evolution")
 		script    = flag.String("script", "", "explicit pass script replacing the default pipeline, e.g. 'aig.resyn2;convert;cgp(gens=500);resub;buffer'")
@@ -122,6 +123,16 @@ func run() error {
 		Script:             *script,
 		CECPortfolio:       *cecProv,
 		CECBDDBudget:       *cecBDD,
+	}
+	if *templates != "" {
+		lib, err := openTemplates(*templates)
+		if err != nil {
+			return fmt.Errorf("opening template library: %w", err)
+		}
+		if !*quiet {
+			fmt.Printf("template library: %d classes\n", lib.Len())
+		}
+		opt.Templates = lib
 	}
 	verbose := !*quiet
 	opt.Progress = func(gen, gates, garbage int) {
@@ -195,6 +206,10 @@ func run() error {
 	}
 	fmt.Printf("initialization: %s\n", res.Initial().Stats())
 	fmt.Printf("rcgp:           %s\n", res.Stats())
+	if tr := res.Telemetry.Template; tr != nil {
+		fmt.Printf("templates:      windows=%d hits=%d rewrites=%d gates %d→%d learned=%d\n",
+			tr.Windows, tr.Hits, tr.Rewrites, tr.GatesBefore, tr.GatesAfter, tr.Learned)
+	}
 	fmt.Printf("runtime %.2fs, %d generations, %d evaluations\n",
 		res.Runtime.Seconds(), res.Generations, res.Evaluations)
 
@@ -255,6 +270,22 @@ func printPasses(w io.Writer) {
 	}
 	fmt.Fprintln(w, "\npasses marked * mutate the RQFP netlist and are equivalence-checked after running")
 	fmt.Fprintln(w, "script syntax: pass[;pass(...)]* e.g. 'aig.resyn2;mig.resyn;convert;cgp(gens=500,workers=8);resub;buffer'")
+}
+
+// openTemplates resolves the -templates flag: the shipped starter library
+// or a JSONL file (every entry re-verified on load).
+func openTemplates(spec string) (*rcgp.TemplateLibrary, error) {
+	if spec == "starter" {
+		return rcgp.StarterTemplates()
+	}
+	lib, rejected, err := rcgp.OpenTemplateLibrary(spec)
+	if err != nil {
+		return nil, err
+	}
+	if rejected > 0 {
+		fmt.Fprintf(os.Stderr, "rcgp: template library %s: %d entries rejected by re-verification\n", spec, rejected)
+	}
+	return lib, nil
 }
 
 func loadDesign(inPath, format, benchName string) (*rcgp.Design, string, error) {

@@ -7,6 +7,16 @@
 //
 //	rqfp-exact -bench decoder_2_4 -max-gates 3
 //	rqfp-exact -bench "1-bit full adder" -time 60s
+//
+// It also generates and audits the identity-template library the template
+// pass rewrites with:
+//
+//	rqfp-exact -enumerate-identities -lines 4 -max-gates 2 -o lib.jsonl
+//	rqfp-exact -verify-lib lib.jsonl
+//
+// Generation is deterministic for fixed options (the enumeration caps are
+// model counts, never wall-clock), so the same command reproduces the
+// shipped starter library bit for bit on any machine.
 package main
 
 import (
@@ -14,18 +24,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	rcgp "github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/internal/aig"
 	"github.com/reversible-eda/rcgp/internal/buildinfo"
+	"github.com/reversible-eda/rcgp/internal/cache"
+	"github.com/reversible-eda/rcgp/internal/cec"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/template"
 )
 
 func main() {
 	var (
 		benchName = flag.String("bench", "", "built-in benchmark circuit name")
-		maxGates  = flag.Int("max-gates", 6, "upper bound of the gate-count search")
+		maxGates  = flag.Int("max-gates", 6, "upper bound of the gate-count search (or the identity-circuit bound with -enumerate-identities)")
 		budget    = flag.Duration("time", 0, "wall-clock budget (0 = none)")
-		outPath   = flag.String("o", "", "write the netlist to this file")
+		outPath   = flag.String("o", "", "write the netlist (or template library) to this file")
+		enumerate = flag.Bool("enumerate-identities", false, "generate a template library from exhaustive identity-circuit enumeration instead of synthesizing")
+		lines     = flag.Int("lines", 4, "identity-circuit line count bound (with -enumerate-identities)")
+		maxCirc   = flag.Int("max-circuits", 3000, "deterministic cap per enumeration stratum, as a model count (0 = exhaustive)")
+		verifyLib = flag.String("verify-lib", "", "audit a template library file: re-verify every entry against the SAT oracle and exit")
 		version   = flag.Bool("version", false, "print the build identity and exit")
 	)
 	flag.Parse()
@@ -33,7 +53,16 @@ func main() {
 		fmt.Println(buildinfo.String("rqfp-exact"))
 		return
 	}
-	if err := run(*benchName, *maxGates, *budget, *outPath); err != nil {
+	var err error
+	switch {
+	case *verifyLib != "":
+		err = runVerifyLib(*verifyLib)
+	case *enumerate:
+		err = runEnumerate(*lines, *maxGates, *maxCirc, *outPath)
+	default:
+		err = run(*benchName, *maxGates, *budget, *outPath)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rqfp-exact:", err)
 		os.Exit(1)
 	}
@@ -78,5 +107,85 @@ func run(benchName string, maxGates int, budget time.Duration, outPath string) e
 		defer f.Close()
 		return c.WriteText(f)
 	}
+	return nil
+}
+
+// runEnumerate is -enumerate-identities: build a template library with the
+// unroll-exclude identity enumeration and write it as sorted JSONL.
+func runEnumerate(lines, maxGates, maxCircuits int, outPath string) error {
+	if outPath == "" {
+		return fmt.Errorf("need -o <file> with -enumerate-identities")
+	}
+	fmt.Printf("enumerating identity circuits: lines ≤ %d, gates ≤ %d, stratum cap %d\n",
+		lines, maxGates, maxCircuits)
+	lib, rep, err := template.Build(template.BuildOptions{
+		Lines:       lines,
+		MaxGates:    maxGates,
+		MaxCircuits: maxCircuits,
+		Progress:    func(msg string) { fmt.Println("  " + msg) },
+	})
+	if err != nil {
+		return err
+	}
+	if len(rep.CappedStrata) > 0 {
+		fmt.Printf("capped strata (deterministic model-count cap): %s\n", strings.Join(rep.CappedStrata, ", "))
+	}
+	fmt.Printf("identity circuits %d, cuts %d, classes %d, exact-minimized %d, zero-gate %d → %d entries (%.1fs)\n",
+		rep.IdentityCircuits, rep.Cuts, rep.Classes, rep.Minimized, rep.ZeroGate, rep.Entries, rep.Elapsed.Seconds())
+	if err := lib.SaveFile(outPath); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d entries)\n", outPath, lib.Len())
+	return nil
+}
+
+// runVerifyLib is -verify-lib: an independent audit of a template library
+// file. Each entry's netlist is parsed, structurally validated, exhaustively
+// simulated, checked against its stored NPN class key and gate count, and
+// formally proved equivalent to an AIG rebuilt from its simulated function
+// via the SAT/simulation oracle — the same oracle the synthesis pipeline
+// trusts. Any discrepancy fails the audit with a nonzero exit.
+func runVerifyLib(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	lib := template.New()
+	adopted, rejected, err := lib.Load(f)
+	if err != nil {
+		return err
+	}
+	if rejected > 0 {
+		return fmt.Errorf("%s: %d entries rejected by load-time re-verification (%d adopted)", path, rejected, adopted)
+	}
+	checked := 0
+	for _, e := range lib.Dump() {
+		net, err := rqfp.ReadText(strings.NewReader(e.Netlist))
+		if err != nil {
+			return fmt.Errorf("%s: entry %s: parsing netlist: %w", path, e.Key, err)
+		}
+		if err := net.Validate(); err != nil {
+			return fmt.Errorf("%s: entry %s: invalid netlist: %w", path, e.Key, err)
+		}
+		if len(net.Gates) != e.Gates || net.NumPI != e.NumPI || len(net.POs) != e.NumPO {
+			return fmt.Errorf("%s: entry %s: shape mismatch (gates %d/%d, pi %d/%d, po %d/%d)",
+				path, e.Key, len(net.Gates), e.Gates, net.NumPI, e.NumPI, len(net.POs), e.NumPO)
+		}
+		tables := net.TruthTables()
+		key, _, err := cache.Signature(tables)
+		if err != nil {
+			return fmt.Errorf("%s: entry %s: signing: %w", path, e.Key, err)
+		}
+		if key != e.Key {
+			return fmt.Errorf("%s: entry %s: stored under the wrong class key (computed %s)", path, e.Key, key)
+		}
+		spec := cec.NewSpecFromAIG(aig.FromTruthTables(tables), 0, 0)
+		if err := spec.VerifyEquivalent(net); err != nil {
+			return fmt.Errorf("%s: entry %s: oracle refuted the stored implementation: %w", path, e.Key, err)
+		}
+		checked++
+	}
+	fmt.Printf("%s: %d entries verified against the SAT oracle\n", path, checked)
 	return nil
 }

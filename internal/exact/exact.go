@@ -17,10 +17,8 @@ package exact
 
 import (
 	"errors"
-	"fmt"
 	"time"
 
-	"github.com/reversible-eda/rcgp/internal/cnf"
 	"github.com/reversible-eda/rcgp/internal/rqfp"
 	"github.com/reversible-eda/rcgp/internal/sat"
 	"github.com/reversible-eda/rcgp/internal/tt"
@@ -162,179 +160,17 @@ func SynthesizeFixed(tables []tt.TT, gates, garbage int, conflictLimit int64) (*
 }
 
 func solveFixedDeadline(tables []tt.TT, r, garbageBudget int, conflictLimit int64, deadline time.Time) (*rqfp.Netlist, sat.Status, error) {
-	n := tables[0].N
-	numPat := 1 << uint(n)
-	b := cnf.NewBuilder()
-	b.S.ConflictLimit = conflictLimit
-
-	// Candidate source ports for gate i input j: the constant, the PIs,
-	// and ports of gates < i. Port numbering matches rqfp.Netlist.
-	skeleton := rqfp.NewNetlist(n)
-	for i := 0; i < r; i++ {
-		skeleton.AddGate(rqfp.Gate{})
-	}
-	numPorts := skeleton.NumPorts()
-
-	// Selection variables.
-	sel := make([][3][]sat.Lit, r) // sel[i][j][p], p < GateBase(i)
-	for i := 0; i < r; i++ {
-		base := int(skeleton.GateBase(i))
-		for j := 0; j < 3; j++ {
-			sel[i][j] = make([]sat.Lit, base)
-			for p := 0; p < base; p++ {
-				sel[i][j][p] = b.Lit()
-			}
-			b.ExactlyOne(sel[i][j])
-		}
-	}
-	cfg := make([][9]sat.Lit, r)
-	for i := 0; i < r; i++ {
-		for k := 0; k < 9; k++ {
-			cfg[i][k] = b.Lit()
-		}
-	}
-	outSel := make([][]sat.Lit, len(tables))
-	for k := range tables {
-		outSel[k] = make([]sat.Lit, numPorts)
-		for p := 0; p < numPorts; p++ {
-			outSel[k][p] = b.Lit()
-		}
-		b.ExactlyOne(outSel[k])
-	}
-
-	// Port values per input pattern. Constants and PIs fold to fixed
-	// literals; gate ports become Tseitin outputs.
-	val := make([][]sat.Lit, numPorts)
-	for p := range val {
-		val[p] = make([]sat.Lit, numPat)
-	}
-	for t := 0; t < numPat; t++ {
-		val[rqfp.ConstPort][t] = b.ConstTrue
-		for i := 0; i < n; i++ {
-			if t>>uint(i)&1 == 1 {
-				val[skeleton.PIPort(i)][t] = b.ConstTrue
-			} else {
-				val[skeleton.PIPort(i)][t] = b.ConstFalse()
-			}
-		}
-	}
-	for i := 0; i < r; i++ {
-		base := int(skeleton.GateBase(i))
-		for t := 0; t < numPat; t++ {
-			// Selected input values w[j].
-			var w [3]sat.Lit
-			for j := 0; j < 3; j++ {
-				w[j] = b.Lit()
-				for p := 0; p < base; p++ {
-					v := val[p][t]
-					// sel → (w ↔ v)
-					b.AddClause(sel[i][j][p].Not(), v.Not(), w[j])
-					b.AddClause(sel[i][j][p].Not(), v, w[j].Not())
-				}
-			}
-			for m := 0; m < 3; m++ {
-				var u [3]sat.Lit
-				for j := 0; j < 3; j++ {
-					// Inverter bit for (majority m, input j) in the paper's
-					// MSB-first layout: bit index 8-3j-m.
-					u[j] = b.Xor(w[j], cfg[i][8-3*j-m])
-				}
-				val[base+m][t] = b.Maj(u[0], u[1], u[2])
-			}
-		}
-	}
-
-	// Functional constraints on the primary outputs.
-	for k, f := range tables {
-		for p := 0; p < numPorts; p++ {
-			for t := 0; t < numPat; t++ {
-				if f.Get(uint(t)) {
-					b.AddClause(outSel[k][p].Not(), val[p][t])
-				} else {
-					b.AddClause(outSel[k][p].Not(), val[p][t].Not())
-				}
-			}
-		}
-	}
-
-	// Single fanout: every non-constant port drives at most one load.
-	users := make([][]sat.Lit, numPorts)
-	for i := 0; i < r; i++ {
-		for j := 0; j < 3; j++ {
-			for p := 1; p < len(sel[i][j]); p++ {
-				users[p] = append(users[p], sel[i][j][p])
-			}
-		}
-	}
-	for k := range tables {
-		for p := 1; p < numPorts; p++ {
-			users[p] = append(users[p], outSel[k][p])
-		}
-	}
-	for p := 1; p < numPorts; p++ {
-		b.AtMostOne(users[p])
-	}
-
-	// Garbage budget over PI ports and gate output ports.
-	var garbageLits []sat.Lit
-	for p := 1; p < numPorts; p++ {
-		unused := b.Lit() // unused ↔ no user selects p
-		for _, u := range users[p] {
-			b.AddClause(unused.Not(), u.Not())
-		}
-		cl := make([]sat.Lit, 0, len(users[p])+1)
-		cl = append(cl, users[p]...)
-		cl = append(cl, unused)
-		b.AddClause(cl...)
-		garbageLits = append(garbageLits, unused)
-	}
-	b.AtMostK(garbageLits, garbageBudget)
-
-	st, err := solveWithDeadline(b.S, conflictLimit, deadline)
+	e := newEncoding(tables, r, encodeOptions{garbageBudget: garbageBudget}, conflictLimit)
+	st, err := solveWithDeadline(e.b.S, conflictLimit, deadline)
 	if err != nil {
 		return nil, sat.Unknown, err
 	}
 	if st != sat.Sat {
 		return nil, st, nil
 	}
-
-	// Extract the witness.
-	net := rqfp.NewNetlist(n)
-	for i := 0; i < r; i++ {
-		var g rqfp.Gate
-		for j := 0; j < 3; j++ {
-			found := false
-			for p := range sel[i][j] {
-				if b.S.ValueLit(sel[i][j][p]) {
-					g.In[j] = rqfp.Signal(p)
-					found = true
-					break
-				}
-			}
-			if !found {
-				return nil, sat.Unknown, fmt.Errorf("exact: model misses selection for gate %d input %d", i, j)
-			}
-		}
-		for k := 0; k < 9; k++ {
-			if b.S.ValueLit(cfg[i][k]) {
-				g.Cfg |= 1 << uint(k)
-			}
-		}
-		net.AddGate(g)
-	}
-	for k := range tables {
-		for p := 0; p < numPorts; p++ {
-			if b.S.ValueLit(outSel[k][p]) {
-				net.POs = append(net.POs, rqfp.Signal(p))
-				break
-			}
-		}
-	}
-	if len(net.POs) != len(tables) {
-		return nil, sat.Unknown, errors.New("exact: model misses output selection")
-	}
-	if err := net.Validate(); err != nil {
-		return nil, sat.Unknown, fmt.Errorf("exact: extracted netlist invalid: %w", err)
+	net, err := e.witness()
+	if err != nil {
+		return nil, sat.Unknown, err
 	}
 	return net, sat.Sat, nil
 }

@@ -97,6 +97,11 @@ type Coordinator struct {
 	seq     int64
 	entries []client.CacheEntry // replication log, append-only
 	known   map[string]bool     // replication-log keys
+	// templates is the identity-template replication log; templateIdx maps
+	// class key → slot, so a cheaper implementation of an already-known
+	// class replaces its log entry instead of appending a duplicate.
+	templates   []client.TemplateEntry
+	templateIdx map[string]int
 
 	stop chan struct{}
 	done chan struct{}
@@ -111,17 +116,18 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		cfg.HeartbeatMiss = 3
 	}
 	co := &Coordinator{
-		cfg:     cfg,
-		reg:     cfg.Registry,
-		logf:    cfg.Logf,
-		hc:      cfg.HTTPClient,
-		runners: make(map[string]*runnerState),
-		ring:    newRing(cfg.Replicas),
-		jobs:    make(map[string]*fleetJob),
-		byOwner: make(map[string]*fleetJob),
-		known:   make(map[string]bool),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		cfg:         cfg,
+		reg:         cfg.Registry,
+		logf:        cfg.Logf,
+		hc:          cfg.HTTPClient,
+		runners:     make(map[string]*runnerState),
+		ring:        newRing(cfg.Replicas),
+		jobs:        make(map[string]*fleetJob),
+		byOwner:     make(map[string]*fleetJob),
+		known:       make(map[string]bool),
+		templateIdx: make(map[string]int),
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	if co.reg == nil {
 		co.reg = obs.Default
@@ -203,6 +209,7 @@ func (co *Coordinator) Register(rr registerRequest) (registerResponse, error) {
 	resp := registerResponse{
 		HeartbeatMS: co.cfg.HeartbeatEvery.Milliseconds(),
 		Entries:     append([]client.CacheEntry(nil), co.entries...),
+		Templates:   append([]client.TemplateEntry(nil), co.templates...),
 	}
 	co.updateTopologyGaugesLocked()
 	co.mu.Unlock()
@@ -430,7 +437,8 @@ func (co *Coordinator) Health() client.Health {
 	defer co.mu.Unlock()
 	h := client.Health{Status: "degraded"}
 	var cache client.CacheStats
-	haveCache := false
+	var templates client.TemplateStats
+	haveCache, haveTemplates := false, false
 	for _, rs := range co.runners {
 		h.Runners++
 		if rs.dead {
@@ -453,6 +461,17 @@ func (co *Coordinator) Health() client.Health {
 			cache.MergeSkips += cs.MergeSkips
 			cache.MergeRejects += cs.MergeRejects
 		}
+		if ts := rs.health.Templates; ts != nil {
+			haveTemplates = true
+			templates.Entries += ts.Entries
+			templates.Hits += ts.Hits
+			templates.Misses += ts.Misses
+			templates.Learned += ts.Learned
+			templates.Rejects += ts.Rejects
+			templates.Merges += ts.Merges
+			templates.MergeSkips += ts.MergeSkips
+			templates.MergeRejects += ts.MergeRejects
+		}
 	}
 	for _, fj := range co.jobs {
 		if fj.terminal {
@@ -461,6 +480,9 @@ func (co *Coordinator) Health() client.Health {
 	}
 	if haveCache {
 		h.Cache = &cache
+	}
+	if haveTemplates {
+		h.Templates = &templates
 	}
 	return h
 }
@@ -487,6 +509,7 @@ func (co *Coordinator) Runners() []client.RunnerInfo {
 			Running:    rs.health.Running,
 			Finished:   rs.health.Finished,
 			Cache:      rs.health.Cache,
+			Templates:  rs.health.Templates,
 		})
 	}
 	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
@@ -522,6 +545,43 @@ func (co *Coordinator) PublishEntry(pr publishRequest) {
 				continue
 			}
 			co.reg.Counter("fleet.entries_replicated").Inc()
+		}
+	}()
+}
+
+// PublishTemplate folds a runner's learned identity template into the
+// template replication log — first implementation of a class wins its
+// slot, a strictly cheaper one replaces it — and fans the improvement out
+// to every other live node. Receivers re-verify before adopting, so
+// replication spreads work, never trust.
+func (co *Coordinator) PublishTemplate(tr templatePublishRequest) {
+	co.mu.Lock()
+	if i, ok := co.templateIdx[tr.Entry.Key]; ok && co.templates[i].Gates <= tr.Entry.Gates {
+		co.mu.Unlock()
+		return
+	} else if ok {
+		co.templates[i] = tr.Entry
+	} else {
+		co.templateIdx[tr.Entry.Key] = len(co.templates)
+		co.templates = append(co.templates, tr.Entry)
+	}
+	var targets []*client.Client
+	for id, rs := range co.runners {
+		if id != tr.Runner && !rs.dead {
+			targets = append(targets, rs.c)
+		}
+	}
+	co.reg.Gauge("fleet.template_log").Set(int64(len(co.templates)))
+	co.mu.Unlock()
+	co.reg.Counter("fleet.templates_published").Inc()
+	go func() {
+		for _, c := range targets {
+			if err := co.postJSON(c.BaseURL+"/fleet/template", tr.Entry); err != nil {
+				co.reg.Counter("fleet.template_replication_errors").Inc()
+				co.logf("fleet: replicating template %s: %v", tr.Entry.Key, err)
+				continue
+			}
+			co.reg.Counter("fleet.templates_replicated").Inc()
 		}
 	}()
 }

@@ -30,6 +30,7 @@ import (
 //	POST /fleet/heartbeat   runner liveness + load
 //	POST /fleet/checkpoint  runner forwards a job snapshot
 //	POST /fleet/publish     runner publishes a canonical result
+//	POST /fleet/publish-template  runner publishes a learned template
 //	GET  /fleet/runners     topology view
 func (co *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -47,6 +48,7 @@ func (co *Coordinator) Handler() http.Handler {
 	mux.HandleFunc("POST /fleet/heartbeat", co.handleHeartbeat)
 	mux.HandleFunc("POST /fleet/checkpoint", co.handleCheckpoint)
 	mux.HandleFunc("POST /fleet/publish", co.handlePublish)
+	mux.HandleFunc("POST /fleet/publish-template", co.handlePublishTemplate)
 	mux.HandleFunc("GET /fleet/runners", co.handleRunners)
 	return co.observe(mux)
 }
@@ -202,6 +204,20 @@ func writeRunnerMetrics(w *bytes.Buffer, runners []client.RunnerInfo) {
 			}
 			return ri.Cache.Merges, true
 		})
+	series("rcgp_fleet_runner_template_hits_total", "counter", "Template-library hits on the runner, from its last heartbeat.",
+		func(ri client.RunnerInfo) (int64, bool) {
+			if ri.Templates == nil {
+				return 0, false
+			}
+			return ri.Templates.Hits, true
+		})
+	series("rcgp_fleet_runner_template_learned_total", "counter", "Templates the runner learned locally, from its last heartbeat.",
+		func(ri client.RunnerInfo) (int64, bool) {
+			if ri.Templates == nil {
+				return 0, false
+			}
+			return ri.Templates.Learned, true
+		})
 }
 
 // promLabel sanitizes a runner ID for use as a label value.
@@ -260,6 +276,16 @@ func (co *Coordinator) handlePublish(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	co.PublishEntry(pr)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (co *Coordinator) handlePublishTemplate(w http.ResponseWriter, r *http.Request) {
+	var tr templatePublishRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&tr); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	co.PublishTemplate(tr)
 	w.WriteHeader(http.StatusNoContent)
 }
 

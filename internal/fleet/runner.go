@@ -26,6 +26,10 @@ type RunnerConfig struct {
 	// published for replication and remote entries are merged in (after
 	// local re-verification).
 	Cache *rcgp.Cache
+	// Templates is the runner's identity-template library; when set,
+	// locally learned templates are published for replication and remote
+	// templates are merged in (after local re-verification).
+	Templates *rcgp.TemplateLibrary
 	// HeartbeatEvery is the fallback heartbeat cadence; the coordinator's
 	// register response overrides it (default 1s).
 	HeartbeatEvery time.Duration
@@ -149,6 +153,25 @@ func (r *Runner) Start(srv *serve.Server, advertise string) error {
 				continue
 			}
 			r.reg.Counter("fleet.runner_seed_merges").Inc()
+		}
+	}
+	if r.cfg.Templates != nil {
+		// Outbound: publish every template a local job learns.
+		r.cfg.Templates.SetReplicator(func(e rcgp.TemplateEntry) {
+			r.enqueue(outbound{path: "/fleet/publish-template", payload: templatePublishRequest{
+				Runner: r.id,
+				Entry:  client.TemplateEntry{Key: e.Key, NumPI: e.NumPI, NumPO: e.NumPO, Gates: e.Gates, Netlist: e.Netlist},
+			}})
+		})
+		// Inbound: adopt the fleet's accumulated templates (re-verified
+		// locally; non-improving entries are skipped, not errors).
+		for _, e := range resp.Templates {
+			err := r.cfg.Templates.Merge(rcgp.TemplateEntry{Key: e.Key, NumPI: e.NumPI, NumPO: e.NumPO, Gates: e.Gates, Netlist: e.Netlist})
+			if err != nil {
+				r.reg.Counter("fleet.runner_template_seed_rejects").Inc()
+				continue
+			}
+			r.reg.Counter("fleet.runner_template_seed_merges").Inc()
 		}
 	}
 	every := r.cfg.HeartbeatEvery

@@ -1,0 +1,227 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/client"
+	"github.com/reversible-eda/rcgp/internal/obs"
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/serve"
+	"github.com/reversible-eda/rcgp/internal/template"
+)
+
+// templateFleet is a fleet whose runners carry (initially empty) template
+// libraries wired for replication.
+type templateFleet struct {
+	co   *Coordinator
+	hs   *httptest.Server
+	libs map[string]*rcgp.TemplateLibrary
+	runs map[string]*testRunner
+}
+
+func newTemplateFleet(t *testing.T, ids ...string) *templateFleet {
+	t.Helper()
+	co := NewCoordinator(CoordinatorConfig{
+		HeartbeatEvery: testHeartbeat,
+		HeartbeatMiss:  40,
+		Registry:       obs.NewRegistry(),
+		Logf:           t.Logf,
+	})
+	hs := httptest.NewServer(co.Handler())
+	f := &templateFleet{co: co, hs: hs, libs: map[string]*rcgp.TemplateLibrary{}, runs: map[string]*testRunner{}}
+	t.Cleanup(func() {
+		for _, tr := range f.runs {
+			tr.shutdown(t)
+		}
+		hs.Close()
+		co.Close()
+	})
+	for _, id := range ids {
+		f.add(t, id)
+	}
+	return f
+}
+
+func (f *templateFleet) add(t *testing.T, id string) *testRunner {
+	t.Helper()
+	lib := rcgp.NewTemplateLibrary()
+	tr := &testRunner{id: id, cache: rcgp.NewMemoryCache(0)}
+	tr.agent = NewRunner(RunnerConfig{
+		ID:          id,
+		Coordinator: f.hs.URL,
+		Cache:       tr.cache,
+		Templates:   lib,
+		Registry:    obs.NewRegistry(),
+		Logf:        t.Logf,
+	})
+	tr.srv = serve.New(serve.Config{
+		Cache:     tr.cache,
+		Templates: lib,
+		Registry:  obs.NewRegistry(),
+		Logf:      t.Logf,
+	})
+	tr.hs = httptest.NewServer(tr.srv.Handler())
+	if err := tr.agent.Start(tr.srv, tr.hs.URL); err != nil {
+		t.Fatal(err)
+	}
+	f.libs[id] = lib
+	f.runs[id] = tr
+	return tr
+}
+
+// templateEntryPair builds two verified wire entries of the same function
+// class: a 2-gate implementation and the 1-gate implementation that
+// supersedes it (the second gate is a passthrough of the first, found by
+// exhausting the inverter configurations).
+func templateEntryPair(t *testing.T) (small, big client.TemplateEntry) {
+	t.Helper()
+	one := rqfp.NewNetlist(3)
+	one.AddGate(rqfp.Gate{In: [3]rqfp.Signal{one.PIPort(0), one.PIPort(1), one.PIPort(2)}})
+	one.POs = []rqfp.Signal{one.Port(0, 0)}
+	want := one.TruthTables()
+	var two *rqfp.Netlist
+	for cfg := 0; cfg < rqfp.NumConfigs && two == nil; cfg++ {
+		n := rqfp.NewNetlist(3)
+		n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{n.PIPort(0), n.PIPort(1), n.PIPort(2)}})
+		n.AddGate(rqfp.Gate{In: [3]rqfp.Signal{n.Port(0, 0), rqfp.ConstPort, rqfp.ConstPort}, Cfg: rqfp.Config(cfg)})
+		n.POs = []rqfp.Signal{n.Port(1, 0)}
+		if n.Validate() != nil {
+			continue
+		}
+		got := n.TruthTables()
+		if got[0].Equal(want[0]) {
+			two = n
+		}
+	}
+	if two == nil {
+		t.Fatal("no passthrough configuration found")
+	}
+	wire := func(net *rqfp.Netlist) client.TemplateEntry {
+		lib := template.New()
+		if _, adopted, err := lib.Learn(net.TruthTables(), net); err != nil || !adopted {
+			t.Fatalf("learn: adopted=%v err=%v", adopted, err)
+		}
+		e := lib.Dump()[0]
+		return client.TemplateEntry{Key: e.Key, NumPI: e.NumPI, NumPO: e.NumPO, Gates: e.Gates, Netlist: e.Netlist}
+	}
+	small, big = wire(one), wire(two)
+	if small.Key != big.Key || small.Gates >= big.Gates {
+		t.Fatalf("bad pair: %d and %d gates under keys %q / %q", small.Gates, big.Gates, small.Key, big.Key)
+	}
+	return small, big
+}
+
+func postPublishTemplate(t *testing.T, base, runner string, e client.TemplateEntry) {
+	t.Helper()
+	b, err := json.Marshal(templatePublishRequest{Runner: runner, Entry: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/fleet/publish-template", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		t.Fatalf("publish-template status %d", resp.StatusCode)
+	}
+}
+
+func waitLibLen(t *testing.T, lib *rcgp.TemplateLibrary, want int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for lib.Len() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("library stuck at %d entries, want %d", lib.Len(), want)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestTemplateReplicationAcrossFleet(t *testing.T) {
+	f := newTemplateFleet(t, "r1", "r2")
+	small, big := templateEntryPair(t)
+
+	// r1 publishes a template: the coordinator logs it and fans it out to
+	// every OTHER live runner — r2 adopts it, r1 (the origin) is skipped.
+	postPublishTemplate(t, f.hs.URL, "r1", big)
+	waitLibLen(t, f.libs["r2"], 1)
+	if got := f.libs["r2"].Entries()[0]; got.Gates != big.Gates || got.Key != big.Key {
+		t.Fatalf("r2 adopted %+v, want the published big entry", got)
+	}
+	if f.libs["r1"].Len() != 0 {
+		t.Fatal("fan-out echoed the entry back to its origin")
+	}
+
+	// An improvement of the same class replaces the log slot and re-fans
+	// out; the runners' merge path keeps the fewest-gate implementation.
+	postPublishTemplate(t, f.hs.URL, "r2", small)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		es := f.libs["r1"].Entries()
+		if len(es) == 1 && es[0].Gates == small.Gates {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("r1 never adopted the improved entry: %+v", es)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Re-publishing the superseded implementation must not downgrade the
+	// log: a runner joining now is seeded with the improvement only.
+	postPublishTemplate(t, f.hs.URL, "r1", big)
+	r3 := f.add(t, "r3")
+	waitLibLen(t, f.libs["r3"], 1)
+	if got := f.libs["r3"].Entries()[0]; got.Gates != small.Gates {
+		t.Fatalf("r3 seeded with %d gates, want the improved %d", got.Gates, small.Gates)
+	}
+
+	// The coordinator's health view aggregates runner template stats once
+	// heartbeats carry them.
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		h := f.co.Health()
+		if h.Templates != nil && h.Templates.Entries >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator health never aggregated template stats: %+v", f.co.Health().Templates)
+		}
+		time.Sleep(testHeartbeat)
+	}
+	_ = r3
+}
+
+// TestTemplateLearnedOnJobReplicates is the end-to-end path: a synthesis
+// job on one runner learns templates during its rewrite pass, the runner
+// agent publishes them, and the other runner's library grows without ever
+// running the job.
+func TestTemplateLearnedOnJobReplicates(t *testing.T) {
+	f := newTemplateFleet(t, "r1", "r2")
+
+	j, err := f.runs["r1"].srv.Submit(client.Request{
+		NumInputs:   3,
+		TruthTables: []string{"96", "e8"},
+		Generations: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitServe(t, f.runs["r1"].srv, j.ID)
+	if done.Status != client.StatusDone {
+		t.Fatalf("job finished %q (%s)", done.Status, done.Error)
+	}
+	if f.libs["r1"].Len() == 0 {
+		t.Fatal("the job learned nothing into the local library")
+	}
+	waitLibLen(t, f.libs["r2"], 1)
+	if s := f.libs["r2"].Stats(); s.Merges == 0 {
+		t.Fatalf("r2 stats %+v: no merges despite adopted entries", s)
+	}
+}

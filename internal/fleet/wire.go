@@ -23,11 +23,13 @@ type registerRequest struct {
 }
 
 // registerResponse seeds the joining runner: the heartbeat cadence the
-// coordinator expects and the replication log of every canonical result
-// the fleet has published so far, so a fresh node starts warm.
+// coordinator expects and the replication logs of every canonical result
+// and identity template the fleet has published so far, so a fresh node
+// starts warm.
 type registerResponse struct {
-	HeartbeatMS int64               `json:"heartbeat_ms"`
-	Entries     []client.CacheEntry `json:"entries,omitempty"`
+	HeartbeatMS int64                  `json:"heartbeat_ms"`
+	Entries     []client.CacheEntry    `json:"entries,omitempty"`
+	Templates   []client.TemplateEntry `json:"templates,omitempty"`
 }
 
 // heartbeatRequest is POST /fleet/heartbeat: liveness plus the runner's
@@ -44,6 +46,16 @@ type heartbeatRequest struct {
 type publishRequest struct {
 	Runner string            `json:"runner"`
 	Entry  client.CacheEntry `json:"entry"`
+}
+
+// templatePublishRequest is POST /fleet/publish-template: a runner
+// announcing an identity template its library just learned. The
+// coordinator folds it into the template replication log (keeping the
+// fewest-gate implementation per class) and fans it out to every other
+// node.
+type templatePublishRequest struct {
+	Runner string               `json:"runner"`
+	Entry  client.TemplateEntry `json:"entry"`
 }
 
 // checkpointRequest is POST /fleet/checkpoint: a runner forwarding the

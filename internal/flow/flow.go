@@ -25,6 +25,7 @@ import (
 	"github.com/reversible-eda/rcgp/internal/pass"
 	"github.com/reversible-eda/rcgp/internal/resub"
 	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/template"
 	"github.com/reversible-eda/rcgp/internal/tt"
 	"github.com/reversible-eda/rcgp/internal/window"
 )
@@ -66,6 +67,12 @@ type Options struct {
 	// cec.AuxEngineNames); the service layer feeds observed win rates back
 	// through it between jobs.
 	CECOrder []string
+	// Templates, when non-nil, enables the search-free identity-template
+	// rewriting pass: the default script runs it after the search stage,
+	// and scripts may invoke it explicitly as "template". Runtime-learned
+	// windows are fed back into the library unless the pass's learn=false
+	// option says otherwise.
+	Templates *template.Library
 	// Script, when non-empty, replaces the default pipeline with an
 	// explicit pass script, e.g. "aig.resyn2;convert;cgp(gens=500);buffer"
 	// (see internal/pass). SkipCGP, WindowRounds, Resub, and Optimizer are
@@ -105,6 +112,8 @@ type Result struct {
 	Window *window.Report
 	// Resub is the resubstitution report (nil unless the pass ran).
 	Resub *resub.Stats
+	// Template is the template-rewrite report (nil unless the pass ran).
+	Template *template.Report
 
 	// StageTimes is the wall-clock breakdown per executed pipeline pass,
 	// in execution order. Skipped records scheduled passes that did not
@@ -162,6 +171,9 @@ func DefaultScript(opt Options) ([]pass.Invocation, error) {
 	}
 	if opt.Resub {
 		invs = append(invs, pass.Invocation{Name: "resub"})
+	}
+	if opt.Templates != nil {
+		invs = append(invs, pass.Invocation{Name: "template"})
 	}
 	invs = append(invs, pass.Invocation{Name: "buffer"})
 	return invs, nil
@@ -221,6 +233,7 @@ func RunContext(ctx context.Context, spec *aig.AIG, opt Options) (*Result, error
 		CECPortfolio: opt.CECPortfolio,
 		CECBDDBudget: opt.CECBDDBudget,
 		CECOrder:     opt.CECOrder,
+		Templates:    opt.Templates,
 		Reg:          reg,
 		Scope:        scope,
 		Tracer:       opt.Trace,
@@ -245,6 +258,7 @@ func RunContext(ctx context.Context, spec *aig.AIG, opt Options) (*Result, error
 		CGP:          st.Search,
 		Window:       st.Window,
 		Resub:        st.Resub,
+		Template:     st.Template,
 		StageTimes:   st.StageTimes,
 		Skipped:      st.Skipped,
 	}

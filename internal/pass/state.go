@@ -8,6 +8,7 @@ import (
 	"github.com/reversible-eda/rcgp/internal/obs"
 	"github.com/reversible-eda/rcgp/internal/resub"
 	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/template"
 	"github.com/reversible-eda/rcgp/internal/window"
 )
 
@@ -43,6 +44,13 @@ type State struct {
 	Window *window.Report
 	// Resub is the resubstitution report (nil unless the pass ran).
 	Resub *resub.Stats
+	// Template is the template-rewrite report (nil unless the pass ran).
+	Template *template.Report
+
+	// Templates is the identity-template library the template pass matches
+	// against (and, with learning on, feeds). Nil records the pass as
+	// skipped.
+	Templates *template.Library
 
 	// SynthEffort is the default classical-synthesis effort; the
 	// aig.resyn2 pass's effort= option overrides it.

@@ -1,0 +1,100 @@
+package pass
+
+import (
+	"context"
+	"errors"
+
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/template"
+)
+
+func init() {
+	Register(Info{
+		Name: "template", Stage: "flow.template", Mutates: true,
+		Summary: "search-free identity-template rewriting against the precomputed library",
+		Options: []OptionDoc{
+			{Name: "maxgates", Kind: "int", Default: "5", Help: "window size bound"},
+			{Name: "maxinputs", Kind: "int", Default: "5", Help: "window interface bound (≤8)"},
+			{Name: "rounds", Kind: "int", Default: "4", Help: "max full sweeps (fixpoint stops earlier)"},
+			{Name: "learn", Kind: "bool", Default: "true", Help: "learn scanned small windows back into the library"},
+			{Name: "learnmaxgates", Kind: "int", Default: "2", Help: "learned window size bound"},
+		},
+		Build: buildTemplate,
+	})
+}
+
+type templatePass struct {
+	opt   template.RewriteOptions
+	learn *bool
+}
+
+func buildTemplate(args Args) (Pass, error) {
+	r := NewArgReader(args)
+	p := &templatePass{}
+	if v := r.IntOpt("maxgates"); v != nil {
+		p.opt.MaxWindow = *v
+	}
+	if v := r.IntOpt("maxinputs"); v != nil {
+		p.opt.MaxInputs = *v
+	}
+	if v := r.IntOpt("rounds"); v != nil {
+		p.opt.MaxRounds = *v
+	}
+	if v := r.IntOpt("learnmaxgates"); v != nil {
+		p.opt.LearnMaxGates = *v
+	}
+	p.learn = r.BoolOpt("learn")
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *templatePass) Name() string { return "flow.template" }
+
+// SkipReason gates the pass on a loaded library: scripts may name the pass
+// unconditionally, and a run without templates records a skip instead of
+// failing.
+func (p *templatePass) SkipReason(st *State) string {
+	if st.Templates == nil {
+		return "no template library loaded"
+	}
+	return ""
+}
+
+func (p *templatePass) Run(ctx context.Context, st *State) error {
+	if st.Net == nil || st.Oracle == nil {
+		return errors.New("requires the convert pass before it")
+	}
+	if st.Templates == nil {
+		return errors.New("no template library loaded")
+	}
+	opt := p.opt
+	opt.Learn = true
+	if p.learn != nil {
+		opt.Learn = *p.learn
+	}
+	opt.Verify = func(n *rqfp.Netlist) error { return st.Oracle.VerifyEquivalent(n) }
+	rewritten, rep, err := template.Rewrite(st.Net, st.Templates, opt)
+	if err != nil {
+		return err
+	}
+	st.Template = &rep
+	st.Net = rewritten
+	if !st.Scope.Empty() {
+		st.Scope.Counter("template.windows").Add(int64(rep.Windows))
+		st.Scope.Counter("template.hits").Add(int64(rep.Hits))
+		st.Scope.Counter("template.misses").Add(int64(rep.Misses))
+		st.Scope.Counter("template.rewrites").Add(int64(rep.Rewrites))
+		st.Scope.Counter("template.gates_saved").Add(int64(rep.GatesSaved))
+		st.Scope.Counter("template.learned").Add(int64(rep.Learned))
+	}
+	if st.Tracer != nil {
+		st.Tracer.Emit("template.done", map[string]any{
+			"windows": rep.Windows, "hits": rep.Hits, "rewrites": rep.Rewrites,
+			"gates_before": rep.GatesBefore, "gates_after": rep.GatesAfter,
+			"learned": rep.Learned,
+		})
+	}
+	return nil
+}

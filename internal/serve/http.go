@@ -51,6 +51,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("POST /fleet/resume", s.handleResume)
 	mux.HandleFunc("POST /fleet/cache", s.handleCacheMerge)
+	mux.HandleFunc("POST /fleet/template", s.handleTemplateMerge)
 	return s.observe(mux)
 }
 
@@ -131,6 +132,31 @@ func (s *Server) handleCacheMerge(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleTemplateMerge is POST /fleet/template: adopt an identity template
+// replicated from another fleet node. The netlist is re-simulated and
+// re-canonicalized locally before it is stored; non-improving entries are
+// skipped silently (204 either way — replication is idempotent). 404 when
+// the server runs without a template library.
+func (s *Server) handleTemplateMerge(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Templates == nil {
+		httpError(w, http.StatusNotFound, "server has no template library")
+		return
+	}
+	var e client.TemplateEntry
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&e); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if err := s.cfg.Templates.Merge(rcgp.TemplateEntry{
+		Key: e.Key, NumPI: e.NumPI, NumPO: e.NumPO, Gates: e.Gates, Netlist: e.Netlist,
+	}); err != nil {
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.reg.Counter("serve.template_merges").Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Jobs())
 }
@@ -160,13 +186,17 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // cache counters alongside.
 type metricsPayload struct {
 	obs.Snapshot
-	Cache any `json:"cache,omitempty"`
+	Cache     any `json:"cache,omitempty"`
+	Templates any `json:"templates,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p := metricsPayload{Snapshot: s.reg.Snapshot()}
 	if s.cfg.Cache != nil {
 		p.Cache = s.cfg.Cache.Stats()
+	}
+	if s.cfg.Templates != nil {
+		p.Templates = s.cfg.Templates.Stats()
 	}
 	writeJSON(w, http.StatusOK, p)
 }
@@ -186,6 +216,9 @@ func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
 	})
 	if s.cfg.Cache != nil {
 		writeCacheMetrics(&buf, s.cfg.Cache.Stats())
+	}
+	if s.cfg.Templates != nil {
+		writeTemplateMetrics(&buf, s.cfg.Templates.Stats())
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Write(buf.Bytes())
@@ -207,6 +240,26 @@ func writeCacheMetrics(w *bytes.Buffer, cs rcgp.CacheStats) {
 	counter("rcgp_cache_disk_promotes_total", "Disk-tier entries promoted into memory.", cs.DiskPromotes)
 	gauge("rcgp_cache_mem_entries", "Entries resident in the in-memory cache tier.", int64(cs.MemEntries))
 	gauge("rcgp_cache_disk_entries", "Entries resident in the on-disk cache tier.", int64(cs.DiskEntries))
+}
+
+// writeTemplateMetrics renders the template-library statistics as
+// Prometheus counters and gauges.
+func writeTemplateMetrics(w *bytes.Buffer, ts rcgp.TemplateStats) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	// The family is rcgp_template_library_*: the store-side view of the
+	// shared library. The per-sweep pass counters (template.hits etc.) are
+	// exported by the registry as rcgp_template_*_total and must not be
+	// shadowed here.
+	counter("rcgp_template_library_hits_total", "Window lookups answered by the template library.", ts.Hits)
+	counter("rcgp_template_library_misses_total", "Window lookups with no stored template.", ts.Misses)
+	counter("rcgp_template_library_learned_total", "Templates learned from scanned windows.", ts.Learned)
+	counter("rcgp_template_library_rejects_total", "Template entries rejected by re-verification.", ts.Rejects)
+	counter("rcgp_template_library_merges_total", "Replicated templates adopted from the fleet.", ts.Merges)
+	counter("rcgp_template_library_merge_skips_total", "Replicated templates skipped as not improving.", ts.MergeSkips)
+	counter("rcgp_template_library_merge_rejects_total", "Replicated templates refused by re-verification.", ts.MergeRejects)
+	fmt.Fprintf(w, "# HELP rcgp_template_library_entries Template classes resident in the library.\n# TYPE rcgp_template_library_entries gauge\nrcgp_template_library_entries %d\n", ts.Entries)
 }
 
 // progressEnd is the closing line of a /jobs/{id}/progress stream: the

@@ -51,10 +51,11 @@ type job struct {
 	// stages is the pipeline wall-clock breakdown once the job finishes.
 	// reg, flight, and trace are written once before the job is published;
 	// stages is guarded by the server mutex.
-	reg    *obs.Registry
-	flight *flightLog
-	trace  *traceBuf
-	stages []client.JobStage
+	reg      *obs.Registry
+	flight   *flightLog
+	trace    *traceBuf
+	stages   []client.JobStage
+	template *client.TemplateReport
 
 	result    *client.Result
 	heapIndex int // -1 when not queued
@@ -99,6 +100,7 @@ func (j *job) telemetry() *client.JobTelemetry {
 		Gauges:        snap.Gauges,
 		Stages:        j.stages,
 		FlightSamples: j.flight.count(),
+		Template:      j.template,
 	}
 	if len(snap.Histograms) > 0 {
 		tel.Histograms = make(map[string]client.HistogramSummary, len(snap.Histograms))

@@ -44,6 +44,10 @@ type Config struct {
 	// Cache, when non-nil, serves repeat functions without a search. The
 	// server does not close it; the owner does.
 	Cache *rcgp.Cache
+	// Templates, when non-nil, runs the search-free template-rewrite pass
+	// on every job (unless the request sets no_templates) and learns
+	// scanned windows back into the library, shared across jobs.
+	Templates *rcgp.TemplateLibrary
 	// CheckpointDir persists in-flight job snapshots for crash recovery
 	// ("" disables persistence; progress is still tracked in memory).
 	CheckpointDir string
@@ -369,6 +373,14 @@ func (s *Server) Health() client.Health {
 			Merges: cs.Merges, MergeSkips: cs.MergeSkips, MergeRejects: cs.MergeRejects,
 		}
 	}
+	if s.cfg.Templates != nil {
+		ts := s.cfg.Templates.Stats()
+		h.Templates = &client.TemplateStats{
+			Entries: ts.Entries, Hits: ts.Hits, Misses: ts.Misses,
+			Learned: ts.Learned, Rejects: ts.Rejects,
+			Merges: ts.Merges, MergeSkips: ts.MergeSkips, MergeRejects: ts.MergeRejects,
+		}
+	}
 	return h
 }
 
@@ -478,6 +490,9 @@ func (s *Server) options(j *job, workers int) rcgp.Options {
 	}
 	if !req.NoCache {
 		opt.Cache = s.cfg.Cache
+	}
+	if !req.NoTemplates {
+		opt.Templates = s.cfg.Templates
 	}
 	opt.CECPortfolio = s.cfg.CECPortfolio
 	opt.CECBDDBudget = s.cfg.CECBDDBudget
@@ -606,6 +621,17 @@ func (s *Server) runJob(j *job, workers int) {
 	j.finished = time.Now()
 	if err == nil {
 		j.stages = wireStages(res.Telemetry)
+		if t := res.Telemetry.Template; t != nil {
+			j.template = &client.TemplateReport{
+				Rounds:     t.Rounds,
+				Windows:    t.Windows,
+				Hits:       t.Hits,
+				Misses:     t.Misses,
+				Rewrites:   t.Rewrites,
+				GatesSaved: t.GatesSaved,
+				Learned:    t.Learned,
+			}
+		}
 		s.noteEngineWinsLocked(res.Telemetry.CEC.Engines)
 	}
 	// A job counts as drain-interrupted only if the drain actually cut its

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"github.com/reversible-eda/rcgp"
+	"github.com/reversible-eda/rcgp/client"
+	"github.com/reversible-eda/rcgp/internal/obs"
+)
+
+func postTemplate(t *testing.T, base string, e client.TemplateEntry) int {
+	t.Helper()
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/fleet/template", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestTemplateMergeEndpoint(t *testing.T) {
+	starter, err := rcgp.StarterTemplates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := starter.Entries()[0]
+	entry := client.TemplateEntry{
+		Key: seed.Key, NumPI: seed.NumPI, NumPO: seed.NumPO, Gates: seed.Gates, Netlist: seed.Netlist,
+	}
+
+	// Without a library the endpoint 404s (runner without -templates).
+	_, bare := newTestServer(t, Config{Cache: rcgp.NewMemoryCache(0)})
+	if code := postTemplate(t, bare.BaseURL, entry); code != http.StatusNotFound {
+		t.Fatalf("merge without a library: status %d, want 404", code)
+	}
+
+	lib := rcgp.NewTemplateLibrary()
+	srv, c := newTestServer(t, Config{Cache: rcgp.NewMemoryCache(0), Templates: lib})
+	if code := postTemplate(t, c.BaseURL, entry); code != http.StatusNoContent {
+		t.Fatalf("valid merge: status %d, want 204", code)
+	}
+	if lib.Len() != 1 {
+		t.Fatalf("library has %d entries after merge", lib.Len())
+	}
+	// Replaying the same entry is an idempotent skip, still 204.
+	if code := postTemplate(t, c.BaseURL, entry); code != http.StatusNoContent {
+		t.Fatalf("replayed merge: status %d, want 204", code)
+	}
+	// A tampered entry (advertised key disagrees with the netlist) is 422
+	// and adopts nothing.
+	bad := entry
+	bad.Key = "npn:2:1:00"
+	if code := postTemplate(t, c.BaseURL, bad); code != http.StatusUnprocessableEntity {
+		t.Fatalf("tampered merge: status %d, want 422", code)
+	}
+	if lib.Len() != 1 {
+		t.Fatalf("library has %d entries after tampered merge", lib.Len())
+	}
+
+	h := srv.Health()
+	if h.Templates == nil {
+		t.Fatal("health has no template stats")
+	}
+	if h.Templates.Entries != 1 || h.Templates.Merges != 1 || h.Templates.MergeSkips != 1 || h.Templates.MergeRejects != 1 {
+		t.Fatalf("health template stats %+v", h.Templates)
+	}
+}
+
+func TestTemplateMetricsLintAndJobTelemetry(t *testing.T) {
+	lib, err := rcgp.StarterTemplates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv, c := newTestServer(t, Config{Cache: rcgp.NewMemoryCache(0), Templates: lib, Registry: reg})
+	ctx := context.Background()
+
+	j, err := c.Submit(ctx, fullAdder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := pollTerminal(t, srv, j.ID)
+	if done.Status != client.StatusDone {
+		t.Fatalf("job finished %q (%s)", done.Status, done.Error)
+	}
+	if done.Telemetry == nil || done.Telemetry.Template == nil {
+		t.Fatal("job telemetry has no template report")
+	}
+	if done.Telemetry.Template.Windows == 0 {
+		t.Fatalf("template report scanned no windows: %+v", done.Telemetry.Template)
+	}
+
+	// A request can opt out per job.
+	off := fullAdder
+	off.TruthTables = []string{"69", "8e"} // distinct function, no cache hit
+	off.NoTemplates = true
+	j2, err := c.Submit(ctx, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2 := pollTerminal(t, srv, j2.ID)
+	if done2.Status != client.StatusDone {
+		t.Fatalf("opt-out job finished %q (%s)", done2.Status, done2.Error)
+	}
+	if done2.Telemetry != nil && done2.Telemetry.Template != nil {
+		t.Fatal("NoTemplates request still ran the template pass")
+	}
+
+	// /metrics carries the rcgp_template_* family and stays lint-clean.
+	resp, err := http.Get(c.BaseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	resp.Body.Close()
+	if err := obs.LintPrometheusText(strings.NewReader(body)); err != nil {
+		t.Fatalf("/metrics lint: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		// The per-sweep pass counters, exported from the metric registry.
+		"rcgp_template_windows_total",
+		"rcgp_template_hits_total",
+		// The store-side library family, rendered from the library stats.
+		"rcgp_template_library_entries",
+		"rcgp_template_library_hits_total",
+		"rcgp_template_library_misses_total",
+		"rcgp_template_library_learned_total",
+		"rcgp_template_library_rejects_total",
+		"rcgp_template_library_merges_total",
+		"rcgp_template_library_merge_skips_total",
+		"rcgp_template_library_merge_rejects_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}

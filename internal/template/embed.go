@@ -1,0 +1,32 @@
+package template
+
+import (
+	_ "embed"
+	"fmt"
+	"strings"
+)
+
+// starterJSONL is the shipped precomputed starter library: every ≤4-input
+// function class reachable from the exhaustive 1-gate identity-circuit
+// enumeration, the capped 2-gate strata, and the single-gate closure
+// sweep, each stored with its minimal known implementation. Regenerate
+// with `rqfp-exact -enumerate-identities -lines 4 -max-gates 2 -o
+// internal/template/starter.jsonl` (see EXPERIMENTS.md).
+//
+//go:embed starter.jsonl
+var starterJSONL string
+
+// Starter returns a fresh library seeded from the shipped starter data.
+// Every entry goes through the verifying merge path, so a corrupted build
+// artifact fails loudly here instead of rewriting circuits wrongly.
+func Starter() (*Library, error) {
+	lib := New()
+	adopted, rejected, err := lib.Load(strings.NewReader(starterJSONL))
+	if err != nil {
+		return nil, fmt.Errorf("template: shipped starter library: %w", err)
+	}
+	if rejected > 0 || adopted == 0 {
+		return nil, fmt.Errorf("template: shipped starter library failed re-verification (%d adopted, %d rejected)", adopted, rejected)
+	}
+	return lib, nil
+}

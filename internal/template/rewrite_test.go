@@ -1,0 +1,179 @@
+package template
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/reversible-eda/rcgp/internal/rqfp"
+)
+
+func sameFunction(t *testing.T, a, b *rqfp.Netlist) {
+	t.Helper()
+	ta, tb := a.TruthTables(), b.TruthTables()
+	if len(ta) != len(tb) {
+		t.Fatal("output arity changed")
+	}
+	for i := range ta {
+		if !ta[i].Equal(tb[i]) {
+			t.Fatalf("output %d changed", i)
+		}
+	}
+}
+
+func TestRewritePreservesFunction(t *testing.T) {
+	lib, err := Starter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(7))
+	rewrites := 0
+	for trial := 0; trial < 40; trial++ {
+		net := randNet(3+r.Intn(3), 4+r.Intn(10), 2+r.Intn(3), r)
+		if len(net.POs) == 0 {
+			continue
+		}
+		out, rep, err := Rewrite(net, lib, RewriteOptions{Learn: true})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sameFunction(t, net, out)
+		if err := out.Validate(); err != nil {
+			t.Fatalf("trial %d: rewritten netlist invalid: %v", trial, err)
+		}
+		if rep.GatesAfter > rep.GatesBefore {
+			t.Fatalf("trial %d: rewrite grew the netlist %d -> %d", trial, rep.GatesBefore, rep.GatesAfter)
+		}
+		rewrites += rep.Rewrites
+	}
+	if rewrites == 0 {
+		t.Fatal("no trial applied a single rewrite — the sweep never fires")
+	}
+}
+
+func TestRewriteCollapsesPassthroughChain(t *testing.T) {
+	// A PI passed through a chain of identity gates is a positive
+	// projection — a zero-gate starter template — so the whole chain must
+	// collapse.
+	_, _, two := passthroughPair(t)
+	lib, err := Starter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, rep, err := Rewrite(two, lib, RewriteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameFunction(t, two, out)
+	if len(out.Gates) >= len(two.Gates) {
+		t.Fatalf("redundant chain kept %d of %d gates (report: %s)", len(out.Gates), len(two.Gates), rep)
+	}
+	if rep.Rewrites == 0 || rep.GatesSaved == 0 {
+		t.Fatalf("report claims no work: %s", rep)
+	}
+}
+
+func TestRewriteDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 10; trial++ {
+		net := randNet(4, 8, 3, r)
+		if len(net.POs) == 0 {
+			continue
+		}
+		var outs [2]string
+		var reps [2]Report
+		for i := range outs {
+			lib, err := Starter() // fresh library: learning must not leak across runs
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, rep, err := Rewrite(net.Clone(), lib, RewriteOptions{Learn: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			outs[i] = out.String()
+			rep.Elapsed = 0
+			reps[i] = rep
+		}
+		if outs[0] != outs[1] {
+			t.Fatalf("trial %d: two identical sweeps produced different netlists", trial)
+		}
+		if reps[0] != reps[1] {
+			t.Fatalf("trial %d: reports differ: %+v vs %+v", trial, reps[0], reps[1])
+		}
+	}
+}
+
+func TestRewriteVerifyHookSeesEverySplice(t *testing.T) {
+	_, _, two := passthroughPair(t)
+	lib, err := Starter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	want := two.TruthTables()
+	_, rep, err := Rewrite(two, lib, RewriteOptions{Verify: func(n *rqfp.Netlist) error {
+		calls++
+		got := n.TruthTables()
+		for i := range got {
+			if !got[i].Equal(want[i]) {
+				t.Fatalf("verify hook saw a non-equivalent candidate")
+			}
+		}
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != rep.Rewrites || calls == 0 {
+		t.Fatalf("verify called %d times for %d rewrites", calls, rep.Rewrites)
+	}
+}
+
+// FuzzTemplateRewrite drives the sweep with arbitrary netlist shapes and
+// checks the invariants that matter: function preserved, structure valid,
+// gate count monotone.
+func FuzzTemplateRewrite(f *testing.F) {
+	lib, err := Starter()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(int64(1), uint8(3), uint8(6), uint8(2))
+	f.Add(int64(42), uint8(5), uint8(12), uint8(4))
+	f.Add(int64(7), uint8(1), uint8(1), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, numPI, numGates, numPO uint8) {
+		pi := 1 + int(numPI)%6
+		gates := 1 + int(numGates)%14
+		pos := 1 + int(numPO)%5
+		net := randNet(pi, gates, pos, rand.New(rand.NewSource(seed)))
+		if len(net.POs) == 0 {
+			t.Skip()
+		}
+		out, rep, err := Rewrite(net, lib, RewriteOptions{Learn: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("rewritten netlist invalid: %v", err)
+		}
+		ta, tb := net.TruthTables(), out.TruthTables()
+		for i := range ta {
+			if !ta[i].Equal(tb[i]) {
+				t.Fatalf("seed %d: output %d changed", seed, i)
+			}
+		}
+		if rep.GatesAfter > rep.GatesBefore {
+			t.Fatalf("seed %d: rewrite grew the netlist %d -> %d", seed, rep.GatesBefore, rep.GatesAfter)
+		}
+	})
+}
+
+func TestReportString(t *testing.T) {
+	rep := Report{Rounds: 2, Windows: 9, Hits: 4, Rewrites: 1, GatesBefore: 7, GatesAfter: 6, Learned: 3}
+	s := rep.String()
+	for _, want := range []string{"rounds=2", "windows=9", "hits=4", "rewrites=1", "7→6", "learned=3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("report %q missing %q", s, want)
+		}
+	}
+}

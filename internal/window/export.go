@@ -1,0 +1,44 @@
+package window
+
+import "github.com/reversible-eda/rcgp/internal/rqfp"
+
+// This file exports the sound window machinery — interface computation,
+// extraction, splicing — for clients outside the randomized window-CGP
+// optimizer. The template pass slides deterministically over contiguous
+// windows and needs exactly these three primitives; keeping them here means
+// one implementation of the contiguity/single-fanout reasoning, not two.
+
+// Extraction describes a contiguous window [Lo, Hi) of gates together with
+// its interface: the external source signals the window reads (in
+// discovery order) and the window ports consumed outside it.
+type Extraction struct {
+	Lo, Hi  int
+	Inputs  []rqfp.Signal
+	Outputs []rqfp.Signal
+}
+
+// BuildInterface computes the interface of the window [lo, hi) of n.
+// Bounds are the caller's responsibility: 0 ≤ lo < hi ≤ len(n.Gates).
+func BuildInterface(n *rqfp.Netlist, lo, hi int) Extraction {
+	ext := buildInterface(n, lo, hi)
+	return Extraction{Lo: ext.lo, Hi: ext.hi, Inputs: ext.inputs, Outputs: ext.outputs}
+}
+
+// Extract materializes the window as a standalone netlist whose PIs are the
+// interface inputs and whose POs are the interface outputs.
+func Extract(n *rqfp.Netlist, ext Extraction) *rqfp.Netlist {
+	return extract(n, ext.internal())
+}
+
+// Splice replaces window [Lo, Hi) of n with the replacement subcircuit,
+// whose PIs correspond to ext.Inputs and POs to ext.Outputs. The result is
+// structurally sound by construction (contiguity keeps topological order
+// and the single-fanout rule), but callers should still Validate before
+// trusting it.
+func Splice(n *rqfp.Netlist, ext Extraction, replacement *rqfp.Netlist) (*rqfp.Netlist, error) {
+	return splice(n, ext.internal(), replacement)
+}
+
+func (e Extraction) internal() extraction {
+	return extraction{lo: e.Lo, hi: e.Hi, inputs: e.Inputs, outputs: e.Outputs}
+}

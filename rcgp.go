@@ -40,6 +40,7 @@ import (
 	"github.com/reversible-eda/rcgp/internal/pla"
 	"github.com/reversible-eda/rcgp/internal/real"
 	"github.com/reversible-eda/rcgp/internal/rqfp"
+	"github.com/reversible-eda/rcgp/internal/template"
 	"github.com/reversible-eda/rcgp/internal/tt"
 	"github.com/reversible-eda/rcgp/internal/verilog"
 )
@@ -245,6 +246,13 @@ type Options struct {
 	// Only designs within the cacheable range (≤14 inputs, ≤64 outputs)
 	// participate; others synthesize normally.
 	Cache *Cache
+	// Templates, when non-nil, enables the search-free template-rewrite
+	// pass: after the search stages, contiguous netlist windows are
+	// pattern-matched against the library's precomputed minimal
+	// implementations and rewritten wherever that strictly shrinks the
+	// window, each rewrite formally verified against the specification.
+	// Small scanned windows are also learned back into the library.
+	Templates *TemplateLibrary
 	// CheckpointEvery, when positive, snapshots the search every that many
 	// generations and hands the snapshot to CheckpointSink. Requires
 	// Islands ≤ 1 (the single-population determinism contract).
@@ -427,6 +435,128 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
+// TemplateLibrary is the identity-template rewrite library: a store of
+// NPN-canonical local functions with their cheapest known RQFP
+// implementations, matched search-free against netlist windows by the
+// template pass. Safe for concurrent use; share one library between all
+// jobs of a server.
+type TemplateLibrary struct {
+	l *template.Library
+}
+
+// StarterTemplates returns the shipped precomputed starter library —
+// every ≤4-input function class mined from exhaustive small
+// identity-circuit enumeration, re-verified by simulation on load.
+func StarterTemplates() (*TemplateLibrary, error) {
+	l, err := template.Starter()
+	if err != nil {
+		return nil, err
+	}
+	return &TemplateLibrary{l: l}, nil
+}
+
+// NewTemplateLibrary returns an empty in-memory library (populated by
+// learning, Merge, or LoadTemplates).
+func NewTemplateLibrary() *TemplateLibrary {
+	return &TemplateLibrary{l: template.New()}
+}
+
+// OpenTemplateLibrary loads a library from a JSONL file written by
+// SaveFile (or by rqfp-exact -enumerate-identities). Every entry is
+// re-simulated and re-verified before adoption; the count of rejected
+// entries is returned alongside.
+func OpenTemplateLibrary(path string) (*TemplateLibrary, int, error) {
+	l := template.New()
+	_, rejected, err := l.LoadFile(path)
+	if err != nil {
+		return nil, rejected, err
+	}
+	return &TemplateLibrary{l: l}, rejected, nil
+}
+
+// SaveFile atomically writes the library as sorted JSONL.
+func (t *TemplateLibrary) SaveFile(path string) error { return t.l.SaveFile(path) }
+
+// Len returns the number of stored template classes.
+func (t *TemplateLibrary) Len() int { return t.l.Len() }
+
+// TemplateEntry is one replicable template record: the cheapest known
+// implementation of an NPN class representative under its class key.
+// Entries are the unit of template replication between fleet nodes.
+type TemplateEntry struct {
+	Key     string `json:"key"`
+	NumPI   int    `json:"num_pi"`
+	NumPO   int    `json:"num_po"`
+	Gates   int    `json:"gates"`
+	Netlist string `json:"netlist"`
+}
+
+// SetReplicator registers fn to receive every template a local synthesis
+// learns into the library (after store-side verification). Entries
+// adopted via Merge do not re-trigger fn, so replication cannot loop.
+// Call before sharing the library between jobs.
+func (t *TemplateLibrary) SetReplicator(fn func(TemplateEntry)) {
+	if fn == nil {
+		t.l.SetReplicator(nil)
+		return
+	}
+	t.l.SetReplicator(func(e template.Entry) {
+		fn(TemplateEntry{Key: e.Key, NumPI: e.NumPI, NumPO: e.NumPO, Gates: e.Gates, Netlist: e.Netlist})
+	})
+}
+
+// Merge adopts a template replicated from another node. The netlist is
+// re-parsed, re-simulated, and re-canonicalized locally before it is
+// stored — a corrupt replication payload can never poison this library.
+// Entries that do not improve on the local implementation are skipped.
+func (t *TemplateLibrary) Merge(e TemplateEntry) error {
+	return t.l.Merge(template.Entry{Key: e.Key, NumPI: e.NumPI, NumPO: e.NumPO, Gates: e.Gates, Netlist: e.Netlist})
+}
+
+// Entries snapshots every template the library holds, sorted by key, for
+// seeding a replication peer.
+func (t *TemplateLibrary) Entries() []TemplateEntry {
+	dump := t.l.Dump()
+	out := make([]TemplateEntry, len(dump))
+	for i, e := range dump {
+		out[i] = TemplateEntry{Key: e.Key, NumPI: e.NumPI, NumPO: e.NumPO, Gates: e.Gates, Netlist: e.Netlist}
+	}
+	return out
+}
+
+// TemplateStats is a point-in-time view of template-library activity.
+type TemplateStats struct {
+	Entries int   `json:"entries"`
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Learned int64 `json:"learned"`
+	Rejects int64 `json:"rejects"`
+	// Replication counters: remote templates adopted, skipped (no
+	// improvement on the local implementation), and refused by store-side
+	// re-verification.
+	Merges       int64 `json:"merges"`
+	MergeSkips   int64 `json:"merge_skips"`
+	MergeRejects int64 `json:"merge_rejects"`
+}
+
+// templatesOf unwraps the optional public handle for the flow layer.
+func templatesOf(t *TemplateLibrary) *template.Library {
+	if t == nil {
+		return nil
+	}
+	return t.l
+}
+
+// Stats snapshots the library activity counters.
+func (t *TemplateLibrary) Stats() TemplateStats {
+	s := t.l.Stats()
+	return TemplateStats{
+		Entries: s.Entries, Hits: s.Hits, Misses: s.Misses,
+		Learned: s.Learned, Rejects: s.Rejects,
+		Merges: s.Merges, MergeSkips: s.MergeSkips, MergeRejects: s.MergeRejects,
+	}
+}
+
 // Stats are the paper's cost metrics for an RQFP circuit.
 type Stats struct {
 	Inputs  int // n_pi
@@ -528,6 +658,7 @@ func (d *Design) SynthesizeContext(ctx context.Context, opt Options) (*Result, e
 		CECPortfolio: opt.CECPortfolio,
 		CECBDDBudget: opt.CECBDDBudget,
 		CECOrder:     opt.CECOrder,
+		Templates:    templatesOf(opt.Templates),
 		CGP: core.Options{
 			Lambda:       opt.Lambda,
 			Generations:  opt.Generations,

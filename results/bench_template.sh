@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates results/BENCH_template.json: the built-in benchmark suite run
+# with and without the identity-template rewriting pass (shipped starter
+# library, learning on), recording JJ/depth/buffer deltas, the wall-clock of
+# each leg, and — where templates improved the circuit — how long pure CGP
+# needs at doubled generation budgets to reach the same JJ count. Fails if
+# templates cost JJs on any benchmark.
+#
+# Extra flags are passed through, e.g.:
+#
+#   results/bench_template.sh -gens 300 -seed 1
+set -e
+cd "$(dirname "$0")/.."
+exec go run ./cmd/rcgp-templatebench -o results/BENCH_template.json "$@"

@@ -125,6 +125,25 @@ type Telemetry struct {
 	StopReason string
 	// CEC aggregates the functional-equivalence oracle counters.
 	CEC CECStats
+	// Template is the template-rewrite pass's report (nil unless the pass
+	// ran, i.e. Options.Templates was set or a script named the pass).
+	Template *TemplateReport
+}
+
+// TemplateReport summarizes one template-rewrite sweep: windows scanned,
+// library hits, rewrites applied (each formally verified), gates saved,
+// and windows learned back into the library.
+type TemplateReport struct {
+	Rounds      int           `json:"rounds"`
+	Windows     int           `json:"windows"`
+	Hits        int64         `json:"hits"`
+	Misses      int64         `json:"misses"`
+	Rewrites    int           `json:"rewrites"`
+	GatesBefore int           `json:"gates_before"`
+	GatesAfter  int           `json:"gates_after"`
+	GatesSaved  int           `json:"gates_saved"`
+	Learned     int           `json:"learned"`
+	Elapsed     time.Duration `json:"elapsed"`
 }
 
 func satStatsFromInternal(s sat.Stats) SATStats {
@@ -154,6 +173,15 @@ func cecStatsFromInternal(s cec.Stats) CECStats {
 
 func telemetryFromFlow(res *flow.Result) Telemetry {
 	t := Telemetry{CEC: cecStatsFromInternal(res.CEC)}
+	if rep := res.Template; rep != nil {
+		t.Template = &TemplateReport{
+			Rounds: rep.Rounds, Windows: rep.Windows,
+			Hits: int64(rep.Hits), Misses: int64(rep.Misses),
+			Rewrites: rep.Rewrites, GatesBefore: rep.GatesBefore,
+			GatesAfter: rep.GatesAfter, GatesSaved: rep.GatesSaved,
+			Learned: rep.Learned, Elapsed: rep.Elapsed,
+		}
+	}
 	for _, e := range res.CECEngines {
 		t.CEC.Engines = append(t.CEC.Engines, EngineStat{
 			Name:    e.Name,
